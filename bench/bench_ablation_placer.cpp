@@ -1,0 +1,137 @@
+/// Ablation of the deviation-penalty placer's design knobs (the choices
+/// DESIGN.md calls out): the doubling ratio beta, the tolerance L, and the
+/// KS-driven penalty switching. Workload: uniform history guides the
+/// landmarks; the live stream is half in-distribution, half a shifted
+/// cluster (the paper's "event" case), so both stability and adaptivity
+/// are exercised.
+
+#include <iostream>
+
+#include "bench/util.h"
+#include "core/deviation_placer.h"
+#include "solver/jms_greedy.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+#include "stats/summary.h"
+
+using namespace esharing;
+using geo::Point;
+
+namespace {
+
+constexpr double kF = 5000.0;
+
+struct Workload {
+  std::vector<Point> history;
+  std::vector<Point> live;
+  std::vector<Point> landmarks;
+};
+
+Workload make_workload(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const geo::BoundingBox field{{0, 0}, {1000, 1000}};
+  Workload w;
+  w.history = stats::uniform_points(rng, field, 150);
+  w.live = stats::uniform_points(rng, field, 150);
+  const auto surge = stats::normal_points(rng, {900, 100}, 50.0, 150);
+  w.live.insert(w.live.end(), surge.begin(), surge.end());
+
+  std::vector<solver::FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : w.history) {
+    clients.push_back({p, 1.0});
+    costs.push_back(kF);
+  }
+  const auto plan =
+      solver::jms_greedy(solver::colocated_instance(clients, costs));
+  for (std::size_t i : plan.open) w.landmarks.push_back(w.history[i]);
+  return w;
+}
+
+struct Outcome {
+  double parkings{0.0};
+  double total_km{0.0};
+};
+
+Outcome run(const core::DeviationPlacerConfig& cfg, int trials = 10) {
+  stats::Accumulator parkings, total;
+  for (int trial = 0; trial < trials; ++trial) {
+    const Workload w = make_workload(100 + static_cast<std::uint64_t>(trial));
+    core::DeviationPenaltyPlacer placer(
+        w.landmarks, w.history, [](Point) { return kF; }, cfg,
+        500 + static_cast<std::uint64_t>(trial));
+    for (Point p : w.live) (void)placer.process(p);
+    parkings.add(static_cast<double>(placer.num_active()));
+    total.add(placer.total_cost() / 1000.0);
+  }
+  return {parkings.mean(), total.mean()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Ablation -- deviation-penalty placer knobs on a half-shifted stream");
+
+  std::cout << "\n(a) doubling ratio beta (L = 200, adaptive switching on)\n"
+            << bench::cell("beta", 8) << bench::cell("#parking", 10)
+            << bench::cell("total km", 10) << '\n';
+  bench::print_rule(28);
+  for (double beta : {1.0, 2.0, 4.0, 8.0}) {
+    core::DeviationPlacerConfig cfg;
+    cfg.beta = beta;
+    cfg.tolerance = 200.0;
+    cfg.ks_period = 50;
+    const auto o = run(cfg);
+    std::cout << bench::cell(beta, 8, 1) << bench::cell(o.parkings, 10, 1)
+              << bench::cell(o.total_km, 10, 1) << '\n';
+  }
+
+  std::cout << "\n(b) tolerance L (beta = 1, adaptive switching on)\n"
+            << bench::cell("L [m]", 8) << bench::cell("#parking", 10)
+            << bench::cell("total km", 10) << '\n';
+  bench::print_rule(28);
+  for (double L : {50.0, 100.0, 200.0, 400.0, 800.0}) {
+    core::DeviationPlacerConfig cfg;
+    cfg.tolerance = L;
+    cfg.ks_period = 50;
+    const auto o = run(cfg);
+    std::cout << bench::cell(L, 8, 0) << bench::cell(o.parkings, 10, 1)
+              << bench::cell(o.total_km, 10, 1) << '\n';
+  }
+
+  std::cout << "\n(c) penalty selection policy (L = 200, beta = 1)\n"
+            << bench::cell("policy", 22) << bench::cell("#parking", 10)
+            << bench::cell("total km", 10) << '\n';
+  bench::print_rule(42);
+  {
+    core::DeviationPlacerConfig adaptive;
+    adaptive.tolerance = 200.0;
+    adaptive.ks_period = 50;
+    const auto o = run(adaptive);
+    std::cout << bench::cell("KS-adaptive (paper)", 22)
+              << bench::cell(o.parkings, 10, 1)
+              << bench::cell(o.total_km, 10, 1) << '\n';
+  }
+  for (core::PenaltyType type :
+       {core::PenaltyType::kTypeI, core::PenaltyType::kTypeII,
+        core::PenaltyType::kTypeIII, core::PenaltyType::kNone}) {
+    core::DeviationPlacerConfig fixed;
+    fixed.tolerance = 200.0;
+    fixed.adaptive_type = false;
+    fixed.ks_period = 0;
+    fixed.initial_penalty = type;
+    const auto o = run(fixed);
+    std::cout << bench::cell(std::string("fixed ") +
+                                 core::penalty_type_name(type), 22)
+              << bench::cell(o.parkings, 10, 1)
+              << bench::cell(o.total_km, 10, 1) << '\n';
+  }
+
+  std::cout << "\nReading: small beta / small L keep the station count near\n"
+               "the offline k but pay walking for the shifted cluster; the\n"
+               "KS-adaptive policy tracks the better fixed penalties without\n"
+               "knowing the shift in advance, while the bad fixed choices\n"
+               "(over-strict TypeII, penalty-free) cost noticeably more.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+/// Extension experiment: customer loss at agent level. The paper motivates
+/// PLP with customer loss ("if no station is available nearby to return
+/// the E-bike ... she may choose not to buy the service") but never
+/// quantifies availability; the micro-simulation does. We sweep fleet size
+/// and the rider's walking tolerance and report the service rate, split by
+/// loss cause (no bike in reach vs reachable bikes too drained), plus the
+/// effect of parallel charging operators on battery-caused losses.
+
+#include <iostream>
+
+#include "bench/util.h"
+#include "sim/microsim.h"
+
+using namespace esharing;
+
+namespace {
+
+sim::MicroSimMetrics run_once(std::size_t bikes, double walk_radius,
+                              std::size_t operators, std::uint64_t seed) {
+  data::CityConfig ccfg;
+  ccfg.num_days = 3;
+  ccfg.trips_per_weekday = 900;
+  ccfg.trips_per_weekend_day = 750;
+  ccfg.num_bikes = bikes;
+  data::SyntheticCity city(ccfg, seed);
+  const auto history = city.generate_trips();
+  const auto live = city.generate_trips();
+
+  sim::MicroSimConfig cfg;
+  cfg.esharing.placer.ks_period = 0;
+  cfg.walk_radius_m = walk_radius;
+  cfg.n_operators = operators;
+  cfg.esharing.charging_operator.work_seconds = 6.0 * 3600.0;
+  sim::MicroSimulation sim(city, cfg, seed ^ 0xabcULL);
+  sim.bootstrap(history);
+  return sim.run(live);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title(
+      "Extension -- service rate (1 - customer loss) at agent level");
+
+  std::cout << "\n(a) fleet size (walk radius 400 m, 1 operator)\n"
+            << bench::cell("bikes", 8) << bench::cell("served %", 10)
+            << bench::cell("no-bike %", 11) << bench::cell("battery %", 11)
+            << '\n';
+  bench::print_rule(40);
+  for (std::size_t bikes : {60, 120, 240, 480}) {
+    const auto m = run_once(bikes, 400.0, 1, 91);
+    const auto pct = [&](std::size_t n) {
+      return 100.0 * static_cast<double>(n) / static_cast<double>(m.demand);
+    };
+    std::cout << bench::cell(static_cast<double>(bikes), 8, 0)
+              << bench::cell(100.0 * m.service_rate(), 10, 1)
+              << bench::cell(pct(m.lost_no_bike), 11, 1)
+              << bench::cell(pct(m.lost_low_battery), 11, 1) << '\n';
+  }
+
+  std::cout << "\n(b) rider walking tolerance (240 bikes, 1 operator)\n"
+            << bench::cell("radius m", 10) << bench::cell("served %", 10)
+            << '\n';
+  bench::print_rule(20);
+  for (double radius : {150.0, 300.0, 600.0, 1200.0}) {
+    const auto m = run_once(240, radius, 1, 92);
+    std::cout << bench::cell(radius, 10, 0)
+              << bench::cell(100.0 * m.service_rate(), 10, 1) << '\n';
+  }
+
+  std::cout << "\n(c) parallel charging operators (120 bikes, 400 m)\n"
+            << bench::cell("operators", 10) << bench::cell("served %", 10)
+            << bench::cell("battery %", 11) << '\n';
+  bench::print_rule(31);
+  for (std::size_t ops : {1, 2, 4}) {
+    const auto m = run_once(120, 400.0, ops, 93);
+    std::cout << bench::cell(static_cast<double>(ops), 10, 0)
+              << bench::cell(100.0 * m.service_rate(), 10, 1)
+              << bench::cell(100.0 * static_cast<double>(m.lost_low_battery) /
+                                 static_cast<double>(m.demand),
+                             11, 1)
+              << '\n';
+  }
+
+  std::cout << "\nShape: service rate saturates with fleet size (the last\n"
+               "doubling buys little), grows with walking tolerance, and\n"
+               "battery-caused losses shrink with more charging operators --\n"
+               "the availability economics behind the paper's maintenance\n"
+               "optimization.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Fig. 4 reproduction: offline (JMS 1.61) vs Meyerson's online facility
+/// location on a stream of 100 random arrivals in a 1000 x 1000 m^2 field
+/// with opening cost f = 5000 m-equivalent. The paper's instance shows 5
+/// offline parkings (cost 16795 / 25000 / 41795) vs 9 online parkings
+/// (25400 / 40000 / 65400, a 56% total-cost increase). Absolute values
+/// depend on the random draw; the reproduced *shape* is the online
+/// algorithm over-opening and paying ~40-70% more in total.
+
+#include <iostream>
+
+#include "bench/util.h"
+#include "solver/jms_greedy.h"
+#include "solver/meyerson.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+#include "stats/summary.h"
+
+using namespace esharing;
+
+int main() {
+  bench::print_title(
+      "Fig. 4 -- Offline (JMS 1.61) vs Meyerson online on 100 uniform "
+      "arrivals,\n1000x1000 m^2, f = 5000 m");
+
+  const double f = 5000.0;
+  const geo::BoundingBox field{{0, 0}, {1000, 1000}};
+
+  std::cout << bench::cell("seed", 6) << bench::cell("algo", 10)
+            << bench::cell("#parking", 10) << bench::cell("walking", 12)
+            << bench::cell("space", 12) << bench::cell("total", 12)
+            << bench::cell("vs offline", 12) << '\n';
+  bench::print_rule();
+
+  stats::Accumulator increase;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    stats::Rng rng(seed);
+    const auto pts = stats::uniform_points(rng, field, 100);
+
+    std::vector<solver::FlClient> clients;
+    std::vector<double> costs;
+    for (auto p : pts) {
+      clients.push_back({p, 1.0});
+      costs.push_back(f);
+    }
+    const auto offline =
+        solver::jms_greedy(solver::colocated_instance(clients, costs));
+
+    solver::MeyersonPlacer meyerson(f, seed * 7919);
+    for (auto p : pts) (void)meyerson.process(p);
+
+    const double pct = 100.0 * (meyerson.total_cost() - offline.total_cost()) /
+                       offline.total_cost();
+    increase.add(pct);
+    std::cout << bench::cell(static_cast<double>(seed), 6, 0)
+              << bench::cell("offline", 10)
+              << bench::cell(static_cast<double>(offline.num_open()), 10, 0)
+              << bench::cell(offline.connection_cost, 12, 0)
+              << bench::cell(offline.opening_cost, 12, 0)
+              << bench::cell(offline.total_cost(), 12, 0)
+              << bench::cell("--", 12) << '\n';
+    std::cout << bench::cell("", 6) << bench::cell("meyerson", 10)
+              << bench::cell(static_cast<double>(meyerson.num_open()), 10, 0)
+              << bench::cell(meyerson.total_connection_cost(), 12, 0)
+              << bench::cell(meyerson.total_opening_cost(), 12, 0)
+              << bench::cell(meyerson.total_cost(), 12, 0)
+              << bench::cell("+" + bench::fmt(pct, 1) + "%", 12) << '\n';
+  }
+  bench::print_rule();
+  std::cout << "Mean online total-cost increase over offline: +"
+            << bench::fmt(increase.mean(), 1) << "%  (paper instance: +56%)\n";
+  return 0;
+}

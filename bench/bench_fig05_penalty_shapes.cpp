@@ -1,0 +1,46 @@
+/// Fig. 5 reproduction: the three penalty functions (Eq. 6-8) and their
+/// first derivatives over walking cost c in [0, 3L], L = 200 m. The series
+/// reproduce the figure's shape: Type II plunges linearly to zero at L;
+/// Type I declines mildly and keeps probability > 0.2 beyond 3L; Type III
+/// sits between the two.
+
+#include <iostream>
+
+#include "bench/util.h"
+#include "core/penalty.h"
+
+using namespace esharing;
+
+int main() {
+  const double L = 200.0;
+  const auto g1 = core::PenaltyFunction::type1(L);
+  const auto g2 = core::PenaltyFunction::type2(L);
+  const auto g3 = core::PenaltyFunction::type3(L);
+
+  bench::print_title("Fig. 5(a) -- penalty functions g(c), L = 200 m");
+  std::cout << bench::cell("c [m]", 8) << bench::cell("TypeI", 10)
+            << bench::cell("TypeII", 10) << bench::cell("TypeIII", 10)
+            << '\n';
+  bench::print_rule(40);
+  for (double c = 0.0; c <= 3.0 * L + 1e-9; c += 50.0) {
+    std::cout << bench::cell(c, 8, 0) << bench::cell(g1(c), 10, 4)
+              << bench::cell(g2(c), 10, 4) << bench::cell(g3(c), 10, 4)
+              << '\n';
+  }
+
+  bench::print_title("Fig. 5(b) -- first derivatives dg/dc  [1/m]");
+  std::cout << bench::cell("c [m]", 8) << bench::cell("TypeI", 12)
+            << bench::cell("TypeII", 12) << bench::cell("TypeIII", 12)
+            << '\n';
+  bench::print_rule(46);
+  for (double c = 0.0; c <= 3.0 * L + 1e-9; c += 50.0) {
+    std::cout << bench::cell(c, 8, 0) << bench::cell(g1.derivative(c), 12, 6)
+              << bench::cell(g2.derivative(c), 12, 6)
+              << bench::cell(g3.derivative(c), 12, 6) << '\n';
+  }
+
+  std::cout << "\nShape checks: TypeII hits 0 at c = L = " << L
+            << "; TypeI(3L) = " << bench::fmt(g1(3 * L), 3)
+            << " (> 0.2, long tail); TypeIII between the two.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+/// Fig. 12 reproduction: total charging cost and percentage of E-bikes
+/// charged vs the per-stop service cost q, for incentive levels
+/// alpha in {0, 0.4, 0.7, 1}. The paper's shape: incentives cut total cost
+/// most where service cost is high; % charged rises steeply with even a
+/// moderate alpha; alpha = 0.4 attains the lowest total cost.
+
+#include <array>
+#include <iostream>
+
+#include "bench/tier2.h"
+#include "bench/util.h"
+#include "stats/summary.h"
+
+using namespace esharing;
+
+int main() {
+  bench::print_title(
+      "Fig. 12 -- total charging cost and % charged vs service cost,\nfor "
+      "alpha in {0, 0.4, 0.7, 1}");
+
+  const std::array<double, 4> alphas{0.0, 0.4, 0.7, 1.0};
+  const std::array<double, 5> service_costs{2.0, 5.0, 10.0, 20.0, 40.0};
+  constexpr int kSeeds = 5;
+
+  std::cout << "\n(a) total cost [$] (cost of service + delay + energy + "
+               "incentives)\n";
+  std::cout << bench::cell("q [$]", 8);
+  for (double a : alphas) {
+    std::cout << bench::cell("alpha=" + bench::fmt(a, 1), 12);
+  }
+  std::cout << '\n';
+  bench::print_rule(56);
+  for (double q : service_costs) {
+    std::cout << bench::cell(q, 8, 0);
+    for (double a : alphas) {
+      stats::Accumulator acc;
+      for (int s = 0; s < kSeeds; ++s) {
+        bench::Tier2Config cfg;
+        cfg.alpha = a;
+        cfg.costs.service_cost_q = q;
+        cfg.seed = 120 + static_cast<std::uint64_t>(s);
+        acc.add(bench::run_tier2(cfg).total_cost());
+      }
+      std::cout << bench::cell(acc.mean(), 12, 0);
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\n(b) percentage of low-energy E-bikes charged within the "
+               "shift [%]\n";
+  std::cout << bench::cell("q [$]", 8);
+  for (double a : alphas) {
+    std::cout << bench::cell("alpha=" + bench::fmt(a, 1), 12);
+  }
+  std::cout << '\n';
+  bench::print_rule(56);
+  for (double q : service_costs) {
+    std::cout << bench::cell(q, 8, 0);
+    for (double a : alphas) {
+      stats::Accumulator acc;
+      for (int s = 0; s < kSeeds; ++s) {
+        bench::Tier2Config cfg;
+        cfg.alpha = a;
+        cfg.costs.service_cost_q = q;
+        cfg.seed = 120 + static_cast<std::uint64_t>(s);
+        acc.add(bench::run_tier2(cfg).round.pct_charged());
+      }
+      std::cout << bench::cell(acc.mean(), 12, 1);
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nShape: any alpha > 0 lifts the charged percentage sharply\n"
+               "(paper: >75% already at alpha = 0.4) and cuts total cost,\n"
+               "with the moderate alpha = 0.4 cheapest overall.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+/// Micro-benchmarks (google-benchmark) of the computational kernels: the
+/// JMS offline solver (the paper's O(N^3) Algorithm 1), the two KS-test
+/// variants (Peacock O(n^3)-family vs Fasano-Franceschini O(n^2)), the
+/// online placers' per-request latency, TSP routing and one LSTM training
+/// sample. These establish that the online path is micro-second scale per
+/// request, i.e. deployable on a live request stream.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deviation_placer.h"
+#include "ml/lstm.h"
+#include "solver/jms_greedy.h"
+#include "solver/meyerson.h"
+#include "solver/tsp.h"
+#include "stats/ks2d.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+using namespace esharing;
+using geo::Point;
+
+namespace {
+
+std::vector<Point> points(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  return stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n);
+}
+
+void BM_JmsGreedy(benchmark::State& state) {
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), 1);
+  std::vector<solver::FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : pts) {
+    clients.push_back({p, 1.0});
+    costs.push_back(10000.0);
+  }
+  const auto inst = solver::colocated_instance(clients, costs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::jms_greedy(inst));
+  }
+}
+BENCHMARK(BM_JmsGreedy)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_PeacockKs(benchmark::State& state) {
+  const auto a = points(static_cast<std::size_t>(state.range(0)), 2);
+  const auto b = points(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::peacock_statistic(a, b));
+  }
+}
+BENCHMARK(BM_PeacockKs)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FasanoFranceschiniKs(benchmark::State& state) {
+  const auto a = points(static_cast<std::size_t>(state.range(0)), 2);
+  const auto b = points(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fasano_franceschini_statistic(a, b));
+  }
+}
+BENCHMARK(BM_FasanoFranceschiniKs)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_MeyersonPerRequest(benchmark::State& state) {
+  const auto pts = points(100000, 4);
+  solver::MeyersonPlacer placer(10000.0, 5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placer.process(pts[i++ % pts.size()]));
+  }
+}
+BENCHMARK(BM_MeyersonPerRequest);
+
+void BM_DeviationPlacerPerRequest(benchmark::State& state) {
+  const auto landmarks = points(20, 6);
+  const auto history = points(300, 7);
+  core::DeviationPlacerConfig cfg;
+  cfg.ks_period = 200;
+  core::DeviationPenaltyPlacer placer(landmarks, history,
+                                      [](Point) { return 10000.0; }, cfg, 8);
+  const auto pts = points(100000, 9);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placer.process(pts[i++ % pts.size()]));
+  }
+}
+BENCHMARK(BM_DeviationPlacerPerRequest);
+
+void BM_TspHeuristic(benchmark::State& state) {
+  const auto sites = points(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver::tsp_two_opt(sites, solver::tsp_nearest_neighbor(sites)));
+  }
+}
+BENCHMARK(BM_TspHeuristic)->Arg(20)->Arg(50);
+
+void BM_LstmTrainingSample(benchmark::State& state) {
+  ml::LstmConfig cfg;
+  cfg.layers = 2;
+  cfg.hidden = 24;
+  cfg.lookback = 12;
+  ml::LstmForecaster lstm(cfg);
+  stats::Rng rng(11);
+  ml::Window w;
+  for (std::size_t i = 0; i < cfg.lookback; ++i) {
+    w.input.push_back(rng.uniform(-1, 1));
+  }
+  w.target = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.sample_gradient(w));
+  }
+}
+BENCHMARK(BM_LstmTrainingSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

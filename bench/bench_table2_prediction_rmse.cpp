@@ -1,0 +1,117 @@
+/// Table II reproduction: rolling one-step RMSE of the prediction engine on
+/// hourly weekday demand — LSTM (1-3 layers x lookback 24/12/6/3/1) vs
+/// Moving Average (window 1..5) vs ARIMA (p in {2,4,6,8,10}, d in {0,1,2}).
+///
+/// The paper's shape to reproduce: the LSTM family beats the statistical
+/// baselines (~30% RMSE improvement), a mid-depth/mid-lookback LSTM is
+/// best (2-layer, back=12 in the paper), back=1 is the worst LSTM setting,
+/// and MA degrades as the window grows. Absolute RMSE differs because the
+/// workload is synthetic.
+
+#include <iostream>
+#include <limits>
+
+#include "bench/prediction_data.h"
+#include "bench/util.h"
+#include "ml/arima.h"
+#include "ml/lstm.h"
+#include "ml/moving_average.h"
+
+using namespace esharing;
+
+int main() {
+  bench::print_title(
+      "Table II -- RMSE of prediction algorithms on hourly weekday demand");
+  const auto series = bench::make_demand_series(28, 2017);
+  const auto [train, test] = ml::split(series.weekday, 0.75);
+  std::cout << "weekday series: " << series.weekday.size() << " hours ("
+            << train.size() << " train / " << test.size() << " test)\n\n";
+
+  double best_rmse = std::numeric_limits<double>::infinity();
+  std::string best_name;
+  const auto record = [&](const std::string& name, double rmse) {
+    if (rmse < best_rmse) {
+      best_rmse = rmse;
+      best_name = name;
+    }
+  };
+
+  // --- LSTM ---------------------------------------------------------------
+  const int backs[] = {24, 12, 6, 3, 1};
+  std::cout << bench::cell("LSTM", 8);
+  for (int b : backs) std::cout << bench::cell("back=" + std::to_string(b), 10);
+  std::cout << '\n';
+  bench::print_rule(58);
+  double lstm_best = std::numeric_limits<double>::infinity();
+  for (int layers = 1; layers <= 3; ++layers) {
+    std::cout << bench::cell(std::to_string(layers) + "-layer", 8);
+    for (int back : backs) {
+      ml::LstmConfig cfg;
+      cfg.layers = layers;
+      cfg.hidden = 24;
+      cfg.lookback = static_cast<std::size_t>(back);
+      cfg.epochs = 15;
+      cfg.seed = 42 + static_cast<std::uint64_t>(layers * 100 + back);
+      ml::LstmForecaster lstm(cfg);
+      lstm.fit(train);
+      const double rmse = ml::evaluate_rmse(lstm, train, test);
+      lstm_best = std::min(lstm_best, rmse);
+      record(lstm.name(), rmse);
+      std::cout << bench::cell(rmse, 10, 1) << std::flush;
+    }
+    std::cout << '\n';
+  }
+
+  // --- Moving Average ------------------------------------------------------
+  std::cout << '\n' << bench::cell("MA", 8);
+  for (int wz = 1; wz <= 5; ++wz) {
+    std::cout << bench::cell("wz=" + std::to_string(wz), 10);
+  }
+  std::cout << '\n';
+  bench::print_rule(58);
+  std::cout << bench::cell("", 8);
+  double ma_best = std::numeric_limits<double>::infinity();
+  for (int wz = 1; wz <= 5; ++wz) {
+    ml::MovingAverageForecaster ma(static_cast<std::size_t>(wz));
+    ma.fit(train);
+    const double rmse = ml::evaluate_rmse(ma, train, test);
+    ma_best = std::min(ma_best, rmse);
+    record(ma.name(), rmse);
+    std::cout << bench::cell(rmse, 10, 1);
+  }
+  std::cout << '\n';
+
+  // --- ARIMA ----------------------------------------------------------------
+  std::cout << '\n' << bench::cell("ARIMA", 8);
+  for (int p = 2; p <= 10; p += 2) {
+    std::cout << bench::cell("p=" + std::to_string(p), 10);
+  }
+  std::cout << '\n';
+  bench::print_rule(58);
+  double arima_best = std::numeric_limits<double>::infinity();
+  for (int d = 0; d <= 2; ++d) {
+    std::cout << bench::cell("d=" + std::to_string(d), 8);
+    for (int p = 2; p <= 10; p += 2) {
+      ml::ArimaForecaster arima(p, d);
+      arima.fit(train);
+      const double rmse = ml::evaluate_rmse(arima, train, test);
+      arima_best = std::min(arima_best, rmse);
+      record(arima.name(), rmse);
+      std::cout << bench::cell(rmse, 10, 1);
+    }
+    std::cout << '\n';
+  }
+
+  bench::print_rule();
+  std::cout << "Best model: " << best_name << " (RMSE "
+            << bench::fmt(best_rmse, 1) << ")\n"
+            << "Best LSTM " << bench::fmt(lstm_best, 1) << " vs best MA "
+            << bench::fmt(ma_best, 1) << " vs best ARIMA "
+            << bench::fmt(arima_best, 1) << "  -> LSTM improvement over best "
+            << "statistical baseline: "
+            << bench::fmt(100.0 * (std::min(ma_best, arima_best) - lstm_best) /
+                              std::min(ma_best, arima_best),
+                          1)
+            << "%  (paper: ~30%)\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// Table VI reproduction: charging cost breakdown and fleet coverage for
+/// incentive levels alpha in {0, 1, 0.7, 0.4}. Paper's headline numbers:
+/// alpha = 0.4 saves 47% of total cost vs no incentives, service cost drops
+/// ~64%, delay cost ~88%, % charged rises from 42.3% to 80.8%, and the
+/// operator's moving distance shrinks ~17.5%.
+
+#include <array>
+#include <iostream>
+
+#include "bench/tier2.h"
+#include "bench/util.h"
+#include "stats/summary.h"
+
+using namespace esharing;
+
+int main() {
+  bench::print_title(
+      "Table VI -- charging costs ($) and distance (km) per incentive "
+      "level");
+
+  const std::array<double, 4> alphas{0.0, 1.0, 0.7, 0.4};
+  constexpr int kSeeds = 8;
+
+  struct Row {
+    stats::Accumulator service, delay, energy, incentives, total, pct, dist;
+  };
+  std::array<Row, 4> rows;
+
+  for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+    for (int s = 0; s < kSeeds; ++s) {
+      bench::Tier2Config cfg;
+      cfg.alpha = alphas[ai];
+      cfg.costs.service_cost_q = 20.0;  // populated-downtown service cost
+      cfg.seed = 600 + static_cast<std::uint64_t>(s);
+      const auto r = bench::run_tier2(cfg);
+      rows[ai].service.add(r.full_round.service_cost);
+      rows[ai].delay.add(r.full_round.delay_cost);
+      rows[ai].energy.add(r.full_round.energy_cost);
+      rows[ai].incentives.add(r.incentives_paid);
+      rows[ai].total.add(r.total_cost());
+      rows[ai].pct.add(r.round.pct_charged());
+      rows[ai].dist.add(r.full_round.moving_distance_m / 1000.0);
+    }
+  }
+
+  std::cout << bench::cell("", 24);
+  for (double a : alphas) {
+    std::cout << bench::cell("alpha=" + bench::fmt(a, 1), 12);
+  }
+  std::cout << '\n';
+  bench::print_rule(74);
+  const auto print_row = [&](const char* label, auto getter, int prec) {
+    std::cout << bench::cell(label, 24);
+    for (std::size_t ai = 0; ai < alphas.size(); ++ai) {
+      std::cout << bench::cell(getter(rows[ai]).mean(), 12, prec);
+    }
+    std::cout << '\n';
+  };
+  print_row("Service cost", [](const Row& r) -> const auto& { return r.service; }, 0);
+  print_row("Delay cost", [](const Row& r) -> const auto& { return r.delay; }, 0);
+  print_row("Energy cost", [](const Row& r) -> const auto& { return r.energy; }, 0);
+  print_row("Incentives", [](const Row& r) -> const auto& { return r.incentives; }, 0);
+  print_row("Total cost (sum above)", [](const Row& r) -> const auto& { return r.total; }, 0);
+  print_row("% have been charged", [](const Row& r) -> const auto& { return r.pct; }, 1);
+  print_row("Moving distance (km)", [](const Row& r) -> const auto& { return r.dist; }, 1);
+  bench::print_rule(74);
+
+  const double total0 = rows[0].total.mean();
+  const double total04 = rows[3].total.mean();
+  const double service_saving =
+      100.0 * (rows[0].service.mean() - rows[3].service.mean()) /
+      rows[0].service.mean();
+  const double delay_saving =
+      100.0 * (rows[0].delay.mean() - rows[3].delay.mean()) /
+      std::max(rows[0].delay.mean(), 1e-9);
+  const double dist_saving =
+      100.0 * (rows[0].dist.mean() - rows[3].dist.mean()) /
+      std::max(rows[0].dist.mean(), 1e-9);
+  std::cout << "alpha=0.4 total-cost saving vs alpha=0: "
+            << bench::fmt(100.0 * (total0 - total04) / total0, 1)
+            << "%  (paper: 47%)\n"
+            << "service-cost saving: " << bench::fmt(service_saving, 1)
+            << "%  (paper: ~64%)\n"
+            << "delay-cost saving:   " << bench::fmt(delay_saving, 1)
+            << "%  (paper: ~88%)\n"
+            << "distance saving:     " << bench::fmt(dist_saving, 1)
+            << "%  (paper: ~17.5%)\n"
+            << "% charged:           " << bench::fmt(rows[0].pct.mean(), 1)
+            << "% -> " << bench::fmt(rows[3].pct.mean(), 1)
+            << "%  (paper: 42.3% -> 80.8%)\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file prediction_data.h
+/// Shared demand-series construction for the prediction benches (Table II,
+/// Fig. 8). Builds the synthetic city, bins trips into hourly arrival
+/// counts and extracts weekday-only / weekend-only series, mirroring the
+/// paper's protocol ("weekdays are split as 7 days for training and 3 days
+/// for testing; weekends are split as 3 days for training and 1 day for
+/// testing" — scaled up on our longer synthetic horizon).
+
+#include <utility>
+#include <vector>
+
+#include "data/binning.h"
+#include "data/synthetic_city.h"
+#include "ml/series.h"
+
+namespace esharing::bench {
+
+struct DemandSeries {
+  ml::Series weekday;  ///< concatenated hourly counts of weekday days
+  ml::Series weekend;  ///< concatenated hourly counts of weekend days
+};
+
+/// Generate `days` days of city demand and split per-hour totals by day
+/// type.
+inline DemandSeries make_demand_series(int days = 28, std::uint64_t seed = 2017) {
+  data::CityConfig cfg;
+  cfg.num_days = days;
+  cfg.trips_per_weekday = 2000;
+  cfg.trips_per_weekend_day = 1600;
+  cfg.num_bikes = 400;
+  data::SyntheticCity city(cfg, seed);
+  const auto trips = city.generate_trips();
+  const auto grid = city.grid();
+  const auto matrix = data::bin_trips(grid, city.projection(), trips,
+                                      static_cast<std::size_t>(days) * 24);
+  const auto hourly = matrix.total_per_hour();
+
+  DemandSeries out;
+  for (int day = 0; day < days; ++day) {
+    auto& dst = data::is_weekend(day * data::kSecondsPerDay) ? out.weekend
+                                                             : out.weekday;
+    for (int h = 0; h < 24; ++h) {
+      dst.push_back(hourly[static_cast<std::size_t>(day * 24 + h)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace esharing::bench

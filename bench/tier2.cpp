@@ -1,0 +1,104 @@
+#include "bench/tier2.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::bench {
+
+using geo::Point;
+
+Tier2Result run_tier2(const Tier2Config& config) {
+  stats::Rng rng(config.seed);
+
+  // Stations scattered uniformly over the field (the tier-one output in a
+  // real deployment; the exact layout is immaterial for tier two).
+  const geo::BoundingBox field{{0, 0}, {config.field_m, config.field_m}};
+  const auto locations = stats::uniform_points(rng, field, config.n_stations);
+
+  // Fleet with the low-battery tail; bikes sit at random stations.
+  energy::BikeFleet fleet(config.n_bikes, energy::EnergyConfig{},
+                          config.seed ^ 0x1234567890abcdefULL);
+  std::vector<core::EnergyStation> stations;
+  stations.reserve(locations.size());
+  for (Point p : locations) stations.push_back({p, {}});
+  for (std::size_t b = 0; b < fleet.size(); ++b) {
+    if (fleet.is_low(b)) {
+      stations[rng.index(stations.size())].low_bikes.push_back(b);
+    }
+  }
+
+  Tier2Result result;
+  result.before = stations;
+  for (const auto& s : stations) {
+    result.sites_before += s.low_bikes.empty() ? 0 : 1;
+  }
+
+  // Incentive phase: users pick up at a random station and ride to another
+  // station (their assigned destination parking).
+  core::IncentiveConfig icfg;
+  icfg.alpha = config.alpha;
+  icfg.costs = config.costs;
+  icfg.mileage_slack_m = config.mileage_slack_m;
+  // Bound the offer's delay term by what one shift can actually serve.
+  const double per_stop_s = config.op.stop_overhead_s + config.op.charge_time_s;
+  icfg.max_sequence_position = static_cast<std::size_t>(
+      std::max(1.0, config.op.work_seconds / std::max(per_stop_s, 1.0)));
+  core::IncentiveMechanism mech(stations, icfg);
+  for (std::size_t i = 0; i < config.n_pickups; ++i) {
+    const std::size_t at = rng.index(config.n_stations);
+    std::size_t to = rng.index(config.n_stations);
+    if (to == at) to = (to + 1) % config.n_stations;
+    const core::UserBehavior user{
+        rng.uniform(config.user_max_walk_lo_m, config.user_max_walk_hi_m),
+        rng.uniform(config.user_min_reward_lo, config.user_min_reward_hi)};
+    const auto offer = mech.handle_pickup(
+        at, locations[to], user,
+        [&fleet](std::size_t bike, double dist) {
+          return fleet.can_ride(bike, dist);
+        });
+    if (offer.accepted) fleet.ride(offer.bike, offer.ride_m);
+  }
+
+  result.after = mech.stations();
+  for (const auto& s : result.after) {
+    result.sites_after += s.low_bikes.empty() ? 0 : 1;
+  }
+  result.incentives_paid = mech.total_incentives_paid();
+  result.relocations = mech.relocations();
+  result.round = core::run_charging_round(result.after, config.costs, config.op);
+  core::OperatorConfig unlimited = config.op;
+  unlimited.work_seconds = 1e12;
+  result.full_round =
+      core::run_charging_round(result.after, config.costs, unlimited);
+  return result;
+}
+
+void print_heatmap(const std::vector<core::EnergyStation>& stations,
+                   double field_m, int cells) {
+  std::vector<std::vector<std::size_t>> grid(
+      static_cast<std::size_t>(cells),
+      std::vector<std::size_t>(static_cast<std::size_t>(cells), 0));
+  for (const auto& s : stations) {
+    const auto cx = std::clamp(
+        static_cast<int>(s.location.x / field_m * cells), 0, cells - 1);
+    const auto cy = std::clamp(
+        static_cast<int>(s.location.y / field_m * cells), 0, cells - 1);
+    grid[static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] +=
+        s.low_bikes.size();
+  }
+  const char shades[] = " .:-=+*#%@";
+  for (int row = cells - 1; row >= 0; --row) {
+    std::cout << "    ";
+    for (int col = 0; col < cells; ++col) {
+      const std::size_t v =
+          grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      std::cout << shades[std::min<std::size_t>(v, 9)];
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace esharing::bench

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file util.h
+/// Shared formatting helpers for the reproduction benches. Each bench
+/// binary regenerates one table or figure of the paper and prints it in a
+/// paper-shaped layout; these helpers keep the output consistent.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace esharing::bench {
+
+inline void print_title(const std::string& title) {
+  std::cout << '\n' << std::string(78, '=') << '\n'
+            << title << '\n'
+            << std::string(78, '=') << '\n';
+}
+
+inline void print_rule(std::size_t width = 78) {
+  std::cout << std::string(width, '-') << '\n';
+}
+
+/// Fixed-precision number formatting for table cells.
+inline std::string fmt(double v, int precision = 1) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Right-aligned cell of fixed width.
+inline std::string cell(const std::string& s, int width = 10) {
+  std::ostringstream os;
+  os << std::setw(width) << s;
+  return os.str();
+}
+
+inline std::string cell(double v, int width = 10, int precision = 1) {
+  return cell(fmt(v, precision), width);
+}
+
+}  // namespace esharing::bench

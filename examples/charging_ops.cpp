@@ -1,0 +1,79 @@
+/// Charging operations: a tier-two deep dive for the maintenance team.
+///
+/// Runs the full simulated deployment (sim::Simulation) for two weeks at
+/// several incentive levels alpha and reports the maintenance economics:
+/// incentives paid, relocations, charging rounds, percentage of low-energy
+/// bikes covered and the operator's driven distance — the decision data an
+/// operator would use to pick alpha (the paper lands on 0.4).
+///
+/// Build & run:  ./build/examples/charging_ops
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/simulation.h"
+
+using namespace esharing;
+
+int main() {
+  data::CityConfig ccfg;
+  ccfg.num_days = 5;
+  ccfg.trips_per_weekday = 1200;
+  ccfg.trips_per_weekend_day = 1000;
+  ccfg.num_bikes = 300;
+  data::SyntheticCity city(ccfg, 33);
+  const auto history = city.generate_trips();
+  const auto live = city.generate_trips();
+  std::cout << "city: " << history.size() << " historical + " << live.size()
+            << " live trips, " << ccfg.num_bikes << " bikes\n\n";
+
+  std::cout << std::left << std::setw(8) << "alpha" << std::right
+            << std::setw(12) << "offers" << std::setw(12) << "relocated"
+            << std::setw(12) << "incentives" << std::setw(14) << "charge $"
+            << std::setw(12) << "% charged" << std::setw(12) << "dist km"
+            << '\n'
+            << std::string(82, '-') << '\n';
+
+  for (double alpha : {0.0, 0.2, 0.4, 0.7, 1.0}) {
+    sim::SimConfig scfg;
+    scfg.esharing.incentive.alpha = alpha;
+    scfg.esharing.incentive.mileage_slack_m = 300.0;
+    // Offers are priced per shift-length rounds; users have meaningful
+    // reservation values so the acceptance rate actually depends on alpha.
+    scfg.esharing.incentive.max_sequence_position = 10;
+    scfg.user_min_reward_hi = 12.0;
+    scfg.esharing.charging_operator.work_seconds = 5.0 * 3600.0;
+    scfg.charging_period = data::kSecondsPerDay;
+
+    // Average a few seeds: single runs of a small city are noisy.
+    struct Row {
+      double offers{0}, relocated{0}, incentives{0}, charge{0}, pct{0},
+          dist_km{0};
+    } row;
+    constexpr int kSeeds = 3;
+    for (int s = 0; s < kSeeds; ++s) {
+      sim::Simulation simulation(city, scfg, 34 + s);
+      simulation.bootstrap(history);
+      const auto metrics = simulation.run(live);
+      row.offers += static_cast<double>(metrics.offers_made) / kSeeds;
+      row.relocated += static_cast<double>(metrics.relocations) / kSeeds;
+      row.incentives += metrics.incentives_paid / kSeeds;
+      row.charge += metrics.total_charging_cost() / kSeeds;
+      row.pct += metrics.mean_pct_charged() / kSeeds;
+      row.dist_km += metrics.total_moving_distance_m() / 1000.0 / kSeeds;
+    }
+    std::cout << std::left << std::setw(8) << alpha << std::right
+              << std::fixed << std::setprecision(0) << std::setw(12)
+              << row.offers << std::setw(12) << row.relocated << std::setw(12)
+              << row.incentives << std::setw(14) << row.charge
+              << std::setw(12) << std::setprecision(1) << row.pct
+              << std::setw(12) << row.dist_km << '\n';
+  }
+
+  std::cout << "\nReading the table: raising alpha buys more cooperation\n"
+               "(relocations and charged coverage go up) at linearly growing\n"
+               "incentive payments. The operator picks the knee of this\n"
+               "curve; the paper's full-cost accounting (Table VI, see\n"
+               "bench_table6_incentive_breakdown) lands on alpha = 0.4.\n";
+  return 0;
+}

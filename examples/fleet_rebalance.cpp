@@ -1,0 +1,117 @@
+/// Fleet rebalancing + privacy pipeline: the morning routine of an
+/// operations team.
+///
+/// 1. Yesterday's trips are anonymized before leaving the ingestion layer
+///    (pseudonymized ids + planar-Laplace location obfuscation), as the
+///    paper's system model suggests.
+/// 2. Per-station demand for the coming day is forecast from the
+///    (anonymized) history.
+/// 3. Rebalancing targets proportional to forecast demand are computed and
+///    a capacity-limited truck route is planned to meet them — the
+///    "balanced reserves" assumption of the paper's system model, made
+///    concrete.
+///
+/// Build & run:  ./build/examples/fleet_rebalance
+
+#include <iomanip>
+#include <iostream>
+
+#include "data/binning.h"
+#include "data/synthetic_city.h"
+#include "ml/moving_average.h"
+#include "privacy/privacy.h"
+#include "rebalance/rebalance.h"
+#include "solver/jms_greedy.h"
+
+using namespace esharing;
+using geo::Point;
+
+int main() {
+  data::CityConfig ccfg;
+  ccfg.num_days = 7;
+  ccfg.num_bikes = 400;
+  data::SyntheticCity city(ccfg, 55);
+  const auto raw_trips = city.generate_trips();
+
+  // --- 1. privacy at the ingestion boundary -----------------------------
+  stats::Rng rng(56);
+  privacy::AnonymizeConfig pcfg;
+  pcfg.epsilon = 0.02;  // ~100 m expected obfuscation
+  const auto trips =
+      privacy::anonymize_trips(raw_trips, city.projection(), pcfg, rng);
+  std::cout << "anonymized " << trips.size() << " trips (E[noise] = "
+            << privacy::PlanarLaplace(pcfg.epsilon).expected_displacement()
+            << " m, ids pseudonymized)\n";
+
+  // --- station set from the anonymized history -----------------------------
+  const auto sites = data::demand_sites_in_window(
+      city.grid(), city.projection(), trips, 0,
+      ccfg.num_days * data::kSecondsPerDay);
+  std::vector<solver::FlClient> clients;
+  std::vector<double> costs;
+  for (const auto& s : sites) {
+    clients.push_back({s.location, s.arrivals});
+    costs.push_back(10000.0);
+  }
+  const auto plan =
+      solver::jms_greedy(solver::colocated_instance(clients, costs));
+  std::cout << "station network: " << plan.num_open() << " parkings\n";
+
+  // --- 2. forecast per-station demand for tomorrow morning -----------------
+  // Hourly arrivals near each station, forecast with a short moving average
+  // over the same hour of previous days.
+  const auto grid = city.grid();
+  const auto matrix = data::bin_trips(grid, city.projection(), trips,
+                                      static_cast<std::size_t>(ccfg.num_days) * 24);
+  std::vector<rebalance::StationInventory> stations;
+  std::vector<double> forecast_demand;
+  stats::Rng inv_rng(57);
+  ml::MovingAverageForecaster ma(24);  // daily-mean level estimate
+  for (std::size_t k = 0; k < plan.open.size(); ++k) {
+    const Point loc = clients[plan.open[k]].location;
+    const auto cell = grid.index_of(grid.clamped_cell_of(loc));
+    const auto series = matrix.cell_series(cell);
+    ma.fit(series);
+    const double demand = std::max(0.0, ma.forecast(series, 1)[0]) * 24.0;
+    forecast_demand.push_back(demand);
+    // Overnight inventories: whatever yesterday's chaos left behind.
+    stations.push_back({loc, static_cast<int>(inv_rng.index(2 * ccfg.num_bikes /
+                                                            plan.num_open() + 1)),
+                        0});
+  }
+
+  // --- 3. targets + truck route ---------------------------------------------
+  const auto targets = rebalance::proportional_targets(stations, forecast_demand);
+  for (std::size_t k = 0; k < stations.size(); ++k) {
+    stations[k].target = targets[k];
+  }
+  const int before = rebalance::total_imbalance(stations);
+
+  rebalance::TruckConfig truck;
+  truck.capacity = 16;
+  truck.depot = {0.0, 0.0};
+  const auto route = rebalance::plan_rebalancing(stations, truck);
+  const auto after_bikes = rebalance::apply_plan(stations, route, truck);
+  int after = 0;
+  for (std::size_t k = 0; k < stations.size(); ++k) {
+    after += std::abs(after_bikes[k] - stations[k].target);
+  }
+
+  std::cout << std::fixed << std::setprecision(1)
+            << "rebalancing: imbalance " << before << " -> " << after
+            << " bikes, " << route.stops.size() << " stops, "
+            << route.bikes_moved << " bikes moved, route "
+            << route.route_length_m / 1000.0 << " km\n";
+
+  std::cout << "\nfirst stops of the truck route:\n";
+  for (std::size_t s = 0; s < std::min<std::size_t>(route.stops.size(), 8); ++s) {
+    const auto& stop = route.stops[s];
+    std::cout << "  station " << std::setw(3) << stop.station << " at ("
+              << std::setw(6) << std::setprecision(0)
+              << stations[stop.station].location.x << ", " << std::setw(6)
+              << stations[stop.station].location.y << "): "
+              << (stop.delta > 0 ? "load " : "drop ")
+              << std::abs(stop.delta) << " bikes\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Quickstart: the smallest complete E-Sharing flow.
+///
+/// 1. Generate a week of synthetic city trips (Mobike schema).
+/// 2. Plan near-optimal parking locations offline from that history
+///    (tier one, Algorithm 1).
+/// 3. Serve a live day of requests online with the deviation-penalty
+///    placer (tier one, Algorithm 2).
+/// 4. Aggregate low-battery bikes with incentives and run one charging
+///    round (tier two, Algorithm 3).
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/esharing.h"
+#include "data/binning.h"
+#include "data/synthetic_city.h"
+#include "energy/battery.h"
+
+using namespace esharing;
+
+int main() {
+  // --- 1. a week of history --------------------------------------------
+  data::CityConfig city_cfg;
+  city_cfg.num_days = 7;
+  data::SyntheticCity city(city_cfg, /*seed=*/7);
+  const auto history = city.generate_trips();
+  std::cout << "generated " << history.size() << " historical trips\n";
+
+  // --- 2. offline plan ----------------------------------------------------
+  core::ESharingConfig cfg;
+  cfg.charging_operator.work_seconds = 8.0 * 3600.0;
+  core::ESharing system(cfg, /*seed=*/7);
+  const auto sites = data::demand_sites_in_window(
+      city.grid(), city.projection(), history, 0,
+      city_cfg.num_days * data::kSecondsPerDay);
+  const auto& plan =
+      system.plan_offline(sites, [](geo::Point) { return 10000.0; });
+  std::cout << "offline plan: " << plan.num_open() << " parking locations, "
+            << "total cost " << plan.total_cost() / 1000.0 << " km\n";
+
+  // --- 3. online day ------------------------------------------------------
+  auto ks_reference = data::destinations_in_window(
+      city.projection(), history, 0, city_cfg.num_days * data::kSecondsPerDay);
+  if (ks_reference.size() > 300) ks_reference.resize(300);
+  system.start_online(std::move(ks_reference));
+
+  const auto live = city.generate_trips();  // the next week
+  for (const auto& trip : live) {
+    (void)system.handle_request(city.end_point(trip));
+  }
+  std::cout << "after " << live.size() << " live requests: "
+            << system.placer().num_active() << " active parkings ("
+            << system.placer().num_online_opened()
+            << " opened online), mean walk "
+            << system.placer().total_connection_cost() /
+                   static_cast<double>(live.size())
+            << " m\n";
+
+  // --- 4. one charging round ----------------------------------------------
+  energy::BikeFleet fleet(city_cfg.num_bikes, energy::EnergyConfig{}, 7);
+  std::vector<std::size_t> bike_station(fleet.size());
+  const auto parkings = system.parking_locations();
+  for (std::size_t b = 0; b < fleet.size(); ++b) {
+    bike_station[b] = b % parkings.size();
+  }
+  const auto session = system.make_incentive_session(fleet, bike_station);
+  const auto round = system.charge(session);
+  std::cout << "charging round: " << round.stations_visited << "/"
+            << round.stations_total << " stations served, "
+            << round.bikes_charged << " bikes charged, cost $"
+            << round.total_cost() << "\n";
+  return 0;
+}

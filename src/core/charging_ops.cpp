@@ -1,0 +1,132 @@
+#include "core/charging_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "solver/tsp.h"
+
+namespace esharing::core {
+
+ChargingRoundResult run_charging_round(
+    const std::vector<EnergyStation>& stations,
+    const energy::ChargingCostParams& costs, const OperatorConfig& op) {
+  if (!(op.speed_mps > 0.0)) {
+    throw std::invalid_argument("run_charging_round: speed must be positive");
+  }
+  if (!(op.work_seconds > 0.0)) {
+    throw std::invalid_argument("run_charging_round: shift must be positive");
+  }
+
+  ChargingRoundResult result;
+  std::vector<std::size_t> needing;
+  std::vector<geo::Point> sites;
+  sites.push_back(op.depot);  // route starts at the depot (site 0)
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    result.bikes_total += stations[s].low_bikes.size();
+    if (!stations[s].low_bikes.empty()) {
+      needing.push_back(s);
+      sites.push_back(stations[s].location);
+    }
+  }
+  result.stations_total = needing.size();
+  if (needing.empty()) return result;
+
+  // Shortest route from the depot through all demand sites. solve_tsp
+  // returns a cycle; rotate it to start at the depot and walk it open-ended
+  // in whichever direction gives the shorter path (the operator does not
+  // return to the depot within the shift).
+  const auto order = solver::solve_tsp(sites);
+  std::vector<std::size_t> tour;
+  const auto depot_it = std::find(order.begin(), order.end(), std::size_t{0});
+  tour.insert(tour.end(), depot_it, order.end());
+  tour.insert(tour.end(), order.begin(), depot_it);
+  std::vector<std::size_t> reversed{0};
+  reversed.insert(reversed.end(), tour.rbegin(),
+                  tour.rbegin() + static_cast<std::ptrdiff_t>(tour.size() - 1));
+  if (solver::tour_length(sites, reversed, /*round_trip=*/false) <
+      solver::tour_length(sites, tour, /*round_trip=*/false)) {
+    tour = std::move(reversed);
+  }
+
+  double elapsed = 0.0;
+  geo::Point at = op.depot;
+  std::size_t position = 0;  // 1-based t in the served sequence
+  for (std::size_t step = 1; step < tour.size(); ++step) {
+    const std::size_t site = tour[step];
+    const geo::Point next = sites[site];
+    const double leg = geo::distance(at, next);
+    const double stop_time = leg / op.speed_mps + op.stop_overhead_s +
+                             op.charge_time_s;
+    if (elapsed + stop_time > op.work_seconds) break;
+    elapsed += stop_time;
+    result.moving_distance_m += leg;
+    at = next;
+    ++position;
+
+    const std::size_t station = needing[site - 1];
+    result.route.push_back(station);
+    ++result.stations_visited;
+    result.service_cost += costs.service_cost_q;
+    result.delay_cost +=
+        static_cast<double>(position - 1) * costs.delay_cost_d;
+    result.energy_cost +=
+        costs.energy_cost_b * static_cast<double>(stations[station].low_bikes.size());
+    result.bikes_charged += stations[station].low_bikes.size();
+  }
+  return result;
+}
+
+ChargingRoundResult run_charging_round_multi(
+    const std::vector<EnergyStation>& stations,
+    const energy::ChargingCostParams& costs, const OperatorConfig& op,
+    std::size_t n_operators) {
+  if (n_operators == 0) {
+    throw std::invalid_argument("run_charging_round_multi: no operators");
+  }
+  if (n_operators == 1) return run_charging_round(stations, costs, op);
+
+  // Sweep partition: demand sites sorted by angle around the depot, cut
+  // into n_operators contiguous sectors with balanced site counts.
+  std::vector<std::size_t> needing;
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    if (!stations[s].low_bikes.empty()) needing.push_back(s);
+  }
+  std::sort(needing.begin(), needing.end(), [&](std::size_t a, std::size_t b) {
+    const geo::Point pa = stations[a].location - op.depot;
+    const geo::Point pb = stations[b].location - op.depot;
+    return std::atan2(pa.y, pa.x) < std::atan2(pb.y, pb.x);
+  });
+
+  ChargingRoundResult merged;
+  merged.bikes_total = 0;
+  for (const auto& s : stations) merged.bikes_total += s.low_bikes.size();
+  merged.stations_total = needing.size();
+
+  const std::size_t per = (needing.size() + n_operators - 1) / n_operators;
+  for (std::size_t o = 0; o < n_operators && o * per < needing.size(); ++o) {
+    // Build a sub-problem holding only this sector's piles.
+    std::vector<EnergyStation> sector(stations.size());
+    for (std::size_t s = 0; s < stations.size(); ++s) {
+      sector[s].location = stations[s].location;
+    }
+    const std::size_t lo = o * per;
+    const std::size_t hi = std::min(needing.size(), lo + per);
+    for (std::size_t k = lo; k < hi; ++k) {
+      sector[needing[k]].low_bikes = stations[needing[k]].low_bikes;
+    }
+    const auto part = run_charging_round(sector, costs, op);
+    merged.stations_visited += part.stations_visited;
+    merged.bikes_charged += part.bikes_charged;
+    merged.service_cost += part.service_cost;
+    merged.delay_cost += part.delay_cost;
+    merged.energy_cost += part.energy_cost;
+    merged.moving_distance_m += part.moving_distance_m;
+    merged.route.insert(merged.route.end(), part.route.begin(),
+                        part.route.end());
+  }
+  return merged;
+}
+
+}  // namespace esharing::core

@@ -1,0 +1,36 @@
+#include "core/daytype_router.h"
+
+namespace esharing::core {
+
+DayTypeRouter::DayTypeRouter(std::vector<geo::Point> weekday_landmarks,
+                             std::vector<geo::Point> weekday_sample,
+                             std::vector<geo::Point> weekend_landmarks,
+                             std::vector<geo::Point> weekend_sample,
+                             std::function<double(geo::Point)> opening_cost_fn,
+                             const DeviationPlacerConfig& config,
+                             std::uint64_t seed)
+    : weekday_(std::move(weekday_landmarks), std::move(weekday_sample),
+               opening_cost_fn, config, seed ^ 0x77eeda1ULL),
+      weekend_(std::move(weekend_landmarks), std::move(weekend_sample),
+               std::move(opening_cost_fn), config, seed ^ 0x77ee2e2dULL) {}
+
+solver::OnlineDecision DayTypeRouter::process(data::Seconds when,
+                                              geo::Point destination,
+                                              double weight) {
+  return data::is_weekend(when) ? weekend_.process(destination, weight)
+                                : weekday_.process(destination, weight);
+}
+
+const DeviationPenaltyPlacer& DayTypeRouter::placer_for(
+    data::Seconds when) const {
+  return data::is_weekend(when) ? weekend_ : weekday_;
+}
+
+std::vector<geo::Point> DayTypeRouter::all_active_locations() const {
+  auto out = weekday_.active_locations();
+  const auto we = weekend_.active_locations();
+  out.insert(out.end(), we.begin(), we.end());
+  return out;
+}
+
+}  // namespace esharing::core

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file daytype_router.h
+/// Day-type plan routing. Table IV shows weekday and weekend demand come
+/// from different distributions (the paper trains its forecaster per day
+/// type for the same reason), so a deployment maintains one offline plan —
+/// and one online placer — per day type and routes each live request by
+/// its timestamp's calendar. Both placers share the opening-cost field and
+/// configuration; their station sets evolve independently.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/deviation_placer.h"
+#include "data/trip.h"
+
+namespace esharing::core {
+
+class DayTypeRouter {
+ public:
+  /// \param weekday_landmarks / weekend_landmarks offline plans per day type
+  /// \param weekday_sample / weekend_sample KS reference samples per day type
+  /// \throws std::invalid_argument under the same conditions as
+  ///         DeviationPenaltyPlacer.
+  DayTypeRouter(std::vector<geo::Point> weekday_landmarks,
+                std::vector<geo::Point> weekday_sample,
+                std::vector<geo::Point> weekend_landmarks,
+                std::vector<geo::Point> weekend_sample,
+                std::function<double(geo::Point)> opening_cost_fn,
+                const DeviationPlacerConfig& config, std::uint64_t seed);
+
+  /// Route one request by its timestamp's day type.
+  solver::OnlineDecision process(data::Seconds when, geo::Point destination,
+                                 double weight = 1.0);
+
+  /// The placer that served (or would serve) time `when`.
+  [[nodiscard]] const DeviationPenaltyPlacer& placer_for(data::Seconds when) const;
+  [[nodiscard]] DeviationPenaltyPlacer& weekday() { return weekday_; }
+  [[nodiscard]] DeviationPenaltyPlacer& weekend() { return weekend_; }
+  [[nodiscard]] const DeviationPenaltyPlacer& weekday() const { return weekday_; }
+  [[nodiscard]] const DeviationPenaltyPlacer& weekend() const { return weekend_; }
+
+  /// Union of both day types' active stations (weekday first).
+  [[nodiscard]] std::vector<geo::Point> all_active_locations() const;
+
+  [[nodiscard]] double total_connection_cost() const {
+    return weekday_.total_connection_cost() + weekend_.total_connection_cost();
+  }
+
+ private:
+  DeviationPenaltyPlacer weekday_;
+  DeviationPenaltyPlacer weekend_;
+};
+
+}  // namespace esharing::core

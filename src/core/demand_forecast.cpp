@@ -1,0 +1,135 @@
+#include "core/demand_forecast.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "ml/arima.h"
+#include "ml/gru.h"
+#include "ml/lstm.h"
+#include "ml/moving_average.h"
+#include "ml/seasonal_naive.h"
+
+namespace esharing::core {
+
+namespace {
+
+std::unique_ptr<ml::Forecaster> make_engine(const GridForecastConfig& cfg,
+                                            std::uint64_t cell_seed) {
+  switch (cfg.engine) {
+    case ForecastEngine::kSeasonalNaive:
+      return std::make_unique<ml::SeasonalNaiveForecaster>(24);
+    case ForecastEngine::kMovingAverage:
+      return std::make_unique<ml::MovingAverageForecaster>(24);
+    case ForecastEngine::kArima:
+      return std::make_unique<ml::ArimaForecaster>(8, 0);
+    case ForecastEngine::kLstm: {
+      ml::LstmConfig lc;
+      lc.layers = 1;
+      lc.hidden = cfg.rnn_hidden;
+      lc.lookback = 12;
+      lc.epochs = cfg.rnn_epochs;
+      lc.seed = cell_seed;
+      return std::make_unique<ml::LstmForecaster>(lc);
+    }
+    case ForecastEngine::kGru: {
+      ml::GruConfig gc;
+      gc.layers = 1;
+      gc.hidden = cfg.rnn_hidden;
+      gc.lookback = 12;
+      gc.epochs = cfg.rnn_epochs;
+      gc.seed = cell_seed;
+      return std::make_unique<ml::GruForecaster>(gc);
+    }
+  }
+  throw std::invalid_argument("forecast_grid_demand: unknown engine");
+}
+
+}  // namespace
+
+const char* forecast_engine_name(ForecastEngine e) {
+  switch (e) {
+    case ForecastEngine::kSeasonalNaive: return "seasonal-naive";
+    case ForecastEngine::kMovingAverage: return "moving-average";
+    case ForecastEngine::kArima: return "arima";
+    case ForecastEngine::kLstm: return "lstm";
+    case ForecastEngine::kGru: return "gru";
+  }
+  return "???";
+}
+
+std::vector<data::DemandSite> GridForecast::sites(const geo::Grid& grid) const {
+  if (predicted_arrivals.size() != grid.cell_count()) {
+    throw std::invalid_argument("GridForecast::sites: grid size mismatch");
+  }
+  std::vector<data::DemandSite> out;
+  for (std::size_t c = 0; c < predicted_arrivals.size(); ++c) {
+    if (predicted_arrivals[c] > 0.0) {
+      out.push_back({grid.centroid_of(grid.cell_at(c)), predicted_arrivals[c], c});
+    }
+  }
+  return out;
+}
+
+GridForecast forecast_grid_demand(const data::DemandMatrix& history,
+                                  const geo::Grid& grid,
+                                  const GridForecastConfig& config) {
+  if (history.n_cells() != grid.cell_count()) {
+    throw std::invalid_argument(
+        "forecast_grid_demand: matrix/grid cell count mismatch");
+  }
+  if (history.n_hours() < 48) {
+    throw std::invalid_argument(
+        "forecast_grid_demand: need at least two days of history");
+  }
+  if (config.horizon_hours == 0) {
+    throw std::invalid_argument("forecast_grid_demand: zero horizon");
+  }
+
+  GridForecast result;
+  result.predicted_arrivals.assign(history.n_cells(), 0.0);
+
+  // Busy cells get their own model; track their aggregate trend for the
+  // tail fallback.
+  const auto top = history.top_cells(config.top_cells);
+  const auto horizon = static_cast<double>(config.horizon_hours);
+  double modeled_history_rate = 0.0;  // arrivals/hour over history
+  double modeled_predicted = 0.0;     // arrivals over the horizon
+  std::vector<bool> modeled(history.n_cells(), false);
+  for (std::size_t rank = 0; rank < top.size(); ++rank) {
+    const std::size_t cell = top[rank];
+    const auto series = history.cell_series(cell);
+    double cell_total = 0.0;
+    for (double v : series) cell_total += v;
+    if (cell_total <= 0.0) continue;  // top_cells may exceed the busy count
+
+    auto engine = make_engine(config, config.seed + rank);
+    engine->fit(series);
+    double predicted = 0.0;
+    for (double v : engine->forecast(series, config.horizon_hours)) {
+      predicted += std::max(0.0, v);
+    }
+    result.predicted_arrivals[cell] = predicted;
+    modeled[cell] = true;
+    ++result.modeled_cells;
+    modeled_history_rate += cell_total / static_cast<double>(series.size());
+    modeled_predicted += predicted;
+  }
+
+  // Tail cells: historical hourly mean scaled by the busy cells' predicted
+  // trend (predicted volume / history-rate-equivalent volume).
+  const double expected_modeled = modeled_history_rate * horizon;
+  const double trend =
+      expected_modeled > 0.0 ? modeled_predicted / expected_modeled : 1.0;
+  for (std::size_t cell = 0; cell < history.n_cells(); ++cell) {
+    if (modeled[cell]) continue;
+    const auto series = history.cell_series(cell);
+    double total = 0.0;
+    for (double v : series) total += v;
+    result.predicted_arrivals[cell] =
+        total / static_cast<double>(series.size()) * horizon * trend;
+  }
+  return result;
+}
+
+}  // namespace esharing::core

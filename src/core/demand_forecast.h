@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file demand_forecast.h
+/// Per-grid demand forecasting: the bridge between the prediction engine
+/// (Table II's models) and the offline PLP input. The paper forecasts "for
+/// each grid ... the future k steps" and feeds the predictions into the
+/// placement algorithm; this module fits a forecaster per busy cell (the
+/// candidate space is "reduced to filter out those less popular
+/// locations"), predicts the next horizon of hourly arrivals, and emits
+/// the predicted DemandSite set plan_offline() consumes. Quiet cells fall
+/// back to their historical mean scaled by the busy cells' predicted
+/// volume trend.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/binning.h"
+#include "geo/grid.h"
+#include "ml/forecaster.h"
+
+namespace esharing::core {
+
+enum class ForecastEngine { kSeasonalNaive, kMovingAverage, kArima, kLstm, kGru };
+
+[[nodiscard]] const char* forecast_engine_name(ForecastEngine e);
+
+struct GridForecastConfig {
+  ForecastEngine engine{ForecastEngine::kSeasonalNaive};
+  std::size_t top_cells{50};   ///< fit a model only for the busiest cells
+  std::size_t horizon_hours{24};
+  /// LSTM/GRU training budget when those engines are selected (kept small:
+  /// one model per cell).
+  int rnn_hidden{12};
+  int rnn_epochs{8};
+  std::uint64_t seed{1};
+};
+
+struct GridForecast {
+  /// Predicted arrivals per grid cell summed over the horizon.
+  std::vector<double> predicted_arrivals;
+  std::size_t modeled_cells{0};  ///< cells that got their own forecaster
+
+  /// Demand sites (cells with positive predicted arrivals) for
+  /// ESharing::plan_offline().
+  [[nodiscard]] std::vector<data::DemandSite> sites(const geo::Grid& grid) const;
+};
+
+/// Forecast the next `config.horizon_hours` of arrivals per cell from the
+/// historical (cells x hours) matrix.
+/// \throws std::invalid_argument if the matrix is too short for the chosen
+///         engine or grid/matrix sizes mismatch.
+[[nodiscard]] GridForecast forecast_grid_demand(const data::DemandMatrix& history,
+                                                const geo::Grid& grid,
+                                                const GridForecastConfig& config);
+
+}  // namespace esharing::core

@@ -1,0 +1,199 @@
+#include "core/deviation_placer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/ks2d.h"
+
+namespace esharing::core {
+
+using geo::Point;
+
+DeviationPenaltyPlacer::DeviationPenaltyPlacer(
+    std::vector<Point> offline_parkings, std::vector<Point> historical_sample,
+    std::function<double(Point)> opening_cost_fn, DeviationPlacerConfig config,
+    std::uint64_t seed)
+    : config_(config),
+      opening_cost_fn_(std::move(opening_cost_fn)),
+      rng_(seed),
+      k_(offline_parkings.size()),
+      penalty_(PenaltyFunction::none()),
+      history_(std::move(historical_sample)) {
+  if (offline_parkings.empty() ||
+      (offline_parkings.size() < 2 && !(config_.w_star_override > 0.0))) {
+    throw std::invalid_argument(
+        "DeviationPenaltyPlacer: need >= 2 offline landmarks (w* undefined) "
+        "or a positive w_star_override");
+  }
+  if (!(config_.beta >= 1.0)) {
+    throw std::invalid_argument("DeviationPenaltyPlacer: beta must be >= 1");
+  }
+  if (!(config_.tolerance > 0.0)) {
+    throw std::invalid_argument("DeviationPenaltyPlacer: tolerance must be positive");
+  }
+  if (!opening_cost_fn_) {
+    throw std::invalid_argument("DeviationPenaltyPlacer: null opening cost fn");
+  }
+  penalty_ = PenaltyFunction::of(config_.initial_penalty, config_.tolerance);
+
+  // Algorithm 2 line 3: w* = min pairwise landmark distance / 2 (or the
+  // caller's override for degenerate landmark sets).
+  double w_star = config_.w_star_override;
+  if (!(w_star > 0.0)) {
+    double min_d = std::numeric_limits<double>::infinity();
+    for (std::size_t a = 0; a < offline_parkings.size(); ++a) {
+      for (std::size_t b = a + 1; b < offline_parkings.size(); ++b) {
+        min_d = std::min(min_d, geo::distance(offline_parkings[a],
+                                              offline_parkings[b]));
+      }
+    }
+    w_star = min_d / 2.0;
+  }
+  // Line 4: w*/k seeds the effective opening cost (see the header note);
+  // subsequent doublings multiply this scale. Per-location base costs act
+  // relatively through reference_f_.
+  reference_f_ = 0.0;
+  for (Point p : offline_parkings) reference_f_ += opening_cost_fn_(p);
+  reference_f_ /= static_cast<double>(offline_parkings.size());
+  if (!(reference_f_ > 0.0)) reference_f_ = 1.0;
+  if (config_.initial_scale_override > 0.0) {
+    scale_ = config_.initial_scale_override;
+  } else {
+    // gamma * w*/k, floored at the mean landmark opening cost: dense
+    // landmark sets make w*/k arbitrarily small, and an opening scale far
+    // below the real space cost lets long request streams over-build
+    // before the beta*k doubling can catch up.
+    scale_ = std::max({config_.initial_scale_multiplier * w_star /
+                           static_cast<double>(k_),
+                       reference_f_, std::numeric_limits<double>::min()});
+  }
+
+  stations_.reserve(offline_parkings.size());
+  for (Point p : offline_parkings) {
+    stations_.push_back({p, /*online_opened=*/false, /*active=*/true});
+  }
+  landmarks_ = std::move(offline_parkings);
+}
+
+double DeviationPenaltyPlacer::deviation(Point p) const {
+  return geo::distance(landmarks_[geo::nearest_index(landmarks_, p)], p);
+}
+
+std::size_t DeviationPenaltyPlacer::nearest_active(Point p) const {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = stations_.size();
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    if (!stations_[i].active) continue;
+    const double d2 = geo::distance2(stations_[i].location, p);
+    if (d2 < best) {
+      best = d2;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
+                                                       double weight) {
+  if (!(weight >= 0.0)) {
+    throw std::invalid_argument("DeviationPenaltyPlacer::process: negative weight");
+  }
+  ++requests_seen_;
+  window_.push_back(dest);
+  while (window_.size() > config_.window_capacity) window_.pop_front();
+
+  solver::OnlineDecision decision;
+  const std::size_t nearest = nearest_active(dest);
+  if (nearest == stations_.size()) {
+    // All stations were removed; re-establish one here unconditionally.
+    stations_.push_back({dest, true, true});
+    decision.opened = true;
+    decision.facility = stations_.size() - 1;
+    return decision;
+  }
+
+  const double c = weight * geo::distance(stations_[nearest].location, dest);
+  const double f = opening_cost_fn_(dest) / reference_f_ * scale_;
+  const double prob = std::min(penalty_(deviation(dest)) * c / f, 1.0);
+  const bool allowed =
+      !config_.placement_filter || config_.placement_filter(dest);
+  if (allowed && rng_.bernoulli(prob)) {
+    stations_.push_back({dest, true, true});
+    decision.opened = true;
+    decision.facility = stations_.size() - 1;
+    // Algorithm 2 lines 6-8: count openings; double f every beta*k opens.
+    if (static_cast<double>(++opens_since_double_) >=
+        config_.beta * static_cast<double>(k_)) {
+      opens_since_double_ = 0;
+      scale_ *= 2.0;
+      maybe_run_ks_test();  // lines 9-10 sit inside the doubling branch
+    }
+  } else {
+    decision.facility = nearest;
+    decision.connection_cost = c;
+    connection_cost_ += c;
+  }
+
+  if (config_.ks_period > 0 && requests_seen_ % config_.ks_period == 0) {
+    maybe_run_ks_test();
+  }
+  return decision;
+}
+
+void DeviationPenaltyPlacer::maybe_run_ks_test() {
+  if (history_.empty() || window_.size() < config_.ks_min_samples) return;
+  const std::vector<Point> current(window_.begin(), window_.end());
+  const auto result = stats::ks2d_test(history_, current);
+  last_similarity_ = result.similarity;
+  if (config_.adaptive_type) {
+    const PenaltyType wanted = penalty_type_for_similarity(result.similarity);
+    if (wanted != penalty_.type()) {
+      penalty_ = PenaltyFunction::of(wanted, config_.tolerance);
+    }
+  }
+}
+
+void DeviationPenaltyPlacer::remove_station(std::size_t index) {
+  if (index >= stations_.size()) {
+    throw std::out_of_range("DeviationPenaltyPlacer::remove_station");
+  }
+  if (!stations_[index].active) return;
+  if (num_active() == 1) {
+    throw std::logic_error(
+        "DeviationPenaltyPlacer::remove_station: cannot remove last station");
+  }
+  stations_[index].active = false;
+}
+
+std::size_t DeviationPenaltyPlacer::num_active() const {
+  return static_cast<std::size_t>(
+      std::count_if(stations_.begin(), stations_.end(),
+                    [](const Station& s) { return s.active; }));
+}
+
+std::size_t DeviationPenaltyPlacer::num_online_opened() const {
+  return static_cast<std::size_t>(
+      std::count_if(stations_.begin(), stations_.end(), [](const Station& s) {
+        return s.active && s.online_opened;
+      }));
+}
+
+std::vector<Point> DeviationPenaltyPlacer::active_locations() const {
+  std::vector<Point> out;
+  out.reserve(stations_.size());
+  for (const Station& s : stations_) {
+    if (s.active) out.push_back(s.location);
+  }
+  return out;
+}
+
+double DeviationPenaltyPlacer::total_opening_cost() const {
+  double sum = 0.0;
+  for (const Station& s : stations_) {
+    if (s.active) sum += opening_cost_fn_(s.location);
+  }
+  return sum;
+}
+
+}  // namespace esharing::core

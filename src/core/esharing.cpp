@@ -1,0 +1,113 @@
+#include "core/esharing.h"
+
+#include <stdexcept>
+
+#include "solver/jms_greedy.h"
+
+namespace esharing::core {
+
+using geo::Point;
+
+ESharing::ESharing(ESharingConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+const solver::FlSolution& ESharing::plan_offline(
+    const std::vector<data::DemandSite>& sites,
+    std::function<double(Point)> opening_cost_fn) {
+  if (sites.empty()) {
+    throw std::invalid_argument("ESharing::plan_offline: no demand sites");
+  }
+  if (!opening_cost_fn) {
+    throw std::invalid_argument("ESharing::plan_offline: null opening cost fn");
+  }
+  opening_cost_fn_ = std::move(opening_cost_fn);
+
+  std::vector<solver::FlClient> clients;
+  std::vector<double> costs;
+  clients.reserve(sites.size());
+  costs.reserve(sites.size());
+  for (const auto& site : sites) {
+    clients.push_back({site.location, site.arrivals});
+    costs.push_back(opening_cost_fn_(site.location));
+  }
+  const auto instance = solver::colocated_instance(std::move(clients),
+                                                   std::move(costs));
+  offline_ = solver::jms_greedy(instance);
+  offline_locations_.clear();
+  for (std::size_t f : offline_->open) {
+    offline_locations_.push_back(instance.facilities[f].location);
+  }
+  placer_.reset();  // a new plan invalidates any running online phase
+  return *offline_;
+}
+
+void ESharing::start_online(std::vector<Point> historical_sample) {
+  if (!offline_.has_value()) {
+    throw std::logic_error("ESharing::start_online: plan_offline first");
+  }
+  placer_.emplace(offline_locations_, std::move(historical_sample),
+                  opening_cost_fn_, config_.placer, seed_ ^ 0x9e3779b97f4a7c15ULL);
+}
+
+solver::OnlineDecision ESharing::handle_request(Point destination,
+                                                double weight) {
+  if (!placer_.has_value()) {
+    throw std::logic_error("ESharing::handle_request: start_online first");
+  }
+  return placer_->process(destination, weight);
+}
+
+std::vector<Point> ESharing::parking_locations() const {
+  if (placer_.has_value()) return placer_->active_locations();
+  if (offline_.has_value()) return offline_locations_;
+  throw std::logic_error("ESharing::parking_locations: no plan yet");
+}
+
+const solver::FlSolution& ESharing::offline_solution() const {
+  if (!offline_.has_value()) {
+    throw std::logic_error("ESharing::offline_solution: no plan yet");
+  }
+  return *offline_;
+}
+
+const DeviationPenaltyPlacer& ESharing::placer() const {
+  if (!placer_.has_value()) {
+    throw std::logic_error("ESharing::placer: start_online first");
+  }
+  return *placer_;
+}
+
+DeviationPenaltyPlacer& ESharing::placer() {
+  if (!placer_.has_value()) {
+    throw std::logic_error("ESharing::placer: start_online first");
+  }
+  return *placer_;
+}
+
+IncentiveMechanism ESharing::make_incentive_session(
+    const energy::BikeFleet& fleet,
+    const std::vector<std::size_t>& bike_station) const {
+  if (bike_station.size() != fleet.size()) {
+    throw std::invalid_argument(
+        "ESharing::make_incentive_session: bike_station size mismatch");
+  }
+  const auto locations = parking_locations();
+  std::vector<EnergyStation> stations;
+  stations.reserve(locations.size());
+  for (Point p : locations) stations.push_back({p, {}});
+  for (std::size_t b = 0; b < fleet.size(); ++b) {
+    if (bike_station[b] >= stations.size()) {
+      throw std::invalid_argument(
+          "ESharing::make_incentive_session: station index out of range");
+    }
+    if (fleet.is_low(b)) stations[bike_station[b]].low_bikes.push_back(b);
+  }
+  return IncentiveMechanism(std::move(stations), config_.incentive);
+}
+
+ChargingRoundResult ESharing::charge(const IncentiveMechanism& session) const {
+  return run_charging_round(session.stations(), config_.incentive.costs,
+                            config_.charging_operator);
+}
+
+}  // namespace esharing::core

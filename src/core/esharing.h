@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file esharing.h
+/// The E-Sharing facade: the two-tier optimization framework of Fig. 3.
+/// Tier one plans parking locations — a near-optimal offline (JMS) solution
+/// on historical or predicted demand guides the online deviation-penalty
+/// placer that serves live requests. Tier two builds incentive sessions
+/// that aggregate low-battery bikes so the charging operator serves fewer
+/// stops.
+///
+/// Typical flow (see examples/quickstart.cpp):
+///   ESharing sys(config, seed);
+///   sys.plan_offline(historical_demand_sites, opening_cost_fn);
+///   sys.start_online(historical_destination_sample);
+///   for (auto& request : stream) sys.handle_request(request.destination);
+///   auto session = sys.make_incentive_session(fleet, bike_station);
+///   ... offer rewards on pickups, then run_charging_round(...)
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/charging_ops.h"
+#include "core/deviation_placer.h"
+#include "core/incentive.h"
+#include "data/binning.h"
+#include "energy/battery.h"
+#include "solver/facility_location.h"
+
+namespace esharing::core {
+
+struct ESharingConfig {
+  DeviationPlacerConfig placer;
+  IncentiveConfig incentive;
+  OperatorConfig charging_operator;
+};
+
+class ESharing {
+ public:
+  ESharing(ESharingConfig config, std::uint64_t seed);
+
+  /// Tier-one offline phase (Algorithm 1): solve the PLP on aggregated
+  /// demand sites (historical or predicted arrivals per grid) with the
+  /// given space-occupation cost field.
+  /// \returns the near-optimal offline solution (also retained internally).
+  /// \throws std::invalid_argument on empty sites.
+  const solver::FlSolution& plan_offline(
+      const std::vector<data::DemandSite>& sites,
+      std::function<double(geo::Point)> opening_cost_fn);
+
+  /// Begin the online phase guided by the offline plan. `historical_sample`
+  /// is the destination sample H(x, y) used by the KS test.
+  /// \throws std::logic_error if plan_offline was not called.
+  void start_online(std::vector<geo::Point> historical_sample);
+
+  /// Tier-one online phase (Algorithm 2): process one live request.
+  /// \throws std::logic_error if start_online was not called.
+  solver::OnlineDecision handle_request(geo::Point destination,
+                                        double weight = 1.0);
+
+  /// Current parking locations (offline landmarks + online-established).
+  /// \throws std::logic_error before plan_offline.
+  [[nodiscard]] std::vector<geo::Point> parking_locations() const;
+
+  [[nodiscard]] const solver::FlSolution& offline_solution() const;
+  [[nodiscard]] const DeviationPenaltyPlacer& placer() const;
+  [[nodiscard]] DeviationPenaltyPlacer& placer();
+  [[nodiscard]] bool online_started() const { return placer_.has_value(); }
+
+  /// Tier two (Algorithm 3): build an incentive session over the current
+  /// parking set. `bike_station[b]` is the parking index (into
+  /// parking_locations()) where bike b currently sits; only low-battery
+  /// bikes enter the session.
+  /// \throws std::invalid_argument if bike_station size differs from fleet.
+  [[nodiscard]] IncentiveMechanism make_incentive_session(
+      const energy::BikeFleet& fleet,
+      const std::vector<std::size_t>& bike_station) const;
+
+  /// Run the operator's charging round over the session's station state.
+  [[nodiscard]] ChargingRoundResult charge(
+      const IncentiveMechanism& session) const;
+
+  [[nodiscard]] const ESharingConfig& config() const { return config_; }
+
+ private:
+  ESharingConfig config_;
+  std::uint64_t seed_;
+  std::function<double(geo::Point)> opening_cost_fn_;
+  std::optional<solver::FlSolution> offline_;
+  std::vector<geo::Point> offline_locations_;
+  std::optional<DeviationPenaltyPlacer> placer_;
+};
+
+}  // namespace esharing::core

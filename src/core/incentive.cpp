@@ -1,0 +1,157 @@
+#include "core/incentive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "solver/tsp.h"
+
+namespace esharing::core {
+
+using geo::Point;
+
+IncentiveMechanism::IncentiveMechanism(std::vector<EnergyStation> stations,
+                                       IncentiveConfig config)
+    : config_(config), stations_(std::move(stations)) {
+  if (stations_.empty()) {
+    throw std::invalid_argument("IncentiveMechanism: no stations");
+  }
+  if (config_.alpha < 0.0 || config_.alpha > 1.0) {
+    throw std::invalid_argument("IncentiveMechanism: alpha outside [0, 1]");
+  }
+  if (config_.mileage_slack_m < 0.0) {
+    throw std::invalid_argument("IncentiveMechanism: negative mileage slack");
+  }
+  positions_.assign(stations_.size(), 0);
+  frozen_offer_.assign(stations_.size(), 0.0);
+}
+
+void IncentiveMechanism::refresh_sequence() const {
+  if (!sequence_dirty_) return;
+  positions_.assign(stations_.size(), 0);
+  std::vector<std::size_t> needing;
+  std::vector<Point> sites;
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    if (!stations_[s].low_bikes.empty()) {
+      needing.push_back(s);
+      sites.push_back(stations_[s].location);
+    }
+  }
+  if (!needing.empty()) {
+    const auto order = solver::solve_tsp(sites);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      positions_[needing[order[pos]]] = pos + 1;
+    }
+  }
+  sequence_dirty_ = false;
+}
+
+std::vector<std::size_t> IncentiveMechanism::stations_needing_service() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < stations_.size(); ++s) {
+    if (!stations_[s].low_bikes.empty()) out.push_back(s);
+  }
+  return out;
+}
+
+std::size_t IncentiveMechanism::service_position(std::size_t station) const {
+  if (station >= stations_.size()) {
+    throw std::out_of_range("IncentiveMechanism::service_position");
+  }
+  refresh_sequence();
+  return positions_[station];
+}
+
+Offer IncentiveMechanism::handle_pickup(std::size_t station_i, Point dest_j,
+                                        const UserBehavior& user,
+                                        const CanRideFn& can_ride) {
+  if (station_i >= stations_.size()) {
+    throw std::out_of_range("IncentiveMechanism::handle_pickup");
+  }
+  Offer offer;
+  EnergyStation& from = stations_[station_i];
+  if (config_.alpha <= 0.0 || from.low_bikes.empty() || !can_ride) {
+    return offer;  // nothing to aggregate or incentives disabled
+  }
+
+  const double intended_m = geo::distance(from.location, dest_j);
+
+  // Choose the aggregation target k: a different station whose ride
+  // distance from i matches the user's intended mileage within the slack.
+  // Only "uphill" moves are offered — the target pile must be at least as
+  // large as the source pile — so bikes snowball toward designated
+  // aggregation points and can never ping-pong (each accepted move strictly
+  // grows the receiving pile above the donor's). Among eligible targets we
+  // prefer the largest pile, tie-broken by the smallest extra walk.
+  std::size_t best_k = stations_.size();
+  double best_walk = 0.0;
+  for (std::size_t k = 0; k < stations_.size(); ++k) {
+    if (k == station_i) continue;
+    if (stations_[k].low_bikes.size() < from.low_bikes.size()) continue;
+    const double ride = geo::distance(from.location, stations_[k].location);
+    if (std::abs(ride - intended_m) > config_.mileage_slack_m) continue;
+    const double walk = geo::distance(stations_[k].location, dest_j);
+    if (best_k == stations_.size() ||
+        stations_[k].low_bikes.size() > stations_[best_k].low_bikes.size() ||
+        (stations_[k].low_bikes.size() == stations_[best_k].low_bikes.size() &&
+         walk < best_walk)) {
+      best_k = k;
+      best_walk = walk;
+    }
+  }
+  if (best_k == stations_.size()) return offer;
+
+  // Pick a low bike that survives the ride ("the system should ensure the
+  // mileage between i and k does not deplete the residual battery") and
+  // has not been relocated before — aggregation points are terminal.
+  const double ride_m = geo::distance(from.location, stations_[best_k].location);
+  std::size_t bike_slot = from.low_bikes.size();
+  for (std::size_t s = 0; s < from.low_bikes.size(); ++s) {
+    const std::size_t bike = from.low_bikes[s];
+    if (bike < relocated_.size() && relocated_[bike]) continue;
+    if (can_ride(bike, ride_m)) {
+      bike_slot = s;
+      break;
+    }
+  }
+  if (bike_slot == from.low_bikes.size()) return offer;
+
+  // The offer level is frozen at the first offer for this station: each of
+  // the initial |L_i| bikes earns alpha*(q+td)/|L_i|, keeping total
+  // payments within the Eq. 12 saving even as the pile shrinks.
+  if (frozen_offer_[station_i] <= 0.0) {
+    refresh_sequence();
+    const std::size_t t =
+        std::min(std::max<std::size_t>(positions_[station_i], 1),
+                 std::max<std::size_t>(config_.max_sequence_position, 1));
+    frozen_offer_[station_i] = energy::uniform_offer(
+        config_.alpha, t, from.low_bikes.size(), config_.costs);
+  }
+  const double v = frozen_offer_[station_i];
+
+  offer.made = true;
+  ++offers_made_;
+  offer.incentive = v;
+  offer.from_station = station_i;
+  offer.to_station = best_k;
+  offer.bike = from.low_bikes[bike_slot];
+  offer.ride_m = ride_m;
+  offer.extra_walk_m = best_walk;
+
+  // Eq. 13: accept iff extra walk under c_u and reward clears v_u*.
+  if (best_walk < user.max_walk_m && v >= user.min_reward) {
+    offer.accepted = true;
+    paid_ += v;
+    ++relocations_;
+    from.low_bikes.erase(from.low_bikes.begin() +
+                         static_cast<std::ptrdiff_t>(bike_slot));
+    stations_[best_k].low_bikes.push_back(offer.bike);
+    if (offer.bike >= relocated_.size()) relocated_.resize(offer.bike + 1, false);
+    relocated_[offer.bike] = true;
+    if (from.low_bikes.empty()) frozen_offer_[station_i] = 0.0;
+    sequence_dirty_ = true;  // service set / pile sizes changed
+  }
+  return offer;
+}
+
+}  // namespace esharing::core

@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file incentive.h
+/// Tier two: the online incentive mechanism (Section IV-C, Algorithm 3).
+/// Stations accumulate low-battery bikes L_i; when a user picks up at
+/// station i heading to destination parking j, the system offers a uniform
+/// reward v = alpha * (q + t*d) / |L_i| (t = station i's position in the
+/// planned charging sequence) for riding one low-energy bike to a
+/// neighbouring aggregation station k instead. The target k is chosen so
+/// the ride mileage stays (approximately) the user's intended mileage — no
+/// extra metered charge — and the bike's residual battery must survive the
+/// ride. The user accepts iff the extra walk from k to the destination is
+/// below her threshold c_u and the reward clears her reservation value v_u*
+/// (Eq. 13). Once L_i empties the operator can skip station i entirely,
+/// saving Delta_i <= q + t*d (Eq. 12); alpha < 1 guarantees the payments
+/// stay within the saving.
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "energy/charging_cost.h"
+#include "geo/point.h"
+
+namespace esharing::core {
+
+/// A parking location with its set of low-battery bikes.
+struct EnergyStation {
+  geo::Point location;
+  std::vector<std::size_t> low_bikes;  ///< bike indices below the threshold
+};
+
+/// Per-user private thresholds of the acceptance model (Eq. 13).
+struct UserBehavior {
+  double max_walk_m{300.0};  ///< c_u: accepted maximum extra walking distance
+  double min_reward{0.5};    ///< v_u*: accepted minimum reward ($)
+};
+
+struct IncentiveConfig {
+  double alpha{0.4};  ///< incentive level in [0, 1]; 0 disables offers
+  energy::ChargingCostParams costs;
+  double mileage_slack_m{150.0};  ///< |d(i,k) - d(i,j)| tolerance
+  /// Cap on the sequence position t used in the offer value
+  /// v = alpha*(q + (t-1)d)/|L_i|. Operators serve stations in short
+  /// shift-limited rounds, so the delay a skip actually saves is bounded by
+  /// the round length, not by the full TSP sequence over every site.
+  /// Keeping t small keeps payments well inside the realized saving.
+  std::size_t max_sequence_position{std::numeric_limits<std::size_t>::max()};
+};
+
+/// Outcome of one pickup interaction.
+struct Offer {
+  bool made{false};      ///< an eligible (station, target) pair existed
+  bool accepted{false};
+  double incentive{0.0};       ///< v offered (and paid when accepted)
+  std::size_t from_station{0};
+  std::size_t to_station{0};
+  std::size_t bike{0};         ///< the low-energy bike relocated
+  double ride_m{0.0};          ///< relocation ride distance
+  double extra_walk_m{0.0};    ///< c_{kj*}, walk from k to the destination
+};
+
+class IncentiveMechanism {
+ public:
+  /// Predicate: can `bike` ride `distance_m` without depleting its battery.
+  using CanRideFn = std::function<bool(std::size_t bike, double distance_m)>;
+
+  /// \throws std::invalid_argument if stations empty, alpha outside [0,1]
+  ///         or slack negative.
+  IncentiveMechanism(std::vector<EnergyStation> stations, IncentiveConfig config);
+
+  /// Handle a pickup at station `station_i` by a user whose assigned
+  /// destination parking is at `dest_j`. May move one low bike between
+  /// stations (the caller is responsible for draining its battery by
+  /// Offer::ride_m).
+  /// \throws std::out_of_range for bad station indices.
+  Offer handle_pickup(std::size_t station_i, geo::Point dest_j,
+                      const UserBehavior& user, const CanRideFn& can_ride);
+
+  // --- observers ---------------------------------------------------------
+  [[nodiscard]] const std::vector<EnergyStation>& stations() const {
+    return stations_;
+  }
+  /// Stations that still hold low-battery bikes, i.e. must be serviced.
+  [[nodiscard]] std::vector<std::size_t> stations_needing_service() const;
+  /// 1-based position t of a station in the current TSP charging sequence;
+  /// 0 if the station needs no service.
+  [[nodiscard]] std::size_t service_position(std::size_t station) const;
+  [[nodiscard]] double total_incentives_paid() const { return paid_; }
+  [[nodiscard]] std::size_t relocations() const { return relocations_; }
+  [[nodiscard]] std::size_t offers_made() const { return offers_made_; }
+  [[nodiscard]] const IncentiveConfig& config() const { return config_; }
+
+ private:
+  void refresh_sequence() const;
+
+  IncentiveConfig config_;
+  std::vector<EnergyStation> stations_;
+  /// Offer value per station, frozen at the first offer so that emptying a
+  /// pile of initial size l pays at most l * alpha*(q+td)/l = alpha*Delta_i
+  /// (the Eq. 12 budget). 0 means not yet set; reset when a station
+  /// empties.
+  std::vector<double> frozen_offer_;
+  /// Bikes already relocated this session. Aggregation points are terminal:
+  /// paying a bike to hop again would compound payments past the Eq. 12
+  /// budget without emptying any additional station.
+  std::vector<bool> relocated_;
+  double paid_{0.0};
+  std::size_t relocations_{0};
+  std::size_t offers_made_{0};
+  // Lazily recomputed TSP positions (1-based; 0 = not in sequence).
+  mutable std::vector<std::size_t> positions_;
+  mutable bool sequence_dirty_{true};
+};
+
+}  // namespace esharing::core

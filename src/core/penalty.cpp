@@ -1,0 +1,134 @@
+#include "core/penalty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::core {
+
+const char* penalty_type_name(PenaltyType t) {
+  switch (t) {
+    case PenaltyType::kNone: return "NoPenalty";
+    case PenaltyType::kTypeI: return "TypeI";
+    case PenaltyType::kTypeII: return "TypeII";
+    case PenaltyType::kTypeIII: return "TypeIII";
+    case PenaltyType::kPolynomial: return "Polynomial";
+  }
+  return "???";
+}
+
+PenaltyFunction::PenaltyFunction(PenaltyType type, double tolerance,
+                                 std::vector<double> coeffs)
+    : type_(type), tolerance_(tolerance), coeffs_(std::move(coeffs)) {}
+
+PenaltyFunction PenaltyFunction::none() {
+  return PenaltyFunction(PenaltyType::kNone, 1.0, {});
+}
+
+namespace {
+void require_tolerance(double tolerance) {
+  if (!(tolerance > 0.0)) {
+    throw std::invalid_argument("PenaltyFunction: tolerance must be positive");
+  }
+}
+}  // namespace
+
+PenaltyFunction PenaltyFunction::type1(double tolerance) {
+  require_tolerance(tolerance);
+  return PenaltyFunction(PenaltyType::kTypeI, tolerance, {});
+}
+
+PenaltyFunction PenaltyFunction::type2(double tolerance) {
+  require_tolerance(tolerance);
+  return PenaltyFunction(PenaltyType::kTypeII, tolerance, {});
+}
+
+PenaltyFunction PenaltyFunction::type3(double tolerance) {
+  require_tolerance(tolerance);
+  return PenaltyFunction(PenaltyType::kTypeIII, tolerance, {});
+}
+
+PenaltyFunction PenaltyFunction::polynomial(double tolerance,
+                                            std::vector<double> coeffs) {
+  require_tolerance(tolerance);
+  if (coeffs.empty()) {
+    throw std::invalid_argument("PenaltyFunction::polynomial: empty coefficients");
+  }
+  return PenaltyFunction(PenaltyType::kPolynomial, tolerance, std::move(coeffs));
+}
+
+PenaltyFunction PenaltyFunction::of(PenaltyType type, double tolerance) {
+  switch (type) {
+    case PenaltyType::kNone: return none();
+    case PenaltyType::kTypeI: return type1(tolerance);
+    case PenaltyType::kTypeII: return type2(tolerance);
+    case PenaltyType::kTypeIII: return type3(tolerance);
+    case PenaltyType::kPolynomial:
+      throw std::invalid_argument(
+          "PenaltyFunction::of: polynomial requires explicit coefficients");
+  }
+  throw std::invalid_argument("PenaltyFunction::of: unknown type");
+}
+
+double PenaltyFunction::operator()(double c) const {
+  if (c < 0.0) throw std::invalid_argument("PenaltyFunction: negative cost");
+  const double r = c / tolerance_;
+  switch (type_) {
+    case PenaltyType::kNone:
+      return 1.0;
+    case PenaltyType::kTypeI:
+      return 1.0 / (r + 1.0);
+    case PenaltyType::kTypeII:
+      return r >= 1.0 ? 0.0 : 1.0 - r;
+    case PenaltyType::kTypeIII:
+      return std::exp(-r * r);
+    case PenaltyType::kPolynomial: {
+      double acc = 0.0;
+      double pow_r = 1.0;
+      for (double a : coeffs_) {
+        acc += a * pow_r;
+        pow_r *= r;
+      }
+      return std::clamp(acc, 0.0, 1.0);
+    }
+  }
+  return 1.0;
+}
+
+double PenaltyFunction::derivative(double c) const {
+  if (c < 0.0) throw std::invalid_argument("PenaltyFunction: negative cost");
+  const double L = tolerance_;
+  const double r = c / L;
+  switch (type_) {
+    case PenaltyType::kNone:
+      return 0.0;
+    case PenaltyType::kTypeI:
+      return -1.0 / (L * (r + 1.0) * (r + 1.0));
+    case PenaltyType::kTypeII:
+      return r >= 1.0 ? 0.0 : -1.0 / L;
+    case PenaltyType::kTypeIII:
+      return -2.0 * c / (L * L) * std::exp(-r * r);
+    case PenaltyType::kPolynomial: {
+      double acc = 0.0;
+      double pow_r = 1.0;
+      for (std::size_t k = 1; k < coeffs_.size(); ++k) {
+        acc += static_cast<double>(k) * coeffs_[k] * pow_r;
+        pow_r *= r;
+      }
+      return acc / L;
+    }
+  }
+  return 0.0;
+}
+
+std::string PenaltyFunction::name() const {
+  return penalty_type_name(type_);
+}
+
+PenaltyType penalty_type_for_similarity(double similarity_percent) {
+  if (similarity_percent >= 95.0) return PenaltyType::kTypeII;
+  if (similarity_percent >= 80.0) return PenaltyType::kTypeIII;
+  return PenaltyType::kTypeI;
+}
+
+}  // namespace esharing::core

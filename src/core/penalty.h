@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file penalty.h
+/// Deviation penalty functions g(i,j) of the online placement algorithm
+/// (Section III-D, Eq. 6-8). The penalty multiplies the opening probability
+/// min(g * c_ij / f_i, 1): the further a requested destination deviates
+/// from the closest (offline-guided) parking, the less likely a new parking
+/// opens there. L is the tolerance level in meters.
+///
+///   Type I   g(c) = 1 / (c/L + 1)            — long tail, mild decline
+///   Type II  g(c) = max(0, 1 - c/L)          — hard cutoff at L
+///   Type III g(c) = exp(-c^2 / L^2)          — Gaussian, in between
+///
+/// Section V-C pairs them with the measured KS similarity: very similar
+/// (>= 95%) -> Type II, similar (80-95%) -> Type III, less similar (< 80%)
+/// -> Type I. The polynomial form is the paper's proposed future extension
+/// ("design the penalty function as high-order polynomials").
+
+#include <string>
+#include <vector>
+
+namespace esharing::core {
+
+enum class PenaltyType { kNone, kTypeI, kTypeII, kTypeIII, kPolynomial };
+
+[[nodiscard]] const char* penalty_type_name(PenaltyType t);
+
+/// A penalty function g(c) over non-negative walking cost c, with values in
+/// [0, 1] and g(0) = 1 ("no penalty is imposed because the destination is
+/// very close to the offline solutions").
+class PenaltyFunction {
+ public:
+  /// Always 1 — the plain Meyerson behaviour.
+  [[nodiscard]] static PenaltyFunction none();
+  /// \throws std::invalid_argument if tolerance <= 0.
+  [[nodiscard]] static PenaltyFunction type1(double tolerance);
+  [[nodiscard]] static PenaltyFunction type2(double tolerance);
+  [[nodiscard]] static PenaltyFunction type3(double tolerance);
+  /// Future-work extension: g(c) = clamp(sum_k coeffs[k] * (c/L)^k, 0, 1).
+  /// \throws std::invalid_argument if tolerance <= 0 or coeffs empty.
+  [[nodiscard]] static PenaltyFunction polynomial(double tolerance,
+                                                  std::vector<double> coeffs);
+  /// Factory by type with a shared tolerance (polynomial not supported here).
+  [[nodiscard]] static PenaltyFunction of(PenaltyType type, double tolerance);
+
+  /// g(c); clamped to [0, 1]. \throws std::invalid_argument if c < 0.
+  [[nodiscard]] double operator()(double c) const;
+
+  /// First derivative dg/dc (Fig. 5(b)); for the polynomial the analytic
+  /// derivative of the unclamped form is returned.
+  [[nodiscard]] double derivative(double c) const;
+
+  [[nodiscard]] PenaltyType type() const { return type_; }
+  [[nodiscard]] double tolerance() const { return tolerance_; }
+  [[nodiscard]] std::string name() const;
+
+ private:
+  PenaltyFunction(PenaltyType type, double tolerance,
+                  std::vector<double> coeffs);
+
+  PenaltyType type_;
+  double tolerance_;
+  std::vector<double> coeffs_;
+};
+
+/// Section V-C's similarity -> penalty-type policy.
+[[nodiscard]] PenaltyType penalty_type_for_similarity(double similarity_percent);
+
+}  // namespace esharing::core

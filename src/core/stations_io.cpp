@@ -1,0 +1,64 @@
+#include "core/stations_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace esharing::core {
+
+std::string station_csv_header() { return "id,x,y,online_opened,active"; }
+
+void write_stations_csv(std::ostream& os,
+                        const std::vector<Station>& stations) {
+  os << station_csv_header() << '\n';
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    const auto& s = stations[i];
+    os << i << ',' << s.location.x << ',' << s.location.y << ','
+       << (s.online_opened ? 1 : 0) << ',' << (s.active ? 1 : 0) << '\n';
+  }
+}
+
+std::vector<Station> read_stations_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != station_csv_header()) {
+    throw std::invalid_argument("station csv: missing or wrong header");
+  }
+  std::vector<Station> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(row, field, ',')) fields.push_back(field);
+    if (fields.size() != 5) {
+      throw std::invalid_argument("station csv: expected 5 columns");
+    }
+    try {
+      Station s;
+      s.location = {std::stod(fields[1]), std::stod(fields[2])};
+      s.online_opened = std::stoi(fields[3]) != 0;
+      s.active = std::stoi(fields[4]) != 0;
+      out.push_back(s);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("station csv: malformed row '" + line + "'");
+    }
+  }
+  return out;
+}
+
+void save_stations_csv(const std::string& path,
+                       const std::vector<Station>& stations) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_stations_csv: cannot open " + path);
+  write_stations_csv(os, stations);
+}
+
+std::vector<Station> load_stations_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_stations_csv: cannot open " + path);
+  return read_stations_csv(is);
+}
+
+}  // namespace esharing::core

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file stations_io.h
+/// CSV serialization of a parking-station network — the hand-off artifact
+/// between the planning pipeline (offline plan + online placer state) and
+/// the operations side (maintenance routing, the mobile app's station
+/// list). Columns: id,x,y,online_opened,active.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/deviation_placer.h"
+
+namespace esharing::core {
+
+[[nodiscard]] std::string station_csv_header();
+
+void write_stations_csv(std::ostream& os,
+                        const std::vector<Station>& stations);
+
+/// \throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<Station> read_stations_csv(std::istream& is);
+
+/// \throws std::runtime_error if the file cannot be opened.
+void save_stations_csv(const std::string& path,
+                       const std::vector<Station>& stations);
+[[nodiscard]] std::vector<Station> load_stations_csv(
+    const std::string& path);
+
+}  // namespace esharing::core

@@ -1,0 +1,118 @@
+#include "data/binning.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "geo/geohash.h"
+
+namespace esharing::data {
+
+DemandMatrix::DemandMatrix(std::size_t n_cells, std::size_t n_hours)
+    : n_cells_(n_cells), n_hours_(n_hours), counts_(n_cells * n_hours, 0.0) {
+  if (n_cells == 0 || n_hours == 0) {
+    throw std::invalid_argument("DemandMatrix: empty dimensions");
+  }
+}
+
+double DemandMatrix::at(std::size_t cell, std::size_t hour) const {
+  if (cell >= n_cells_ || hour >= n_hours_) {
+    throw std::out_of_range("DemandMatrix::at: index out of range");
+  }
+  return counts_[cell * n_hours_ + hour];
+}
+
+void DemandMatrix::add(std::size_t cell, std::size_t hour, double count) {
+  if (cell >= n_cells_ || hour >= n_hours_) {
+    throw std::out_of_range("DemandMatrix::add: index out of range");
+  }
+  counts_[cell * n_hours_ + hour] += count;
+}
+
+std::vector<double> DemandMatrix::cell_series(std::size_t cell) const {
+  if (cell >= n_cells_) {
+    throw std::out_of_range("DemandMatrix::cell_series: cell out of range");
+  }
+  return {counts_.begin() + static_cast<std::ptrdiff_t>(cell * n_hours_),
+          counts_.begin() + static_cast<std::ptrdiff_t>((cell + 1) * n_hours_)};
+}
+
+std::vector<double> DemandMatrix::total_per_hour() const {
+  std::vector<double> out(n_hours_, 0.0);
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    for (std::size_t h = 0; h < n_hours_; ++h) {
+      out[h] += counts_[c * n_hours_ + h];
+    }
+  }
+  return out;
+}
+
+std::vector<double> DemandMatrix::total_per_cell() const {
+  std::vector<double> out(n_cells_, 0.0);
+  for (std::size_t c = 0; c < n_cells_; ++c) {
+    out[c] = std::accumulate(
+        counts_.begin() + static_cast<std::ptrdiff_t>(c * n_hours_),
+        counts_.begin() + static_cast<std::ptrdiff_t>((c + 1) * n_hours_), 0.0);
+  }
+  return out;
+}
+
+std::vector<std::size_t> DemandMatrix::top_cells(std::size_t k) const {
+  const auto totals = total_per_cell();
+  std::vector<std::size_t> order(n_cells_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return totals[a] > totals[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+DemandMatrix bin_trips(const geo::Grid& grid, const geo::LocalProjection& proj,
+                       const std::vector<TripRecord>& trips,
+                       std::size_t n_hours) {
+  DemandMatrix m(grid.cell_count(), n_hours);
+  for (const auto& trip : trips) {
+    const auto h = hour_index(trip.start_time);
+    if (h < 0 || static_cast<std::size_t>(h) >= n_hours) continue;
+    const geo::Point end =
+        proj.to_local(geo::geohash_decode(trip.end_geohash).center);
+    m.add(grid.index_of(grid.clamped_cell_of(end)), static_cast<std::size_t>(h));
+  }
+  return m;
+}
+
+std::vector<geo::Point> destinations_in_window(
+    const geo::LocalProjection& proj, const std::vector<TripRecord>& trips,
+    Seconds t0, Seconds t1) {
+  std::vector<geo::Point> out;
+  for (const auto& trip : trips) {
+    if (trip.start_time >= t0 && trip.start_time < t1) {
+      out.push_back(proj.to_local(geo::geohash_decode(trip.end_geohash).center));
+    }
+  }
+  return out;
+}
+
+std::vector<DemandSite> demand_sites_in_window(
+    const geo::Grid& grid, const geo::LocalProjection& proj,
+    const std::vector<TripRecord>& trips, Seconds t0, Seconds t1) {
+  std::unordered_map<std::size_t, double> counts;
+  for (const auto& trip : trips) {
+    if (trip.start_time < t0 || trip.start_time >= t1) continue;
+    const geo::Point end =
+        proj.to_local(geo::geohash_decode(trip.end_geohash).center);
+    ++counts[grid.index_of(grid.clamped_cell_of(end))];
+  }
+  std::vector<DemandSite> sites;
+  sites.reserve(counts.size());
+  for (const auto& [cell, n] : counts) {
+    sites.push_back({grid.centroid_of(grid.cell_at(cell)), n, cell});
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const DemandSite& a, const DemandSite& b) { return a.cell < b.cell; });
+  return sites;
+}
+
+}  // namespace esharing::data

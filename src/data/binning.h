@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file binning.h
+/// Trip binning. The paper divides all trips into non-overlapping bins by
+/// ending location (100x100 m grids) and works on per-bin arrival counts:
+/// the expected arrivals a_j at grid j weight the user-dissatisfaction cost
+/// c_ij = a_j * d_ij, and per-bin hourly series feed the prediction engine.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/trip.h"
+#include "geo/grid.h"
+#include "geo/latlon.h"
+#include "geo/point.h"
+
+namespace esharing::data {
+
+/// Dense (cells x hours) arrival-count matrix.
+class DemandMatrix {
+ public:
+  DemandMatrix(std::size_t n_cells, std::size_t n_hours);
+
+  [[nodiscard]] std::size_t n_cells() const { return n_cells_; }
+  [[nodiscard]] std::size_t n_hours() const { return n_hours_; }
+
+  /// \throws std::out_of_range on bad indices.
+  [[nodiscard]] double at(std::size_t cell, std::size_t hour) const;
+  void add(std::size_t cell, std::size_t hour, double count = 1.0);
+
+  /// Hourly arrival series of one cell (length n_hours).
+  [[nodiscard]] std::vector<double> cell_series(std::size_t cell) const;
+
+  /// City-wide arrivals per hour (length n_hours).
+  [[nodiscard]] std::vector<double> total_per_hour() const;
+
+  /// Total arrivals per cell over the whole horizon (length n_cells).
+  [[nodiscard]] std::vector<double> total_per_cell() const;
+
+  /// Indices of the `k` cells with the highest total demand, descending —
+  /// the paper's "reduce N by filtering out less popular locations".
+  [[nodiscard]] std::vector<std::size_t> top_cells(std::size_t k) const;
+
+ private:
+  std::size_t n_cells_;
+  std::size_t n_hours_;
+  std::vector<double> counts_;  // row-major: cell * n_hours + hour
+};
+
+/// Bin trips by ending location into `grid` cells and hour index.
+/// Trips ending outside the grid are clamped to the border cell, matching
+/// the paper's aggregation of the geohashed field.
+[[nodiscard]] DemandMatrix bin_trips(const geo::Grid& grid,
+                                     const geo::LocalProjection& proj,
+                                     const std::vector<TripRecord>& trips,
+                                     std::size_t n_hours);
+
+/// Destination points (local frame) of trips starting within [t0, t1).
+[[nodiscard]] std::vector<geo::Point> destinations_in_window(
+    const geo::LocalProjection& proj, const std::vector<TripRecord>& trips,
+    Seconds t0, Seconds t1);
+
+/// One aggregated demand site: a grid centroid plus its expected arrivals
+/// a_j. This is the client set of the facility-location formulation.
+struct DemandSite {
+  geo::Point location;
+  double arrivals{0.0};
+  std::size_t cell{0};
+};
+
+/// Demand sites (cells with nonzero demand) for trips in [t0, t1).
+[[nodiscard]] std::vector<DemandSite> demand_sites_in_window(
+    const geo::Grid& grid, const geo::LocalProjection& proj,
+    const std::vector<TripRecord>& trips, Seconds t0, Seconds t1);
+
+}  // namespace esharing::data

@@ -1,0 +1,103 @@
+#include "data/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "geo/geohash.h"
+
+namespace esharing::data {
+
+namespace {
+
+std::vector<std::string> split_row(const std::string& row) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(row);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  if (!row.empty() && row.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+std::int64_t parse_int(const std::string& s, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::invalid_argument(std::string("trip csv: bad integer field '") +
+                                s + "' for " + what);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string trip_csv_header() {
+  return "orderid,userid,bikeid,biketype,starttime,"
+         "geohashed_start_loc,geohashed_end_loc";
+}
+
+std::string to_csv_row(const TripRecord& trip) {
+  std::ostringstream os;
+  os << trip.order_id << ',' << trip.user_id << ',' << trip.bike_id << ','
+     << trip.bike_type << ',' << trip.start_time << ',' << trip.start_geohash
+     << ',' << trip.end_geohash;
+  return os.str();
+}
+
+TripRecord from_csv_row(const std::string& row) {
+  const auto fields = split_row(row);
+  if (fields.size() != 7) {
+    throw std::invalid_argument("trip csv: expected 7 columns, got " +
+                                std::to_string(fields.size()));
+  }
+  TripRecord trip;
+  trip.order_id = parse_int(fields[0], "orderid");
+  trip.user_id = parse_int(fields[1], "userid");
+  trip.bike_id = parse_int(fields[2], "bikeid");
+  trip.bike_type = static_cast<int>(parse_int(fields[3], "biketype"));
+  trip.start_time = parse_int(fields[4], "starttime");
+  trip.start_geohash = fields[5];
+  trip.end_geohash = fields[6];
+  if (!geo::geohash_valid(trip.start_geohash) ||
+      !geo::geohash_valid(trip.end_geohash)) {
+    throw std::invalid_argument("trip csv: invalid geohash in row");
+  }
+  return trip;
+}
+
+void write_trips_csv(std::ostream& os, const std::vector<TripRecord>& trips) {
+  os << trip_csv_header() << '\n';
+  for (const auto& t : trips) os << to_csv_row(t) << '\n';
+}
+
+std::vector<TripRecord> read_trips_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("trip csv: empty input");
+  }
+  if (line != trip_csv_header()) {
+    throw std::invalid_argument("trip csv: unexpected header '" + line + "'");
+  }
+  std::vector<TripRecord> trips;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    trips.push_back(from_csv_row(line));
+  }
+  return trips;
+}
+
+void save_trips_csv(const std::string& path,
+                    const std::vector<TripRecord>& trips) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_trips_csv: cannot open " + path);
+  write_trips_csv(os, trips);
+}
+
+std::vector<TripRecord> load_trips_csv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_trips_csv: cannot open " + path);
+  return read_trips_csv(is);
+}
+
+}  // namespace esharing::data

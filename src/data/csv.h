@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file csv.h
+/// CSV serialization of TripRecord streams in the Mobike column layout:
+///   orderid,userid,bikeid,biketype,starttime,geohashed_start_loc,geohashed_end_loc
+/// starttime is stored as seconds since the dataset epoch.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/trip.h"
+
+namespace esharing::data {
+
+/// Column header written/expected by the codec.
+[[nodiscard]] std::string trip_csv_header();
+
+/// Serialize one record as a CSV row (no trailing newline).
+[[nodiscard]] std::string to_csv_row(const TripRecord& trip);
+
+/// Parse one CSV row.
+/// \throws std::invalid_argument on malformed rows (wrong column count,
+///         non-numeric ids, invalid geohashes).
+[[nodiscard]] TripRecord from_csv_row(const std::string& row);
+
+/// Write header + all trips to a stream.
+void write_trips_csv(std::ostream& os, const std::vector<TripRecord>& trips);
+
+/// Read a trip CSV produced by write_trips_csv (header required).
+/// \throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<TripRecord> read_trips_csv(std::istream& is);
+
+/// Convenience file wrappers.
+/// \throws std::runtime_error if the file cannot be opened.
+void save_trips_csv(const std::string& path, const std::vector<TripRecord>& trips);
+[[nodiscard]] std::vector<TripRecord> load_trips_csv(const std::string& path);
+
+}  // namespace esharing::data

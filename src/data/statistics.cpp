@@ -1,0 +1,77 @@
+#include "data/statistics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "geo/geohash.h"
+#include "stats/summary.h"
+
+namespace esharing::data {
+
+DatasetSummary summarize(const std::vector<TripRecord>& trips,
+                         const geo::LocalProjection& proj) {
+  if (trips.empty()) {
+    throw std::invalid_argument("summarize: empty trip stream");
+  }
+  DatasetSummary s;
+  s.trips = trips.size();
+
+  std::set<std::int64_t> days, bikes, users;
+  std::vector<double> lengths;
+  lengths.reserve(trips.size());
+  for (const auto& t : trips) {
+    days.insert(day_index(t.start_time));
+    bikes.insert(t.bike_id);
+    users.insert(t.user_id);
+    s.hourly_share[static_cast<std::size_t>(hour_of_day(t.start_time))] += 1.0;
+    s.weekday_share[static_cast<std::size_t>(weekday_of(t.start_time))] += 1.0;
+    const geo::Point a =
+        proj.to_local(geo::geohash_decode(t.start_geohash).center);
+    const geo::Point b =
+        proj.to_local(geo::geohash_decode(t.end_geohash).center);
+    lengths.push_back(geo::distance(a, b));
+  }
+  s.days = static_cast<int>(days.size());
+  s.trips_per_day = static_cast<double>(s.trips) / static_cast<double>(s.days);
+  for (double& v : s.hourly_share) v /= static_cast<double>(s.trips);
+  for (double& v : s.weekday_share) v /= static_cast<double>(s.trips);
+  s.mean_trip_m = stats::mean(lengths);
+  s.median_trip_m = stats::quantile(lengths, 0.5);
+  s.p90_trip_m = stats::quantile(lengths, 0.9);
+  s.unique_bikes = bikes.size();
+  s.unique_users = users.size();
+  s.trips_per_bike =
+      static_cast<double>(s.trips) / static_cast<double>(s.unique_bikes);
+  return s;
+}
+
+std::vector<OdFlow> top_od_flows(const geo::Grid& grid,
+                                 const geo::LocalProjection& proj,
+                                 const std::vector<TripRecord>& trips,
+                                 std::size_t k) {
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> flows;
+  for (const auto& t : trips) {
+    const geo::Point a =
+        proj.to_local(geo::geohash_decode(t.start_geohash).center);
+    const geo::Point b =
+        proj.to_local(geo::geohash_decode(t.end_geohash).center);
+    ++flows[{grid.index_of(grid.clamped_cell_of(a)),
+             grid.index_of(grid.clamped_cell_of(b))}];
+  }
+  std::vector<OdFlow> out;
+  out.reserve(flows.size());
+  for (const auto& [key, count] : flows) {
+    out.push_back({key.first, key.second, count});
+  }
+  std::sort(out.begin(), out.end(), [](const OdFlow& a, const OdFlow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.from_cell != b.from_cell) return a.from_cell < b.from_cell;
+    return a.to_cell < b.to_cell;
+  });
+  out.resize(std::min(k, out.size()));
+  return out;
+}
+
+}  // namespace esharing::data

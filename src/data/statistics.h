@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file statistics.h
+/// Dataset summary statistics — the exploratory numbers a paper's
+/// "Dataset" paragraph quotes (trip counts, diurnal profile, trip-length
+/// distribution, fleet utilization) and the top origin-destination flows
+/// used to sanity-check a synthetic workload against the real one.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "data/trip.h"
+#include "geo/grid.h"
+#include "geo/latlon.h"
+
+namespace esharing::data {
+
+struct DatasetSummary {
+  std::size_t trips{0};
+  int days{0};                       ///< distinct day indices touched
+  double trips_per_day{0.0};
+  std::array<double, 24> hourly_share{};  ///< fraction of trips per hour
+  std::array<double, 7> weekday_share{};  ///< fraction per weekday (Mon..Sun)
+  double mean_trip_m{0.0};
+  double median_trip_m{0.0};
+  double p90_trip_m{0.0};
+  std::size_t unique_bikes{0};
+  std::size_t unique_users{0};
+  double trips_per_bike{0.0};
+};
+
+/// Summarize a trip stream. Distances are straight-line start->end in the
+/// local frame.
+/// \throws std::invalid_argument on an empty stream.
+[[nodiscard]] DatasetSummary summarize(const std::vector<TripRecord>& trips,
+                                       const geo::LocalProjection& proj);
+
+/// One aggregated origin-destination flow between grid cells.
+struct OdFlow {
+  std::size_t from_cell{0};
+  std::size_t to_cell{0};
+  std::size_t count{0};
+};
+
+/// The `k` heaviest OD flows on `grid`, descending by count.
+[[nodiscard]] std::vector<OdFlow> top_od_flows(
+    const geo::Grid& grid, const geo::LocalProjection& proj,
+    const std::vector<TripRecord>& trips, std::size_t k);
+
+}  // namespace esharing::data

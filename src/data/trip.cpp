@@ -1,0 +1,28 @@
+#include "data/trip.h"
+
+#include <algorithm>
+
+namespace esharing::data {
+
+const char* weekday_name(Weekday w) {
+  switch (w) {
+    case Weekday::kMonday: return "Mon";
+    case Weekday::kTuesday: return "Tue";
+    case Weekday::kWednesday: return "Wed";
+    case Weekday::kThursday: return "Thu";
+    case Weekday::kFriday: return "Fri";
+    case Weekday::kSaturday: return "Sat";
+    case Weekday::kSunday: return "Sun";
+  }
+  return "???";
+}
+
+void sort_by_start_time(std::vector<TripRecord>& trips) {
+  std::sort(trips.begin(), trips.end(),
+            [](const TripRecord& a, const TripRecord& b) {
+              if (a.start_time != b.start_time) return a.start_time < b.start_time;
+              return a.order_id < b.order_id;
+            });
+}
+
+}  // namespace esharing::data

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file trip.h
+/// Trip records in the Mobike public-dataset schema used by the paper's
+/// evaluation: (order id, user id, bike id, bike type, starting time,
+/// starting location, ending location), with locations geohashed. The
+/// original dataset covers 2017-05-10 .. 2017-05-24 in Beijing; our
+/// synthetic replacement (see synthetic_city.h and DESIGN.md) keeps the
+/// same schema and calendar so the weekday/weekend structure the paper
+/// relies on (Tables II, IV) is preserved.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esharing::data {
+
+/// Seconds since the dataset epoch (2017-05-10 00:00 local time).
+using Seconds = std::int64_t;
+
+inline constexpr Seconds kSecondsPerHour = 3600;
+inline constexpr Seconds kSecondsPerDay = 24 * kSecondsPerHour;
+
+enum class Weekday { kMonday = 0, kTuesday, kWednesday, kThursday, kFriday,
+                     kSaturday, kSunday };
+
+/// 2017-05-10 was a Wednesday.
+inline constexpr Weekday kEpochWeekday = Weekday::kWednesday;
+
+/// Day index (0 = first dataset day) of a timestamp.
+[[nodiscard]] constexpr std::int64_t day_index(Seconds t) {
+  return t >= 0 ? t / kSecondsPerDay : (t - kSecondsPerDay + 1) / kSecondsPerDay;
+}
+
+/// Hour of day in [0, 24).
+[[nodiscard]] constexpr int hour_of_day(Seconds t) {
+  const Seconds in_day = t - day_index(t) * kSecondsPerDay;
+  return static_cast<int>(in_day / kSecondsPerHour);
+}
+
+/// Hour index since the epoch (day_index * 24 + hour_of_day).
+[[nodiscard]] constexpr std::int64_t hour_index(Seconds t) {
+  return day_index(t) * 24 + hour_of_day(t);
+}
+
+/// Weekday of a timestamp, anchored at the dataset epoch.
+[[nodiscard]] constexpr Weekday weekday_of(Seconds t) {
+  const auto d = (static_cast<std::int64_t>(kEpochWeekday) + day_index(t)) % 7;
+  return static_cast<Weekday>((d + 7) % 7);
+}
+
+[[nodiscard]] constexpr bool is_weekend(Seconds t) {
+  const Weekday w = weekday_of(t);
+  return w == Weekday::kSaturday || w == Weekday::kSunday;
+}
+
+/// Short English name ("Mon".."Sun").
+[[nodiscard]] const char* weekday_name(Weekday w);
+
+/// One shared-bike trip in the Mobike schema.
+struct TripRecord {
+  std::int64_t order_id{0};
+  std::int64_t user_id{0};
+  std::int64_t bike_id{0};
+  int bike_type{1};
+  Seconds start_time{0};
+  std::string start_geohash;
+  std::string end_geohash;
+};
+
+/// Order trips by start time (stable tiebreak on order id).
+void sort_by_start_time(std::vector<TripRecord>& trips);
+
+}  // namespace esharing::data

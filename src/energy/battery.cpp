@@ -1,0 +1,78 @@
+#include "energy/battery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esharing::energy {
+
+BikeFleet::BikeFleet(std::size_t n_bikes, EnergyConfig config,
+                     std::uint64_t seed)
+    : config_(config) {
+  if (n_bikes == 0) throw std::invalid_argument("BikeFleet: empty fleet");
+  if (!(config.consumption_per_km > 0.0)) {
+    throw std::invalid_argument("BikeFleet: consumption must be positive");
+  }
+  if (!(config.low_threshold > 0.0) || !(config.low_threshold < 1.0)) {
+    throw std::invalid_argument("BikeFleet: threshold outside (0, 1)");
+  }
+  if (config.low_tail_fraction < 0.0 || config.low_tail_fraction > 1.0) {
+    throw std::invalid_argument("BikeFleet: tail fraction outside [0, 1]");
+  }
+  stats::Rng rng(seed);
+  soc_.reserve(n_bikes);
+  for (std::size_t b = 0; b < n_bikes; ++b) {
+    // Majority healthy, a tail near/below the threshold (Fig. 2(d) shape).
+    const double s = rng.bernoulli(config.low_tail_fraction)
+                         ? rng.uniform(config.min_soc, config.low_threshold + 0.1)
+                         : rng.uniform(0.45, 1.0);
+    soc_.push_back(std::clamp(s, config.min_soc, 1.0));
+  }
+}
+
+double BikeFleet::soc(std::size_t bike) const {
+  if (bike >= soc_.size()) throw std::out_of_range("BikeFleet::soc");
+  return soc_[bike];
+}
+
+void BikeFleet::set_soc(std::size_t bike, double soc) {
+  if (bike >= soc_.size()) throw std::out_of_range("BikeFleet::set_soc");
+  soc_[bike] = std::clamp(soc, config_.min_soc, 1.0);
+}
+
+double BikeFleet::ride(std::size_t bike, double distance_m) {
+  if (bike >= soc_.size()) throw std::out_of_range("BikeFleet::ride");
+  if (distance_m < 0.0) throw std::invalid_argument("BikeFleet::ride: negative distance");
+  soc_[bike] = std::max(config_.min_soc,
+                        soc_[bike] - config_.consumption_per_km * distance_m / 1000.0);
+  return soc_[bike];
+}
+
+bool BikeFleet::can_ride(std::size_t bike, double distance_m) const {
+  if (bike >= soc_.size()) throw std::out_of_range("BikeFleet::can_ride");
+  return soc_[bike] - config_.consumption_per_km * distance_m / 1000.0 >
+         config_.min_soc;
+}
+
+void BikeFleet::recharge(std::size_t bike) {
+  if (bike >= soc_.size()) throw std::out_of_range("BikeFleet::recharge");
+  soc_[bike] = 1.0;
+}
+
+bool BikeFleet::is_low(std::size_t bike) const {
+  return soc(bike) < config_.low_threshold;
+}
+
+std::vector<std::size_t> BikeFleet::low_battery_bikes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < soc_.size(); ++b) {
+    if (soc_[b] < config_.low_threshold) out.push_back(b);
+  }
+  return out;
+}
+
+double BikeFleet::low_fraction() const {
+  return static_cast<double>(low_battery_bikes().size()) /
+         static_cast<double>(soc_.size());
+}
+
+}  // namespace esharing::energy

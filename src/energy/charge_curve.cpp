@@ -1,0 +1,91 @@
+#include "energy/charge_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::energy {
+
+namespace {
+
+void validate_curve(const ChargeCurve& curve) {
+  if (!(curve.cc_rate_per_hour > 0.0) || !(curve.cv_tau_hours > 0.0)) {
+    throw std::invalid_argument("ChargeCurve: non-positive rate or tau");
+  }
+  if (!(curve.knee_soc > 0.0) || !(curve.knee_soc < 1.0)) {
+    throw std::invalid_argument("ChargeCurve: knee outside (0, 1)");
+  }
+  if (!(curve.max_soc > curve.knee_soc) || !(curve.max_soc < 1.0)) {
+    throw std::invalid_argument("ChargeCurve: max_soc outside (knee, 1)");
+  }
+}
+
+void validate_soc(double soc) {
+  if (soc < 0.0 || soc > 1.0) {
+    throw std::invalid_argument("ChargeCurve: SoC outside [0, 1]");
+  }
+}
+
+}  // namespace
+
+double charge_time_hours(const ChargeCurve& curve, double from_soc,
+                         double to_soc) {
+  validate_curve(curve);
+  validate_soc(from_soc);
+  validate_soc(to_soc);
+  to_soc = std::min(to_soc, curve.max_soc);
+  if (to_soc < from_soc) {
+    throw std::invalid_argument("charge_time_hours: to < from");
+  }
+  double hours = 0.0;
+  double soc = from_soc;
+  // Constant-current phase.
+  if (soc < curve.knee_soc) {
+    const double cc_end = std::min(to_soc, curve.knee_soc);
+    hours += (cc_end - soc) / curve.cc_rate_per_hour;
+    soc = cc_end;
+  }
+  // Constant-voltage phase: 1 - soc decays exponentially toward 0.
+  if (to_soc > soc) {
+    hours += curve.cv_tau_hours * std::log((1.0 - soc) / (1.0 - to_soc));
+  }
+  return hours;
+}
+
+double soc_after_charging(const ChargeCurve& curve, double from_soc,
+                          double hours) {
+  validate_curve(curve);
+  validate_soc(from_soc);
+  if (hours < 0.0) {
+    throw std::invalid_argument("soc_after_charging: negative hours");
+  }
+  double soc = from_soc;
+  if (soc < curve.knee_soc) {
+    const double cc_hours = (curve.knee_soc - soc) / curve.cc_rate_per_hour;
+    if (hours <= cc_hours) {
+      return soc + hours * curve.cc_rate_per_hour;
+    }
+    soc = curve.knee_soc;
+    hours -= cc_hours;
+  }
+  const double end = 1.0 - (1.0 - soc) * std::exp(-hours / curve.cv_tau_hours);
+  return std::min(end, curve.max_soc);
+}
+
+double pile_charge_hours(const ChargeCurve& curve,
+                         const std::vector<double>& socs, double to_soc,
+                         std::size_t parallel_slots) {
+  if (parallel_slots == 0) {
+    throw std::invalid_argument("pile_charge_hours: zero charger slots");
+  }
+  double total = 0.0;
+  double slowest = 0.0;
+  for (double soc : socs) {
+    const double t = charge_time_hours(curve, soc, to_soc);
+    total += t;
+    slowest = std::max(slowest, t);
+  }
+  return std::max(slowest, total / static_cast<double>(parallel_slots));
+}
+
+}  // namespace esharing::energy

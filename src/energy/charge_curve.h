@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file charge_curve.h
+/// Charging-time model. Swap-based operators (XQBike "replace") pay a
+/// constant per-bike time, but charge-based operators (Qee "charge") wait
+/// on battery physics: lithium cells charge linearly under constant
+/// current up to a knee (~80% SoC) and exponentially slower in the
+/// constant-voltage phase above it. This model turns a pile's SoC deficits
+/// into shift time, refining the flat charge_time_s of OperatorConfig.
+
+#include <vector>
+
+namespace esharing::energy {
+
+struct ChargeCurve {
+  double cc_rate_per_hour{0.8};  ///< SoC gained per hour below the knee
+  double knee_soc{0.8};          ///< CC/CV transition point
+  double cv_tau_hours{0.75};     ///< CV-phase exponential time constant
+  double max_soc{0.995};         ///< asymptote cutoff (never exactly 1.0)
+};
+
+/// Hours to charge one battery from `from_soc` to `to_soc` (targets above
+/// max_soc are clamped).
+/// \throws std::invalid_argument for SoC outside [0, 1], to < from, or a
+///         non-positive rate/tau.
+[[nodiscard]] double charge_time_hours(const ChargeCurve& curve,
+                                       double from_soc, double to_soc);
+
+/// SoC after charging from `from_soc` for `hours`.
+/// \throws std::invalid_argument for invalid SoC or negative hours.
+[[nodiscard]] double soc_after_charging(const ChargeCurve& curve,
+                                        double from_soc, double hours);
+
+/// Total charger-hours to bring every SoC in `socs` to `to_soc` when the
+/// stop has `parallel_slots` chargers: ceil-free makespan approximation
+/// sum/slots bounded below by the slowest single battery.
+/// \throws std::invalid_argument if parallel_slots == 0.
+[[nodiscard]] double pile_charge_hours(const ChargeCurve& curve,
+                                       const std::vector<double>& socs,
+                                       double to_soc,
+                                       std::size_t parallel_slots);
+
+}  // namespace esharing::energy

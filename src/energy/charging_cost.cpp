@@ -1,0 +1,51 @@
+#include "energy/charging_cost.h"
+
+#include <stdexcept>
+
+namespace esharing::energy {
+
+double station_cost(std::size_t position, std::size_t bikes,
+                    const ChargingCostParams& p) {
+  if (position == 0) {
+    throw std::invalid_argument("station_cost: positions are 1-based");
+  }
+  return p.energy_cost_b * static_cast<double>(bikes) + p.service_cost_q +
+         static_cast<double>(position - 1) * p.delay_cost_d;
+}
+
+double total_charging_cost(std::size_t n_stations, std::size_t n_bikes,
+                           const ChargingCostParams& p) {
+  const auto n = static_cast<double>(n_stations);
+  const auto l = static_cast<double>(n_bikes);
+  return n * p.service_cost_q + l * p.energy_cost_b +
+         (n * n - n) / 2.0 * p.delay_cost_d;
+}
+
+double saving_ratio(std::size_t m, std::size_t n,
+                    const ChargingCostParams& p) {
+  if (n == 0) throw std::invalid_argument("saving_ratio: n == 0");
+  if (m > n) throw std::invalid_argument("saving_ratio: m > n");
+  const auto md = static_cast<double>(m);
+  const auto nd = static_cast<double>(n);
+  const double numer = md * p.service_cost_q + (md * md - md) / 2.0 * p.delay_cost_d;
+  const double denom = nd * p.service_cost_q + (nd * nd - nd) / 2.0 * p.delay_cost_d;
+  return 1.0 - numer / denom;
+}
+
+double max_station_saving(std::size_t position, const ChargingCostParams& p) {
+  if (position == 0) {
+    throw std::invalid_argument("max_station_saving: positions are 1-based");
+  }
+  return p.service_cost_q + static_cast<double>(position - 1) * p.delay_cost_d;
+}
+
+double uniform_offer(double alpha, std::size_t position, std::size_t l_i,
+                     const ChargingCostParams& p) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("uniform_offer: alpha outside [0, 1]");
+  }
+  if (l_i == 0) throw std::invalid_argument("uniform_offer: empty station");
+  return alpha * max_station_saving(position, p) / static_cast<double>(l_i);
+}
+
+}  // namespace esharing::energy

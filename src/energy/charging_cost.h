@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file charging_cost.h
+/// Tier-two charging cost model (Section IV-A/B). Serving station i in the
+/// t-th position of the charging sequence costs b*l_i + q + t*d where q is
+/// the per-stop service cost, d the per-position delay cost and b the
+/// per-bike energy cost. Totals and the aggregation saving ratio follow
+/// Eq. 10-12:
+///
+///   C            = n q + l b + (n^2 - n)/2 d                     (Eq. 10)
+///   (C - C*)/C   = 1 - (m q + (m^2-m) d/2) / (n q + (n^2-n) d/2) (Eq. 11)
+///   Delta_i      = q + t d                                       (Eq. 12)
+///
+/// Note on indexing: the paper writes the per-station cost as
+/// "b l_i + q + t d for the t-th position" but its total (Eq. 10) sums the
+/// delay to (n^2-n)/2 d, which corresponds to zero delay for the first
+/// stop. We follow the total: a station in 1-based position t pays
+/// (t-1) * d of delay, so summing station_cost over t = 1..n reproduces
+/// Eq. 10 exactly, and Eq. 12's "t d" is read as that same (t-1) * d delay
+/// plus q.
+
+#include <cstddef>
+
+namespace esharing::energy {
+
+/// Monetary parameters ($); defaults follow the paper's evaluation (unit
+/// delay cost $5, unit energy cost $2).
+struct ChargingCostParams {
+  double service_cost_q{5.0};  ///< per-stop service cost (parking etc.)
+  double delay_cost_d{5.0};    ///< per-sequence-position delay cost
+  double energy_cost_b{2.0};   ///< per-bike charging cost
+};
+
+/// Cost of serving station `position` (1-based t) holding `bikes` bikes.
+[[nodiscard]] double station_cost(std::size_t position, std::size_t bikes,
+                                  const ChargingCostParams& p);
+
+/// Total cost of serving `n_stations` with `n_bikes` total (Eq. 10).
+[[nodiscard]] double total_charging_cost(std::size_t n_stations,
+                                         std::size_t n_bikes,
+                                         const ChargingCostParams& p);
+
+/// Aggregation saving ratio (Eq. 11) when n stations collapse to m
+/// (the bike count, and so the energy term, cancels out).
+/// \throws std::invalid_argument if n == 0 or m > n.
+[[nodiscard]] double saving_ratio(std::size_t m, std::size_t n,
+                                  const ChargingCostParams& p);
+
+/// Upper bound on the saving from emptying station at sequence position t
+/// (1-based): Delta_i = q + t*d (Eq. 12).
+[[nodiscard]] double max_station_saving(std::size_t position,
+                                        const ChargingCostParams& p);
+
+/// The paper's uniform incentive offer v = alpha * (q + t*d) / |L_i|.
+/// \throws std::invalid_argument if alpha outside [0, 1] or l_i == 0.
+[[nodiscard]] double uniform_offer(double alpha, std::size_t position,
+                                   std::size_t l_i,
+                                   const ChargingCostParams& p);
+
+}  // namespace esharing::energy

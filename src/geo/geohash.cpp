@@ -1,0 +1,132 @@
+#include "geo/geohash.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace esharing::geo {
+
+namespace {
+
+constexpr std::string_view kBase32 = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+/// Reverse lookup from ASCII to base-32 value; -1 marks invalid digits.
+constexpr std::array<int, 128> make_reverse_table() {
+  std::array<int, 128> table{};
+  for (auto& v : table) v = -1;
+  for (int i = 0; i < static_cast<int>(kBase32.size()); ++i) {
+    table[static_cast<unsigned char>(kBase32[static_cast<std::size_t>(i)])] = i;
+  }
+  return table;
+}
+
+constexpr std::array<int, 128> kReverse = make_reverse_table();
+
+}  // namespace
+
+std::string geohash_encode(LatLon c, int precision) {
+  if (precision < 1 || precision > 22) {
+    throw std::invalid_argument("geohash_encode: precision must be in [1, 22]");
+  }
+  if (c.lat < -90.0 || c.lat > 90.0 || c.lon < -180.0 || c.lon > 180.0) {
+    throw std::invalid_argument("geohash_encode: coordinate out of range");
+  }
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(precision));
+  bool even_bit = true;  // geohash interleaves starting with longitude
+  int bits = 0;
+  int value = 0;
+  while (static_cast<int>(out.size()) < precision) {
+    if (even_bit) {
+      const double mid = (lon_lo + lon_hi) / 2.0;
+      if (c.lon >= mid) {
+        value = value * 2 + 1;
+        lon_lo = mid;
+      } else {
+        value *= 2;
+        lon_hi = mid;
+      }
+    } else {
+      const double mid = (lat_lo + lat_hi) / 2.0;
+      if (c.lat >= mid) {
+        value = value * 2 + 1;
+        lat_lo = mid;
+      } else {
+        value *= 2;
+        lat_hi = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bits == 5) {
+      out.push_back(kBase32[static_cast<std::size_t>(value)]);
+      bits = 0;
+      value = 0;
+    }
+  }
+  return out;
+}
+
+GeohashCell geohash_decode(std::string_view hash) {
+  if (hash.empty()) throw std::invalid_argument("geohash_decode: empty hash");
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  bool even_bit = true;
+  for (char ch : hash) {
+    const auto uch = static_cast<unsigned char>(ch);
+    const int value = uch < 128 ? kReverse[uch] : -1;
+    if (value < 0) {
+      throw std::invalid_argument("geohash_decode: invalid character in hash");
+    }
+    for (int bit = 4; bit >= 0; --bit) {
+      const int b = (value >> bit) & 1;
+      if (even_bit) {
+        const double mid = (lon_lo + lon_hi) / 2.0;
+        (b != 0 ? lon_lo : lon_hi) = mid;
+      } else {
+        const double mid = (lat_lo + lat_hi) / 2.0;
+        (b != 0 ? lat_lo : lat_hi) = mid;
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return {{(lat_lo + lat_hi) / 2.0, (lon_lo + lon_hi) / 2.0},
+          (lat_hi - lat_lo) / 2.0,
+          (lon_hi - lon_lo) / 2.0};
+}
+
+std::string geohash_neighbor(std::string_view hash, int dx, int dy) {
+  const GeohashCell cell = geohash_decode(hash);
+  double lon = cell.center.lon + 2.0 * cell.lon_err * static_cast<double>(dx);
+  double lat = cell.center.lat + 2.0 * cell.lat_err * static_cast<double>(dy);
+  // Wrap longitude across the dateline; clamp latitude into the poles'
+  // border cells.
+  while (lon >= 180.0) lon -= 360.0;
+  while (lon < -180.0) lon += 360.0;
+  lat = std::clamp(lat, -90.0 + cell.lat_err, 90.0 - cell.lat_err);
+  return geohash_encode({lat, lon}, static_cast<int>(hash.size()));
+}
+
+std::vector<std::string> geohash_neighbors(std::string_view hash) {
+  std::vector<std::string> out;
+  out.reserve(8);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      out.push_back(geohash_neighbor(hash, dx, dy));
+    }
+  }
+  return out;
+}
+
+bool geohash_valid(std::string_view hash) {
+  if (hash.empty()) return false;
+  for (char ch : hash) {
+    const auto uch = static_cast<unsigned char>(ch);
+    if (uch >= 128 || kReverse[uch] < 0) return false;
+  }
+  return true;
+}
+
+}  // namespace esharing::geo

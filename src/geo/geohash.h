@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file geohash.h
+/// Base-32 geohash encoding/decoding. The Mobike dataset stores start/end
+/// locations as geohashes; the paper "re-interpret[s] them into the
+/// corresponding latitudes and longitudes". Our synthetic dataset keeps the
+/// same schema, so the pipeline exercises a real geohash codec.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace esharing::geo {
+
+/// A decoded geohash: the cell center plus half-extents of the cell.
+struct GeohashCell {
+  LatLon center;
+  double lat_err;  ///< half the cell height, degrees
+  double lon_err;  ///< half the cell width, degrees
+};
+
+/// Encode a coordinate as a geohash of `precision` characters (1..22).
+/// Mobike uses 7-character geohashes (cells of ~153 m latitude by
+/// ~153 m * cos(lat) longitude), which is the default here.
+/// \throws std::invalid_argument for out-of-range coordinates or precision.
+[[nodiscard]] std::string geohash_encode(LatLon c, int precision = 7);
+
+/// Decode a geohash string to its cell.
+/// \throws std::invalid_argument on empty input or invalid characters.
+[[nodiscard]] GeohashCell geohash_decode(std::string_view hash);
+
+/// True if every character of `hash` is a valid geohash base-32 digit and
+/// the string is non-empty.
+[[nodiscard]] bool geohash_valid(std::string_view hash);
+
+/// The geohash of the cell `dx` columns east and `dy` rows north of
+/// `hash`'s cell, at the same precision. Longitude wraps at the dateline;
+/// latitude clamps at the poles.
+/// \throws std::invalid_argument on invalid hashes.
+[[nodiscard]] std::string geohash_neighbor(std::string_view hash, int dx,
+                                           int dy);
+
+/// The 8 surrounding cells in row-major order (SW, S, SE, W, E, NW, N, NE).
+[[nodiscard]] std::vector<std::string> geohash_neighbors(std::string_view hash);
+
+}  // namespace esharing::geo

@@ -1,0 +1,78 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::geo {
+
+Grid::Grid(BoundingBox box, double cell_size)
+    : box_(box), cell_size_(cell_size) {
+  if (!(cell_size > 0.0)) {
+    throw std::invalid_argument("Grid: cell_size must be positive");
+  }
+  if (!(box.width() > 0.0) || !(box.height() > 0.0)) {
+    throw std::invalid_argument("Grid: bounding box must have positive area");
+  }
+  cols_ = static_cast<std::int32_t>(std::ceil(box.width() / cell_size));
+  rows_ = static_cast<std::int32_t>(std::ceil(box.height() / cell_size));
+}
+
+std::optional<CellId> Grid::cell_of(Point p) const {
+  if (p.x < box_.min.x || p.y < box_.min.y || p.x > box_.max.x ||
+      p.y > box_.max.y) {
+    return std::nullopt;
+  }
+  return clamped_cell_of(p);
+}
+
+CellId Grid::clamped_cell_of(Point p) const {
+  auto clamp_axis = [](double v, double lo, double size, std::int32_t n) {
+    const auto raw = static_cast<std::int32_t>(std::floor((v - lo) / size));
+    return std::clamp(raw, std::int32_t{0}, n - 1);
+  };
+  return {clamp_axis(p.x, box_.min.x, cell_size_, cols_),
+          clamp_axis(p.y, box_.min.y, cell_size_, rows_)};
+}
+
+std::size_t Grid::index_of(CellId c) const {
+  if (!in_grid(c)) throw std::out_of_range("Grid::index_of: cell outside grid");
+  return static_cast<std::size_t>(c.row) * static_cast<std::size_t>(cols_) +
+         static_cast<std::size_t>(c.col);
+}
+
+CellId Grid::cell_at(std::size_t index) const {
+  if (index >= cell_count()) {
+    throw std::out_of_range("Grid::cell_at: index outside grid");
+  }
+  const auto cols = static_cast<std::size_t>(cols_);
+  return {static_cast<std::int32_t>(index % cols),
+          static_cast<std::int32_t>(index / cols)};
+}
+
+Point Grid::centroid_of(CellId c) const {
+  if (!in_grid(c)) {
+    throw std::out_of_range("Grid::centroid_of: cell outside grid");
+  }
+  return {box_.min.x + (static_cast<double>(c.col) + 0.5) * cell_size_,
+          box_.min.y + (static_cast<double>(c.row) + 0.5) * cell_size_};
+}
+
+std::vector<Point> Grid::all_centroids() const {
+  std::vector<Point> out;
+  out.reserve(cell_count());
+  for (std::size_t i = 0; i < cell_count(); ++i) {
+    out.push_back(centroid_of(cell_at(i)));
+  }
+  return out;
+}
+
+std::vector<std::size_t> Grid::histogram(const std::vector<Point>& pts) const {
+  std::vector<std::size_t> counts(cell_count(), 0);
+  for (Point p : pts) {
+    ++counts[index_of(clamped_cell_of(p))];
+  }
+  return counts;
+}
+
+}  // namespace esharing::geo

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file grid.h
+/// Uniform spatial grid. The paper divides the metropolitan area into
+/// 100 x 100 m^2 grids — "the minimum granularity such that users all agree
+/// to walk within a grid" — and represents every arrival inside a grid by
+/// its centroid. The candidate parking locations N are grid centroids.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace esharing::geo {
+
+/// Discrete cell coordinates (column = x axis, row = y axis).
+struct CellId {
+  std::int32_t col{0};
+  std::int32_t row{0};
+  friend constexpr bool operator==(CellId a, CellId b) {
+    return a.col == b.col && a.row == b.row;
+  }
+};
+
+/// Uniform grid over a bounding box with square cells of `cell_size` m.
+///
+/// Cells are indexed row-major: index = row * cols + col. Points on the
+/// max edge of the box are clamped into the last row/column so that every
+/// point of the closed box maps to a valid cell.
+class Grid {
+ public:
+  /// \throws std::invalid_argument if the box is degenerate or
+  ///         cell_size <= 0.
+  Grid(BoundingBox box, double cell_size);
+
+  [[nodiscard]] const BoundingBox& box() const { return box_; }
+  [[nodiscard]] double cell_size() const { return cell_size_; }
+  [[nodiscard]] std::int32_t cols() const { return cols_; }
+  [[nodiscard]] std::int32_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cell_count() const {
+    return static_cast<std::size_t>(cols_) * static_cast<std::size_t>(rows_);
+  }
+
+  /// Cell containing `p`, or nullopt if `p` lies outside the box.
+  [[nodiscard]] std::optional<CellId> cell_of(Point p) const;
+
+  /// Cell containing `p` with out-of-box points clamped to the border cell.
+  [[nodiscard]] CellId clamped_cell_of(Point p) const;
+
+  /// Row-major linear index of a cell.
+  /// \throws std::out_of_range if the cell is outside the grid.
+  [[nodiscard]] std::size_t index_of(CellId c) const;
+
+  /// Inverse of index_of.
+  /// \throws std::out_of_range if the index is outside the grid.
+  [[nodiscard]] CellId cell_at(std::size_t index) const;
+
+  /// Centroid (cell center) of a cell — the paper's representative point
+  /// for all arrivals inside the cell.
+  [[nodiscard]] Point centroid_of(CellId c) const;
+
+  /// Centroids of all cells in row-major order.
+  [[nodiscard]] std::vector<Point> all_centroids() const;
+
+  /// Per-cell occupancy counts of a point set (out-of-box points are
+  /// clamped to the nearest border cell).
+  [[nodiscard]] std::vector<std::size_t> histogram(
+      const std::vector<Point>& pts) const;
+
+ private:
+  [[nodiscard]] bool in_grid(CellId c) const {
+    return c.col >= 0 && c.col < cols_ && c.row >= 0 && c.row < rows_;
+  }
+
+  BoundingBox box_;
+  double cell_size_;
+  std::int32_t cols_;
+  std::int32_t rows_;
+};
+
+}  // namespace esharing::geo

@@ -1,0 +1,39 @@
+#include "geo/latlon.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace esharing::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+double haversine_m(LatLon a, LatLon b) {
+  const double phi1 = a.lat * kDegToRad;
+  const double phi2 = b.lat * kDegToRad;
+  const double dphi = (b.lat - a.lat) * kDegToRad;
+  const double dlam = (b.lon - a.lon) * kDegToRad;
+  const double s = std::sin(dphi / 2.0);
+  const double t = std::sin(dlam / 2.0);
+  const double h = s * s + std::cos(phi1) * std::cos(phi2) * t * t;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+LocalProjection::LocalProjection(LatLon origin)
+    : origin_(origin),
+      meters_per_deg_lat_(kEarthRadiusM * kDegToRad),
+      meters_per_deg_lon_(kEarthRadiusM * kDegToRad *
+                          std::cos(origin.lat * kDegToRad)) {}
+
+Point LocalProjection::to_local(LatLon c) const {
+  return {(c.lon - origin_.lon) * meters_per_deg_lon_,
+          (c.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLon LocalProjection::to_geo(Point p) const {
+  return {origin_.lat + p.y / meters_per_deg_lat_,
+          origin_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace esharing::geo

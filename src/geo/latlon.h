@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file latlon.h
+/// Geographic coordinates and the projection between the WGS-84 sphere and
+/// the local planar frame used by the optimization algorithms. The Mobike
+/// dataset (and our synthetic replacement) stores geohashed lat/lon pairs;
+/// all costs in the paper are measured in meters, so trips are projected
+/// into a local equirectangular frame anchored at a reference coordinate.
+
+#include "geo/point.h"
+
+namespace esharing::geo {
+
+/// WGS-84 geographic coordinate in decimal degrees.
+struct LatLon {
+  double lat{0.0};  ///< latitude, degrees in [-90, 90]
+  double lon{0.0};  ///< longitude, degrees in [-180, 180]
+
+  friend constexpr bool operator==(LatLon a, LatLon b) {
+    return a.lat == b.lat && a.lon == b.lon;
+  }
+};
+
+/// Mean Earth radius in meters (IUGG).
+inline constexpr double kEarthRadiusM = 6371008.8;
+
+/// Great-circle distance between two coordinates, in meters.
+[[nodiscard]] double haversine_m(LatLon a, LatLon b);
+
+/// Equirectangular projection anchored at a reference coordinate.
+///
+/// Over metropolitan extents (a few kilometers, as in the paper's 3x3 km^2
+/// study field) the distortion relative to the true great-circle metric is
+/// far below the 100 m grid granularity, so Euclidean distance in the
+/// projected frame is a faithful stand-in for walking distance.
+class LocalProjection {
+ public:
+  explicit LocalProjection(LatLon origin);
+
+  /// Project a geographic coordinate to local meters (x east, y north).
+  [[nodiscard]] Point to_local(LatLon c) const;
+
+  /// Inverse projection from local meters back to geographic degrees.
+  [[nodiscard]] LatLon to_geo(Point p) const;
+
+  [[nodiscard]] LatLon origin() const { return origin_; }
+
+ private:
+  LatLon origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace esharing::geo

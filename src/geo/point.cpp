@@ -1,0 +1,51 @@
+#include "geo/point.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace esharing::geo {
+
+BoundingBox BoundingBox::expanded_to(Point p) const {
+  return {{std::min(min.x, p.x), std::min(min.y, p.y)},
+          {std::max(max.x, p.x), std::max(max.y, p.y)}};
+}
+
+BoundingBox BoundingBox::inflated(double margin) const {
+  return {{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+}
+
+BoundingBox bounding_box(const std::vector<Point>& pts) {
+  if (pts.empty()) throw std::invalid_argument("bounding_box: empty point set");
+  BoundingBox box{pts.front(), pts.front()};
+  for (Point p : pts) box = box.expanded_to(p);
+  return box;
+}
+
+Point centroid(const std::vector<Point>& pts) {
+  if (pts.empty()) throw std::invalid_argument("centroid: empty point set");
+  Point sum;
+  for (Point p : pts) sum = sum + p;
+  return sum / static_cast<double>(pts.size());
+}
+
+std::size_t nearest_index(const std::vector<Point>& pts, Point p) {
+  if (pts.empty()) throw std::invalid_argument("nearest_index: empty point set");
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double d2 = distance2(pts[i], p);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace esharing::geo

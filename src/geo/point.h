@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file point.h
+/// Planar geometry primitives used throughout E-Sharing. All tier-one
+/// optimization (parking location placement) operates in a local Euclidean
+/// frame measured in meters, matching the paper's convention of unifying
+/// every cost into walking distance.
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <vector>
+
+namespace esharing::geo {
+
+/// A point (or displacement) in a local planar frame, in meters.
+struct Point {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr Point operator/(Point a, double s) { return {a.x / s, a.y / s}; }
+  friend constexpr bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+
+  /// Squared Euclidean norm. Cheaper than norm(); prefer for comparisons.
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+};
+
+/// Euclidean distance in meters — the paper's walking-distance metric
+/// (Definition 1 measures user dissatisfaction in Euclidean distance).
+[[nodiscard]] inline double distance(Point a, Point b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance; use when only ordering matters.
+[[nodiscard]] constexpr double distance2(Point a, Point b) { return (a - b).norm2(); }
+
+/// Axis-aligned bounding box; `min` inclusive, `max` exclusive for grid
+/// indexing purposes.
+struct BoundingBox {
+  Point min;
+  Point max;
+
+  [[nodiscard]] constexpr double width() const { return max.x - min.x; }
+  [[nodiscard]] constexpr double height() const { return max.y - min.y; }
+  [[nodiscard]] constexpr bool contains(Point p) const {
+    return p.x >= min.x && p.x < max.x && p.y >= min.y && p.y < max.y;
+  }
+  [[nodiscard]] constexpr Point center() const {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+  /// Smallest box containing both this box and `p`.
+  [[nodiscard]] BoundingBox expanded_to(Point p) const;
+  /// Box grown by `margin` meters on every side.
+  [[nodiscard]] BoundingBox inflated(double margin) const;
+};
+
+/// Bounding box of a non-empty point set.
+/// \throws std::invalid_argument if `pts` is empty.
+[[nodiscard]] BoundingBox bounding_box(const std::vector<Point>& pts);
+
+/// Arithmetic mean of a non-empty point set.
+/// \throws std::invalid_argument if `pts` is empty.
+[[nodiscard]] Point centroid(const std::vector<Point>& pts);
+
+/// Index of the element of `pts` closest to `p`.
+/// \throws std::invalid_argument if `pts` is empty.
+[[nodiscard]] std::size_t nearest_index(const std::vector<Point>& pts, Point p);
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+}  // namespace esharing::geo

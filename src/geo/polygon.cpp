@@ -1,0 +1,94 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::geo {
+
+Polygon::Polygon(std::vector<Point> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Polygon: need at least 3 vertices");
+  }
+}
+
+bool Polygon::contains(Point p) const {
+  // Even-odd rule with the half-open convention: count edge crossings of
+  // the horizontal ray to +infinity.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point a = vertices_[j];
+    const Point b = vertices_[i];
+    const bool straddles = (b.y > p.y) != (a.y > p.y);
+    if (straddles) {
+      const double x_cross = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::signed_area() const {
+  double twice = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    twice += vertices_[j].x * vertices_[i].y - vertices_[i].x * vertices_[j].y;
+  }
+  return twice / 2.0;
+}
+
+double Polygon::area() const { return std::abs(signed_area()); }
+
+BoundingBox Polygon::bounds() const { return bounding_box(vertices_); }
+
+Polygon Polygon::rectangle(const BoundingBox& box) {
+  return Polygon({{box.min.x, box.min.y},
+                  {box.max.x, box.min.y},
+                  {box.max.x, box.max.y},
+                  {box.min.x, box.max.y}});
+}
+
+Polygon convex_hull(std::vector<Point> pts) {
+  std::sort(pts.begin(), pts.end(), [](Point a, Point b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() < 3) {
+    throw std::invalid_argument("convex_hull: need at least 3 distinct points");
+  }
+  const auto cross = [](Point o, Point a, Point b) {
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+  };
+  std::vector<Point> hull(2 * pts.size());
+  std::size_t k = 0;
+  for (const Point& p : pts) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], p) <= 0.0) --k;
+    hull[k++] = p;
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = pts.size() - 1; i-- > 0;) {  // upper hull
+    const Point& p = pts[i];
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], p) <= 0.0) --k;
+    hull[k++] = p;
+  }
+  hull.resize(k - 1);
+  if (hull.size() < 3) {
+    throw std::invalid_argument("convex_hull: points are collinear");
+  }
+  return Polygon(std::move(hull));
+}
+
+bool ZoneSet::permits(Point p) const {
+  for (const Polygon& zone : forbidden_) {
+    if (zone.contains(p)) return false;
+  }
+  if (allowed_.empty()) return true;
+  for (const Polygon& zone : allowed_) {
+    if (zone.contains(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace esharing::geo

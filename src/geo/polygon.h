@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file polygon.h
+/// Simple polygons for service-area and no-parking zones. The paper's
+/// premise is regulatory: "many municipalities do not allow E-bikes to
+/// park uncoordinately at random locations" — operationally that means
+/// the operator maintains allowed/forbidden zones and every parking the
+/// online algorithm establishes must respect them (see
+/// core::DeviationPlacerConfig::placement_filter).
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace esharing::geo {
+
+/// A simple (non-self-intersecting) polygon given by its vertices in
+/// order; the closing edge back to the first vertex is implicit.
+class Polygon {
+ public:
+  /// \throws std::invalid_argument with fewer than 3 vertices.
+  explicit Polygon(std::vector<Point> vertices);
+
+  [[nodiscard]] const std::vector<Point>& vertices() const { return vertices_; }
+
+  /// Even-odd (ray casting) point-in-polygon test. Boundary points count
+  /// as inside on the lower/left edges (half-open convention, consistent
+  /// for tiling).
+  [[nodiscard]] bool contains(Point p) const;
+
+  /// Signed area (positive for counter-clockwise vertex order).
+  [[nodiscard]] double signed_area() const;
+  [[nodiscard]] double area() const;
+
+  [[nodiscard]] BoundingBox bounds() const;
+
+  /// Axis-aligned rectangle helper.
+  [[nodiscard]] static Polygon rectangle(const BoundingBox& box);
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// Convex hull (monotone chain) of a point set, counter-clockwise, without
+/// collinear points on the hull edges.
+/// \throws std::invalid_argument with fewer than 3 distinct points.
+[[nodiscard]] Polygon convex_hull(std::vector<Point> pts);
+
+/// A set of allowed and forbidden zones: a point qualifies when it lies in
+/// at least one allowed zone (or no allowed zones are given) and in no
+/// forbidden zone.
+class ZoneSet {
+ public:
+  void add_allowed(Polygon zone) { allowed_.push_back(std::move(zone)); }
+  void add_forbidden(Polygon zone) { forbidden_.push_back(std::move(zone)); }
+
+  [[nodiscard]] bool permits(Point p) const;
+  [[nodiscard]] std::size_t allowed_count() const { return allowed_.size(); }
+  [[nodiscard]] std::size_t forbidden_count() const { return forbidden_.size(); }
+
+ private:
+  std::vector<Polygon> allowed_;
+  std::vector<Polygon> forbidden_;
+};
+
+}  // namespace esharing::geo

@@ -1,0 +1,70 @@
+#include "ml/arima.h"
+
+#include <stdexcept>
+
+#include "ml/linalg.h"
+
+namespace esharing::ml {
+
+ArimaForecaster::ArimaForecaster(int p, int d) : p_(p), d_(d) {
+  if (p <= 0) throw std::invalid_argument("ArimaForecaster: p must be positive");
+  if (d < 0) throw std::invalid_argument("ArimaForecaster: d must be >= 0");
+}
+
+void ArimaForecaster::fit(const Series& train) {
+  const Series z = difference(train, d_);
+  const auto p = static_cast<std::size_t>(p_);
+  if (z.size() < p + 2) {
+    throw std::invalid_argument("ArimaForecaster::fit: series too short for p/d");
+  }
+  // Design: row t has [1, z[t-1], ..., z[t-p]] predicting z[t].
+  const std::size_t rows = z.size() - p;
+  Mat x(rows, p + 1);
+  std::vector<double> y(rows);
+  for (std::size_t t = 0; t < rows; ++t) {
+    x.at(t, 0) = 1.0;
+    for (std::size_t lag = 1; lag <= p; ++lag) {
+      x.at(t, lag) = z[t + p - lag];
+    }
+    y[t] = z[t + p];
+  }
+  const auto beta = least_squares(x, y);
+  intercept_ = beta[0];
+  coef_.assign(beta.begin() + 1, beta.end());
+  fitted_ = true;
+}
+
+Series ArimaForecaster::forecast(const Series& history,
+                                 std::size_t horizon) const {
+  if (!fitted_) throw std::logic_error("ArimaForecaster::forecast: not fitted");
+  const auto p = static_cast<std::size_t>(p_);
+  Series z = difference(history, d_);
+  if (z.size() < p) {
+    throw std::invalid_argument("ArimaForecaster::forecast: history too short");
+  }
+  // Recursive AR forecasts on the differenced scale.
+  Series zf;
+  zf.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    double pred = intercept_;
+    for (std::size_t lag = 1; lag <= p; ++lag) {
+      pred += coef_[lag - 1] * z[z.size() - lag];
+    }
+    z.push_back(pred);
+    zf.push_back(pred);
+  }
+  // Integrate back d times: each level needs the tail of the corresponding
+  // partially-differenced history.
+  Series out = zf;
+  for (int level = d_; level >= 1; --level) {
+    const Series base = difference(history, level - 1);
+    out = undifference_once(out, base.back());
+  }
+  return out;
+}
+
+std::string ArimaForecaster::name() const {
+  return "ARIMA(p=" + std::to_string(p_) + ",d=" + std::to_string(d_) + ")";
+}
+
+}  // namespace esharing::ml

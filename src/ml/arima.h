@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file arima.h
+/// ARIMA(p, d) baseline from Table II (the paper sweeps lag order p and
+/// degree of differencing d; no MA term is used). The series is differenced
+/// d times, an AR(p) model with intercept is fitted by least squares, and
+/// forecasts are produced recursively then integrated back.
+
+#include "ml/forecaster.h"
+
+namespace esharing::ml {
+
+class ArimaForecaster final : public Forecaster {
+ public:
+  /// \throws std::invalid_argument if p == 0 or d < 0.
+  ArimaForecaster(int p, int d);
+
+  void fit(const Series& train) override;
+  [[nodiscard]] Series forecast(const Series& history,
+                                std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coef_; }
+  [[nodiscard]] double intercept() const { return intercept_; }
+
+ private:
+  int p_;
+  int d_;
+  std::vector<double> coef_;  ///< AR coefficients, lag 1..p
+  double intercept_{0.0};
+  bool fitted_{false};
+};
+
+}  // namespace esharing::ml

@@ -1,0 +1,48 @@
+#include "ml/forecaster.h"
+
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace esharing::ml {
+
+Series rolling_predictions(const Forecaster& model, const Series& train,
+                           const Series& test) {
+  if (test.empty()) {
+    throw std::invalid_argument("rolling_predictions: empty test series");
+  }
+  Series history = train;
+  Series predictions;
+  predictions.reserve(test.size());
+  for (double actual : test) {
+    predictions.push_back(model.forecast(history, 1).at(0));
+    history.push_back(actual);
+  }
+  return predictions;
+}
+
+double evaluate_rmse(const Forecaster& model, const Series& train,
+                     const Series& test) {
+  return stats::rmse(rolling_predictions(model, train, test), test);
+}
+
+double evaluate_rmse_at_horizon(const Forecaster& model, const Series& train,
+                                const Series& test, std::size_t horizon) {
+  if (horizon == 0) {
+    throw std::invalid_argument("evaluate_rmse_at_horizon: zero horizon");
+  }
+  if (test.size() < horizon) {
+    throw std::invalid_argument(
+        "evaluate_rmse_at_horizon: test shorter than horizon");
+  }
+  Series history = train;
+  Series predictions, actuals;
+  for (std::size_t t = 0; t + horizon <= test.size(); ++t) {
+    predictions.push_back(model.forecast(history, horizon).at(horizon - 1));
+    actuals.push_back(test[t + horizon - 1]);
+    history.push_back(test[t]);
+  }
+  return stats::rmse(predictions, actuals);
+}
+
+}  // namespace esharing::ml

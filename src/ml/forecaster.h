@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file forecaster.h
+/// Common interface of the prediction engine. The paper's Table II compares
+/// an LSTM against Moving Average and ARIMA on per-grid hourly request
+/// counts with RMSE (Eq. 14) as the measure; evaluate_rmse() implements the
+/// rolling one-step protocol used there (each test hour is predicted from
+/// the true history up to that hour).
+
+#include <memory>
+#include <string>
+
+#include "ml/series.h"
+
+namespace esharing::ml {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Fit on a training series.
+  /// \throws std::invalid_argument if the series is too short for the model.
+  virtual void fit(const Series& train) = 0;
+
+  /// Forecast `horizon` future values given the most recent history (which
+  /// must include at least the model's required context).
+  [[nodiscard]] virtual Series forecast(const Series& history,
+                                        std::size_t horizon) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Rolling one-step-ahead RMSE over `test`, starting from `train` history.
+/// \throws std::invalid_argument if test is empty.
+[[nodiscard]] double evaluate_rmse(const Forecaster& model, const Series& train,
+                                   const Series& test);
+
+/// Rolling one-step-ahead predictions over `test` (same protocol).
+[[nodiscard]] Series rolling_predictions(const Forecaster& model,
+                                         const Series& train,
+                                         const Series& test);
+
+/// Rolling h-step-ahead RMSE: at each test position t the model sees the
+/// true history up to t and its forecast for t + horizon - 1 is scored
+/// against the actual value there. horizon = 1 reduces to evaluate_rmse.
+/// The paper's Table II covers "the next 1 to 6 hours"; this is the
+/// evaluation for the longer leads.
+/// \throws std::invalid_argument if horizon == 0 or test shorter than it.
+[[nodiscard]] double evaluate_rmse_at_horizon(const Forecaster& model,
+                                              const Series& train,
+                                              const Series& test,
+                                              std::size_t horizon);
+
+}  // namespace esharing::ml

@@ -1,0 +1,333 @@
+#include "ml/gru.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::ml {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+// Per-layer, per-step caches for BPTT.
+struct GruForecaster::Forward {
+  struct Step {
+    std::vector<double> x;        // layer input
+    std::vector<double> z, r, n;  // gate activations
+    std::vector<double> q;        // Un * h_prev (pre reset gating)
+    std::vector<double> h;
+  };
+  std::vector<std::vector<Step>> steps;  // [layer][time]
+  double output{0.0};
+};
+
+GruForecaster::GruForecaster(GruConfig config) : config_(config) {
+  if (config_.layers <= 0) throw std::invalid_argument("GruForecaster: layers <= 0");
+  if (config_.hidden <= 0) throw std::invalid_argument("GruForecaster: hidden <= 0");
+  if (config_.lookback == 0) throw std::invalid_argument("GruForecaster: lookback == 0");
+  if (config_.epochs <= 0) throw std::invalid_argument("GruForecaster: epochs <= 0");
+  init_params(config_.seed);
+}
+
+std::size_t GruForecaster::input_size(int layer) const {
+  return layer == 0 ? 1 : static_cast<std::size_t>(config_.hidden);
+}
+
+std::size_t GruForecaster::wx_off(int layer) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  std::size_t off = 0;
+  for (int l = 0; l < layer; ++l) {
+    off += 3 * h * input_size(l) + 3 * h * h + 3 * h;
+  }
+  return off;
+}
+
+std::size_t GruForecaster::wh_off(int layer) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  return wx_off(layer) + 3 * h * input_size(layer);
+}
+
+std::size_t GruForecaster::b_off(int layer) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  return wh_off(layer) + 3 * h * h;
+}
+
+std::size_t GruForecaster::wy_off() const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  return b_off(config_.layers - 1) + 3 * h;
+}
+
+std::size_t GruForecaster::by_off() const {
+  return wy_off() + static_cast<std::size_t>(config_.hidden);
+}
+
+std::size_t GruForecaster::param_count() const { return by_off() + 1; }
+
+void GruForecaster::init_params(std::uint64_t seed) {
+  params_.assign(param_count(), 0.0);
+  stats::Rng rng(seed);
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  for (int l = 0; l < config_.layers; ++l) {
+    const std::size_t in = input_size(l);
+    const double sx = 1.0 / std::sqrt(static_cast<double>(in));
+    const double sh = 1.0 / std::sqrt(static_cast<double>(h));
+    for (std::size_t k = 0; k < 3 * h * in; ++k) {
+      params_[wx_off(l) + k] = rng.uniform(-sx, sx);
+    }
+    for (std::size_t k = 0; k < 3 * h * h; ++k) {
+      params_[wh_off(l) + k] = rng.uniform(-sh, sh);
+    }
+    // Update-gate bias +1 keeps early h_t close to h_{t-1} (the GRU analog
+    // of the LSTM forget-bias trick); gate blocks are [z | r | n].
+    for (std::size_t k = 0; k < h; ++k) params_[b_off(l) + k] = 1.0;
+  }
+  const double sy = 1.0 / std::sqrt(static_cast<double>(h));
+  for (std::size_t k = 0; k < h; ++k) {
+    params_[wy_off() + k] = rng.uniform(-sy, sy);
+  }
+}
+
+GruForecaster::Forward GruForecaster::run_forward(
+    const std::vector<double>& input) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  const std::size_t t_len = input.size();
+  Forward fw;
+  fw.steps.resize(static_cast<std::size_t>(config_.layers));
+
+  for (int l = 0; l < config_.layers; ++l) {
+    const std::size_t in = input_size(l);
+    auto& layer_steps = fw.steps[static_cast<std::size_t>(l)];
+    layer_steps.resize(t_len);
+    std::vector<double> h_prev(h, 0.0);
+    const double* wx = &params_[wx_off(l)];
+    const double* wh = &params_[wh_off(l)];
+    const double* b = &params_[b_off(l)];
+    for (std::size_t t = 0; t < t_len; ++t) {
+      auto& st = layer_steps[t];
+      st.x = (l == 0) ? std::vector<double>{input[t]}
+                      : fw.steps[static_cast<std::size_t>(l - 1)][t].h;
+      st.z.resize(h); st.r.resize(h); st.n.resize(h);
+      st.q.resize(h); st.h.resize(h);
+      for (std::size_t u = 0; u < h; ++u) {
+        double az = b[u], ar = b[h + u], an = b[2 * h + u], q = 0.0;
+        const double* wxz = wx + u * in;
+        const double* wxr = wx + (h + u) * in;
+        const double* wxn = wx + (2 * h + u) * in;
+        for (std::size_t k = 0; k < in; ++k) {
+          az += wxz[k] * st.x[k];
+          ar += wxr[k] * st.x[k];
+          an += wxn[k] * st.x[k];
+        }
+        const double* whz = wh + u * h;
+        const double* whr = wh + (h + u) * h;
+        const double* whn = wh + (2 * h + u) * h;
+        for (std::size_t k = 0; k < h; ++k) {
+          az += whz[k] * h_prev[k];
+          ar += whr[k] * h_prev[k];
+          q += whn[k] * h_prev[k];
+        }
+        st.z[u] = sigmoid(az);
+        st.r[u] = sigmoid(ar);
+        st.q[u] = q;
+        st.n[u] = std::tanh(an + st.r[u] * q);
+        st.h[u] = (1.0 - st.z[u]) * st.n[u] + st.z[u] * h_prev[u];
+      }
+      h_prev = st.h;
+    }
+  }
+
+  const auto& h_last = fw.steps.back().back().h;
+  double y = params_[by_off()];
+  for (std::size_t u = 0; u < h; ++u) y += params_[wy_off() + u] * h_last[u];
+  fw.output = y;
+  return fw;
+}
+
+double GruForecaster::predict_window(const std::vector<double>& input) const {
+  return run_forward(input).output;
+}
+
+double GruForecaster::sample_loss(const Window& w) const {
+  const double e = predict_window(w.input) - w.target;
+  return 0.5 * e * e;
+}
+
+std::vector<double> GruForecaster::sample_gradient(const Window& w) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  const std::size_t t_len = w.input.size();
+  const Forward fw = run_forward(w.input);
+
+  std::vector<double> grad(param_count(), 0.0);
+  const double dy = fw.output - w.target;
+  const auto& h_last = fw.steps.back().back().h;
+  for (std::size_t u = 0; u < h; ++u) grad[wy_off() + u] += dy * h_last[u];
+  grad[by_off()] += dy;
+
+  std::vector<std::vector<double>> dh_inject(
+      static_cast<std::size_t>(config_.layers) * t_len, std::vector<double>());
+  auto inject = [&](int layer, std::size_t t) -> std::vector<double>& {
+    auto& v = dh_inject[static_cast<std::size_t>(layer) * t_len + t];
+    if (v.empty()) v.assign(h, 0.0);
+    return v;
+  };
+  {
+    auto& top = inject(config_.layers - 1, t_len - 1);
+    for (std::size_t u = 0; u < h; ++u) top[u] = dy * params_[wy_off() + u];
+  }
+
+  for (int l = config_.layers - 1; l >= 0; --l) {
+    const std::size_t in = input_size(l);
+    const double* wx = &params_[wx_off(l)];
+    const double* wh = &params_[wh_off(l)];
+    double* gwx = &grad[wx_off(l)];
+    double* gwh = &grad[wh_off(l)];
+    double* gb = &grad[b_off(l)];
+    const auto& steps = fw.steps[static_cast<std::size_t>(l)];
+
+    std::vector<double> dh_next(h, 0.0);
+    for (std::size_t ti = t_len; ti-- > 0;) {
+      const auto& st = steps[ti];
+      std::vector<double> dh = dh_next;
+      const auto& injected = dh_inject[static_cast<std::size_t>(l) * t_len + ti];
+      if (!injected.empty()) {
+        for (std::size_t u = 0; u < h; ++u) dh[u] += injected[u];
+      }
+      const std::vector<double>* h_prev = ti > 0 ? &steps[ti - 1].h : nullptr;
+
+      std::vector<double> daz(h), dar(h), dan(h), dq(h), dh_prev(h, 0.0);
+      for (std::size_t u = 0; u < h; ++u) {
+        const double hp = h_prev ? (*h_prev)[u] : 0.0;
+        const double dz = dh[u] * (hp - st.n[u]);
+        const double dn = dh[u] * (1.0 - st.z[u]);
+        dh_prev[u] += dh[u] * st.z[u];
+        dan[u] = dn * (1.0 - st.n[u] * st.n[u]);
+        const double dr = dan[u] * st.q[u];
+        dq[u] = dan[u] * st.r[u];
+        daz[u] = dz * st.z[u] * (1.0 - st.z[u]);
+        dar[u] = dr * st.r[u] * (1.0 - st.r[u]);
+      }
+
+      std::vector<double> dx(in, 0.0);
+      for (std::size_t u = 0; u < h; ++u) {
+        const std::size_t rows[3] = {u, h + u, 2 * h + u};
+        const double deltas[3] = {daz[u], dar[u], dan[u]};
+        for (int g = 0; g < 3; ++g) {
+          const double d = deltas[g];
+          if (d == 0.0) continue;
+          double* gwx_row = gwx + rows[g] * in;
+          const double* wx_row = wx + rows[g] * in;
+          for (std::size_t k = 0; k < in; ++k) {
+            gwx_row[k] += d * st.x[k];
+            dx[k] += wx_row[k] * d;
+          }
+          gb[rows[g]] += d;
+        }
+        // Recurrent parts: Uz/Ur act on h_prev through az/ar; Un through q.
+        if (h_prev != nullptr) {
+          double* gwz_row = gwh + u * h;
+          double* gwr_row = gwh + (h + u) * h;
+          double* gwn_row = gwh + (2 * h + u) * h;
+          for (std::size_t k = 0; k < h; ++k) {
+            gwz_row[k] += daz[u] * (*h_prev)[k];
+            gwr_row[k] += dar[u] * (*h_prev)[k];
+            gwn_row[k] += dq[u] * (*h_prev)[k];
+          }
+        }
+        const double* whz_row = wh + u * h;
+        const double* whr_row = wh + (h + u) * h;
+        const double* whn_row = wh + (2 * h + u) * h;
+        for (std::size_t k = 0; k < h; ++k) {
+          dh_prev[k] += whz_row[k] * daz[u] + whr_row[k] * dar[u] +
+                        whn_row[k] * dq[u];
+        }
+      }
+
+      dh_next = dh_prev;
+      if (l > 0) {
+        auto& below = inject(l - 1, ti);
+        for (std::size_t k = 0; k < in; ++k) below[k] += dx[k];
+      }
+    }
+  }
+  return grad;
+}
+
+void GruForecaster::fit(const Series& train) {
+  if (train.size() < config_.lookback + 2) {
+    throw std::invalid_argument("GruForecaster::fit: series too short");
+  }
+  scaler_.fit(train);
+  const Series z = scaler_.transform(train);
+  std::vector<Window> windows = sliding_windows(z, config_.lookback);
+
+  std::vector<double> m(param_count(), 0.0), v(param_count(), 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double beta1_t = 1.0, beta2_t = 1.0;
+
+  stats::Rng rng(config_.seed ^ 0xc2b2ae35ULL);
+  std::vector<std::size_t> order(windows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  loss_history_.clear();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const Window& w = windows[idx];
+      epoch_loss += sample_loss(w);
+      std::vector<double> grad = sample_gradient(w);
+      if (config_.grad_clip > 0.0) {
+        double norm2 = 0.0;
+        for (double g : grad) norm2 += g * g;
+        const double norm = std::sqrt(norm2);
+        if (norm > config_.grad_clip) {
+          const double scale = config_.grad_clip / norm;
+          for (double& g : grad) g *= scale;
+        }
+      }
+      beta1_t *= beta1;
+      beta2_t *= beta2;
+      for (std::size_t k = 0; k < params_.size(); ++k) {
+        m[k] = beta1 * m[k] + (1.0 - beta1) * grad[k];
+        v[k] = beta2 * v[k] + (1.0 - beta2) * grad[k] * grad[k];
+        params_[k] -= config_.learning_rate * (m[k] / (1.0 - beta1_t)) /
+                      (std::sqrt(v[k] / (1.0 - beta2_t)) + eps);
+      }
+    }
+    loss_history_.push_back(epoch_loss / static_cast<double>(windows.size()));
+  }
+  fitted_ = true;
+}
+
+Series GruForecaster::forecast(const Series& history,
+                               std::size_t horizon) const {
+  if (!fitted_) throw std::logic_error("GruForecaster::forecast: not fitted");
+  if (history.size() < config_.lookback) {
+    throw std::invalid_argument("GruForecaster::forecast: history shorter than lookback");
+  }
+  std::vector<double> window(history.end() - static_cast<std::ptrdiff_t>(config_.lookback),
+                             history.end());
+  for (double& x : window) x = scaler_.transform_one(x);
+  Series out;
+  out.reserve(horizon);
+  for (std::size_t hstep = 0; hstep < horizon; ++hstep) {
+    const double z = predict_window(window);
+    out.push_back(scaler_.inverse_one(z));
+    window.erase(window.begin());
+    window.push_back(z);
+  }
+  return out;
+}
+
+std::string GruForecaster::name() const {
+  return "GRU(layers=" + std::to_string(config_.layers) +
+         ",back=" + std::to_string(config_.lookback) + ")";
+}
+
+}  // namespace esharing::ml

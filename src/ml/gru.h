@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file gru.h
+/// From-scratch multi-layer GRU forecaster — an alternative recurrent
+/// predictor for E-Sharing's engine ("It can be integrated with any
+/// prediction engine", Section I). Mirrors LstmForecaster's interface and
+/// training loop (standardized sliding windows, BPTT, Adam, flat parameter
+/// vector for finite-difference gradient checks). Gate equations (single-
+/// bias variant):
+///
+///   z_t = sigmoid(Wz x_t + Uz h_{t-1} + bz)        update gate
+///   r_t = sigmoid(Wr x_t + Ur h_{t-1} + br)        reset gate
+///   n_t = tanh  (Wn x_t + r_t .* (Un h_{t-1}) + bn) candidate
+///   h_t = (1 - z_t) .* n_t + z_t .* h_{t-1}
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/forecaster.h"
+#include "ml/series.h"
+
+namespace esharing::ml {
+
+struct GruConfig {
+  int layers{2};
+  int hidden{32};
+  std::size_t lookback{12};
+  int epochs{40};
+  double learning_rate{5e-3};
+  double grad_clip{5.0};
+  std::uint64_t seed{1};
+};
+
+class GruForecaster final : public Forecaster {
+ public:
+  /// \throws std::invalid_argument for non-positive layers/hidden/lookback.
+  explicit GruForecaster(GruConfig config);
+
+  void fit(const Series& train) override;
+  [[nodiscard]] Series forecast(const Series& history,
+                                std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const GruConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<double>& loss_history() const {
+    return loss_history_;
+  }
+
+  // --- low-level access for tests (gradient checking) -------------------
+  [[nodiscard]] double sample_loss(const Window& w) const;
+  [[nodiscard]] std::vector<double> sample_gradient(const Window& w) const;
+  [[nodiscard]] std::vector<double>& parameters() { return params_; }
+  [[nodiscard]] const std::vector<double>& parameters() const { return params_; }
+
+ private:
+  struct Forward;
+
+  [[nodiscard]] double predict_window(const std::vector<double>& input) const;
+  [[nodiscard]] Forward run_forward(const std::vector<double>& input) const;
+  void init_params(std::uint64_t seed);
+
+  [[nodiscard]] std::size_t input_size(int layer) const;
+  [[nodiscard]] std::size_t wx_off(int layer) const;
+  [[nodiscard]] std::size_t wh_off(int layer) const;
+  [[nodiscard]] std::size_t b_off(int layer) const;
+  [[nodiscard]] std::size_t wy_off() const;
+  [[nodiscard]] std::size_t by_off() const;
+  [[nodiscard]] std::size_t param_count() const;
+
+  GruConfig config_;
+  std::vector<double> params_;
+  Scaler scaler_;
+  bool fitted_{false};
+  std::vector<double> loss_history_;
+};
+
+}  // namespace esharing::ml

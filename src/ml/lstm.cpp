@@ -1,0 +1,340 @@
+#include "ml/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::ml {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+// Per-layer, per-step activation caches kept for BPTT.
+struct LstmForecaster::Forward {
+  // layer-major: act[l][t] holds vectors of size H (and x of input size).
+  struct Step {
+    std::vector<double> x;       // layer input at t
+    std::vector<double> i, f, g, o;
+    std::vector<double> c, tanh_c, h;
+  };
+  std::vector<std::vector<Step>> steps;  // [layer][time]
+  double output{0.0};
+};
+
+LstmForecaster::LstmForecaster(LstmConfig config) : config_(config) {
+  if (config_.layers <= 0) throw std::invalid_argument("LstmForecaster: layers <= 0");
+  if (config_.hidden <= 0) throw std::invalid_argument("LstmForecaster: hidden <= 0");
+  if (config_.lookback == 0) throw std::invalid_argument("LstmForecaster: lookback == 0");
+  if (config_.epochs <= 0) throw std::invalid_argument("LstmForecaster: epochs <= 0");
+  init_params(config_.seed);
+}
+
+std::size_t LstmForecaster::input_size(int layer) const {
+  return layer == 0 ? 1 : static_cast<std::size_t>(config_.hidden);
+}
+
+std::size_t LstmForecaster::wx_off(int layer) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  std::size_t off = 0;
+  for (int l = 0; l < layer; ++l) {
+    off += 4 * h * input_size(l) + 4 * h * h + 4 * h;
+  }
+  return off;
+}
+
+std::size_t LstmForecaster::wh_off(int layer) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  return wx_off(layer) + 4 * h * input_size(layer);
+}
+
+std::size_t LstmForecaster::b_off(int layer) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  return wh_off(layer) + 4 * h * h;
+}
+
+std::size_t LstmForecaster::wy_off() const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  return b_off(config_.layers - 1) + 4 * h;
+}
+
+std::size_t LstmForecaster::by_off() const {
+  return wy_off() + static_cast<std::size_t>(config_.hidden);
+}
+
+std::size_t LstmForecaster::param_count() const { return by_off() + 1; }
+
+void LstmForecaster::init_params(std::uint64_t seed) {
+  params_.assign(param_count(), 0.0);
+  stats::Rng rng(seed);
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  for (int l = 0; l < config_.layers; ++l) {
+    const std::size_t in = input_size(l);
+    const double sx = 1.0 / std::sqrt(static_cast<double>(in));
+    const double sh = 1.0 / std::sqrt(static_cast<double>(h));
+    for (std::size_t k = 0; k < 4 * h * in; ++k) {
+      params_[wx_off(l) + k] = rng.uniform(-sx, sx);
+    }
+    for (std::size_t k = 0; k < 4 * h * h; ++k) {
+      params_[wh_off(l) + k] = rng.uniform(-sh, sh);
+    }
+    // Bias layout per gate block [i | f | g | o]; forget-gate bias starts
+    // at +1 (standard trick so early training does not wash out the cell).
+    for (std::size_t k = 0; k < h; ++k) {
+      params_[b_off(l) + h + k] = 1.0;
+    }
+  }
+  const double sy = 1.0 / std::sqrt(static_cast<double>(h));
+  for (std::size_t k = 0; k < h; ++k) {
+    params_[wy_off() + k] = rng.uniform(-sy, sy);
+  }
+}
+
+LstmForecaster::Forward LstmForecaster::run_forward(
+    const std::vector<double>& input) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  const std::size_t t_len = input.size();
+  Forward fw;
+  fw.steps.resize(static_cast<std::size_t>(config_.layers));
+
+  for (int l = 0; l < config_.layers; ++l) {
+    const std::size_t in = input_size(l);
+    auto& layer_steps = fw.steps[static_cast<std::size_t>(l)];
+    layer_steps.resize(t_len);
+    std::vector<double> h_prev(h, 0.0), c_prev(h, 0.0);
+    const double* wx = &params_[wx_off(l)];
+    const double* wh = &params_[wh_off(l)];
+    const double* b = &params_[b_off(l)];
+    for (std::size_t t = 0; t < t_len; ++t) {
+      auto& st = layer_steps[t];
+      st.x = (l == 0) ? std::vector<double>{input[t]}
+                      : fw.steps[static_cast<std::size_t>(l - 1)][t].h;
+      st.i.resize(h); st.f.resize(h); st.g.resize(h); st.o.resize(h);
+      st.c.resize(h); st.tanh_c.resize(h); st.h.resize(h);
+      for (std::size_t u = 0; u < h; ++u) {
+        // z for the four gates of unit u: rows u, h+u, 2h+u, 3h+u.
+        double z[4];
+        for (int gidx = 0; gidx < 4; ++gidx) {
+          const std::size_t row = static_cast<std::size_t>(gidx) * h + u;
+          double acc = b[row];
+          const double* wx_row = wx + row * in;
+          for (std::size_t k = 0; k < in; ++k) acc += wx_row[k] * st.x[k];
+          const double* wh_row = wh + row * h;
+          for (std::size_t k = 0; k < h; ++k) acc += wh_row[k] * h_prev[k];
+          z[gidx] = acc;
+        }
+        st.i[u] = sigmoid(z[0]);
+        st.f[u] = sigmoid(z[1]);
+        st.g[u] = std::tanh(z[2]);
+        st.o[u] = sigmoid(z[3]);
+        st.c[u] = st.f[u] * c_prev[u] + st.i[u] * st.g[u];
+        st.tanh_c[u] = std::tanh(st.c[u]);
+        st.h[u] = st.o[u] * st.tanh_c[u];
+      }
+      h_prev = st.h;
+      c_prev = st.c;
+    }
+  }
+
+  const auto& h_last = fw.steps.back().back().h;
+  double y = params_[by_off()];
+  for (std::size_t u = 0; u < h; ++u) y += params_[wy_off() + u] * h_last[u];
+  fw.output = y;
+  return fw;
+}
+
+double LstmForecaster::predict_window(const std::vector<double>& input) const {
+  return run_forward(input).output;
+}
+
+double LstmForecaster::sample_loss(const Window& w) const {
+  const double y = predict_window(w.input);
+  const double e = y - w.target;
+  return 0.5 * e * e;
+}
+
+std::vector<double> LstmForecaster::sample_gradient(const Window& w) const {
+  const auto h = static_cast<std::size_t>(config_.hidden);
+  const std::size_t t_len = w.input.size();
+  const Forward fw = run_forward(w.input);
+
+  std::vector<double> grad(param_count(), 0.0);
+  const double dy = fw.output - w.target;
+
+  // Output head.
+  const auto& h_last = fw.steps.back().back().h;
+  for (std::size_t u = 0; u < h; ++u) {
+    grad[wy_off() + u] += dy * h_last[u];
+  }
+  grad[by_off()] += dy;
+
+  // dh injected into the top layer at the final step only.
+  std::vector<std::vector<double>> dh_inject(
+      static_cast<std::size_t>(config_.layers) * t_len,
+      std::vector<double>());
+  auto inject = [&](int layer, std::size_t t) -> std::vector<double>& {
+    auto& v = dh_inject[static_cast<std::size_t>(layer) * t_len + t];
+    if (v.empty()) v.assign(h, 0.0);
+    return v;
+  };
+  {
+    auto& top = inject(config_.layers - 1, t_len - 1);
+    for (std::size_t u = 0; u < h; ++u) top[u] = dy * params_[wy_off() + u];
+  }
+
+  // Backward through layers, top to bottom; each layer runs full BPTT and
+  // deposits dx into the layer below's dh injections.
+  for (int l = config_.layers - 1; l >= 0; --l) {
+    const std::size_t in = input_size(l);
+    const double* wx = &params_[wx_off(l)];
+    const double* wh = &params_[wh_off(l)];
+    double* gwx = &grad[wx_off(l)];
+    double* gwh = &grad[wh_off(l)];
+    double* gb = &grad[b_off(l)];
+    const auto& steps = fw.steps[static_cast<std::size_t>(l)];
+
+    std::vector<double> dh_next(h, 0.0), dc_next(h, 0.0);
+    for (std::size_t ti = t_len; ti-- > 0;) {
+      const auto& st = steps[ti];
+      std::vector<double> dh = dh_next;
+      const auto& injected = dh_inject[static_cast<std::size_t>(l) * t_len + ti];
+      if (!injected.empty()) {
+        for (std::size_t u = 0; u < h; ++u) dh[u] += injected[u];
+      }
+      const std::vector<double>* c_prev = ti > 0 ? &steps[ti - 1].c : nullptr;
+      const std::vector<double>* h_prev = ti > 0 ? &steps[ti - 1].h : nullptr;
+
+      std::vector<double> dz(4 * h, 0.0);
+      std::vector<double> dc(h, 0.0);
+      for (std::size_t u = 0; u < h; ++u) {
+        const double d_o = dh[u] * st.tanh_c[u];
+        dc[u] = dc_next[u] + dh[u] * st.o[u] * (1.0 - st.tanh_c[u] * st.tanh_c[u]);
+        const double d_i = dc[u] * st.g[u];
+        const double d_g = dc[u] * st.i[u];
+        const double d_f = dc[u] * (c_prev ? (*c_prev)[u] : 0.0);
+        dz[u] = d_i * st.i[u] * (1.0 - st.i[u]);
+        dz[h + u] = d_f * st.f[u] * (1.0 - st.f[u]);
+        dz[2 * h + u] = d_g * (1.0 - st.g[u] * st.g[u]);
+        dz[3 * h + u] = d_o * st.o[u] * (1.0 - st.o[u]);
+      }
+
+      // Parameter gradients and upstream deltas.
+      std::vector<double> dx(in, 0.0);
+      std::vector<double> dh_prev(h, 0.0);
+      for (std::size_t row = 0; row < 4 * h; ++row) {
+        const double dzr = dz[row];
+        if (dzr == 0.0) continue;
+        double* gwx_row = gwx + row * in;
+        const double* wx_row = wx + row * in;
+        for (std::size_t k = 0; k < in; ++k) {
+          gwx_row[k] += dzr * st.x[k];
+          dx[k] += wx_row[k] * dzr;
+        }
+        double* gwh_row = gwh + row * h;
+        const double* wh_row = wh + row * h;
+        if (h_prev != nullptr) {
+          for (std::size_t k = 0; k < h; ++k) {
+            gwh_row[k] += dzr * (*h_prev)[k];
+            dh_prev[k] += wh_row[k] * dzr;
+          }
+        } else {
+          for (std::size_t k = 0; k < h; ++k) dh_prev[k] += wh_row[k] * dzr;
+        }
+        gb[row] += dzr;
+      }
+
+      // dc_{t-1} = dc_t * f_t
+      for (std::size_t u = 0; u < h; ++u) dc_next[u] = dc[u] * st.f[u];
+      dh_next = dh_prev;
+
+      if (l > 0) {
+        auto& below = inject(l - 1, ti);
+        for (std::size_t k = 0; k < in; ++k) below[k] += dx[k];
+      }
+    }
+  }
+  return grad;
+}
+
+void LstmForecaster::fit(const Series& train) {
+  if (train.size() < config_.lookback + 2) {
+    throw std::invalid_argument("LstmForecaster::fit: series too short");
+  }
+  scaler_.fit(train);
+  const Series z = scaler_.transform(train);
+  std::vector<Window> windows = sliding_windows(z, config_.lookback);
+
+  // Adam state.
+  std::vector<double> m(param_count(), 0.0), v(param_count(), 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  double beta1_t = 1.0, beta2_t = 1.0;
+
+  stats::Rng rng(config_.seed ^ 0x5bd1e995ULL);
+  std::vector<std::size_t> order(windows.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  loss_history_.clear();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const Window& w = windows[idx];
+      epoch_loss += sample_loss(w);
+      std::vector<double> grad = sample_gradient(w);
+
+      if (config_.grad_clip > 0.0) {
+        double norm2 = 0.0;
+        for (double g : grad) norm2 += g * g;
+        const double norm = std::sqrt(norm2);
+        if (norm > config_.grad_clip) {
+          const double scale = config_.grad_clip / norm;
+          for (double& g : grad) g *= scale;
+        }
+      }
+
+      beta1_t *= beta1;
+      beta2_t *= beta2;
+      for (std::size_t k = 0; k < params_.size(); ++k) {
+        m[k] = beta1 * m[k] + (1.0 - beta1) * grad[k];
+        v[k] = beta2 * v[k] + (1.0 - beta2) * grad[k] * grad[k];
+        const double mhat = m[k] / (1.0 - beta1_t);
+        const double vhat = v[k] / (1.0 - beta2_t);
+        params_[k] -= config_.learning_rate * mhat / (std::sqrt(vhat) + eps);
+      }
+    }
+    loss_history_.push_back(epoch_loss / static_cast<double>(windows.size()));
+  }
+  fitted_ = true;
+}
+
+Series LstmForecaster::forecast(const Series& history,
+                                std::size_t horizon) const {
+  if (!fitted_) throw std::logic_error("LstmForecaster::forecast: not fitted");
+  if (history.size() < config_.lookback) {
+    throw std::invalid_argument("LstmForecaster::forecast: history shorter than lookback");
+  }
+  std::vector<double> window(history.end() - static_cast<std::ptrdiff_t>(config_.lookback),
+                             history.end());
+  for (double& x : window) x = scaler_.transform_one(x);
+  Series out;
+  out.reserve(horizon);
+  for (std::size_t hstep = 0; hstep < horizon; ++hstep) {
+    const double z = predict_window(window);
+    out.push_back(scaler_.inverse_one(z));
+    window.erase(window.begin());
+    window.push_back(z);
+  }
+  return out;
+}
+
+std::string LstmForecaster::name() const {
+  return "LSTM(layers=" + std::to_string(config_.layers) +
+         ",back=" + std::to_string(config_.lookback) + ")";
+}
+
+}  // namespace esharing::ml

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file lstm.h
+/// From-scratch multi-layer LSTM forecaster — the paper's prediction engine
+/// (Section V-A), replacing its TensorFlow implementation. A stack of LSTM
+/// layers reads the last `lookback` hourly counts and a linear head emits
+/// the next hour's forecast; training is full BPTT with Adam on
+/// z-score-standardized windows. Table II's axes (number of layers,
+/// lookback "back") map directly onto LstmConfig.
+///
+/// All parameters live in one flat vector, which keeps the Adam update
+/// trivial and lets tests do finite-difference gradient checks against the
+/// analytic BPTT gradients (tests/ml_lstm_test.cpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/forecaster.h"
+#include "ml/series.h"
+
+namespace esharing::ml {
+
+struct LstmConfig {
+  int layers{2};          ///< stacked LSTM layers (paper sweeps 1..3)
+  int hidden{32};         ///< hidden units per layer (paper uses 128)
+  std::size_t lookback{12};  ///< the paper's "back" parameter, in hours
+  int epochs{40};
+  double learning_rate{5e-3};
+  double grad_clip{5.0};  ///< global-norm clip; <= 0 disables
+  std::uint64_t seed{1};
+};
+
+class LstmForecaster final : public Forecaster {
+ public:
+  /// \throws std::invalid_argument for non-positive layers/hidden/lookback.
+  explicit LstmForecaster(LstmConfig config);
+
+  /// Standardizes the series, builds sliding windows and trains with Adam.
+  /// \throws std::invalid_argument if train has < lookback + 2 points.
+  void fit(const Series& train) override;
+
+  [[nodiscard]] Series forecast(const Series& history,
+                                std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] const LstmConfig& config() const { return config_; }
+  /// Mean training loss per epoch (filled by fit()).
+  [[nodiscard]] const std::vector<double>& loss_history() const {
+    return loss_history_;
+  }
+
+  // --- low-level access for tests (gradient checking) -------------------
+  /// MSE/2 loss of one standardized window under current parameters.
+  [[nodiscard]] double sample_loss(const Window& w) const;
+  /// Analytic gradient of sample_loss via BPTT.
+  [[nodiscard]] std::vector<double> sample_gradient(const Window& w) const;
+  [[nodiscard]] std::vector<double>& parameters() { return params_; }
+  [[nodiscard]] const std::vector<double>& parameters() const { return params_; }
+
+ private:
+  struct Forward;  // per-sample activation caches
+
+  [[nodiscard]] double predict_window(const std::vector<double>& input) const;
+  [[nodiscard]] Forward run_forward(const std::vector<double>& input) const;
+  void init_params(std::uint64_t seed);
+
+  // Flat-parameter layout helpers.
+  [[nodiscard]] std::size_t input_size(int layer) const;
+  [[nodiscard]] std::size_t wx_off(int layer) const;
+  [[nodiscard]] std::size_t wh_off(int layer) const;
+  [[nodiscard]] std::size_t b_off(int layer) const;
+  [[nodiscard]] std::size_t wy_off() const;
+  [[nodiscard]] std::size_t by_off() const;
+  [[nodiscard]] std::size_t param_count() const;
+
+  LstmConfig config_;
+  std::vector<double> params_;
+  Scaler scaler_;
+  bool fitted_{false};
+  std::vector<double> loss_history_;
+};
+
+}  // namespace esharing::ml

@@ -1,0 +1,44 @@
+#include "ml/moving_average.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace esharing::ml {
+
+MovingAverageForecaster::MovingAverageForecaster(std::size_t window)
+    : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("MovingAverageForecaster: window == 0");
+  }
+}
+
+void MovingAverageForecaster::fit(const Series& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("MovingAverageForecaster::fit: empty series");
+  }
+}
+
+Series MovingAverageForecaster::forecast(const Series& history,
+                                         std::size_t horizon) const {
+  if (history.empty()) {
+    throw std::invalid_argument("MovingAverageForecaster: empty history");
+  }
+  Series extended = history;
+  Series out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const std::size_t w = std::min(window_, extended.size());
+    const double sum = std::accumulate(extended.end() - static_cast<std::ptrdiff_t>(w),
+                                       extended.end(), 0.0);
+    const double pred = sum / static_cast<double>(w);
+    out.push_back(pred);
+    extended.push_back(pred);
+  }
+  return out;
+}
+
+std::string MovingAverageForecaster::name() const {
+  return "MA(wz=" + std::to_string(window_) + ")";
+}
+
+}  // namespace esharing::ml

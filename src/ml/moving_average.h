@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file moving_average.h
+/// Moving-average baseline from Table II: the forecast for the next hour is
+/// the mean of the last `window` observed hours, extended recursively for
+/// longer horizons.
+
+#include "ml/forecaster.h"
+
+namespace esharing::ml {
+
+class MovingAverageForecaster final : public Forecaster {
+ public:
+  /// \param window the paper's "wz" parameter, >= 1.
+  /// \throws std::invalid_argument if window == 0.
+  explicit MovingAverageForecaster(std::size_t window);
+
+  void fit(const Series& train) override;
+  [[nodiscard]] Series forecast(const Series& history,
+                                std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace esharing::ml

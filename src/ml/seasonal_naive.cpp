@@ -1,0 +1,41 @@
+#include "ml/seasonal_naive.h"
+
+#include <stdexcept>
+
+namespace esharing::ml {
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(std::size_t period)
+    : period_(period) {
+  if (period == 0) {
+    throw std::invalid_argument("SeasonalNaiveForecaster: period == 0");
+  }
+}
+
+void SeasonalNaiveForecaster::fit(const Series& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("SeasonalNaiveForecaster::fit: empty series");
+  }
+}
+
+Series SeasonalNaiveForecaster::forecast(const Series& history,
+                                         std::size_t horizon) const {
+  if (history.size() < period_) {
+    throw std::invalid_argument(
+        "SeasonalNaiveForecaster: history shorter than one season");
+  }
+  Series extended = history;
+  Series out;
+  out.reserve(horizon);
+  for (std::size_t h = 0; h < horizon; ++h) {
+    const double pred = extended[extended.size() - period_];
+    out.push_back(pred);
+    extended.push_back(pred);
+  }
+  return out;
+}
+
+std::string SeasonalNaiveForecaster::name() const {
+  return "SeasonalNaive(period=" + std::to_string(period_) + ")";
+}
+
+}  // namespace esharing::ml

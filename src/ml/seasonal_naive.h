@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file seasonal_naive.h
+/// Seasonal-naive baseline: the forecast for hour t is the value observed
+/// one season (default 24 hours) earlier. The standard sanity floor for
+/// periodic demand series — any learned model should beat it.
+
+#include "ml/forecaster.h"
+
+namespace esharing::ml {
+
+class SeasonalNaiveForecaster final : public Forecaster {
+ public:
+  /// \throws std::invalid_argument if period == 0.
+  explicit SeasonalNaiveForecaster(std::size_t period = 24);
+
+  void fit(const Series& train) override;
+  [[nodiscard]] Series forecast(const Series& history,
+                                std::size_t horizon) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t period_;
+};
+
+}  // namespace esharing::ml

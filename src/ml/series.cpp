@@ -1,0 +1,91 @@
+#include "ml/series.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace esharing::ml {
+
+Series difference(const Series& s, int d) {
+  if (d < 0) throw std::invalid_argument("difference: d < 0");
+  if (s.size() <= static_cast<std::size_t>(d)) {
+    throw std::invalid_argument("difference: series shorter than d");
+  }
+  Series out = s;
+  for (int round = 0; round < d; ++round) {
+    Series next;
+    next.reserve(out.size() - 1);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+      next.push_back(out[i] - out[i - 1]);
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+Series undifference_once(const Series& diffed, double last_value) {
+  Series out;
+  out.reserve(diffed.size());
+  double acc = last_value;
+  for (double dv : diffed) {
+    acc += dv;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::pair<Series, Series> split(const Series& s, double train_fraction) {
+  if (!(train_fraction > 0.0) || !(train_fraction < 1.0)) {
+    throw std::invalid_argument("split: fraction outside (0, 1)");
+  }
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(s.size()) * train_fraction);
+  if (cut == 0 || cut >= s.size()) {
+    throw std::invalid_argument("split: empty side");
+  }
+  return {Series(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(cut)),
+          Series(s.begin() + static_cast<std::ptrdiff_t>(cut), s.end())};
+}
+
+void Scaler::fit(const Series& s) {
+  mean_ = stats::mean(s);
+  std_ = stats::stddev(s);
+  if (std_ <= 0.0) std_ = 1.0;
+}
+
+double Scaler::transform_one(double x) const { return (x - mean_) / std_; }
+double Scaler::inverse_one(double z) const { return z * std_ + mean_; }
+
+Series Scaler::transform(const Series& s) const {
+  Series out;
+  out.reserve(s.size());
+  for (double x : s) out.push_back(transform_one(x));
+  return out;
+}
+
+Series Scaler::inverse(const Series& s) const {
+  Series out;
+  out.reserve(s.size());
+  for (double z : s) out.push_back(inverse_one(z));
+  return out;
+}
+
+std::vector<Window> sliding_windows(const Series& s, std::size_t lookback) {
+  if (lookback == 0) throw std::invalid_argument("sliding_windows: lookback == 0");
+  if (s.size() < lookback + 1) {
+    throw std::invalid_argument("sliding_windows: series too short");
+  }
+  std::vector<Window> out;
+  out.reserve(s.size() - lookback);
+  for (std::size_t t = lookback; t < s.size(); ++t) {
+    Window w;
+    w.input.assign(s.begin() + static_cast<std::ptrdiff_t>(t - lookback),
+                   s.begin() + static_cast<std::ptrdiff_t>(t));
+    w.target = s[t];
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace esharing::ml

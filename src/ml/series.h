@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file series.h
+/// Time-series utilities shared by the prediction engine: differencing
+/// (for ARIMA's "I"), train/test splitting, z-score scaling, and sliding
+/// supervised windows (for the LSTM's lookback inputs).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace esharing::ml {
+
+using Series = std::vector<double>;
+
+/// d-th order differencing; output shrinks by d.
+/// \throws std::invalid_argument if d < 0 or the series is too short.
+[[nodiscard]] Series difference(const Series& s, int d);
+
+/// Invert one differencing step given the last original value.
+[[nodiscard]] Series undifference_once(const Series& diffed, double last_value);
+
+/// Split into (train, test) with `train_fraction` of samples in train.
+/// \throws std::invalid_argument if the fraction is outside (0, 1) or
+///         either side would be empty.
+[[nodiscard]] std::pair<Series, Series> split(const Series& s,
+                                              double train_fraction);
+
+/// Z-score scaler fitted on a training series. A zero-variance series maps
+/// to zeros and inverse-transforms back to the mean.
+class Scaler {
+ public:
+  /// \throws std::invalid_argument on empty input.
+  void fit(const Series& s);
+  [[nodiscard]] double transform_one(double x) const;
+  [[nodiscard]] double inverse_one(double z) const;
+  [[nodiscard]] Series transform(const Series& s) const;
+  [[nodiscard]] Series inverse(const Series& s) const;
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double stddev() const { return std_; }
+
+ private:
+  double mean_{0.0};
+  double std_{1.0};
+};
+
+/// One supervised sample: `lookback` consecutive values and the next value.
+struct Window {
+  Series input;
+  double target{0.0};
+};
+
+/// All sliding windows of the series.
+/// \throws std::invalid_argument if lookback == 0 or the series has fewer
+///         than lookback + 1 points.
+[[nodiscard]] std::vector<Window> sliding_windows(const Series& s,
+                                                  std::size_t lookback);
+
+}  // namespace esharing::ml

@@ -1,0 +1,160 @@
+#include "rebalance/rebalance.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace esharing::rebalance {
+
+using geo::Point;
+
+std::vector<int> proportional_targets(
+    const std::vector<StationInventory>& stations,
+    const std::vector<double>& expected_demand) {
+  if (stations.size() != expected_demand.size()) {
+    throw std::invalid_argument("proportional_targets: size mismatch");
+  }
+  double demand_total = 0.0;
+  for (double d : expected_demand) {
+    if (d < 0.0) {
+      throw std::invalid_argument("proportional_targets: negative demand");
+    }
+    demand_total += d;
+  }
+  int fleet = 0;
+  for (const auto& s : stations) fleet += s.bikes;
+
+  std::vector<int> targets(stations.size(), 0);
+  if (demand_total <= 0.0 || fleet == 0) return targets;
+
+  // Floor allocation, then hand out the rounding remainder to the stations
+  // with the largest fractional parts (ties: higher demand first).
+  std::vector<double> exact(stations.size());
+  int assigned = 0;
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    exact[i] = static_cast<double>(fleet) * expected_demand[i] / demand_total;
+    targets[i] = static_cast<int>(exact[i]);
+    assigned += targets[i];
+  }
+  std::vector<std::size_t> order(stations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double fa = exact[a] - static_cast<double>(targets[a]);
+    const double fb = exact[b] - static_cast<double>(targets[b]);
+    if (fa != fb) return fa > fb;
+    return expected_demand[a] > expected_demand[b];
+  });
+  for (std::size_t k = 0; assigned < fleet; ++k) {
+    ++targets[order[k % order.size()]];
+    ++assigned;
+  }
+  return targets;
+}
+
+int total_imbalance(const std::vector<StationInventory>& stations) {
+  int sum = 0;
+  for (const auto& s : stations) sum += std::abs(s.imbalance());
+  return sum;
+}
+
+RebalancePlan plan_rebalancing(const std::vector<StationInventory>& stations,
+                               const TruckConfig& truck) {
+  if (truck.capacity <= 0) {
+    throw std::invalid_argument("plan_rebalancing: capacity must be positive");
+  }
+  for (const auto& s : stations) {
+    if (s.bikes < 0 || s.target < 0) {
+      throw std::invalid_argument("plan_rebalancing: negative inventory/target");
+    }
+  }
+
+  std::vector<int> surplus(stations.size(), 0);
+  std::vector<int> deficit(stations.size(), 0);
+  int total_deficit = 0;
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    const int imb = stations[i].imbalance();
+    if (imb > 0) surplus[i] = imb;
+    if (imb < 0) deficit[i] = -imb;
+    total_deficit += deficit[i];
+  }
+
+  RebalancePlan plan;
+  Point at = truck.depot;
+  int load = 0;
+  while (true) {
+    // Useful actions: load from a surplus station (if the truck has space
+    // and outstanding deficits exceed the current load) or unload at a
+    // deficit station (if the truck carries bikes).
+    const bool can_load = load < truck.capacity && total_deficit > load;
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t best_i = stations.size();
+    bool best_is_load = false;
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      const bool loadable = can_load && surplus[i] > 0;
+      const bool unloadable = load > 0 && deficit[i] > 0;
+      if (!loadable && !unloadable) continue;
+      const double d = geo::distance(at, stations[i].location);
+      if (d < best_d) {
+        best_d = d;
+        best_i = i;
+        best_is_load = loadable && (!unloadable || load < truck.capacity / 2);
+      }
+    }
+    if (best_i == stations.size()) break;
+
+    plan.route_length_m += best_d;
+    at = stations[best_i].location;
+    if (best_is_load) {
+      const int take = std::min({truck.capacity - load, surplus[best_i],
+                                 total_deficit - load});
+      load += take;
+      surplus[best_i] -= take;
+      plan.bikes_moved += take;
+      plan.stops.push_back({best_i, take});
+    } else {
+      const int drop = std::min(load, deficit[best_i]);
+      load -= drop;
+      deficit[best_i] -= drop;
+      total_deficit -= drop;
+      plan.stops.push_back({best_i, -drop});
+    }
+  }
+
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    plan.residual_imbalance += surplus[i] + deficit[i];
+  }
+  return plan;
+}
+
+std::vector<int> apply_plan(const std::vector<StationInventory>& stations,
+                            const RebalancePlan& plan,
+                            const TruckConfig& truck) {
+  std::vector<int> bikes(stations.size());
+  for (std::size_t i = 0; i < stations.size(); ++i) bikes[i] = stations[i].bikes;
+  int load = 0;
+  for (const auto& stop : plan.stops) {
+    if (stop.station >= stations.size()) {
+      throw std::invalid_argument("apply_plan: invalid station index");
+    }
+    if (stop.delta > 0) {
+      if (bikes[stop.station] < stop.delta) {
+        throw std::invalid_argument("apply_plan: station overdrawn");
+      }
+      if (load + stop.delta > truck.capacity) {
+        throw std::invalid_argument("apply_plan: truck over capacity");
+      }
+      bikes[stop.station] -= stop.delta;
+      load += stop.delta;
+    } else {
+      if (load < -stop.delta) {
+        throw std::invalid_argument("apply_plan: truck overdrawn");
+      }
+      bikes[stop.station] += -stop.delta;
+      load += stop.delta;
+    }
+  }
+  return bikes;
+}
+
+}  // namespace esharing::rebalance

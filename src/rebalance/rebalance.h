@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file rebalance.h
+/// Static fleet rebalancing — the substrate the paper assumes away in its
+/// system model ("We assume that the reserves of E-bikes are balanced,
+/// which satisfy the demand and do not overwhelm the capacity by executing
+/// the procedures in [9]-[11]"). This module implements that procedure:
+/// given current station inventories and per-station targets (from the
+/// demand forecast), a truck of limited capacity collects surplus bikes
+/// and drops them at deficit stations along a single route (the static
+/// rebalancing problem of Chemla et al. [9], solved here with a greedy
+/// nearest-feasible construction plus 2-opt-style route improvement,
+/// matching the scale the tier-one pipeline needs).
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace esharing::rebalance {
+
+/// One station's rebalancing state.
+struct StationInventory {
+  geo::Point location;
+  int bikes{0};    ///< bikes currently parked
+  int target{0};   ///< desired bikes after rebalancing
+  /// Positive = surplus to collect, negative = deficit to fill.
+  [[nodiscard]] int imbalance() const { return bikes - target; }
+};
+
+/// Compute per-station targets proportional to expected demand, conserving
+/// the current fleet total. Stations with zero demand get zero target;
+/// rounding drift is assigned to the highest-demand stations.
+/// \throws std::invalid_argument on size mismatch or negative demand.
+[[nodiscard]] std::vector<int> proportional_targets(
+    const std::vector<StationInventory>& stations,
+    const std::vector<double>& expected_demand);
+
+/// One stop of the rebalancing route.
+struct RebalanceStop {
+  std::size_t station{0};
+  int delta{0};  ///< bikes loaded (+) onto or unloaded (-) from the truck
+};
+
+/// A rebalancing plan: route, per-stop loads and summary statistics.
+struct RebalancePlan {
+  std::vector<RebalanceStop> stops;
+  double route_length_m{0.0};
+  int bikes_moved{0};          ///< total bikes loaded over the route
+  int residual_imbalance{0};   ///< sum |imbalance| remaining after the plan
+
+  [[nodiscard]] bool balanced() const { return residual_imbalance == 0; }
+};
+
+struct TruckConfig {
+  int capacity{20};
+  geo::Point depot{0.0, 0.0};
+};
+
+/// Plan a single-truck rebalancing route. The truck starts empty at the
+/// depot, may only unload bikes it has collected (no external supply), and
+/// visits each station at most twice (once to collect, once to fill).
+/// A station overfull beyond what deficits absorb keeps its surplus.
+/// \throws std::invalid_argument if capacity <= 0 or any inventory or
+///         target is negative.
+[[nodiscard]] RebalancePlan plan_rebalancing(
+    const std::vector<StationInventory>& stations, const TruckConfig& truck);
+
+/// Apply a plan to inventories (for simulation): returns the post-plan
+/// bike counts.
+/// \throws std::invalid_argument if the plan references invalid stations,
+///         overdraws the truck or a station.
+[[nodiscard]] std::vector<int> apply_plan(
+    const std::vector<StationInventory>& stations, const RebalancePlan& plan,
+    const TruckConfig& truck);
+
+/// Total absolute imbalance of a station set (the quantity rebalancing
+/// minimizes).
+[[nodiscard]] int total_imbalance(const std::vector<StationInventory>& stations);
+
+}  // namespace esharing::rebalance

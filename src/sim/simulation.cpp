@@ -1,0 +1,234 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "stats/spatial.h"
+
+namespace esharing::sim {
+
+using data::Seconds;
+using data::TripRecord;
+using geo::Point;
+
+double SimMetrics::total_charging_cost() const {
+  double sum = incentives_paid;
+  for (const auto& r : charging_rounds) sum += r.total_cost(0.0);
+  return sum;
+}
+
+double SimMetrics::total_moving_distance_m() const {
+  double sum = 0.0;
+  for (const auto& r : charging_rounds) sum += r.moving_distance_m;
+  return sum;
+}
+
+double SimMetrics::mean_pct_charged() const {
+  if (charging_rounds.empty()) return 100.0;
+  double sum = 0.0;
+  for (const auto& r : charging_rounds) sum += r.pct_charged();
+  return sum / static_cast<double>(charging_rounds.size());
+}
+
+Simulation::Simulation(const data::SyntheticCity& city, SimConfig config,
+                       std::uint64_t seed)
+    : city_(city),
+      config_(config),
+      rng_(seed),
+      system_(config.esharing, seed ^ 0xa5a5a5a5a5a5a5a5ULL),
+      fleet_(city.config().num_bikes, config.energy, seed ^ 0x0f0f0f0f0f0f0fULL),
+      bike_pos_(city.config().num_bikes, Point{0.0, 0.0}) {}
+
+void Simulation::bootstrap(const std::vector<TripRecord>& history) {
+  if (history.empty()) {
+    throw std::invalid_argument("Simulation::bootstrap: empty history");
+  }
+  Seconds lo = history.front().start_time, hi = history.front().start_time;
+  for (const auto& t : history) {
+    lo = std::min(lo, t.start_time);
+    hi = std::max(hi, t.start_time);
+  }
+  const auto grid = city_.grid();
+  const auto sites = data::demand_sites_in_window(grid, city_.projection(),
+                                                  history, lo, hi + 1);
+
+  // Reproducible uniform random opening-cost field with the configured mean
+  // (paper: "uniformly randomly distributed with mean of 10 km").
+  const double mean_f = config_.mean_opening_cost;
+  const double cell = city_.config().grid_cell_m;
+  const std::uint64_t field_seed = 0xfeedc0dedeadbeefULL;
+  auto opening_cost = [mean_f, cell, field_seed](Point p) {
+    return mean_f * (0.5 + stats::hash_noise(p, cell, field_seed));
+  };
+  system_.plan_offline(sites, opening_cost);
+
+  // KS reference: a capped subsample of historical destinations.
+  auto dests = data::destinations_in_window(city_.projection(), history, lo, hi + 1);
+  if (dests.size() > config_.history_sample_cap) {
+    rng_.shuffle(dests);
+    dests.resize(config_.history_sample_cap);
+  }
+  system_.start_online(std::move(dests));
+
+  // Bikes start at their first-seen start location, or at an offline
+  // parking for bikes that never appear in the history.
+  const auto parkings = system_.parking_locations();
+  for (std::size_t b = 0; b < bike_pos_.size(); ++b) {
+    bike_pos_[b] = parkings[b % parkings.size()];
+  }
+  std::vector<bool> seen(bike_pos_.size(), false);
+  for (const auto& t : history) {
+    const auto b = static_cast<std::size_t>(t.bike_id - 1) % bike_pos_.size();
+    if (!seen[b]) {
+      seen[b] = true;
+      bike_pos_[b] = city_.start_point(t);
+    }
+  }
+
+  // Station inventory: bikes counted at their nearest parking (footnote 2
+  // removals trigger once a station's last bike is picked up).
+  station_bikes_.assign(system_.placer().stations().size(), 0);
+  for (std::size_t b = 0; b < bike_pos_.size(); ++b) {
+    ++station_bikes_[nearest_active_station(bike_pos_[b])];
+  }
+
+  open_incentive_session();
+  next_round_at_ = hi + 1 + config_.charging_period;
+  bootstrapped_ = true;
+}
+
+std::size_t Simulation::nearest_active_station(Point p) const {
+  const auto& stations = system_.placer().stations();
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_i = 0;
+  for (std::size_t i = 0; i < stations.size(); ++i) {
+    if (!stations[i].active) continue;
+    const double d2 = geo::distance2(stations[i].location, p);
+    if (d2 < best) {
+      best = d2;
+      best_i = i;
+    }
+  }
+  return best_i;
+}
+
+void Simulation::open_incentive_session() {
+  const auto parkings = system_.parking_locations();
+  session_station_snapshot_.clear();
+  session_station_snapshot_.reserve(parkings.size());
+  for (Point p : parkings) session_station_snapshot_.push_back({p, {}});
+  std::vector<Point> locations = parkings;
+  for (std::size_t b = 0; b < bike_pos_.size(); ++b) {
+    if (fleet_.is_low(b)) {
+      const std::size_t s = geo::nearest_index(locations, bike_pos_[b]);
+      session_station_snapshot_[s].low_bikes.push_back(b);
+    }
+  }
+  session_.emplace(session_station_snapshot_,
+                   config_.esharing.incentive);
+}
+
+void Simulation::close_charging_period(SimMetrics& metrics) {
+  if (!session_.has_value()) return;
+  metrics.incentives_paid += session_->total_incentives_paid();
+  metrics.offers_made += session_->offers_made();
+  metrics.relocations += session_->relocations();
+
+  const auto round = system_.charge(*session_);
+  for (std::size_t s : round.route) {
+    for (std::size_t b : session_->stations()[s].low_bikes) {
+      fleet_.recharge(b);
+    }
+  }
+  metrics.charging_rounds.push_back(round);
+  open_incentive_session();
+}
+
+SimMetrics Simulation::run(const std::vector<TripRecord>& live) {
+  if (!bootstrapped_) {
+    throw std::logic_error("Simulation::run: bootstrap first");
+  }
+  std::vector<TripRecord> trips = live;
+  data::sort_by_start_time(trips);
+
+  SimMetrics metrics;
+  for (const auto& trip : trips) {
+    while (trip.start_time >= next_round_at_) {
+      close_charging_period(metrics);
+      next_round_at_ += config_.charging_period;
+    }
+
+    const Point dest = city_.end_point(trip);
+    const auto decision = system_.handle_request(dest);
+    const Point assigned =
+        system_.placer().stations()[decision.facility].location;
+    station_bikes_.resize(system_.placer().stations().size(), 0);
+
+    const auto bike =
+        static_cast<std::size_t>(trip.bike_id - 1) % bike_pos_.size();
+    const Point origin = bike_pos_[bike];
+
+    // Pick-up empties the origin station's inventory; footnote 2: a
+    // station whose last bike leaves is removed from P (it can be
+    // re-established online later).
+    const std::size_t origin_station = nearest_active_station(origin);
+    if (station_bikes_[origin_station] > 0) {
+      --station_bikes_[origin_station];
+    }
+    if (config_.remove_empty_stations &&
+        station_bikes_[origin_station] == 0 &&
+        system_.placer().num_active() > 1) {
+      system_.placer().remove_station(origin_station);
+      ++stations_removed_;
+    }
+
+    // Tier-two offer at pickup time.
+    core::Offer offer;
+    if (session_.has_value() && !session_station_snapshot_.empty()) {
+      std::vector<Point> locs;
+      locs.reserve(session_->stations().size());
+      for (const auto& s : session_->stations()) locs.push_back(s.location);
+      const std::size_t pickup_station = geo::nearest_index(locs, origin);
+      const core::UserBehavior user{
+          rng_.uniform(config_.user_max_walk_lo_m, config_.user_max_walk_hi_m),
+          rng_.uniform(config_.user_min_reward_lo, config_.user_min_reward_hi)};
+      offer = session_->handle_pickup(
+          pickup_station, assigned, user,
+          [this](std::size_t b, double dist) { return fleet_.can_ride(b, dist); });
+    }
+
+    if (offer.accepted) {
+      // The user rides the low-energy bike to the aggregation station and
+      // walks the extra distance to the destination; their intended bike
+      // stays where it was.
+      // The departing bike is the low-energy one (it sits at the same
+      // pickup station the user walked to); the origin decrement above
+      // already accounts for it.
+      const Point target = session_->stations()[offer.to_station].location;
+      fleet_.ride(offer.bike, offer.ride_m);
+      bike_pos_[offer.bike] = target;
+      ++station_bikes_[nearest_active_station(target)];
+      metrics.walking_cost_m += geo::distance(dest, target);
+    } else {
+      const double ride = geo::distance(origin, assigned);
+      fleet_.ride(bike, ride);
+      bike_pos_[bike] = assigned;
+      ++station_bikes_[nearest_active_station(assigned)];
+      metrics.walking_cost_m += geo::distance(dest, assigned);
+    }
+    ++metrics.trips;
+  }
+
+  // Flush the open period so its incentives/charging land in the metrics.
+  close_charging_period(metrics);
+  next_round_at_ += config_.charging_period;
+
+  metrics.stations_final = system_.placer().num_active();
+  metrics.stations_online_opened = system_.placer().num_online_opened();
+  metrics.stations_removed = stations_removed_;
+  return metrics;
+}
+
+}  // namespace esharing::sim

@@ -1,0 +1,109 @@
+#include "solver/capacitated.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace esharing::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void validate(const std::vector<CapacitatedStation>& stations,
+              const std::vector<CapacitatedDemand>& demands) {
+  if (stations.empty()) {
+    throw std::invalid_argument("assign_capacitated: no stations");
+  }
+  if (demands.empty()) {
+    throw std::invalid_argument("assign_capacitated: no demand");
+  }
+  for (const auto& s : stations) {
+    if (s.capacity < 0.0) {
+      throw std::invalid_argument("assign_capacitated: negative capacity");
+    }
+  }
+  for (const auto& d : demands) {
+    if (d.amount < 0.0) {
+      throw std::invalid_argument("assign_capacitated: negative demand");
+    }
+  }
+}
+
+}  // namespace
+
+CapacitatedAssignment assign_capacitated(
+    const std::vector<CapacitatedStation>& stations,
+    const std::vector<CapacitatedDemand>& demands) {
+  validate(stations, demands);
+  std::vector<double> remaining_cap(stations.size());
+  for (std::size_t s = 0; s < stations.size(); ++s) {
+    remaining_cap[s] = stations[s].capacity;
+  }
+  std::vector<double> remaining_dem(demands.size());
+  for (std::size_t d = 0; d < demands.size(); ++d) {
+    remaining_dem[d] = demands[d].amount;
+  }
+
+  CapacitatedAssignment result;
+  // Regret greedy: repeatedly pick the unfinished demand with the largest
+  // gap between its best and second-best feasible station, and give it as
+  // much of its best station as fits. Ties fall back to cheapest-first.
+  while (true) {
+    double best_regret = -1.0;
+    std::size_t pick = demands.size();
+    std::size_t pick_station = stations.size();
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (remaining_dem[d] <= 1e-12) continue;
+      double best = kInf, second = kInf;
+      std::size_t best_s = stations.size();
+      for (std::size_t s = 0; s < stations.size(); ++s) {
+        if (remaining_cap[s] <= 1e-12) continue;
+        const double c = geo::distance(demands[d].location, stations[s].location);
+        if (c < best) {
+          second = best;
+          best = c;
+          best_s = s;
+        } else if (c < second) {
+          second = c;
+        }
+      }
+      if (best_s == stations.size()) continue;  // no capacity anywhere
+      const double regret = (second == kInf ? best : second - best);
+      if (regret > best_regret) {
+        best_regret = regret;
+        pick = d;
+        pick_station = best_s;
+      }
+    }
+    if (pick == demands.size()) break;  // nothing assignable remains
+
+    const double moved = std::min(remaining_dem[pick], remaining_cap[pick_station]);
+    remaining_dem[pick] -= moved;
+    remaining_cap[pick_station] -= moved;
+    result.shares.push_back({pick, pick_station, moved});
+    result.walking_cost +=
+        moved * geo::distance(demands[pick].location,
+                              stations[pick_station].location);
+  }
+  result.overflow = std::accumulate(remaining_dem.begin(), remaining_dem.end(), 0.0);
+  return result;
+}
+
+double uncapacitated_walking_cost(
+    const std::vector<CapacitatedStation>& stations,
+    const std::vector<CapacitatedDemand>& demands) {
+  validate(stations, demands);
+  double total = 0.0;
+  for (const auto& d : demands) {
+    double best = kInf;
+    for (const auto& s : stations) {
+      best = std::min(best, geo::distance(d.location, s.location));
+    }
+    total += d.amount * best;
+  }
+  return total;
+}
+
+}  // namespace esharing::solver

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file capacitated.h
+/// Capacitated assignment: once parkings exist, each has finite physical
+/// capacity — the overcrowding problem the paper lists among dockless
+/// sharing's pains ("the peak time drop-off ... leads to a parking
+/// turmoil"). Given open stations with capacities and weighted demand
+/// points, assign demand to stations without exceeding capacity,
+/// minimizing total walking. Exact assignment is a transportation problem;
+/// we provide the standard regret-greedy heuristic (assign in order of the
+/// largest first-vs-second choice gap) plus a cheapest-feasible fallback,
+/// and report overflow that no capacity can absorb.
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace esharing::solver {
+
+struct CapacitatedStation {
+  geo::Point location;
+  double capacity{0.0};  ///< demand units this station can absorb
+};
+
+struct CapacitatedDemand {
+  geo::Point location;
+  double amount{1.0};
+};
+
+struct CapacitatedAssignment {
+  /// Per demand point, per assigned station: amount placed there. Demands
+  /// may split across stations when capacities force it.
+  struct Share {
+    std::size_t demand{0};
+    std::size_t station{0};
+    double amount{0.0};
+  };
+  std::vector<Share> shares;
+  double walking_cost{0.0};   ///< sum over shares of amount * distance
+  double overflow{0.0};       ///< demand no capacity could absorb
+
+  [[nodiscard]] bool feasible() const { return overflow <= 1e-9; }
+};
+
+/// Regret-greedy capacitated assignment.
+/// \throws std::invalid_argument on empty inputs or negative amounts.
+[[nodiscard]] CapacitatedAssignment assign_capacitated(
+    const std::vector<CapacitatedStation>& stations,
+    const std::vector<CapacitatedDemand>& demands);
+
+/// Walking cost of the same demand under unlimited capacities (the
+/// baseline the capacity squeeze is measured against).
+[[nodiscard]] double uncapacitated_walking_cost(
+    const std::vector<CapacitatedStation>& stations,
+    const std::vector<CapacitatedDemand>& demands);
+
+}  // namespace esharing::solver

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file facility_location.h
+/// The Parking Location Placement (PLP) problem as an uncapacitated
+/// facility-location instance (paper problem P1, Eq. 1-4):
+///
+///   min  sum_i sum_j c_ij x_ij + sum_{i open} f_i
+///
+/// Clients are grid centroids j weighted by expected arrivals a_j
+/// (c_ij = a_j * d_ij, Definition 1); facilities are candidate parking
+/// locations i with space-occupation opening cost f_i (Definition 2).
+/// Every cost is expressed in meters of equivalent walking distance, the
+/// paper's unified unit.
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace esharing::solver {
+
+/// One demand point: a grid centroid with its expected number of arrivals.
+struct FlClient {
+  geo::Point location;
+  double weight{1.0};  ///< a_j, expected arrivals at this grid
+};
+
+/// One candidate parking location.
+struct FlFacility {
+  geo::Point location;
+  double opening_cost{0.0};  ///< f_i, space-occupation cost (meters-equivalent)
+};
+
+/// An uncapacitated facility-location instance.
+struct FlInstance {
+  std::vector<FlClient> clients;
+  std::vector<FlFacility> facilities;
+
+  /// Weighted connection cost c_ij = a_j * d_ij.
+  [[nodiscard]] double connection_cost(std::size_t facility,
+                                       std::size_t client) const;
+
+  /// \throws std::invalid_argument if clients or facilities are empty.
+  void validate() const;
+};
+
+/// A solution: the set of open facilities and the per-client assignment.
+struct FlSolution {
+  std::vector<std::size_t> open;        ///< indices into instance.facilities
+  std::vector<std::size_t> assignment;  ///< per client, index into facilities
+  double connection_cost{0.0};          ///< total user dissatisfaction
+  double opening_cost{0.0};             ///< total space occupation
+
+  [[nodiscard]] double total_cost() const { return connection_cost + opening_cost; }
+  [[nodiscard]] std::size_t num_open() const { return open.size(); }
+};
+
+/// Build the instance the paper uses: every client grid is also a candidate
+/// facility at the same centroid, with the given opening costs.
+/// \throws std::invalid_argument if sizes mismatch.
+[[nodiscard]] FlInstance colocated_instance(std::vector<FlClient> clients,
+                                            std::vector<double> opening_costs);
+
+/// Assign every client to its cheapest facility among `open` and tally
+/// costs. Used both to finish solutions and as an oracle in tests.
+/// \throws std::invalid_argument if `open` is empty or indices are invalid.
+[[nodiscard]] FlSolution assign_to_open(const FlInstance& instance,
+                                        const std::vector<std::size_t>& open);
+
+/// Recompute a solution's costs from its open set and assignment.
+/// \throws std::invalid_argument on inconsistent solutions (assignment to a
+///         closed facility, wrong assignment size).
+[[nodiscard]] FlSolution recost(const FlInstance& instance, FlSolution sol);
+
+}  // namespace esharing::solver

@@ -1,0 +1,116 @@
+#include "solver/jms_greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace esharing::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+struct Star {
+  std::size_t facility{0};
+  double ratio{kInf};
+  std::size_t take{0};  ///< how many cheapest unconnected clients to connect
+};
+
+}  // namespace
+
+FlSolution jms_greedy(const FlInstance& instance) {
+  instance.validate();
+  const std::size_t nf = instance.facilities.size();
+  const std::size_t nc = instance.clients.size();
+
+  std::vector<bool> open(nf, false);
+  std::vector<std::size_t> assigned(nc, kUnassigned);
+  std::vector<double> current_cost(nc, kInf);  // connection cost of assigned
+  std::size_t unconnected = nc;
+
+  // Scratch: per facility, unconnected clients sorted by connection cost.
+  std::vector<std::pair<double, std::size_t>> costs;
+  costs.reserve(nc);
+
+  while (unconnected > 0) {
+    Star best;
+    for (std::size_t i = 0; i < nf; ++i) {
+      const double fee = open[i] ? 0.0 : instance.facilities[i].opening_cost;
+
+      // Switching gain from already-connected clients that prefer i.
+      double gain = 0.0;
+      costs.clear();
+      for (std::size_t j = 0; j < nc; ++j) {
+        const double cij = instance.connection_cost(i, j);
+        if (assigned[j] == kUnassigned) {
+          costs.emplace_back(cij, j);
+        } else if (cij < current_cost[j]) {
+          gain += current_cost[j] - cij;
+        }
+      }
+      std::sort(costs.begin(), costs.end());
+
+      // Best prefix of cheapest unconnected clients for this facility.
+      double prefix = 0.0;
+      for (std::size_t k = 0; k < costs.size(); ++k) {
+        prefix += costs[k].first;
+        const double ratio = (fee + prefix - gain) / static_cast<double>(k + 1);
+        if (ratio < best.ratio) {
+          best = {i, ratio, k + 1};
+        }
+      }
+    }
+
+    if (best.take == 0) {
+      // Cannot happen on a valid instance (every facility can always take
+      // one client), but guard against NaN costs rather than spin forever.
+      throw std::logic_error("jms_greedy: no improving star found");
+    }
+
+    // Open the winning facility, connect its star, switch movable clients.
+    const std::size_t i = best.facility;
+    open[i] = true;
+    costs.clear();
+    for (std::size_t j = 0; j < nc; ++j) {
+      const double cij = instance.connection_cost(i, j);
+      if (assigned[j] == kUnassigned) {
+        costs.emplace_back(cij, j);
+      } else if (cij < current_cost[j]) {
+        assigned[j] = i;
+        current_cost[j] = cij;
+      }
+    }
+    std::sort(costs.begin(), costs.end());
+    for (std::size_t k = 0; k < best.take && k < costs.size(); ++k) {
+      const std::size_t j = costs[k].second;
+      assigned[j] = i;
+      current_cost[j] = costs[k].first;
+      --unconnected;
+    }
+  }
+
+  FlSolution sol;
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (open[i]) sol.open.push_back(i);
+  }
+  sol.assignment = std::move(assigned);
+  // Final tightening: every client moves to its cheapest open facility (the
+  // greedy already keeps this invariant, recost() also re-checks indices).
+  FlSolution tight = assign_to_open(instance, sol.open);
+
+  // Drop facilities that ended up with no clients and zero benefit: a
+  // facility can lose all its clients to later stars; keeping it would pay
+  // f_i for nothing.
+  std::vector<bool> used(nf, false);
+  for (std::size_t f : tight.assignment) used[f] = true;
+  std::vector<std::size_t> pruned;
+  for (std::size_t f : tight.open) {
+    if (used[f]) pruned.push_back(f);
+  }
+  return assign_to_open(instance, pruned);
+}
+
+}  // namespace esharing::solver

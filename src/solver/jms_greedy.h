@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file jms_greedy.h
+/// The paper's offline placement algorithm (Algorithm 1): the 1.61-factor
+/// greedy of Jain, Mahdian, Markakis, Saberi and Vazirani [JACM 2003],
+/// applied to the PLP instance. In each iteration the algorithm picks the
+/// "star" (facility i, set B of unconnected clients) with minimum average
+/// cost
+///
+///   ( f_i + sum_{j in B} c_ij - sum_{j already connected} (c_{i'j} - c_ij)+ )
+///     / |B|
+///
+/// where already-connected clients may switch to i whenever that lowers
+/// their connection cost (the switching gain offsets i's price, and an
+/// already-open facility has f_i = 0 for subsequent stars). Iterations stop
+/// once every client is connected. Complexity O(iterations * F * C log C),
+/// bounded by the paper's O(N^3) on colocated instances.
+
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+/// Solve an instance with the JMS greedy.
+/// \throws std::invalid_argument on invalid instances.
+[[nodiscard]] FlSolution jms_greedy(const FlInstance& instance);
+
+}  // namespace esharing::solver

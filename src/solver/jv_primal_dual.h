@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file jv_primal_dual.h
+/// The Jain-Vazirani primal-dual facility location algorithm [JACM 2001],
+/// cited by the paper as reference [22] among the PLP approximation
+/// algorithms. Phase 1 grows all client dual variables alpha_j uniformly;
+/// once alpha_j reaches c_ij the client contributes beta_ij = alpha_j -
+/// c_ij toward facility i's opening cost, and a facility opens temporarily
+/// when its contributions cover f_i. Phase 2 keeps a maximal independent
+/// set of temporarily-open facilities (no two sharing a contributing
+/// client) and connects everyone. Guarantees a 3-approximation (the
+/// refined analysis gives 1.861); in this library it serves as a second
+/// offline baseline and as a cross-check of the JMS greedy.
+
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+/// Solve an instance with the JV primal-dual algorithm.
+/// \throws std::invalid_argument on invalid instances.
+[[nodiscard]] FlSolution jv_primal_dual(const FlInstance& instance);
+
+}  // namespace esharing::solver

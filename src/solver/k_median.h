@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file k_median.h
+/// The k-median variant of the placement problem: open exactly k parkings
+/// minimizing total (weighted) walking cost, with no per-facility opening
+/// charge — the formulation used when the municipality fixes the station
+/// budget outright instead of pricing public space. The paper's reference
+/// [22] (Jain & Vazirani) treats facility location and k-median with the
+/// same machinery; here we provide the standard toolbox: greedy seeding
+/// (k-means++-style but on medians), Lloyd-style reassignment restricted
+/// to candidate sites, and single-swap local search (Arya et al.'s
+/// 5-approximation).
+
+#include <cstdint>
+
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+struct KMedianOptions {
+  std::size_t max_swap_rounds{200};
+  double min_improvement{1e-9};
+};
+
+/// Solve k-median over the instance's facility sites (opening costs are
+/// ignored; the returned solution's opening_cost is 0).
+/// \throws std::invalid_argument if k == 0 or k > #facilities.
+[[nodiscard]] FlSolution k_median(const FlInstance& instance, std::size_t k,
+                                  std::uint64_t seed,
+                                  const KMedianOptions& options = {});
+
+}  // namespace esharing::solver

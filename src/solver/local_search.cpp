@@ -1,0 +1,142 @@
+#include "solver/local_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace esharing::solver {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Evaluate the total cost of an open set given precomputed connection
+/// costs; returns infinity for an empty set.
+double evaluate(const FlInstance& inst,
+                const std::vector<std::vector<double>>& cost,
+                const std::vector<bool>& open) {
+  double total = 0.0;
+  bool any = false;
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    if (open[i]) {
+      any = true;
+      total += inst.facilities[i].opening_cost;
+    }
+  }
+  if (!any) return kInf;
+  for (std::size_t j = 0; j < inst.clients.size(); ++j) {
+    double best = kInf;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      if (open[i]) best = std::min(best, cost[i][j]);
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace
+
+FlSolution local_search(const FlInstance& instance, const FlSolution& initial,
+                        const LocalSearchOptions& options) {
+  instance.validate();
+  if (initial.open.empty()) {
+    throw std::invalid_argument("local_search: empty initial open set");
+  }
+  const std::size_t nf = instance.facilities.size();
+  const std::size_t nc = instance.clients.size();
+  std::vector<std::vector<double>> cost(nf, std::vector<double>(nc));
+  for (std::size_t i = 0; i < nf; ++i) {
+    for (std::size_t j = 0; j < nc; ++j) {
+      cost[i][j] = instance.connection_cost(i, j);
+    }
+  }
+
+  std::vector<bool> open(nf, false);
+  for (std::size_t i : initial.open) {
+    if (i >= nf) {
+      throw std::invalid_argument("local_search: facility index out of range");
+    }
+    open[i] = true;
+  }
+  double current = evaluate(instance, cost, open);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double best = current;
+    std::size_t best_open = nf, best_close = nf;
+
+    // Open moves.
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (open[i]) continue;
+      open[i] = true;
+      const double c = evaluate(instance, cost, open);
+      open[i] = false;
+      if (c < best - options.min_improvement) {
+        best = c;
+        best_open = i;
+        best_close = nf;
+      }
+    }
+    // Close moves.
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!open[i]) continue;
+      open[i] = false;
+      const double c = evaluate(instance, cost, open);
+      open[i] = true;
+      if (c < best - options.min_improvement) {
+        best = c;
+        best_open = nf;
+        best_close = i;
+      }
+    }
+    // Swap moves.
+    if (options.allow_swaps) {
+      for (std::size_t out = 0; out < nf; ++out) {
+        if (!open[out]) continue;
+        open[out] = false;
+        for (std::size_t in = 0; in < nf; ++in) {
+          if (open[in] || in == out) continue;
+          open[in] = true;
+          const double c = evaluate(instance, cost, open);
+          open[in] = false;
+          if (c < best - options.min_improvement) {
+            best = c;
+            best_open = in;
+            best_close = out;
+          }
+        }
+        open[out] = true;
+      }
+    }
+
+    if (best >= current - options.min_improvement) break;  // local optimum
+    if (best_open < nf) open[best_open] = true;
+    if (best_close < nf) open[best_close] = false;
+    current = best;
+  }
+
+  std::vector<std::size_t> open_set;
+  for (std::size_t i = 0; i < nf; ++i) {
+    if (open[i]) open_set.push_back(i);
+  }
+  return assign_to_open(instance, open_set);
+}
+
+FlSolution local_search_from_scratch(const FlInstance& instance,
+                                     const LocalSearchOptions& options) {
+  instance.validate();
+  // Start from the single facility with the cheapest (opening + service)
+  // cost; local search opens the rest as needed.
+  std::size_t best = 0;
+  double best_cost = kInf;
+  for (std::size_t i = 0; i < instance.facilities.size(); ++i) {
+    const auto sol = assign_to_open(instance, {i});
+    if (sol.total_cost() < best_cost) {
+      best_cost = sol.total_cost();
+      best = i;
+    }
+  }
+  return local_search(instance, assign_to_open(instance, {best}), options);
+}
+
+}  // namespace esharing::solver

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file local_search.h
+/// Local-search improvement for facility location: starting from any
+/// feasible open set, repeatedly apply the best improving move among
+/// open(i), close(i) and swap(i, i') until none improves. The classic
+/// analysis bounds local optima at 3x the true optimum (Arya et al.); in
+/// this library the pass is mainly used to polish solutions from the
+/// greedy/primal-dual algorithms and as another cross-check in tests.
+
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+struct LocalSearchOptions {
+  std::size_t max_iterations{1000};  ///< safety cap on improving moves
+  double min_improvement{1e-9};      ///< ignore smaller-than-noise gains
+  bool allow_swaps{true};            ///< include swap moves (costlier scan)
+};
+
+/// Improve `initial` by local search. The returned solution's total cost
+/// is never worse than the input's.
+/// \throws std::invalid_argument on invalid instances or an empty/invalid
+///         initial open set.
+[[nodiscard]] FlSolution local_search(const FlInstance& instance,
+                                      const FlSolution& initial,
+                                      const LocalSearchOptions& options = {});
+
+/// Convenience: greedy-style start (cheapest single facility) + local
+/// search from scratch.
+[[nodiscard]] FlSolution local_search_from_scratch(
+    const FlInstance& instance, const LocalSearchOptions& options = {});
+
+}  // namespace esharing::solver

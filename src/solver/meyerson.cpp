@@ -1,0 +1,39 @@
+#include "solver/meyerson.h"
+
+#include <stdexcept>
+
+namespace esharing::solver {
+
+MeyersonPlacer::MeyersonPlacer(double opening_cost, std::uint64_t seed)
+    : opening_cost_(opening_cost), rng_(seed) {
+  if (!(opening_cost > 0.0)) {
+    throw std::invalid_argument("MeyersonPlacer: opening_cost must be positive");
+  }
+}
+
+OnlineDecision MeyersonPlacer::process(geo::Point p, double weight) {
+  if (!(weight >= 0.0)) {
+    throw std::invalid_argument("MeyersonPlacer::process: negative weight");
+  }
+  OnlineDecision decision;
+  if (facilities_.empty()) {
+    facilities_.push_back(p);
+    decision.opened = true;
+    decision.facility = 0;
+    return decision;
+  }
+  const std::size_t nearest = geo::nearest_index(facilities_, p);
+  const double d = weight * geo::distance(facilities_[nearest], p);
+  if (rng_.bernoulli(d / opening_cost_)) {
+    facilities_.push_back(p);
+    decision.opened = true;
+    decision.facility = facilities_.size() - 1;
+  } else {
+    decision.facility = nearest;
+    decision.connection_cost = d;
+    connection_cost_ += d;
+  }
+  return decision;
+}
+
+}  // namespace esharing::solver

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file meyerson.h
+/// Meyerson's randomized online facility location [FOCS 2001], the online
+/// baseline the paper compares against (Fig. 4, Table V). Requests arrive
+/// one at a time and decisions are irrevocable: a request at point p opens
+/// a new parking at p with probability min(d/f, 1), where d is the
+/// (weighted) distance to the closest already-open parking; otherwise it is
+/// assigned to that parking. The first request always opens.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace esharing::solver {
+
+/// What happened to one online request.
+struct OnlineDecision {
+  bool opened{false};          ///< a new parking was established at the request
+  std::size_t facility{0};     ///< index of the assigned parking (into facilities())
+  double connection_cost{0.0}; ///< weighted walking cost paid by this request
+};
+
+/// Streaming Meyerson placer with a uniform opening cost.
+class MeyersonPlacer {
+ public:
+  /// \param opening_cost uniform f in meters-equivalent
+  /// \throws std::invalid_argument if opening_cost <= 0.
+  MeyersonPlacer(double opening_cost, std::uint64_t seed);
+
+  /// Process one request with destination `p` and arrival weight `weight`.
+  OnlineDecision process(geo::Point p, double weight = 1.0);
+
+  [[nodiscard]] const std::vector<geo::Point>& facilities() const {
+    return facilities_;
+  }
+  [[nodiscard]] double total_connection_cost() const { return connection_cost_; }
+  [[nodiscard]] double total_opening_cost() const {
+    return opening_cost_ * static_cast<double>(facilities_.size());
+  }
+  [[nodiscard]] double total_cost() const {
+    return total_connection_cost() + total_opening_cost();
+  }
+  [[nodiscard]] std::size_t num_open() const { return facilities_.size(); }
+  [[nodiscard]] double opening_cost() const { return opening_cost_; }
+
+ private:
+  double opening_cost_;
+  stats::Rng rng_;
+  std::vector<geo::Point> facilities_;
+  double connection_cost_{0.0};
+};
+
+}  // namespace esharing::solver

@@ -1,0 +1,67 @@
+#include "solver/online_kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace esharing::solver {
+
+OnlineKMeans::OnlineKMeans(std::size_t k, std::size_t n_hint,
+                           std::uint64_t seed)
+    : k_(k), rng_(seed) {
+  if (k == 0) throw std::invalid_argument("OnlineKMeans: k must be positive");
+  if (n_hint == 0) throw std::invalid_argument("OnlineKMeans: n_hint must be positive");
+  phase_budget_ = static_cast<std::size_t>(
+      std::ceil(3.0 * static_cast<double>(k) *
+                (1.0 + std::log(static_cast<double>(n_hint)))));
+}
+
+OnlineDecision OnlineKMeans::process(geo::Point p, double weight) {
+  if (!(weight >= 0.0)) {
+    throw std::invalid_argument("OnlineKMeans::process: negative weight");
+  }
+  OnlineDecision decision;
+
+  // Warm-up: the first k+1 points become centers; w* = half the minimum
+  // pairwise distance among them seeds f_1 = (w*)^2 / k.
+  if (centers_.size() <= k_) {
+    centers_.push_back(p);
+    warmup_.push_back(p);
+    decision.opened = true;
+    decision.facility = centers_.size() - 1;
+    if (centers_.size() == k_ + 1) {
+      // Smallest positive pairwise distance; duplicate warm-up points (e.g.
+      // geohash-quantized requests) must not collapse the seed to zero.
+      double min_d2 = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < warmup_.size(); ++i) {
+        for (std::size_t j = i + 1; j < warmup_.size(); ++j) {
+          const double d2 = geo::distance2(warmup_[i], warmup_[j]);
+          if (d2 > 0.0) min_d2 = std::min(min_d2, d2);
+        }
+      }
+      if (!std::isfinite(min_d2)) min_d2 = 1.0;
+      f_r_ = min_d2 / (4.0 * static_cast<double>(k_));  // (w*/2)^2-style seed
+      warmup_.clear();
+    }
+    return decision;
+  }
+
+  const std::size_t nearest = geo::nearest_index(centers_, p);
+  const double d2 = weight * geo::distance2(centers_[nearest], p);
+  if (rng_.bernoulli(d2 / f_r_)) {
+    centers_.push_back(p);
+    decision.opened = true;
+    decision.facility = centers_.size() - 1;
+    if (++opened_in_phase_ >= phase_budget_) {
+      opened_in_phase_ = 0;
+      f_r_ *= 2.0;
+      ++phase_;
+    }
+  } else {
+    decision.facility = nearest;
+    decision.connection_cost = weight * geo::distance(centers_[nearest], p);
+  }
+  return decision;
+}
+
+}  // namespace esharing::solver

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file online_kmeans.h
+/// Online k-means of Liberty, Sriharsha and Sviridenko [ALENEX 2016], the
+/// second online baseline in Table V. It is a facility-location-flavored
+/// clustering: an arriving point becomes a new center with probability
+/// min(D^2 / f_r, 1) where D is the distance to the closest center; the
+/// facility cost f_r doubles whenever a phase opens more than
+/// q = 3k(1 + log n) centers, keeping the center count near O(k log n).
+/// Evaluated under PLP costs (linear walking + per-station space cost) it
+/// over-opens, which is exactly the behaviour Table V reports.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+#include "solver/meyerson.h"
+#include "stats/rng.h"
+
+namespace esharing::solver {
+
+class OnlineKMeans {
+ public:
+  /// \param k target number of clusters (from the offline solution)
+  /// \param n_hint expected stream length (sets the phase budget)
+  /// \throws std::invalid_argument if k == 0 or n_hint == 0.
+  OnlineKMeans(std::size_t k, std::size_t n_hint, std::uint64_t seed);
+
+  /// Process one streaming point.
+  OnlineDecision process(geo::Point p, double weight = 1.0);
+
+  [[nodiscard]] const std::vector<geo::Point>& centers() const { return centers_; }
+  [[nodiscard]] std::size_t num_open() const { return centers_.size(); }
+  /// Current facility cost f_r (squared-distance units).
+  [[nodiscard]] double facility_cost() const { return f_r_; }
+  [[nodiscard]] int phase() const { return phase_; }
+
+ private:
+  std::size_t k_;
+  std::size_t phase_budget_;
+  stats::Rng rng_;
+  std::vector<geo::Point> centers_;
+  std::vector<geo::Point> warmup_;  ///< first k+1 points before streaming
+  double f_r_{0.0};
+  std::size_t opened_in_phase_{0};
+  int phase_{1};
+};
+
+}  // namespace esharing::solver

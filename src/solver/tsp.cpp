@@ -1,0 +1,165 @@
+#include "solver/tsp.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace esharing::solver {
+
+namespace {
+
+void require_permutation(const std::vector<geo::Point>& sites,
+                         const std::vector<std::size_t>& order,
+                         const char* who) {
+  if (order.size() != sites.size()) {
+    throw std::invalid_argument(std::string(who) + ": order size mismatch");
+  }
+  std::vector<bool> seen(sites.size(), false);
+  for (std::size_t i : order) {
+    if (i >= sites.size() || seen[i]) {
+      throw std::invalid_argument(std::string(who) + ": order is not a permutation");
+    }
+    seen[i] = true;
+  }
+}
+
+}  // namespace
+
+double tour_length(const std::vector<geo::Point>& sites,
+                   const std::vector<std::size_t>& order, bool round_trip) {
+  require_permutation(sites, order, "tour_length");
+  if (order.size() < 2) return 0.0;
+  double len = 0.0;
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    len += geo::distance(sites[order[k]], sites[order[k + 1]]);
+  }
+  if (round_trip) len += geo::distance(sites[order.back()], sites[order.front()]);
+  return len;
+}
+
+std::vector<std::size_t> tsp_nearest_neighbor(
+    const std::vector<geo::Point>& sites, std::size_t start) {
+  if (sites.empty()) {
+    throw std::invalid_argument("tsp_nearest_neighbor: no sites");
+  }
+  if (start >= sites.size()) {
+    throw std::invalid_argument("tsp_nearest_neighbor: start out of range");
+  }
+  std::vector<bool> visited(sites.size(), false);
+  std::vector<std::size_t> order;
+  order.reserve(sites.size());
+  std::size_t current = start;
+  visited[current] = true;
+  order.push_back(current);
+  while (order.size() < sites.size()) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t next = current;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (visited[i]) continue;
+      const double d = geo::distance2(sites[current], sites[i]);
+      if (d < best) {
+        best = d;
+        next = i;
+      }
+    }
+    visited[next] = true;
+    order.push_back(next);
+    current = next;
+  }
+  return order;
+}
+
+std::vector<std::size_t> tsp_two_opt(const std::vector<geo::Point>& sites,
+                                     std::vector<std::size_t> order,
+                                     bool round_trip) {
+  require_permutation(sites, order, "tsp_two_opt");
+  if (order.size() < 4) return order;
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    return geo::distance(sites[order[a]], sites[order[b]]);
+  };
+  const std::size_t n = order.size();
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Reverse segment (i..j); the affected edges are (i-1,i) and (j,j+1).
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      const std::size_t j_max = round_trip ? n - 1 : n - 2;
+      for (std::size_t j = i + 1; j <= j_max; ++j) {
+        const std::size_t after = (j + 1) % n;
+        if (!round_trip && after == 0) continue;
+        const double before_cost =
+            dist(i - 1, i) + (round_trip || after != 0 ? dist(j, after) : 0.0);
+        const double after_cost =
+            dist(i - 1, j) + (round_trip || after != 0 ? dist(i, after) : 0.0);
+        if (after_cost + 1e-9 < before_cost) {
+          std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                       order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+          improved = true;
+        }
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::size_t> tsp_held_karp(const std::vector<geo::Point>& sites) {
+  if (sites.empty()) throw std::invalid_argument("tsp_held_karp: no sites");
+  const std::size_t n = sites.size();
+  if (n > 20) {
+    throw std::invalid_argument("tsp_held_karp: too many sites for exact DP");
+  }
+  if (n == 1) return {0};
+
+  // dp[mask][last]: shortest path visiting `mask` (always containing site
+  // 0), starting at 0 and ending at `last`.
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> dp(full + 1, std::vector<double>(n, kInf));
+  std::vector<std::vector<std::size_t>> parent(
+      full + 1, std::vector<std::size_t>(n, 0));
+  dp[1][0] = 0.0;
+  for (std::size_t mask = 1; mask <= full; ++mask) {
+    if ((mask & 1) == 0) continue;
+    for (std::size_t last = 0; last < n; ++last) {
+      if (dp[mask][last] == kInf || (mask >> last & 1) == 0) continue;
+      for (std::size_t next = 1; next < n; ++next) {
+        if (mask >> next & 1) continue;
+        const std::size_t nmask = mask | (std::size_t{1} << next);
+        const double cand = dp[mask][last] + geo::distance(sites[last], sites[next]);
+        if (cand < dp[nmask][next]) {
+          dp[nmask][next] = cand;
+          parent[nmask][next] = last;
+        }
+      }
+    }
+  }
+  double best = kInf;
+  std::size_t best_last = 0;
+  for (std::size_t last = 1; last < n; ++last) {
+    const double cand = dp[full][last] + geo::distance(sites[last], sites[0]);
+    if (cand < best) {
+      best = cand;
+      best_last = last;
+    }
+  }
+  std::vector<std::size_t> order;
+  std::size_t mask = full;
+  std::size_t cur = best_last;
+  while (order.size() < n) {
+    order.push_back(cur);
+    const std::size_t prev = parent[mask][cur];
+    mask &= ~(std::size_t{1} << cur);
+    cur = prev;
+  }
+  std::reverse(order.begin(), order.end());
+  return order;  // starts at 0 by construction
+}
+
+std::vector<std::size_t> solve_tsp(const std::vector<geo::Point>& sites) {
+  if (sites.empty()) throw std::invalid_argument("solve_tsp: no sites");
+  if (sites.size() <= 12) return tsp_held_karp(sites);
+  return tsp_two_opt(sites, tsp_nearest_neighbor(sites));
+}
+
+}  // namespace esharing::solver

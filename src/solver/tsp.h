@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file tsp.h
+/// Traveling-salesman routing for the maintenance operator. In tier two the
+/// operator "traverses through all the demand sites with the shortest route
+/// by solving the TSP" (Section V-E). We provide the standard heuristic
+/// stack (nearest neighbour construction + 2-opt improvement) and an exact
+/// Held–Karp oracle for small site counts, used by tests to bound the
+/// heuristic's gap.
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace esharing::solver {
+
+/// Length of the tour visiting `order` in sequence.
+/// \param round_trip also return from the last site to the first.
+/// \throws std::invalid_argument if order references invalid indices or is
+///         not a permutation of the sites.
+[[nodiscard]] double tour_length(const std::vector<geo::Point>& sites,
+                                 const std::vector<std::size_t>& order,
+                                 bool round_trip = true);
+
+/// Nearest-neighbour construction starting from `start`.
+/// \throws std::invalid_argument if sites is empty or start out of range.
+[[nodiscard]] std::vector<std::size_t> tsp_nearest_neighbor(
+    const std::vector<geo::Point>& sites, std::size_t start = 0);
+
+/// 2-opt local improvement of an initial tour until no improving move.
+/// \throws std::invalid_argument if `order` is not a permutation.
+[[nodiscard]] std::vector<std::size_t> tsp_two_opt(
+    const std::vector<geo::Point>& sites, std::vector<std::size_t> order,
+    bool round_trip = true);
+
+/// Exact tour via Held–Karp dynamic programming; O(2^n n^2), n <= 20.
+/// Returns a round-trip tour starting at site 0.
+/// \throws std::invalid_argument if sites is empty or has more than 20 sites.
+[[nodiscard]] std::vector<std::size_t> tsp_held_karp(
+    const std::vector<geo::Point>& sites);
+
+/// Convenience solver: Held–Karp when n <= 12, otherwise NN + 2-opt.
+[[nodiscard]] std::vector<std::size_t> solve_tsp(
+    const std::vector<geo::Point>& sites);
+
+}  // namespace esharing::solver

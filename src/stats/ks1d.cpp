@@ -1,0 +1,43 @@
+#include "stats/ks1d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/ks2d.h"
+
+namespace esharing::stats {
+
+double ks1d_statistic(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks1d_statistic: empty sample");
+  }
+  std::vector<double> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  std::size_t ia = 0, ib = 0;
+  double d = 0.0;
+  while (ia < sa.size() && ib < sb.size()) {
+    const double x = std::min(sa[ia], sb[ib]);
+    while (ia < sa.size() && sa[ia] <= x) ++ia;
+    while (ib < sb.size() && sb[ib] <= x) ++ib;
+    d = std::max(d, std::abs(static_cast<double>(ia) / na -
+                             static_cast<double>(ib) / nb));
+  }
+  return d;
+}
+
+Ks1dResult ks1d_test(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  const double d = ks1d_statistic(a, b);
+  const double ne = static_cast<double>(a.size()) *
+                    static_cast<double>(b.size()) /
+                    static_cast<double>(a.size() + b.size());
+  const double sq = std::sqrt(ne);
+  return {d, ks_tail_probability((sq + 0.12 + 0.11 / sq) * d)};
+}
+
+}  // namespace esharing::stats

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file ks1d.h
+/// One-dimensional two-sample Kolmogorov–Smirnov test. The paper uses it
+/// to validate that "the data distribution of weekends is different from
+/// the weekdays (validated by ks-test)" before splitting the forecaster's
+/// training data by day type; it also serves as a reference for the 2-D
+/// variant's edge cases.
+
+#include <vector>
+
+namespace esharing::stats {
+
+struct Ks1dResult {
+  double d{0.0};        ///< sup_x |F_a(x) - F_b(x)|
+  double p_value{1.0};  ///< asymptotic two-sample significance
+};
+
+/// Exact two-sample KS statistic via the merged-sort sweep, O((n+m) log).
+/// \throws std::invalid_argument if either sample is empty.
+[[nodiscard]] double ks1d_statistic(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// Statistic plus the standard asymptotic p-value
+/// Q_KS((sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * D), ne = n*m/(n+m).
+[[nodiscard]] Ks1dResult ks1d_test(const std::vector<double>& a,
+                                   const std::vector<double>& b);
+
+}  // namespace esharing::stats

@@ -1,0 +1,208 @@
+#include "stats/ks2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace esharing::stats {
+
+namespace {
+
+using geo::Point;
+
+void require_samples(const std::vector<Point>& a, const std::vector<Point>& b,
+                     const char* who) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty sample");
+  }
+}
+
+/// Fenwick (binary indexed) tree over ranks, for prefix counts.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t rank) {  // 0-based rank
+    for (std::size_t i = rank + 1; i < tree_.size(); i += i & (~i + 1)) {
+      ++tree_[i];
+    }
+  }
+
+  /// Number of inserted ranks <= rank (0-based, inclusive).
+  [[nodiscard]] std::size_t prefix(std::size_t rank) const {
+    std::size_t sum = 0;
+    for (std::size_t i = rank + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+ private:
+  std::vector<std::size_t> tree_;
+};
+
+/// Max quadrant-fraction difference at origin (X, Y). Quadrants follow the
+/// Numerical-Recipes convention (<= vs >), which partitions the plane.
+double origin_diff(std::size_t a_ll, std::size_t a_l, std::size_t a_b,
+                   std::size_t na, std::size_t b_ll, std::size_t b_l,
+                   std::size_t b_b, std::size_t nb) {
+  const auto frac = [](std::size_t c, std::size_t n) {
+    return static_cast<double>(c) / static_cast<double>(n);
+  };
+  const double d_ll = std::abs(frac(a_ll, na) - frac(b_ll, nb));
+  const double d_lg = std::abs(frac(a_l - a_ll, na) - frac(b_l - b_ll, nb));
+  const double d_gl = std::abs(frac(a_b - a_ll, na) - frac(b_b - b_ll, nb));
+  const double d_gg = std::abs(frac(na - a_l - a_b + a_ll, na) -
+                               frac(nb - b_l - b_b + b_ll, nb));
+  return std::max({d_ll, d_lg, d_gl, d_gg});
+}
+
+/// Quadrant counts of `pts` around origin `o` by direct scan.
+struct QuadCounts {
+  std::size_t ll{0};  // x<=X, y<=Y
+  std::size_t l{0};   // x<=X
+  std::size_t b{0};   // y<=Y
+};
+
+QuadCounts quad_counts(const std::vector<Point>& pts, Point o) {
+  QuadCounts q;
+  for (Point p : pts) {
+    const bool left = p.x <= o.x;
+    const bool below = p.y <= o.y;
+    q.l += left ? 1 : 0;
+    q.b += below ? 1 : 0;
+    q.ll += (left && below) ? 1 : 0;
+  }
+  return q;
+}
+
+std::size_t rank_of(const std::vector<double>& sorted_unique, double v) {
+  // number of elements <= v, as a 0-based "inclusive rank + 1" count
+  return static_cast<std::size_t>(
+      std::upper_bound(sorted_unique.begin(), sorted_unique.end(), v) -
+      sorted_unique.begin());
+}
+
+}  // namespace
+
+double peacock_statistic(const std::vector<Point>& a,
+                         const std::vector<Point>& b) {
+  require_samples(a, b, "peacock_statistic");
+
+  // Candidate origins: all pairings (x_i, y_j) of combined coordinates.
+  std::vector<double> xs, ys;
+  xs.reserve(a.size() + b.size());
+  ys.reserve(a.size() + b.size());
+  for (Point p : a) { xs.push_back(p.x); ys.push_back(p.y); }
+  for (Point p : b) { xs.push_back(p.x); ys.push_back(p.y); }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Sort each sample by x so points can be swept into a Fenwick tree over
+  // y-rank as the origin's X advances.
+  auto by_x = [](Point p, Point q) { return p.x < q.x; };
+  std::vector<Point> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end(), by_x);
+  std::sort(sb.begin(), sb.end(), by_x);
+
+  // Per-sample sorted y arrays for the marginal counts #(y <= Y).
+  std::vector<double> ay, by;
+  ay.reserve(a.size());
+  by.reserve(b.size());
+  for (Point p : a) ay.push_back(p.y);
+  for (Point p : b) by.push_back(p.y);
+  std::sort(ay.begin(), ay.end());
+  std::sort(by.begin(), by.end());
+
+  Fenwick fa(ys.size()), fb(ys.size());
+  std::size_t ia = 0, ib = 0;
+  double best = 0.0;
+  for (double X : xs) {
+    while (ia < sa.size() && sa[ia].x <= X) {
+      fa.add(rank_of(ys, sa[ia].y) - 1);
+      ++ia;
+    }
+    while (ib < sb.size() && sb[ib].x <= X) {
+      fb.add(rank_of(ys, sb[ib].y) - 1);
+      ++ib;
+    }
+    for (double Y : ys) {
+      const std::size_t yr = rank_of(ys, Y);
+      const std::size_t a_ll = fa.prefix(yr - 1);
+      const std::size_t b_ll = fb.prefix(yr - 1);
+      const std::size_t a_b = rank_of(ay, Y);
+      const std::size_t b_b = rank_of(by, Y);
+      best = std::max(best, origin_diff(a_ll, ia, a_b, a.size(), b_ll, ib,
+                                        b_b, b.size()));
+    }
+  }
+  return best;
+}
+
+double fasano_franceschini_statistic(const std::vector<Point>& a,
+                                     const std::vector<Point>& b) {
+  require_samples(a, b, "fasano_franceschini_statistic");
+  const auto max_over = [&](const std::vector<Point>& origins) {
+    double best = 0.0;
+    for (Point o : origins) {
+      const QuadCounts qa = quad_counts(a, o);
+      const QuadCounts qb = quad_counts(b, o);
+      best = std::max(best, origin_diff(qa.ll, qa.l, qa.b, a.size(), qb.ll,
+                                        qb.l, qb.b, b.size()));
+    }
+    return best;
+  };
+  return (max_over(a) + max_over(b)) / 2.0;
+}
+
+double ks_tail_probability(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+Ks2dResult ks2d_test(const std::vector<Point>& a, const std::vector<Point>& b,
+                     std::size_t peacock_limit) {
+  require_samples(a, b, "ks2d_test");
+  const double d = (a.size() + b.size() <= peacock_limit)
+                       ? peacock_statistic(a, b)
+                       : fasano_franceschini_statistic(a, b);
+
+  // Significance approximation following Press et al. (ks2d2s): effective
+  // sample size with a coordinate-correlation correction.
+  const auto split = [](const std::vector<Point>& pts) {
+    std::vector<double> x, y;
+    x.reserve(pts.size());
+    y.reserve(pts.size());
+    for (Point p : pts) { x.push_back(p.x); y.push_back(p.y); }
+    return std::pair{std::move(x), std::move(y)};
+  };
+  double r1 = 0.0, r2 = 0.0;
+  if (a.size() >= 2) {
+    auto [x, y] = split(a);
+    r1 = pearson(x, y);
+  }
+  if (b.size() >= 2) {
+    auto [x, y] = split(b);
+    r2 = pearson(x, y);
+  }
+  const double n_eff = static_cast<double>(a.size()) *
+                       static_cast<double>(b.size()) /
+                       static_cast<double>(a.size() + b.size());
+  const double sqn = std::sqrt(n_eff);
+  const double rr = std::sqrt(std::max(0.0, 1.0 - 0.5 * (r1 * r1 + r2 * r2)));
+  const double lambda = sqn * d / (1.0 + rr * (0.25 - 0.75 / sqn));
+  return {d, ks_tail_probability(lambda), ks_similarity_percent(d)};
+}
+
+}  // namespace esharing::stats

@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic random number generation. Every stochastic component of
+/// E-Sharing (the online placement algorithm opens parkings with probability
+/// min(g*c/f, 1), the user acceptance model, the synthetic workloads) draws
+/// from an explicitly seeded Rng so that every experiment in EXPERIMENTS.md
+/// is reproducible bit-for-bit from its seed.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace esharing::stats {
+
+/// A seeded pseudo-random source wrapping std::mt19937_64.
+///
+/// Rng is cheap to pass by reference and intentionally not copyable by
+/// accident (copies would silently replay the same stream); use fork() to
+/// derive an independent child stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  Rng(const Rng&) = delete;
+  Rng& operator=(const Rng&) = delete;
+  Rng(Rng&&) = default;
+  Rng& operator=(Rng&&) = default;
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::index: empty range");
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  [[nodiscard]] std::int64_t poisson(double lambda) {
+    if (!(lambda >= 0.0)) throw std::invalid_argument("Rng::poisson: lambda < 0");
+    if (lambda == 0.0) return 0;
+    return std::poisson_distribution<std::int64_t>(lambda)(engine_);
+  }
+
+  [[nodiscard]] double exponential(double rate) {
+    if (!(rate > 0.0)) throw std::invalid_argument("Rng::exponential: rate <= 0");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Sample an index proportionally to non-negative weights.
+  /// \throws std::invalid_argument if weights are empty or all zero.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+      total += w;
+    }
+    if (weights.empty() || total <= 0.0) {
+      throw std::invalid_argument("Rng::weighted_index: no positive weight");
+    }
+    double r = uniform(0.0, total);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;  // numeric slack: fall through to last
+  }
+
+  /// Derive an independent child stream (splitmix-style remix of the next
+  /// draw), useful for parallel or per-component determinism.
+  [[nodiscard]] Rng fork() {
+    std::uint64_t s = engine_();
+    s ^= s >> 30;
+    s *= 0xbf58476d1ce4e5b9ULL;
+    s ^= s >> 27;
+    s *= 0x94d049bb133111ebULL;
+    s ^= s >> 31;
+    return Rng(s);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace esharing::stats

@@ -1,0 +1,87 @@
+#include "stats/spatial.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace esharing::stats {
+
+using geo::Point;
+
+std::vector<Point> uniform_points(Rng& rng, const geo::BoundingBox& box,
+                                  std::size_t n) {
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.uniform(box.min.x, box.max.x),
+                   rng.uniform(box.min.y, box.max.y)});
+  }
+  return out;
+}
+
+std::vector<Point> normal_points(Rng& rng, Point center, double sigma,
+                                 std::size_t n) {
+  if (!(sigma >= 0.0)) throw std::invalid_argument("normal_points: sigma < 0");
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({rng.normal(center.x, sigma), rng.normal(center.y, sigma)});
+  }
+  return out;
+}
+
+std::vector<Point> radial_poisson_points(Rng& rng, Point center, double lambda,
+                                         double scale, std::size_t n) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("radial_poisson_points: scale <= 0");
+  }
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double steps = static_cast<double>(rng.poisson(lambda));
+    const double r = (steps + rng.uniform()) * scale;
+    const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    out.push_back({center.x + r * std::cos(theta),
+                   center.y + r * std::sin(theta)});
+  }
+  return out;
+}
+
+std::vector<Point> mixture_points(Rng& rng,
+                                  const std::vector<GaussianCluster>& clusters,
+                                  std::size_t n) {
+  if (clusters.empty()) {
+    throw std::invalid_argument("mixture_points: no clusters");
+  }
+  std::vector<double> weights;
+  weights.reserve(clusters.size());
+  for (const auto& c : clusters) weights.push_back(c.weight);
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = clusters[rng.weighted_index(weights)];
+    out.push_back({rng.normal(c.center.x, c.sigma),
+                   rng.normal(c.center.y, c.sigma)});
+  }
+  return out;
+}
+
+double hash_noise(geo::Point p, double cell_size, std::uint64_t seed) {
+  if (!(cell_size > 0.0)) {
+    throw std::invalid_argument("hash_noise: cell_size must be positive");
+  }
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x / cell_size));
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y / cell_size));
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(cx) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h ^= static_cast<std::uint64_t>(cy) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  // splitmix64 finalizer
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace esharing::stats

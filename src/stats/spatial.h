@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file spatial.h
+/// Synthetic spatial request distributions. Section V-B evaluates the
+/// penalty functions on three shapes of arrivals around the offline parking
+/// (placed at the origin): uniform over the field, "poisson" (requests
+/// concentrated at mid-range distances from the origin) and normal
+/// (requests aggregated around the origin). These generators reproduce
+/// those workloads and also serve the Fig. 4 / Fig. 6 examples.
+
+#include <vector>
+
+#include "geo/point.h"
+#include "stats/rng.h"
+
+namespace esharing::stats {
+
+/// `n` points uniform over `box`.
+[[nodiscard]] std::vector<geo::Point> uniform_points(Rng& rng,
+                                                     const geo::BoundingBox& box,
+                                                     std::size_t n);
+
+/// `n` points from an isotropic Gaussian around `center`.
+[[nodiscard]] std::vector<geo::Point> normal_points(Rng& rng, geo::Point center,
+                                                    double sigma, std::size_t n);
+
+/// `n` points whose distance from `center` is Poisson-distributed:
+/// radius = Poisson(lambda) * scale (+ uniform jitter within one scale
+/// step), direction uniform. With lambda > 1 the mass concentrates in a
+/// mid-range ring around the center, matching the paper's description of
+/// the "poisson" workload ("requests concentrate in the mid-range from the
+/// origin").
+[[nodiscard]] std::vector<geo::Point> radial_poisson_points(Rng& rng,
+                                                            geo::Point center,
+                                                            double lambda,
+                                                            double scale,
+                                                            std::size_t n);
+
+/// `n` points from a mixture of isotropic Gaussians with the given weights.
+/// Used by the synthetic city generator to anchor demand at POIs.
+struct GaussianCluster {
+  geo::Point center;
+  double sigma{1.0};
+  double weight{1.0};
+};
+
+[[nodiscard]] std::vector<geo::Point> mixture_points(
+    Rng& rng, const std::vector<GaussianCluster>& clusters, std::size_t n);
+
+/// Deterministic spatial hash noise in [0, 1): the same (cell, seed) always
+/// yields the same value. Used to build reproducible random cost fields —
+/// e.g. the paper's "cost of space occupation is uniformly randomly
+/// distributed with mean of 10 km" becomes
+///   f(p) = mean * (0.5 + hash_noise(p, cell, seed)).
+/// \throws std::invalid_argument if cell_size <= 0.
+[[nodiscard]] double hash_noise(geo::Point p, double cell_size,
+                                std::uint64_t seed);
+
+}  // namespace esharing::stats

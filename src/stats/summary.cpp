@@ -1,0 +1,123 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::stats {
+
+namespace {
+void require_nonempty(const std::vector<double>& v, const char* who) {
+  if (v.empty()) throw std::invalid_argument(std::string(who) + ": empty input");
+}
+void require_same_size(const std::vector<double>& a,
+                       const std::vector<double>& b, const char* who) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  }
+}
+}  // namespace
+
+double mean(const std::vector<double>& v) {
+  require_nonempty(v, "mean");
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  require_nonempty(v, "variance");
+  if (v.size() == 1) return 0.0;
+  const double m = mean(v);
+  double sq = 0.0;
+  for (double x : v) sq += (x - m) * (x - m);
+  return sq / static_cast<double>(v.size() - 1);
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double rmse(const std::vector<double>& predicted,
+            const std::vector<double>& actual) {
+  require_same_size(predicted, actual, "rmse");
+  require_nonempty(actual, "rmse");
+  double sq = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double e = predicted[i] - actual[i];
+    sq += e * e;
+  }
+  return std::sqrt(sq / static_cast<double>(actual.size()));
+}
+
+double mae(const std::vector<double>& predicted,
+           const std::vector<double>& actual) {
+  require_same_size(predicted, actual, "mae");
+  require_nonempty(actual, "mae");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    sum += std::abs(predicted[i] - actual[i]);
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+double quantile(std::vector<double> v, double q) {
+  require_nonempty(v, "quantile");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0, 1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  require_same_size(x, y, "pearson");
+  if (x.size() < 2) throw std::invalid_argument("pearson: need at least 2 samples");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const {
+  if (n_ == 0) throw std::logic_error("Accumulator::mean: no samples");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const {
+  if (n_ == 0) throw std::logic_error("Accumulator::min: no samples");
+  return min_;
+}
+
+double Accumulator::max() const {
+  if (n_ == 0) throw std::logic_error("Accumulator::max: no samples");
+  return max_;
+}
+
+}  // namespace esharing::stats

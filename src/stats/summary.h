@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file summary.h
+/// Scalar summary statistics used by the evaluation harness: mean, variance,
+/// RMSE (the paper's forecasting metric, Eq. 14), quantiles and a streaming
+/// accumulator.
+
+#include <cstddef>
+#include <vector>
+
+namespace esharing::stats {
+
+/// \throws std::invalid_argument if `v` is empty.
+[[nodiscard]] double mean(const std::vector<double>& v);
+
+/// Unbiased sample variance; 0 for a single element.
+/// \throws std::invalid_argument if `v` is empty.
+[[nodiscard]] double variance(const std::vector<double>& v);
+
+/// Square root of variance().
+[[nodiscard]] double stddev(const std::vector<double>& v);
+
+/// Root mean square error between prediction and truth (paper Eq. 14).
+/// \throws std::invalid_argument if sizes differ or inputs are empty.
+[[nodiscard]] double rmse(const std::vector<double>& predicted,
+                          const std::vector<double>& actual);
+
+/// Mean absolute error.
+/// \throws std::invalid_argument if sizes differ or inputs are empty.
+[[nodiscard]] double mae(const std::vector<double>& predicted,
+                         const std::vector<double>& actual);
+
+/// Linear-interpolation quantile, q in [0, 1].
+/// \throws std::invalid_argument if `v` is empty or q outside [0, 1].
+[[nodiscard]] double quantile(std::vector<double> v, double q);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample is constant.
+/// \throws std::invalid_argument if sizes differ or n < 2.
+[[nodiscard]] double pearson(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+/// Streaming accumulator (Welford) for mean/variance without storing samples.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// \throws std::logic_error if no samples were added.
+  [[nodiscard]] double mean() const;
+  /// Unbiased variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+}  // namespace esharing::stats

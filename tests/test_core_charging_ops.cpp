@@ -1,0 +1,171 @@
+#include "core/charging_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace esharing::core {
+namespace {
+
+using geo::Point;
+
+energy::ChargingCostParams paper_costs() {
+  return {.service_cost_q = 5.0, .delay_cost_d = 5.0, .energy_cost_b = 2.0};
+}
+
+OperatorConfig relaxed_operator() {
+  OperatorConfig op;
+  op.work_seconds = 1e9;  // effectively unlimited shift
+  return op;
+}
+
+std::vector<EnergyStation> three_stations() {
+  return {{{100, 0}, {1, 2}}, {{200, 0}, {3}}, {{300, 0}, {4, 5, 6}}};
+}
+
+TEST(ChargingRound, ValidatesOperatorConfig) {
+  OperatorConfig bad;
+  bad.speed_mps = 0.0;
+  EXPECT_THROW(
+      (void)run_charging_round(three_stations(), paper_costs(), bad),
+      std::invalid_argument);
+  bad = OperatorConfig{};
+  bad.work_seconds = 0.0;
+  EXPECT_THROW(
+      (void)run_charging_round(three_stations(), paper_costs(), bad),
+      std::invalid_argument);
+}
+
+TEST(ChargingRound, EmptyWorkloadIsFree) {
+  const std::vector<EnergyStation> idle{{{0, 0}, {}}, {{100, 0}, {}}};
+  const auto r = run_charging_round(idle, paper_costs(), relaxed_operator());
+  EXPECT_EQ(r.stations_total, 0u);
+  EXPECT_EQ(r.bikes_total, 0u);
+  EXPECT_DOUBLE_EQ(r.total_cost(), 0.0);
+  EXPECT_DOUBLE_EQ(r.pct_charged(), 100.0);
+}
+
+TEST(ChargingRound, UnlimitedShiftServesEverything) {
+  const auto r =
+      run_charging_round(three_stations(), paper_costs(), relaxed_operator());
+  EXPECT_EQ(r.stations_visited, 3u);
+  EXPECT_EQ(r.bikes_charged, 6u);
+  EXPECT_DOUBLE_EQ(r.pct_charged(), 100.0);
+  // Eq. 10 with n=3, l=6: 3q + 6b + (0+1+2)*d = 15 + 12 + 15 = 42.
+  EXPECT_DOUBLE_EQ(r.service_cost, 15.0);
+  EXPECT_DOUBLE_EQ(r.energy_cost, 12.0);
+  EXPECT_DOUBLE_EQ(r.delay_cost, 15.0);
+  EXPECT_DOUBLE_EQ(r.total_cost(),
+                   energy::total_charging_cost(3, 6, paper_costs()));
+}
+
+TEST(ChargingRound, RouteOnlyContainsStationsNeedingService) {
+  std::vector<EnergyStation> stations = three_stations();
+  stations.push_back({{1000, 1000}, {}});
+  const auto r = run_charging_round(stations, paper_costs(), relaxed_operator());
+  EXPECT_EQ(r.route.size(), 3u);
+  for (std::size_t s : r.route) EXPECT_LT(s, 3u);
+}
+
+TEST(ChargingRound, ShortShiftLimitsCoverage) {
+  OperatorConfig op;
+  op.speed_mps = 5.0;
+  op.stop_overhead_s = 600.0;
+  op.charge_time_s = 1800.0;
+  // One stop costs >= 2400 s + travel; a 3000 s shift fits exactly one.
+  op.work_seconds = 3000.0;
+  const auto r = run_charging_round(three_stations(), paper_costs(), op);
+  EXPECT_EQ(r.stations_visited, 1u);
+  EXPECT_LT(r.pct_charged(), 100.0);
+  EXPECT_GT(r.pct_charged(), 0.0);
+}
+
+TEST(ChargingRound, ZeroShiftCoverageIsZero) {
+  OperatorConfig op;
+  op.work_seconds = 1.0;  // can't even reach the first station
+  const auto r = run_charging_round(three_stations(), paper_costs(), op);
+  EXPECT_EQ(r.stations_visited, 0u);
+  EXPECT_DOUBLE_EQ(r.pct_charged(), 0.0);
+}
+
+TEST(ChargingRound, MovingDistanceIsRouteLength) {
+  // Depot at origin, stations on a line: the optimal open route is
+  // depot -> 100 -> 200 -> 300, i.e. 300 m.
+  const auto r =
+      run_charging_round(three_stations(), paper_costs(), relaxed_operator());
+  EXPECT_NEAR(r.moving_distance_m, 300.0, 1e-9);
+}
+
+TEST(ChargingRound, AggregationReducesCost) {
+  // Same bikes concentrated in one station vs spread across three: the
+  // aggregated layout must cost less (Eq. 11's point).
+  std::vector<EnergyStation> aggregated{
+      {{100, 0}, {1, 2, 3, 4, 5, 6}}, {{200, 0}, {}}, {{300, 0}, {}}};
+  const auto spread =
+      run_charging_round(three_stations(), paper_costs(), relaxed_operator());
+  const auto agg =
+      run_charging_round(aggregated, paper_costs(), relaxed_operator());
+  EXPECT_LT(agg.total_cost(), spread.total_cost());
+  EXPECT_DOUBLE_EQ(agg.energy_cost, spread.energy_cost);  // same bikes
+  EXPECT_LT(agg.moving_distance_m, spread.moving_distance_m);
+}
+
+TEST(MultiOperatorRound, OneOperatorMatchesSingleRound) {
+  const auto single =
+      run_charging_round(three_stations(), paper_costs(), relaxed_operator());
+  const auto multi = run_charging_round_multi(three_stations(), paper_costs(),
+                                              relaxed_operator(), 1);
+  EXPECT_DOUBLE_EQ(single.total_cost(), multi.total_cost());
+  EXPECT_EQ(single.route, multi.route);
+}
+
+TEST(MultiOperatorRound, ParallelismCutsDelayAndRaisesCoverage) {
+  // A ring of 12 single-bike piles; a short shift covers few with one
+  // operator, more with three — and the quadratic delay shrinks.
+  std::vector<EnergyStation> ring;
+  for (int s = 0; s < 12; ++s) {
+    const double a = s * std::numbers::pi / 6.0;
+    ring.push_back({{1000 + 900 * std::cos(a), 1000 + 900 * std::sin(a)},
+                    {static_cast<std::size_t>(s)}});
+  }
+  OperatorConfig op;
+  op.depot = {1000, 1000};
+  op.stop_overhead_s = 300.0;
+  op.charge_time_s = 1200.0;
+  op.work_seconds = 2.0 * 3600.0;
+  const auto one = run_charging_round_multi(ring, paper_costs(), op, 1);
+  const auto three = run_charging_round_multi(ring, paper_costs(), op, 3);
+  EXPECT_GT(three.bikes_charged, one.bikes_charged);
+  // With everything served, compare full-job delay: restart per operator.
+  OperatorConfig longshift = op;
+  longshift.work_seconds = 1e9;
+  const auto full1 = run_charging_round_multi(ring, paper_costs(), longshift, 1);
+  const auto full3 = run_charging_round_multi(ring, paper_costs(), longshift, 3);
+  EXPECT_EQ(full3.bikes_charged, full1.bikes_charged);
+  EXPECT_LT(full3.delay_cost, 0.5 * full1.delay_cost);
+  EXPECT_DOUBLE_EQ(full3.energy_cost, full1.energy_cost);
+}
+
+TEST(MultiOperatorRound, MoreOperatorsThanSitesIsFine) {
+  const auto r = run_charging_round_multi(three_stations(), paper_costs(),
+                                          relaxed_operator(), 10);
+  EXPECT_EQ(r.stations_visited, 3u);
+  EXPECT_EQ(r.bikes_charged, 6u);
+}
+
+TEST(MultiOperatorRound, ValidatesOperatorCount) {
+  EXPECT_THROW((void)run_charging_round_multi(three_stations(), paper_costs(),
+                                              relaxed_operator(), 0),
+               std::invalid_argument);
+}
+
+TEST(ChargingRound, TotalCostIncludesIncentives) {
+  const auto r =
+      run_charging_round(three_stations(), paper_costs(), relaxed_operator());
+  EXPECT_DOUBLE_EQ(r.total_cost(100.0), r.total_cost() + 100.0);
+}
+
+}  // namespace
+}  // namespace esharing::core

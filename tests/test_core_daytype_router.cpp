@@ -1,0 +1,72 @@
+#include "core/daytype_router.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::core {
+namespace {
+
+using geo::Point;
+
+DayTypeRouter make_router(std::uint64_t seed = 1) {
+  // Weekday landmarks west, weekend landmarks east.
+  DeviationPlacerConfig cfg;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.initial_scale_multiplier = 1e12;  // assignment only: isolate routing
+  return DayTypeRouter({{0, 0}, {0, 100}}, {}, {{1000, 0}, {1000, 100}}, {},
+                       [](Point) { return 5000.0; }, cfg, seed);
+}
+
+TEST(DayTypeRouter, RoutesByCalendar) {
+  auto router = make_router();
+  // Epoch day 0 = Wednesday (weekday); day 3 = Saturday.
+  const auto wd = router.process(0, {0, 50});
+  EXPECT_DOUBLE_EQ(wd.connection_cost, 50.0);  // nearest weekday landmark
+  const auto we = router.process(3 * data::kSecondsPerDay, {0, 50});
+  // Served by the east (weekend) set: nearest is (1000, 0) or (1000, 100).
+  EXPECT_NEAR(we.connection_cost, std::hypot(1000.0, 50.0), 1e-9);
+  EXPECT_DOUBLE_EQ(router.weekday().total_connection_cost(), 50.0);
+  EXPECT_GT(router.weekend().total_connection_cost(), 900.0);
+}
+
+TEST(DayTypeRouter, PlacerForMatchesCalendar) {
+  const auto router = make_router(2);
+  EXPECT_EQ(&router.placer_for(0), &router.weekday());
+  EXPECT_EQ(&router.placer_for(3 * data::kSecondsPerDay), &router.weekend());
+  EXPECT_EQ(&router.placer_for(4 * data::kSecondsPerDay), &router.weekend());
+  EXPECT_EQ(&router.placer_for(5 * data::kSecondsPerDay), &router.weekday());
+}
+
+TEST(DayTypeRouter, UnionOfStations) {
+  const auto router = make_router(3);
+  EXPECT_EQ(router.all_active_locations().size(), 4u);
+}
+
+TEST(DayTypeRouter, IndependentEvolution) {
+  // Openings on a weekend never change the weekday set.
+  DeviationPlacerConfig cfg;
+  cfg.tolerance = 1e9;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.w_star_override = 1.0;
+  cfg.initial_scale_multiplier = 1.0;
+  cfg.beta = 1e12;
+  DayTypeRouter router({{0, 0}, {0, 100}}, {}, {{1000, 0}, {1000, 100}}, {},
+                       [](Point) { return 1.0; }, cfg, 4);
+  stats::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    (void)router.process(3 * data::kSecondsPerDay,
+                         {rng.uniform(900, 1100), rng.uniform(0, 200)});
+  }
+  EXPECT_GT(router.weekend().num_online_opened(), 0u);
+  EXPECT_EQ(router.weekday().num_online_opened(), 0u);
+  EXPECT_EQ(router.weekday().requests_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace esharing::core

@@ -1,0 +1,272 @@
+#include "core/deviation_placer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "solver/meyerson.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::core {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> square_landmarks() {
+  return {{250, 250}, {750, 250}, {750, 750}, {250, 750}};
+}
+
+std::function<double(Point)> constant_f(double f) {
+  return [f](Point) { return f; };
+}
+
+DeviationPenaltyPlacer make_placer(DeviationPlacerConfig cfg = {},
+                                   double f = 5000.0, std::uint64_t seed = 1) {
+  stats::Rng rng(99);
+  return DeviationPenaltyPlacer(square_landmarks(),
+                                stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 100),
+                                constant_f(f), cfg, seed);
+}
+
+TEST(DeviationPlacer, ValidatesConstruction) {
+  DeviationPlacerConfig cfg;
+  EXPECT_THROW(DeviationPenaltyPlacer({{0, 0}}, {}, constant_f(1.0), cfg, 1),
+               std::invalid_argument);
+  cfg.beta = 0.5;
+  EXPECT_THROW(make_placer(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.tolerance = 0.0;
+  EXPECT_THROW(make_placer(cfg), std::invalid_argument);
+  EXPECT_THROW(DeviationPenaltyPlacer(square_landmarks(), {}, nullptr, {}, 1),
+               std::invalid_argument);
+}
+
+TEST(DeviationPlacer, StartsWithOfflineLandmarks) {
+  const auto placer = make_placer();
+  EXPECT_EQ(placer.num_active(), 4u);
+  EXPECT_EQ(placer.num_online_opened(), 0u);
+  EXPECT_EQ(placer.penalty_type(), PenaltyType::kTypeII);
+}
+
+TEST(DeviationPlacer, InitialScaleIsWStarOverK) {
+  // Landmarks form a 500-side square: min pairwise distance 500, w* = 250,
+  // k = 4 -> w*/k = 62.5, times the configured multiplier. Base f is set
+  // tiny so the mean-opening-cost floor does not engage.
+  DeviationPlacerConfig cfg;
+  cfg.initial_scale_multiplier = 1.0;
+  EXPECT_DOUBLE_EQ(make_placer(cfg, /*f=*/1.0).cost_scale(), 62.5);
+  DeviationPlacerConfig scaled;
+  scaled.initial_scale_multiplier = 8.0;
+  EXPECT_DOUBLE_EQ(make_placer(scaled, /*f=*/1.0).cost_scale(), 500.0);
+}
+
+TEST(DeviationPlacer, InitialScaleFlooredAtMeanOpeningCost) {
+  // With a realistic f (5 km) the w*/k seed would be far too small for
+  // long streams; the scale starts at the mean landmark opening cost.
+  DeviationPlacerConfig cfg;
+  cfg.initial_scale_multiplier = 1.0;
+  EXPECT_DOUBLE_EQ(make_placer(cfg, /*f=*/5000.0).cost_scale(), 5000.0);
+}
+
+TEST(DeviationPlacer, InitialScaleOverrideWins) {
+  DeviationPlacerConfig cfg;
+  cfg.initial_scale_override = 1234.0;
+  EXPECT_DOUBLE_EQ(make_placer(cfg, /*f=*/5000.0).cost_scale(), 1234.0);
+}
+
+TEST(DeviationPlacer, RequestAtLandmarkNeverOpens) {
+  auto placer = make_placer();
+  for (int i = 0; i < 200; ++i) {
+    const auto d = placer.process({250, 250});
+    EXPECT_FALSE(d.opened);
+    EXPECT_DOUBLE_EQ(d.connection_cost, 0.0);
+  }
+  EXPECT_EQ(placer.num_active(), 4u);
+}
+
+TEST(DeviationPlacer, TypeIIBlocksOpeningBeyondTolerance) {
+  // With the Type II penalty, destinations farther than L from every
+  // landmark have g = 0 and can never open.
+  DeviationPlacerConfig cfg;
+  cfg.tolerance = 200.0;
+  cfg.adaptive_type = false;  // pin Type II
+  cfg.ks_period = 0;
+  auto placer = make_placer(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const auto d = placer.process({500, 500});  // ~354 m from landmarks
+    EXPECT_FALSE(d.opened);
+  }
+}
+
+TEST(DeviationPlacer, NearbyDeviationsCanOpen) {
+  DeviationPlacerConfig cfg;
+  cfg.tolerance = 200.0;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  auto placer = make_placer(cfg, /*f=*/5000.0, /*seed=*/3);
+  // 100 m from a landmark: g = 0.5, c = 100, f = 5000*62.5 -> prob small
+  // but positive; with many requests an opening eventually happens.
+  int opened = 0;
+  for (int i = 0; i < 4000 && opened == 0; ++i) {
+    opened += placer.process({250 + 100, 250}).opened ? 1 : 0;
+  }
+  EXPECT_GT(opened, 0);
+}
+
+TEST(DeviationPlacer, ConnectionCostAccumulates) {
+  DeviationPlacerConfig cfg;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.initial_scale_multiplier = 1e12;  // effectively never open
+  auto placer = make_placer(cfg);
+  (void)placer.process({250, 350});  // 100 m from (250,250)
+  (void)placer.process({750, 250});  // at a landmark
+  EXPECT_DOUBLE_EQ(placer.total_connection_cost(), 100.0);
+}
+
+TEST(DeviationPlacer, WeightScalesConnectionCost) {
+  DeviationPlacerConfig cfg;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.initial_scale_multiplier = 1e12;
+  auto placer = make_placer(cfg);
+  const auto d = placer.process({250, 350}, 5.0);
+  EXPECT_DOUBLE_EQ(d.connection_cost, 500.0);
+  EXPECT_THROW((void)placer.process({0, 0}, -1.0), std::invalid_argument);
+}
+
+TEST(DeviationPlacer, OpeningCostDoublesAfterBetaKOpens) {
+  DeviationPlacerConfig cfg;
+  cfg.beta = 1.0;
+  cfg.tolerance = 1e9;       // no penalty in practice (g ~ 1)
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  // Tiny f so openings are frequent.
+  auto placer = make_placer(cfg, /*f=*/1.0, /*seed=*/5);
+  const double scale0 = placer.cost_scale();
+  stats::Rng rng(6);
+  int guard = 0;
+  while (placer.num_online_opened() < 4 && ++guard < 10000) {
+    (void)placer.process({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  ASSERT_GE(placer.num_online_opened(), 4u);  // beta*k = 4 openings
+  EXPECT_GE(placer.cost_scale(), 2.0 * scale0);
+}
+
+TEST(DeviationPlacer, TotalOpeningCostCountsActiveStations) {
+  auto placer = make_placer();
+  EXPECT_DOUBLE_EQ(placer.total_opening_cost(), 4.0 * 5000.0);
+}
+
+TEST(DeviationPlacer, RemoveStationReassignsFutureRequests) {
+  DeviationPlacerConfig cfg;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.initial_scale_multiplier = 1e12;  // never open
+  auto placer = make_placer(cfg);
+  placer.remove_station(0);  // (250, 250) gone
+  EXPECT_EQ(placer.num_active(), 3u);
+  const auto d = placer.process({250, 250});
+  EXPECT_FALSE(d.opened);
+  // Nearest remaining landmark is 500 m away.
+  EXPECT_DOUBLE_EQ(d.connection_cost, 500.0);
+}
+
+TEST(DeviationPlacer, RemoveStationValidation) {
+  auto placer = make_placer();
+  EXPECT_THROW(placer.remove_station(99), std::out_of_range);
+  placer.remove_station(0);
+  placer.remove_station(0);  // idempotent
+  placer.remove_station(1);
+  placer.remove_station(2);
+  EXPECT_THROW(placer.remove_station(3), std::logic_error);  // last one
+}
+
+TEST(DeviationPlacer, AllRemovedFallbackReestablishes) {
+  // After removals, an opening can re-establish service near old demand.
+  DeviationPlacerConfig cfg;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  auto placer = make_placer(cfg, /*f=*/1.0, /*seed=*/7);
+  // Remove three of four stations; the fourth still forbids removal of all.
+  placer.remove_station(0);
+  placer.remove_station(1);
+  placer.remove_station(2);
+  EXPECT_EQ(placer.num_active(), 1u);
+  stats::Rng rng(8);
+  int guard = 0;
+  while (placer.num_online_opened() == 0 && ++guard < 10000) {
+    (void)placer.process({rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)});
+  }
+  EXPECT_GT(placer.num_online_opened(), 0u);
+}
+
+TEST(DeviationPlacer, KsTestSwitchesPenaltyOnDistributionShift) {
+  // Historical data uniform over the field; live requests clustered far in
+  // a corner -> low similarity -> Type I (tolerant) should be selected.
+  DeviationPlacerConfig cfg;
+  cfg.ks_period = 50;
+  cfg.ks_min_samples = 30;
+  cfg.adaptive_type = true;
+  cfg.initial_penalty = PenaltyType::kTypeII;
+  stats::Rng rng(9);
+  DeviationPenaltyPlacer placer(
+      square_landmarks(),
+      stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 150),
+      constant_f(1e9), cfg, 10);
+  stats::Rng live(11);
+  for (const Point p : stats::normal_points(live, {950, 950}, 15.0, 120)) {
+    (void)placer.process(p);
+  }
+  EXPECT_LT(placer.last_similarity(), 80.0);
+  EXPECT_EQ(placer.penalty_type(), PenaltyType::kTypeI);
+}
+
+TEST(DeviationPlacer, KsTestKeepsTypeIIWhenDistributionMatches) {
+  DeviationPlacerConfig cfg;
+  cfg.ks_period = 50;
+  cfg.ks_min_samples = 30;
+  cfg.adaptive_type = true;
+  stats::Rng rng(12);
+  const auto history = stats::normal_points(rng, {500, 500}, 60.0, 200);
+  DeviationPenaltyPlacer placer(square_landmarks(), history, constant_f(1e9),
+                                cfg, 13);
+  stats::Rng live(14);
+  for (const Point p : stats::normal_points(live, {500, 500}, 60.0, 150)) {
+    (void)placer.process(p);
+  }
+  EXPECT_GT(placer.last_similarity(), 80.0);
+  EXPECT_NE(placer.penalty_type(), PenaltyType::kTypeI);
+}
+
+TEST(DeviationPlacer, OpensFewerStationsThanMeyerson) {
+  // The headline Table V behaviour on a uniform stream.
+  stats::Rng rng(15);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 600);
+  DeviationPlacerConfig cfg;
+  cfg.tolerance = 200.0;
+  auto placer = make_placer(cfg, /*f=*/5000.0, /*seed=*/16);
+  solver::MeyersonPlacer meyerson(5000.0, 16);
+  for (const Point p : pts) {
+    (void)placer.process(p);
+    (void)meyerson.process(p);
+  }
+  EXPECT_LT(placer.num_active(), meyerson.num_open() + 4);
+}
+
+TEST(DeviationPlacer, DeterministicPerSeed) {
+  stats::Rng rng(17);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 300);
+  auto a = make_placer({}, 5000.0, 42);
+  auto b = make_placer({}, 5000.0, 42);
+  for (const Point p : pts) {
+    (void)a.process(p);
+    (void)b.process(p);
+  }
+  EXPECT_EQ(a.num_active(), b.num_active());
+  EXPECT_DOUBLE_EQ(a.total_connection_cost(), b.total_connection_cost());
+}
+
+}  // namespace
+}  // namespace esharing::core

@@ -1,0 +1,148 @@
+#include "core/esharing.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::core {
+namespace {
+
+using data::DemandSite;
+using geo::Point;
+
+std::vector<DemandSite> two_cluster_sites() {
+  // Two demand clusters far apart; each cell carries arrivals.
+  std::vector<DemandSite> sites;
+  std::size_t cell = 0;
+  for (double dx : {0.0, 100.0, 200.0}) {
+    sites.push_back({{dx + 100.0, 100.0}, 10.0, cell++});
+    sites.push_back({{dx + 2400.0, 2500.0}, 8.0, cell++});
+  }
+  return sites;
+}
+
+ESharingConfig default_config() {
+  ESharingConfig cfg;
+  cfg.placer.ks_period = 0;
+  cfg.placer.adaptive_type = false;
+  return cfg;
+}
+
+std::function<double(Point)> constant_f(double f) {
+  return [f](Point) { return f; };
+}
+
+TEST(ESharing, LifecycleGuards) {
+  ESharing sys(default_config(), 1);
+  EXPECT_THROW((void)sys.parking_locations(), std::logic_error);
+  EXPECT_THROW((void)sys.offline_solution(), std::logic_error);
+  EXPECT_THROW(sys.start_online({}), std::logic_error);
+  EXPECT_THROW((void)sys.handle_request({0, 0}), std::logic_error);
+  EXPECT_THROW((void)sys.placer(), std::logic_error);
+}
+
+TEST(ESharing, PlanOfflineValidatesInput) {
+  ESharing sys(default_config(), 2);
+  EXPECT_THROW((void)sys.plan_offline({}, constant_f(1.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)sys.plan_offline(two_cluster_sites(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(ESharing, OfflinePlanOpensOneStationPerCluster) {
+  ESharing sys(default_config(), 3);
+  const auto& sol = sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  EXPECT_EQ(sol.num_open(), 2u);
+  const auto locs = sys.parking_locations();
+  // One parking near each cluster.
+  bool near_a = false, near_b = false;
+  for (Point p : locs) {
+    near_a |= geo::distance(p, {200, 100}) < 300.0;
+    near_b |= geo::distance(p, {2500, 2500}) < 300.0;
+  }
+  EXPECT_TRUE(near_a);
+  EXPECT_TRUE(near_b);
+}
+
+TEST(ESharing, OnlinePhaseServesRequests) {
+  ESharing sys(default_config(), 4);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  stats::Rng rng(5);
+  sys.start_online(stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, 100));
+  ASSERT_TRUE(sys.online_started());
+  const auto d = sys.handle_request({210, 110});
+  EXPECT_FALSE(d.opened);  // right next to an offline landmark
+  EXPECT_GE(sys.placer().requests_seen(), 1u);
+}
+
+TEST(ESharing, ReplanInvalidatesOnlinePhase) {
+  ESharing sys(default_config(), 6);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  sys.start_online({});
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  EXPECT_FALSE(sys.online_started());
+  EXPECT_THROW((void)sys.handle_request({0, 0}), std::logic_error);
+}
+
+TEST(ESharing, IncentiveSessionGroupsLowBikesByStation) {
+  ESharing sys(default_config(), 7);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  sys.start_online({});
+  const auto parkings = sys.parking_locations();
+  ASSERT_EQ(parkings.size(), 2u);
+
+  energy::BikeFleet fleet(6, energy::EnergyConfig{}, 8);
+  for (std::size_t b = 0; b < fleet.size(); ++b) fleet.set_soc(b, 0.9);
+  fleet.set_soc(1, 0.1);
+  fleet.set_soc(4, 0.05);
+  const std::vector<std::size_t> bike_station{0, 0, 0, 1, 1, 1};
+  const auto session = sys.make_incentive_session(fleet, bike_station);
+  ASSERT_EQ(session.stations().size(), 2u);
+  EXPECT_EQ(session.stations()[0].low_bikes, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(session.stations()[1].low_bikes, (std::vector<std::size_t>{4}));
+}
+
+TEST(ESharing, IncentiveSessionValidatesBikeStation) {
+  ESharing sys(default_config(), 9);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  energy::BikeFleet fleet(3, energy::EnergyConfig{}, 10);
+  EXPECT_THROW((void)sys.make_incentive_session(fleet, {0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sys.make_incentive_session(fleet, {0, 0, 99}),
+               std::invalid_argument);
+}
+
+TEST(ESharing, ChargeRunsOperatorRound) {
+  ESharingConfig cfg = default_config();
+  cfg.charging_operator.work_seconds = 1e9;
+  ESharing sys(cfg, 11);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  energy::BikeFleet fleet(4, energy::EnergyConfig{}, 12);
+  for (std::size_t b = 0; b < fleet.size(); ++b) fleet.set_soc(b, 0.05);
+  const auto session = sys.make_incentive_session(fleet, {0, 0, 1, 1});
+  const auto round = sys.charge(session);
+  EXPECT_EQ(round.bikes_total, 4u);
+  EXPECT_EQ(round.bikes_charged, 4u);
+  EXPECT_EQ(round.stations_visited, 2u);
+}
+
+TEST(ESharing, OnlineOpeningExtendsParkingList) {
+  ESharingConfig cfg = default_config();
+  cfg.placer.tolerance = 1e9;  // no deviation penalty
+  ESharing sys(cfg, 13);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(1.0));  // tiny f
+  sys.start_online({});
+  stats::Rng rng(14);
+  const std::size_t before = sys.parking_locations().size();
+  for (int i = 0; i < 2000; ++i) {
+    (void)sys.handle_request(
+        {rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)});
+  }
+  EXPECT_GT(sys.parking_locations().size(), before);
+}
+
+}  // namespace
+}  // namespace esharing::core

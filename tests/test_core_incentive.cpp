@@ -1,0 +1,205 @@
+#include "core/incentive.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esharing::core {
+namespace {
+
+using geo::Point;
+
+/// Three stations on a line, 1000 m apart; station 0 and 1 hold low bikes.
+/// Station 1 holds the bigger pile, so uphill moves flow 0 -> 1.
+std::vector<EnergyStation> line_stations() {
+  return {{{0, 0}, {10}}, {{1000, 0}, {20, 21}}, {{2000, 0}, {}}};
+}
+
+IncentiveConfig config(double alpha = 0.5) {
+  IncentiveConfig cfg;
+  cfg.alpha = alpha;
+  cfg.mileage_slack_m = 150.0;
+  return cfg;
+}
+
+IncentiveMechanism::CanRideFn always_rideable() {
+  return [](std::size_t, double) { return true; };
+}
+
+TEST(Incentive, ValidatesConstruction) {
+  EXPECT_THROW(IncentiveMechanism({}, config()), std::invalid_argument);
+  EXPECT_THROW(IncentiveMechanism(line_stations(), config(1.5)),
+               std::invalid_argument);
+  IncentiveConfig bad = config();
+  bad.mileage_slack_m = -1.0;
+  EXPECT_THROW(IncentiveMechanism(line_stations(), bad), std::invalid_argument);
+}
+
+TEST(Incentive, StationsNeedingServiceAndPositions) {
+  IncentiveMechanism mech(line_stations(), config());
+  EXPECT_EQ(mech.stations_needing_service(), (std::vector<std::size_t>{0, 1}));
+  // Both are in the TSP sequence with distinct 1-based positions.
+  const auto p0 = mech.service_position(0);
+  const auto p1 = mech.service_position(1);
+  EXPECT_NE(p0, 0u);
+  EXPECT_NE(p1, 0u);
+  EXPECT_NE(p0, p1);
+  EXPECT_EQ(mech.service_position(2), 0u);
+  EXPECT_THROW((void)mech.service_position(9), std::out_of_range);
+}
+
+TEST(Incentive, AcceptedOfferRelocatesBike) {
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  // User picks up at station 0 heading to the parking at station 1: the
+  // aggregation target at the same mileage is exactly station 1.
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(0, {1000, 0}, eager, always_rideable());
+  ASSERT_TRUE(offer.made);
+  EXPECT_TRUE(offer.accepted);
+  EXPECT_EQ(offer.from_station, 0u);
+  EXPECT_EQ(offer.to_station, 1u);
+  EXPECT_EQ(offer.bike, 10u);
+  EXPECT_DOUBLE_EQ(offer.ride_m, 1000.0);
+  EXPECT_DOUBLE_EQ(offer.extra_walk_m, 0.0);
+  EXPECT_TRUE(mech.stations()[0].low_bikes.empty());
+  EXPECT_EQ(mech.stations()[1].low_bikes.size(), 3u);
+  EXPECT_EQ(mech.relocations(), 1u);
+  EXPECT_GT(mech.total_incentives_paid(), 0.0);
+}
+
+TEST(Incentive, OfferValueFollowsUniformFormula) {
+  IncentiveMechanism mech(line_stations(), config(0.4));
+  const std::size_t t = mech.service_position(0);
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(0, {1000, 0}, eager, always_rideable());
+  ASSERT_TRUE(offer.made);
+  EXPECT_DOUBLE_EQ(offer.incentive,
+                   energy::uniform_offer(0.4, t, 1, config().costs));
+}
+
+TEST(Incentive, DeclinedWhenWalkTooFar) {
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  // Destination near station 0 itself: relocating to station 1 forces a
+  // ~1000 m walk back, above the user's 300 m threshold. But station
+  // selection needs |d(i,k) - d(i,j)| <= slack, so use dest at 1000 m with
+  // a strict user.
+  const UserBehavior strict{/*max_walk_m=*/10.0, /*min_reward=*/0.0};
+  const auto offer = mech.handle_pickup(0, {1000, 100}, strict, always_rideable());
+  ASSERT_TRUE(offer.made);
+  EXPECT_FALSE(offer.accepted);
+  EXPECT_EQ(mech.stations()[0].low_bikes.size(), 1u);
+  EXPECT_DOUBLE_EQ(mech.total_incentives_paid(), 0.0);
+}
+
+TEST(Incentive, DeclinedWhenRewardTooSmall) {
+  IncentiveMechanism mech(line_stations(), config(0.1));
+  const UserBehavior greedy{1e9, /*min_reward=*/1e6};
+  const auto offer = mech.handle_pickup(0, {1000, 0}, greedy, always_rideable());
+  ASSERT_TRUE(offer.made);
+  EXPECT_FALSE(offer.accepted);
+}
+
+TEST(Incentive, NoOfferWithoutMileageMatchedNeighbor) {
+  // Destination at 300 m: no other station lies within slack of that ride
+  // distance (stations are 1000 and 2000 m away).
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(0, {300, 0}, eager, always_rideable());
+  EXPECT_FALSE(offer.made);
+}
+
+TEST(Incentive, NoOfferFromStationWithoutLowBikes) {
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(2, {1000, 0}, eager, always_rideable());
+  EXPECT_FALSE(offer.made);
+}
+
+TEST(Incentive, AlphaZeroDisablesOffers) {
+  IncentiveMechanism mech(line_stations(), config(0.0));
+  const UserBehavior eager{1e9, 0.0};
+  EXPECT_FALSE(mech.handle_pickup(0, {1000, 0}, eager, always_rideable()).made);
+}
+
+TEST(Incentive, BatteryFeasibilityBlocksOffer) {
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(
+      0, {1000, 0}, eager, [](std::size_t, double) { return false; });
+  EXPECT_FALSE(offer.made);
+}
+
+TEST(Incentive, BatteryFeasibilitySelectsRideableBike) {
+  // Source and target piles of equal size so the uphill rule permits the
+  // move; only bike 21 has enough charge for the 1000 m relocation.
+  std::vector<EnergyStation> stations{{{0, 0}, {20, 21}},
+                                      {{1000, 0}, {1, 2}}};
+  IncentiveMechanism mech(stations, config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(
+      0, {1000, 0}, eager,
+      [](std::size_t bike, double) { return bike == 21; });
+  ASSERT_TRUE(offer.accepted);
+  EXPECT_EQ(offer.bike, 21u);
+}
+
+TEST(Incentive, EmptyingStationDropsItFromServiceSet) {
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  // Station 0 has one bike; relocating it to station 1 empties station 0.
+  const auto offer = mech.handle_pickup(0, {1000, 0}, eager, always_rideable());
+  ASSERT_TRUE(offer.accepted);
+  EXPECT_EQ(mech.stations_needing_service(), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(mech.service_position(0), 0u);
+  EXPECT_EQ(mech.service_position(1), 1u);
+}
+
+TEST(Incentive, UphillRuleBlocksDownhillMoves) {
+  // Picking up at the big pile: the only mileage-matched neighbours hold
+  // smaller piles, so no offer is made (relocating away from an
+  // aggregation point would undo the mechanism's work).
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  EXPECT_FALSE(mech.handle_pickup(1, {0, 0}, eager, always_rideable()).made);
+  EXPECT_FALSE(mech.handle_pickup(1, {2000, 0}, eager, always_rideable()).made);
+}
+
+TEST(Incentive, PaymentsStayWithinEq12Budget) {
+  // Drain station 0 completely; total incentives must stay under the
+  // Delta_i = q + t*d budget for its (initial) sequence position.
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  const std::size_t t0 = mech.service_position(0);
+  const double budget = energy::max_station_saving(t0, config().costs);
+  const UserBehavior eager{1e9, 0.0};
+  while (!mech.stations()[0].low_bikes.empty()) {
+    const auto offer = mech.handle_pickup(0, {1000, 0}, eager, always_rideable());
+    ASSERT_TRUE(offer.accepted);
+  }
+  // Position can only shrink as stations empty, so paying by the live
+  // position never exceeds the initial budget.
+  EXPECT_LE(mech.total_incentives_paid(), budget + 1e-9);
+}
+
+TEST(Incentive, PrefersLargerAggregationPile) {
+  // Two candidate targets at the same ride distance; the one with more low
+  // bikes must win.
+  std::vector<EnergyStation> stations{
+      {{0, 0}, {1, 2}},            // pickup
+      {{1000, 0}, {3}},            // small pile
+      {{-1000, 0}, {4, 5, 6}}};    // big pile, same 1000 m ride
+  IncentiveMechanism mech(stations, config(1.0));
+  const UserBehavior eager{1e9, 0.0};
+  const auto offer = mech.handle_pickup(0, {1000, 0}, eager, always_rideable());
+  ASSERT_TRUE(offer.made);
+  EXPECT_EQ(offer.to_station, 2u);
+}
+
+TEST(Incentive, HandlePickupValidatesStation) {
+  IncentiveMechanism mech(line_stations(), config(1.0));
+  EXPECT_THROW(
+      (void)mech.handle_pickup(7, {0, 0}, UserBehavior{}, always_rideable()),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace esharing::core

@@ -1,0 +1,152 @@
+#include "core/penalty.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::core {
+namespace {
+
+constexpr double kL = 200.0;
+
+TEST(Penalty, FactoriesValidateTolerance) {
+  EXPECT_THROW((void)PenaltyFunction::type1(0.0), std::invalid_argument);
+  EXPECT_THROW((void)PenaltyFunction::type2(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)PenaltyFunction::type3(0.0), std::invalid_argument);
+  EXPECT_THROW((void)PenaltyFunction::polynomial(0.0, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)PenaltyFunction::polynomial(kL, {}),
+               std::invalid_argument);
+}
+
+TEST(Penalty, AllTypesAreOneAtZero) {
+  // "If destination i falls into the grid of established parking j,
+  // c(i,j) = 0 and g(i,j) = 1 for all three cases."
+  EXPECT_DOUBLE_EQ(PenaltyFunction::none()(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PenaltyFunction::type1(kL)(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PenaltyFunction::type2(kL)(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(PenaltyFunction::type3(kL)(0.0), 1.0);
+}
+
+TEST(Penalty, TypeIFormulaEq6) {
+  const auto g = PenaltyFunction::type1(kL);
+  EXPECT_DOUBLE_EQ(g(kL), 0.5);
+  EXPECT_DOUBLE_EQ(g(3.0 * kL), 0.25);
+  // "Type I ... maintains the probability over 0.2 even when the cost goes
+  // beyond 3L."
+  EXPECT_GT(g(3.0 * kL), 0.2);
+}
+
+TEST(Penalty, TypeIIFormulaEq7HardCutoff) {
+  const auto g = PenaltyFunction::type2(kL);
+  EXPECT_DOUBLE_EQ(g(kL / 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(g(kL), 0.0);
+  EXPECT_DOUBLE_EQ(g(5.0 * kL), 0.0);
+}
+
+TEST(Penalty, TypeIIIFormulaEq8) {
+  const auto g = PenaltyFunction::type3(kL);
+  EXPECT_NEAR(g(kL), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(g(2.0 * kL), std::exp(-4.0), 1e-12);
+}
+
+TEST(Penalty, OrderingMatchesFig5) {
+  // Beyond L: Type II < Type III < Type I ("Type II plunges much faster;
+  // Type III is between the other two").
+  const auto g1 = PenaltyFunction::type1(kL);
+  const auto g2 = PenaltyFunction::type2(kL);
+  const auto g3 = PenaltyFunction::type3(kL);
+  for (double c : {1.2 * kL, 1.5 * kL, 2.0 * kL, 3.0 * kL}) {
+    EXPECT_LE(g2(c), g3(c));
+    EXPECT_LT(g3(c), g1(c));
+  }
+}
+
+TEST(Penalty, AllTypesMonotoneNonIncreasing) {
+  for (const auto& g :
+       {PenaltyFunction::type1(kL), PenaltyFunction::type2(kL),
+        PenaltyFunction::type3(kL)}) {
+    double prev = 1.0 + 1e-12;
+    for (double c = 0.0; c <= 4.0 * kL; c += 10.0) {
+      const double v = g(c);
+      EXPECT_LE(v, prev + 1e-12);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+      prev = v;
+    }
+  }
+}
+
+TEST(Penalty, DerivativesAreNonPositive) {
+  for (const auto& g :
+       {PenaltyFunction::type1(kL), PenaltyFunction::type2(kL),
+        PenaltyFunction::type3(kL)}) {
+    for (double c = 0.0; c <= 3.0 * kL; c += 25.0) {
+      EXPECT_LE(g.derivative(c), 1e-12);
+    }
+  }
+  EXPECT_DOUBLE_EQ(PenaltyFunction::none().derivative(123.0), 0.0);
+}
+
+TEST(Penalty, DerivativesMatchFiniteDifferences) {
+  const double eps = 1e-6;
+  for (const auto& g :
+       {PenaltyFunction::type1(kL), PenaltyFunction::type3(kL)}) {
+    for (double c : {10.0, 100.0, 250.0, 500.0}) {
+      const double numeric = (g(c + eps) - g(c - eps)) / (2.0 * eps);
+      EXPECT_NEAR(g.derivative(c), numeric, 1e-6);
+    }
+  }
+  // Type II inside the tolerance (away from the kink).
+  const auto g2 = PenaltyFunction::type2(kL);
+  const double numeric = (g2(100.0 + eps) - g2(100.0 - eps)) / (2.0 * eps);
+  EXPECT_NEAR(g2.derivative(100.0), numeric, 1e-6);
+  EXPECT_DOUBLE_EQ(g2.derivative(2.0 * kL), 0.0);
+}
+
+TEST(Penalty, TypeIIDropsFastestNearOrigin) {
+  // Fig. 5(b): Type II has the steepest constant decline inside L.
+  const auto g1 = PenaltyFunction::type1(kL);
+  const auto g2 = PenaltyFunction::type2(kL);
+  const auto g3 = PenaltyFunction::type3(kL);
+  EXPECT_LT(g2.derivative(kL * 0.9), g1.derivative(kL * 0.9));
+  EXPECT_LT(g2.derivative(kL * 0.9), g3.derivative(kL * 0.9) + 1e-9);
+}
+
+TEST(Penalty, RejectsNegativeCost) {
+  EXPECT_THROW((void)PenaltyFunction::type1(kL)(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)PenaltyFunction::type2(kL).derivative(-1.0),
+               std::invalid_argument);
+}
+
+TEST(Penalty, PolynomialExtensionClampsAndDifferentiates) {
+  // g(c) = 1 - (c/L)^2, clamped to [0, 1].
+  const auto g = PenaltyFunction::polynomial(kL, {1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(g(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(g(kL / 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(g(2.0 * kL), 0.0);  // clamped
+  EXPECT_NEAR(g.derivative(kL / 2.0), -2.0 * 0.5 / kL, 1e-12);
+}
+
+TEST(Penalty, FactoryOfByType) {
+  EXPECT_EQ(PenaltyFunction::of(PenaltyType::kTypeI, kL).type(),
+            PenaltyType::kTypeI);
+  EXPECT_EQ(PenaltyFunction::of(PenaltyType::kNone, kL).type(),
+            PenaltyType::kNone);
+  EXPECT_THROW((void)PenaltyFunction::of(PenaltyType::kPolynomial, kL),
+               std::invalid_argument);
+}
+
+TEST(Penalty, NamesAndSimilarityPolicy) {
+  EXPECT_STREQ(penalty_type_name(PenaltyType::kTypeII), "TypeII");
+  // Section V-C thresholds: >=95 -> II, 80..95 -> III, <80 -> I.
+  EXPECT_EQ(penalty_type_for_similarity(97.0), PenaltyType::kTypeII);
+  EXPECT_EQ(penalty_type_for_similarity(95.0), PenaltyType::kTypeII);
+  EXPECT_EQ(penalty_type_for_similarity(90.0), PenaltyType::kTypeIII);
+  EXPECT_EQ(penalty_type_for_similarity(80.0), PenaltyType::kTypeIII);
+  EXPECT_EQ(penalty_type_for_similarity(60.0), PenaltyType::kTypeI);
+}
+
+}  // namespace
+}  // namespace esharing::core

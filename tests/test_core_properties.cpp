@@ -1,0 +1,211 @@
+/// Regression/property tests for behaviours established while reproducing
+/// the paper's tables: the landmark-keyed penalty semantics, the Table III
+/// winner pattern, the incentive budget discipline, and the no-chain-hop
+/// rule.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/deviation_placer.h"
+#include "geo/polygon.h"
+#include "core/incentive.h"
+#include "energy/charging_cost.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::core {
+namespace {
+
+using geo::Point;
+
+TEST(PenaltySemantics, KeyedToOfflineLandmarksNotOnlineStations) {
+  // Type II with tolerance 200: a destination 150 m from the landmark can
+  // open (and with scale 1 deterministically does); a destination 300 m
+  // from the landmark can never open, even once an online station sits
+  // only 150 m away — the deviation is measured against the offline
+  // prediction, not against whatever opened last.
+  DeviationPlacerConfig cfg;
+  cfg.tolerance = 200.0;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.w_star_override = 1.0;
+  cfg.initial_scale_multiplier = 1.0;
+  cfg.beta = 1e12;
+  DeviationPenaltyPlacer placer({{0.0, 0.0}}, {}, [](Point) { return 1.0; },
+                                cfg, 1);
+  const auto first = placer.process({150.0, 0.0});
+  ASSERT_TRUE(first.opened);  // g(150)*150 = 37.5 >= scale 1 -> prob 1
+  for (int i = 0; i < 300; ++i) {
+    const auto d = placer.process({300.0, 0.0});
+    EXPECT_FALSE(d.opened);  // g(dev=300) = 0 despite c_conn = 150
+    EXPECT_DOUBLE_EQ(d.connection_cost, 150.0);
+  }
+}
+
+/// Table III's winner pattern as a regression test (reduced trial count):
+/// Type I wins the uniform field, Type III the mid-range ring, Type II the
+/// origin-concentrated normal cloud.
+class Table3Pattern : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table3Pattern, ExpectedPenaltyWins) {
+  const int workload = GetParam();
+  const std::array<PenaltyType, 4> types{PenaltyType::kNone, PenaltyType::kTypeI,
+                                         PenaltyType::kTypeII,
+                                         PenaltyType::kTypeIII};
+  std::array<double, 4> totals{};
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    stats::Rng rng(3000 + trial);
+    std::vector<Point> requests;
+    switch (workload) {
+      case 0:
+        requests = stats::uniform_points(rng, {{-1000, -1000}, {1000, 1000}}, 200);
+        break;
+      case 1:
+        requests = stats::radial_poisson_points(rng, {0, 0}, 100.0, 2.8, 200);
+        break;
+      default:
+        requests = stats::normal_points(rng, {0, 0}, 100.0, 200);
+        break;
+    }
+    for (std::size_t pi = 0; pi < types.size(); ++pi) {
+      DeviationPlacerConfig cfg;
+      cfg.tolerance = 200.0;
+      cfg.adaptive_type = false;
+      cfg.ks_period = 0;
+      cfg.w_star_override = 600.0;
+      cfg.initial_scale_multiplier = 1.0;
+      cfg.beta = 1e12;
+      cfg.initial_penalty = types[pi];
+      DeviationPenaltyPlacer placer({{0.0, 0.0}}, {}, [](Point) { return 8.0; },
+                                    cfg, static_cast<std::uint64_t>(trial) ^ 0xabcdefULL);
+      for (Point p : requests) (void)placer.process(p);
+      totals[pi] += placer.total_connection_cost() / 1000.0 +
+                    static_cast<double>(placer.num_active()) * 2.0;
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t pi = 1; pi < types.size(); ++pi) {
+    if (totals[pi] < totals[best]) best = pi;
+  }
+  const std::array<PenaltyType, 3> expected{PenaltyType::kTypeI,
+                                            PenaltyType::kTypeIII,
+                                            PenaltyType::kTypeII};
+  EXPECT_EQ(types[best], expected[static_cast<std::size_t>(workload)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(UniformPoissonNormal, Table3Pattern,
+                         ::testing::Values(0, 1, 2));
+
+TEST(PlacementFilter, ForbiddenZonesNeverGetStations) {
+  // Openings are near-certain (tiny scale) but a no-parking zone covers
+  // the east half of the field: every online station must fall west.
+  geo::ZoneSet zones;
+  zones.add_forbidden(geo::Polygon::rectangle({{500, -1e6}, {1e6, 1e6}}));
+  DeviationPlacerConfig cfg;
+  cfg.tolerance = 1e9;
+  cfg.adaptive_type = false;
+  cfg.ks_period = 0;
+  cfg.w_star_override = 1.0;
+  cfg.initial_scale_multiplier = 1.0;
+  cfg.beta = 1e12;
+  cfg.placement_filter = [&zones](Point p) { return zones.permits(p); };
+  DeviationPenaltyPlacer placer({{0.0, 0.0}}, {}, [](Point) { return 1.0; },
+                                cfg, 3);
+  stats::Rng rng(4);
+  for (const Point p :
+       stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 400)) {
+    (void)placer.process(p);
+  }
+  EXPECT_GT(placer.num_online_opened(), 10u);  // west half opens freely
+  for (const auto& station : placer.stations()) {
+    if (station.online_opened) EXPECT_LT(station.location.x, 500.0);
+  }
+  // East-half requests were all assigned, not opened.
+  EXPECT_GT(placer.total_connection_cost(), 0.0);
+}
+
+TEST(IncentiveBudget, EmptyingAnyPilePaysAtMostAlphaDelta) {
+  // Property over random pile sizes: draining station i completely pays
+  // <= alpha * (q + (t-1) d) with t frozen at the first offer.
+  stats::Rng rng(7);
+  const energy::ChargingCostParams costs{};
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t pile = 1 + rng.index(12);
+    std::vector<std::size_t> bikes(pile);
+    for (std::size_t b = 0; b < pile; ++b) bikes[b] = b;
+    // Target pile at least as large (uphill rule).
+    std::vector<std::size_t> target_bikes(pile + 1);
+    for (std::size_t b = 0; b < pile + 1; ++b) target_bikes[b] = 100 + b;
+    std::vector<EnergyStation> stations{{{0, 0}, bikes},
+                                        {{1000, 0}, target_bikes}};
+    IncentiveConfig cfg;
+    cfg.alpha = rng.uniform(0.1, 1.0);
+    cfg.costs = costs;
+    cfg.mileage_slack_m = 100.0;
+    IncentiveMechanism mech(stations, cfg);
+    const std::size_t t = mech.service_position(0);
+    const UserBehavior eager{1e9, 0.0};
+    while (!mech.stations()[0].low_bikes.empty()) {
+      const auto offer = mech.handle_pickup(0, {1000, 0}, eager,
+                                            [](std::size_t, double) { return true; });
+      ASSERT_TRUE(offer.accepted);
+    }
+    EXPECT_LE(mech.total_incentives_paid(),
+              cfg.alpha * energy::max_station_saving(t, costs) + 1e-9);
+  }
+}
+
+TEST(IncentiveChainHop, RelocatedBikesAreTerminal) {
+  // Bike 5 moves from station 0 to station 1; no later offer may move it
+  // again (chain hops would compound payments past the Eq. 12 budget).
+  std::vector<EnergyStation> stations{
+      {{0, 0}, {5}}, {{1000, 0}, {6, 7}}, {{2000, 0}, {1, 2, 3, 4}}};
+  IncentiveConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.mileage_slack_m = 100.0;
+  IncentiveMechanism mech(stations, cfg);
+  const UserBehavior eager{1e9, 0.0};
+  const auto first = mech.handle_pickup(0, {1000, 0}, eager,
+                                        [](std::size_t, double) { return true; });
+  ASSERT_TRUE(first.accepted);
+  ASSERT_EQ(first.bike, 5u);
+  // Station 1 now holds {6, 7, 5}; moving toward station 2 (bigger pile,
+  // 1000 m ride) must never pick bike 5 again.
+  for (int i = 0; i < 10; ++i) {
+    const auto offer = mech.handle_pickup(1, {2000, 0}, eager,
+                                          [](std::size_t, double) { return true; });
+    if (!offer.made) break;
+    EXPECT_NE(offer.bike, 5u);
+  }
+}
+
+TEST(IncentiveSequenceCap, BoundsOfferValue) {
+  std::vector<EnergyStation> far_sequence;
+  // Ten stations in a line, each with one bike, so TSP positions reach 10.
+  for (int s = 0; s < 10; ++s) {
+    far_sequence.push_back(
+        {{s * 1000.0, 0.0}, {static_cast<std::size_t>(s)}});
+  }
+  IncentiveConfig capped;
+  capped.alpha = 1.0;
+  capped.mileage_slack_m = 100.0;
+  capped.max_sequence_position = 2;
+  IncentiveMechanism mech(far_sequence, capped);
+  const UserBehavior eager{1e9, 0.0};
+  // Pick up at the last station in the sequence; its offer value must use
+  // t <= 2 even though its true position is ~10.
+  for (std::size_t s = 0; s < far_sequence.size(); ++s) {
+    const auto offer = mech.handle_pickup(
+        s, {far_sequence[(s + 1) % far_sequence.size()].location}, eager,
+        [](std::size_t, double) { return true; });
+    if (offer.made) {
+      EXPECT_LE(offer.incentive,
+                energy::uniform_offer(1.0, 2, 1, capped.costs) + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esharing::core

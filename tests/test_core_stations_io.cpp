@@ -1,0 +1,65 @@
+#include "core/stations_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace esharing::core {
+namespace {
+
+std::vector<Station> sample_network() {
+  return {{{100.5, 200.25}, false, true},
+          {{300.0, 400.0}, true, true},
+          {{500.0, 600.0}, true, false}};
+}
+
+TEST(StationsIo, StreamRoundTrip) {
+  std::stringstream ss;
+  write_stations_csv(ss, sample_network());
+  const auto back = read_stations_csv(ss);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(back[i].location.x, sample_network()[i].location.x);
+    EXPECT_DOUBLE_EQ(back[i].location.y, sample_network()[i].location.y);
+    EXPECT_EQ(back[i].online_opened, sample_network()[i].online_opened);
+    EXPECT_EQ(back[i].active, sample_network()[i].active);
+  }
+}
+
+TEST(StationsIo, PreservesFullDoublePrecision) {
+  const std::vector<Station> net{{{1.0 / 3.0, 2.0 / 7.0}, false, true}};
+  std::stringstream ss;
+  write_stations_csv(ss, net);
+  const auto back = read_stations_csv(ss);
+  EXPECT_DOUBLE_EQ(back[0].location.x, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(back[0].location.y, 2.0 / 7.0);
+}
+
+TEST(StationsIo, RejectsBadInput) {
+  std::stringstream missing_header("1,2,3,0,1\n");
+  EXPECT_THROW((void)read_stations_csv(missing_header), std::invalid_argument);
+  std::stringstream short_row(station_csv_header() + "\n0,1,2\n");
+  EXPECT_THROW((void)read_stations_csv(short_row), std::invalid_argument);
+  std::stringstream bad_number(station_csv_header() + "\n0,abc,2,0,1\n");
+  EXPECT_THROW((void)read_stations_csv(bad_number), std::invalid_argument);
+}
+
+TEST(StationsIo, EmptyNetworkRoundTrips) {
+  std::stringstream ss;
+  write_stations_csv(ss, {});
+  EXPECT_TRUE(read_stations_csv(ss).empty());
+}
+
+TEST(StationsIo, FileRoundTripAndMissingFile) {
+  const std::string path = testing::TempDir() + "/esharing_stations_test.csv";
+  save_stations_csv(path, sample_network());
+  EXPECT_EQ(load_stations_csv(path).size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_stations_csv("/nonexistent/stations.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace esharing::core

@@ -1,0 +1,150 @@
+#include "data/binning.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "data/synthetic_city.h"
+#include "geo/geohash.h"
+
+namespace esharing::data {
+namespace {
+
+TEST(DemandMatrix, RejectsEmptyDimensions) {
+  EXPECT_THROW(DemandMatrix(0, 5), std::invalid_argument);
+  EXPECT_THROW(DemandMatrix(5, 0), std::invalid_argument);
+}
+
+TEST(DemandMatrix, AddAndAt) {
+  DemandMatrix m(3, 4);
+  m.add(1, 2);
+  m.add(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(DemandMatrix, BoundsChecked) {
+  DemandMatrix m(3, 4);
+  EXPECT_THROW((void)m.at(3, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 4), std::out_of_range);
+  EXPECT_THROW(m.add(3, 0), std::out_of_range);
+  EXPECT_THROW((void)m.cell_series(3), std::out_of_range);
+}
+
+TEST(DemandMatrix, CellSeriesExtractsRow) {
+  DemandMatrix m(2, 3);
+  m.add(1, 0, 5.0);
+  m.add(1, 2, 7.0);
+  const auto s = m.cell_series(1);
+  EXPECT_EQ(s, (std::vector<double>{5.0, 0.0, 7.0}));
+}
+
+TEST(DemandMatrix, TotalsAreConsistent) {
+  DemandMatrix m(3, 2);
+  m.add(0, 0, 1.0);
+  m.add(1, 0, 2.0);
+  m.add(2, 1, 4.0);
+  EXPECT_EQ(m.total_per_hour(), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(m.total_per_cell(), (std::vector<double>{1.0, 2.0, 4.0}));
+}
+
+TEST(DemandMatrix, TopCellsOrderedByDemand) {
+  DemandMatrix m(4, 1);
+  m.add(0, 0, 2.0);
+  m.add(1, 0, 9.0);
+  m.add(2, 0, 5.0);
+  const auto top = m.top_cells(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 2u);
+  EXPECT_EQ(m.top_cells(100).size(), 4u);  // clamped to cell count
+}
+
+class BinningFixture : public ::testing::Test {
+ protected:
+  BinningFixture() : city_(make_config(), 21), trips_(city_.generate_trips()) {}
+
+  static CityConfig make_config() {
+    CityConfig cfg;
+    cfg.num_days = 2;
+    cfg.trips_per_weekday = 200;
+    cfg.trips_per_weekend_day = 150;
+    cfg.num_bikes = 50;
+    return cfg;
+  }
+
+  SyntheticCity city_;
+  std::vector<TripRecord> trips_;
+};
+
+TEST_F(BinningFixture, BinTripsConservesTripCount) {
+  const auto grid = city_.grid();
+  const std::size_t n_hours = 48;
+  const auto m = bin_trips(grid, city_.projection(), trips_, n_hours);
+  double total = 0.0;
+  for (double h : m.total_per_hour()) total += h;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(trips_.size()));
+}
+
+TEST_F(BinningFixture, BinTripsDropsOutOfHorizonTrips) {
+  const auto grid = city_.grid();
+  const auto m = bin_trips(grid, city_.projection(), trips_, /*n_hours=*/24);
+  double total = 0.0;
+  for (double h : m.total_per_hour()) total += h;
+  EXPECT_LT(total, static_cast<double>(trips_.size()));
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(BinningFixture, DestinationsInWindowFiltersByTime) {
+  const auto all = destinations_in_window(city_.projection(), trips_, 0,
+                                          2 * kSecondsPerDay);
+  EXPECT_EQ(all.size(), trips_.size());
+  const auto first_day = destinations_in_window(city_.projection(), trips_, 0,
+                                                kSecondsPerDay);
+  EXPECT_LT(first_day.size(), all.size());
+  EXPECT_GT(first_day.size(), 0u);
+  const auto none = destinations_in_window(city_.projection(), trips_,
+                                           100 * kSecondsPerDay,
+                                           101 * kSecondsPerDay);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(BinningFixture, DemandSitesAggregateArrivals) {
+  const auto grid = city_.grid();
+  const auto sites = demand_sites_in_window(grid, city_.projection(), trips_,
+                                            0, 2 * kSecondsPerDay);
+  ASSERT_FALSE(sites.empty());
+  double total = 0.0;
+  for (const auto& s : sites) {
+    EXPECT_GT(s.arrivals, 0.0);
+    EXPECT_TRUE(grid.box().inflated(1.0).contains(s.location));
+    // Location is the centroid of the reported cell.
+    EXPECT_EQ(grid.centroid_of(grid.cell_at(s.cell)), s.location);
+    total += s.arrivals;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(trips_.size()));
+}
+
+TEST_F(BinningFixture, DemandSitesSortedByCellAndUnique) {
+  const auto grid = city_.grid();
+  const auto sites = demand_sites_in_window(grid, city_.projection(), trips_,
+                                            0, 2 * kSecondsPerDay);
+  for (std::size_t i = 1; i < sites.size(); ++i) {
+    EXPECT_LT(sites[i - 1].cell, sites[i].cell);
+  }
+}
+
+TEST_F(BinningFixture, DemandConcentratesNearPois) {
+  // POI-anchored generation: the busiest cells should hold far more
+  // arrivals than the median cell.
+  const auto grid = city_.grid();
+  const auto m = bin_trips(grid, city_.projection(), trips_, 48);
+  const auto totals = m.total_per_cell();
+  const auto top = m.top_cells(5);
+  double top_sum = 0.0;
+  for (std::size_t c : top) top_sum += totals[c];
+  EXPECT_GT(top_sum, 0.1 * static_cast<double>(trips_.size()));
+}
+
+}  // namespace
+}  // namespace esharing::data

@@ -1,0 +1,110 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace esharing::data {
+namespace {
+
+TripRecord sample_trip() {
+  TripRecord t;
+  t.order_id = 42;
+  t.user_id = 7;
+  t.bike_id = 99;
+  t.bike_type = 2;
+  t.start_time = 123456;
+  t.start_geohash = "wx4g0bm";
+  t.end_geohash = "wx4g5d2";
+  return t;
+}
+
+TEST(TripCsv, RowRoundTrip) {
+  const TripRecord t = sample_trip();
+  const TripRecord back = from_csv_row(to_csv_row(t));
+  EXPECT_EQ(back.order_id, t.order_id);
+  EXPECT_EQ(back.user_id, t.user_id);
+  EXPECT_EQ(back.bike_id, t.bike_id);
+  EXPECT_EQ(back.bike_type, t.bike_type);
+  EXPECT_EQ(back.start_time, t.start_time);
+  EXPECT_EQ(back.start_geohash, t.start_geohash);
+  EXPECT_EQ(back.end_geohash, t.end_geohash);
+}
+
+TEST(TripCsv, RowFormatMatchesMobikeLayout) {
+  EXPECT_EQ(to_csv_row(sample_trip()), "42,7,99,2,123456,wx4g0bm,wx4g5d2");
+  EXPECT_EQ(trip_csv_header(),
+            "orderid,userid,bikeid,biketype,starttime,"
+            "geohashed_start_loc,geohashed_end_loc");
+}
+
+TEST(TripCsv, StreamRoundTripPreservesAllTrips) {
+  std::vector<TripRecord> trips;
+  for (int i = 0; i < 10; ++i) {
+    TripRecord t = sample_trip();
+    t.order_id = i;
+    t.start_time = i * 100;
+    trips.push_back(t);
+  }
+  std::stringstream ss;
+  write_trips_csv(ss, trips);
+  const auto back = read_trips_csv(ss);
+  ASSERT_EQ(back.size(), trips.size());
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    EXPECT_EQ(back[i].order_id, trips[i].order_id);
+    EXPECT_EQ(back[i].start_time, trips[i].start_time);
+  }
+}
+
+TEST(TripCsv, ReadSkipsBlankLines) {
+  std::stringstream ss(trip_csv_header() + "\n\n" + to_csv_row(sample_trip()) +
+                       "\n\n");
+  EXPECT_EQ(read_trips_csv(ss).size(), 1u);
+}
+
+TEST(TripCsv, RejectsWrongColumnCount) {
+  EXPECT_THROW((void)from_csv_row("1,2,3"), std::invalid_argument);
+  EXPECT_THROW((void)from_csv_row("1,2,3,4,5,wx4g0bm,wx4g5d2,extra"),
+               std::invalid_argument);
+}
+
+TEST(TripCsv, RejectsNonNumericIds) {
+  EXPECT_THROW((void)from_csv_row("abc,7,99,2,0,wx4g0bm,wx4g5d2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_csv_row("1,7,99,2,12x,wx4g0bm,wx4g5d2"),
+               std::invalid_argument);
+}
+
+TEST(TripCsv, RejectsInvalidGeohash) {
+  EXPECT_THROW((void)from_csv_row("1,7,99,2,0,alpha!!,wx4g5d2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)from_csv_row("1,7,99,2,0,wx4g0bm,"),
+               std::invalid_argument);
+}
+
+TEST(TripCsv, RejectsMissingOrWrongHeader) {
+  std::stringstream empty;
+  EXPECT_THROW((void)read_trips_csv(empty), std::invalid_argument);
+  std::stringstream wrong("id,stuff\n");
+  EXPECT_THROW((void)read_trips_csv(wrong), std::invalid_argument);
+}
+
+TEST(TripCsv, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/esharing_trips_test.csv";
+  const std::vector<TripRecord> trips{sample_trip()};
+  save_trips_csv(path, trips);
+  const auto back = load_trips_csv(path);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].order_id, 42);
+  std::remove(path.c_str());
+}
+
+TEST(TripCsv, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_trips_csv("/nonexistent/path/trips.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace esharing::data

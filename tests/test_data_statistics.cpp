@@ -1,0 +1,88 @@
+#include "data/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "data/synthetic_city.h"
+
+namespace esharing::data {
+namespace {
+
+class StatisticsFixture : public ::testing::Test {
+ protected:
+  StatisticsFixture() : city_(make_config(), 61), trips_(city_.generate_trips()) {}
+  static CityConfig make_config() {
+    CityConfig cfg;
+    cfg.num_days = 5;  // Wed..Sun
+    cfg.trips_per_weekday = 400;
+    cfg.trips_per_weekend_day = 300;
+    cfg.num_bikes = 80;
+    cfg.num_users = 200;
+    return cfg;
+  }
+  SyntheticCity city_;
+  std::vector<TripRecord> trips_;
+};
+
+TEST_F(StatisticsFixture, SummaryCountsAreConsistent) {
+  const auto s = summarize(trips_, city_.projection());
+  EXPECT_EQ(s.trips, trips_.size());
+  EXPECT_EQ(s.days, 5);
+  EXPECT_NEAR(s.trips_per_day, static_cast<double>(trips_.size()) / 5.0, 1e-9);
+  EXPECT_LE(s.unique_bikes, make_config().num_bikes);
+  EXPECT_GT(s.unique_bikes, make_config().num_bikes / 2);
+  EXPECT_LE(s.unique_users, make_config().num_users);
+  EXPECT_NEAR(s.trips_per_bike,
+              static_cast<double>(s.trips) / static_cast<double>(s.unique_bikes),
+              1e-9);
+}
+
+TEST_F(StatisticsFixture, SharesSumToOne) {
+  const auto s = summarize(trips_, city_.projection());
+  EXPECT_NEAR(std::accumulate(s.hourly_share.begin(), s.hourly_share.end(), 0.0),
+              1.0, 1e-9);
+  EXPECT_NEAR(std::accumulate(s.weekday_share.begin(), s.weekday_share.end(), 0.0),
+              1.0, 1e-9);
+  // No Monday/Tuesday trips in a Wed..Sun window.
+  EXPECT_DOUBLE_EQ(s.weekday_share[static_cast<std::size_t>(Weekday::kMonday)], 0.0);
+  EXPECT_GT(s.weekday_share[static_cast<std::size_t>(Weekday::kSaturday)], 0.0);
+}
+
+TEST_F(StatisticsFixture, TripLengthQuantilesOrdered) {
+  const auto s = summarize(trips_, city_.projection());
+  EXPECT_GT(s.mean_trip_m, 0.0);
+  EXPECT_LE(s.median_trip_m, s.p90_trip_m);
+  // The generator keeps rides within ~3 miles.
+  EXPECT_LT(s.p90_trip_m, 5000.0);
+}
+
+TEST_F(StatisticsFixture, RushHoursDominateHourlyShare) {
+  const auto s = summarize(trips_, city_.projection());
+  EXPECT_GT(s.hourly_share[8] + s.hourly_share[18],
+            4.0 * (s.hourly_share[2] + s.hourly_share[3] + 1e-6));
+}
+
+TEST(Statistics, SummarizeRejectsEmpty) {
+  geo::LocalProjection proj({39.86, 116.38});
+  EXPECT_THROW((void)summarize({}, proj), std::invalid_argument);
+}
+
+TEST_F(StatisticsFixture, TopOdFlowsSortedAndConserved) {
+  const auto grid = city_.grid();
+  const auto flows = top_od_flows(grid, city_.projection(), trips_, 10);
+  ASSERT_LE(flows.size(), 10u);
+  ASSERT_FALSE(flows.empty());
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i - 1].count, flows[i].count);
+  }
+  // Full (unlimited) flow list conserves the trip count.
+  const auto all = top_od_flows(grid, city_.projection(), trips_, SIZE_MAX);
+  std::size_t total = 0;
+  for (const auto& f : all) total += f.count;
+  EXPECT_EQ(total, trips_.size());
+}
+
+}  // namespace
+}  // namespace esharing::data

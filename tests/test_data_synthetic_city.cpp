@@ -1,0 +1,197 @@
+#include "data/synthetic_city.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "geo/geohash.h"
+#include "stats/ks2d.h"
+
+namespace esharing::data {
+namespace {
+
+CityConfig small_config() {
+  CityConfig cfg;
+  cfg.num_days = 4;  // Wed..Sat: three weekdays + one weekend day
+  cfg.trips_per_weekday = 300;
+  cfg.trips_per_weekend_day = 240;
+  cfg.num_bikes = 80;
+  cfg.num_users = 200;
+  return cfg;
+}
+
+TEST(SyntheticCity, DeterministicForSameSeed) {
+  SyntheticCity a(small_config(), 7);
+  SyntheticCity b(small_config(), 7);
+  const auto ta = a.generate_trips();
+  const auto tb = b.generate_trips();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].start_time, tb[i].start_time);
+    EXPECT_EQ(ta[i].end_geohash, tb[i].end_geohash);
+    EXPECT_EQ(ta[i].bike_id, tb[i].bike_id);
+  }
+}
+
+TEST(SyntheticCity, TripCountMatchesDayTypes) {
+  SyntheticCity city(small_config(), 1);
+  const auto trips = city.generate_trips();
+  // 3 weekdays (Wed, Thu, Fri) * 300 + 1 weekend day (Sat) * 240.
+  EXPECT_EQ(trips.size(), 3u * 300u + 240u);
+}
+
+TEST(SyntheticCity, TripsAreChronologicalWithUniqueOrderIds) {
+  SyntheticCity city(small_config(), 2);
+  const auto trips = city.generate_trips();
+  std::set<std::int64_t> ids;
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    if (i > 0) EXPECT_LE(trips[i - 1].start_time, trips[i].start_time);
+    ids.insert(trips[i].order_id);
+  }
+  EXPECT_EQ(ids.size(), trips.size());
+}
+
+TEST(SyntheticCity, LocationsDecodeInsideField) {
+  SyntheticCity city(small_config(), 3);
+  const auto margin_box = city.field().inflated(150.0);  // geohash cell slack
+  for (const auto& t : city.generate_trips()) {
+    EXPECT_TRUE(geo::geohash_valid(t.start_geohash));
+    EXPECT_TRUE(geo::geohash_valid(t.end_geohash));
+    EXPECT_TRUE(margin_box.contains(city.start_point(t)));
+    EXPECT_TRUE(margin_box.contains(city.end_point(t)));
+  }
+}
+
+TEST(SyntheticCity, BikeContinuityAcrossTrips) {
+  // A bike's next trip starts within one geohash cell of where its previous
+  // trip ended.
+  SyntheticCity city(small_config(), 4);
+  const auto trips = city.generate_trips();
+  std::unordered_map<std::int64_t, std::string> last_end;
+  int checked = 0;
+  for (const auto& t : trips) {
+    const auto it = last_end.find(t.bike_id);
+    if (it != last_end.end()) {
+      const auto prev = geo::geohash_decode(it->second).center;
+      const auto start = geo::geohash_decode(t.start_geohash).center;
+      EXPECT_NEAR(prev.lat, start.lat, 1e-9);
+      EXPECT_NEAR(prev.lon, start.lon, 1e-9);
+      ++checked;
+    }
+    last_end[t.bike_id] = t.end_geohash;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST(SyntheticCity, RushHoursDominateWeekdays) {
+  CityConfig cfg = small_config();
+  cfg.num_days = 3;  // Wed..Fri, all weekdays
+  SyntheticCity city(cfg, 5);
+  std::array<int, 24> per_hour{};
+  for (const auto& t : city.generate_trips()) {
+    ++per_hour[static_cast<std::size_t>(hour_of_day(t.start_time))];
+  }
+  const int rush = per_hour[8] + per_hour[18];
+  const int night = per_hour[2] + per_hour[3];
+  EXPECT_GT(rush, 5 * std::max(night, 1));
+}
+
+TEST(SyntheticCity, WeekdayWeekendDistributionsDiffer) {
+  CityConfig cfg = small_config();
+  cfg.num_days = 12;
+  SyntheticCity city(cfg, 6);
+  const auto trips = city.generate_trips();
+  std::vector<geo::Point> weekday, weekend;
+  for (const auto& t : trips) {
+    // Compare the same hours (midday) across day types.
+    const int h = hour_of_day(t.start_time);
+    if (h < 10 || h > 16) continue;
+    auto& bucket = is_weekend(t.start_time) ? weekend : weekday;
+    if (bucket.size() < 150) bucket.push_back(city.end_point(t));
+  }
+  ASSERT_GE(weekday.size(), 100u);
+  ASSERT_GE(weekend.size(), 100u);
+  const auto result = stats::ks2d_test(weekday, weekend);
+  EXPECT_LT(result.similarity, 95.0);  // the Table IV cross-block regime
+}
+
+TEST(SyntheticCity, RepeatedGenerationContinuesTime) {
+  SyntheticCity city(small_config(), 8);
+  const auto first = city.generate_trips();
+  const auto second = city.generate_trips();
+  EXPECT_GT(second.front().start_time, first.back().start_time - kSecondsPerDay);
+  EXPECT_GT(second.front().order_id, first.back().order_id);
+  EXPECT_EQ(day_index(second.front().start_time), 4);
+}
+
+TEST(SyntheticCity, EventBurstClustersAtRequestedLocation) {
+  SyntheticCity city(small_config(), 9);
+  (void)city.generate_trips();
+  const geo::Point center{2600.0, 300.0};
+  const auto burst = city.generate_event_burst(
+      5 * kSecondsPerDay, kSecondsPerHour, center, 60.0, 100);
+  ASSERT_EQ(burst.size(), 100u);
+  double mean_dist = 0.0;
+  for (const auto& t : burst) {
+    mean_dist += geo::distance(city.end_point(t), center);
+  }
+  mean_dist /= 100.0;
+  EXPECT_LT(mean_dist, 220.0);  // sigma 60 + geohash quantization
+}
+
+TEST(SyntheticCity, EventBurstRejectsNonPositiveDuration) {
+  SyntheticCity city(small_config(), 10);
+  EXPECT_THROW((void)city.generate_event_burst(0, 0, {0, 0}, 10.0, 5),
+               std::invalid_argument);
+}
+
+TEST(SyntheticCity, ValidatesConfig) {
+  CityConfig bad = small_config();
+  bad.num_bikes = 0;
+  EXPECT_THROW(SyntheticCity(bad, 1), std::invalid_argument);
+  CityConfig bad2 = small_config();
+  bad2.field_size_m = 0.0;
+  EXPECT_THROW(SyntheticCity(bad2, 1), std::invalid_argument);
+}
+
+TEST(SyntheticCity, PoiCategoriesAllPresent) {
+  SyntheticCity city(small_config(), 11);
+  std::set<PoiCategory> cats;
+  for (const auto& poi : city.pois()) cats.insert(poi.category);
+  EXPECT_EQ(cats.size(), static_cast<std::size_t>(kNumPoiCategories));
+  EXPECT_EQ(city.pois().size(),
+            small_config().pois_per_category * kNumPoiCategories);
+}
+
+TEST(CategoryWeight, OfficePeaksOnWeekdayMorning) {
+  EXPECT_GT(category_weight(PoiCategory::kOffice, false, 8),
+            category_weight(PoiCategory::kOffice, false, 22));
+  EXPECT_GT(category_weight(PoiCategory::kOffice, false, 8),
+            category_weight(PoiCategory::kOffice, true, 8));
+}
+
+TEST(CategoryWeight, RecreationPeaksOnWeekend) {
+  EXPECT_GT(category_weight(PoiCategory::kRecreation, true, 14),
+            category_weight(PoiCategory::kRecreation, false, 14));
+}
+
+TEST(CategoryWeight, RejectsBadHour) {
+  EXPECT_THROW((void)category_weight(PoiCategory::kSubway, false, 24),
+               std::invalid_argument);
+  EXPECT_THROW((void)category_weight(PoiCategory::kSubway, false, -1),
+               std::invalid_argument);
+}
+
+TEST(Profiles, WeekdayDoublePeaked) {
+  const auto& p = weekday_profile();
+  EXPECT_GT(p[8], p[12]);
+  EXPECT_GT(p[18], p[12]);
+  EXPECT_GT(p[12], p[3]);
+}
+
+}  // namespace
+}  // namespace esharing::data

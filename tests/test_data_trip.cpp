@@ -1,0 +1,65 @@
+#include "data/trip.h"
+
+#include <gtest/gtest.h>
+
+namespace esharing::data {
+namespace {
+
+TEST(Calendar, DayIndexOfTimestamps) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay), 1);
+  EXPECT_EQ(day_index(14 * kSecondsPerDay + 5), 14);
+}
+
+TEST(Calendar, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(kSecondsPerHour * 7 + 100), 7);
+  EXPECT_EQ(hour_of_day(kSecondsPerDay + 23 * kSecondsPerHour), 23);
+}
+
+TEST(Calendar, HourIndexAccumulatesAcrossDays) {
+  EXPECT_EQ(hour_index(0), 0);
+  EXPECT_EQ(hour_index(kSecondsPerDay), 24);
+  EXPECT_EQ(hour_index(2 * kSecondsPerDay + 5 * kSecondsPerHour), 53);
+}
+
+TEST(Calendar, EpochIsWednesday20170510) {
+  EXPECT_EQ(weekday_of(0), Weekday::kWednesday);
+  EXPECT_EQ(weekday_of(kSecondsPerDay), Weekday::kThursday);
+  EXPECT_EQ(weekday_of(2 * kSecondsPerDay), Weekday::kFriday);
+  EXPECT_EQ(weekday_of(3 * kSecondsPerDay), Weekday::kSaturday);
+  EXPECT_EQ(weekday_of(4 * kSecondsPerDay), Weekday::kSunday);
+  EXPECT_EQ(weekday_of(5 * kSecondsPerDay), Weekday::kMonday);
+}
+
+TEST(Calendar, WeekendPredicate) {
+  EXPECT_FALSE(is_weekend(0));                      // Wed
+  EXPECT_TRUE(is_weekend(3 * kSecondsPerDay));      // Sat 2017-05-13
+  EXPECT_TRUE(is_weekend(4 * kSecondsPerDay));      // Sun
+  EXPECT_FALSE(is_weekend(5 * kSecondsPerDay));     // Mon
+  EXPECT_TRUE(is_weekend(10 * kSecondsPerDay));     // Sat 2017-05-20
+  EXPECT_TRUE(is_weekend(11 * kSecondsPerDay));     // Sun 2017-05-21
+}
+
+TEST(Calendar, WeekdayNames) {
+  EXPECT_STREQ(weekday_name(Weekday::kMonday), "Mon");
+  EXPECT_STREQ(weekday_name(Weekday::kSunday), "Sun");
+}
+
+TEST(Trip, SortByStartTimeWithStableOrderIdTiebreak) {
+  std::vector<TripRecord> trips(3);
+  trips[0].order_id = 3;
+  trips[0].start_time = 100;
+  trips[1].order_id = 1;
+  trips[1].start_time = 100;
+  trips[2].order_id = 2;
+  trips[2].start_time = 50;
+  sort_by_start_time(trips);
+  EXPECT_EQ(trips[0].order_id, 2);
+  EXPECT_EQ(trips[1].order_id, 1);
+  EXPECT_EQ(trips[2].order_id, 3);
+}
+
+}  // namespace
+}  // namespace esharing::data

@@ -1,0 +1,113 @@
+#include "energy/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esharing::energy {
+namespace {
+
+EnergyConfig default_config() { return EnergyConfig{}; }
+
+TEST(BikeFleet, ValidatesConstruction) {
+  EXPECT_THROW(BikeFleet(0, default_config(), 1), std::invalid_argument);
+  EnergyConfig bad = default_config();
+  bad.consumption_per_km = 0.0;
+  EXPECT_THROW(BikeFleet(10, bad, 1), std::invalid_argument);
+  bad = default_config();
+  bad.low_threshold = 1.5;
+  EXPECT_THROW(BikeFleet(10, bad, 1), std::invalid_argument);
+  bad = default_config();
+  bad.low_tail_fraction = -0.1;
+  EXPECT_THROW(BikeFleet(10, bad, 1), std::invalid_argument);
+}
+
+TEST(BikeFleet, InitialSocWithinBounds) {
+  const BikeFleet fleet(500, default_config(), 2);
+  for (std::size_t b = 0; b < fleet.size(); ++b) {
+    EXPECT_GE(fleet.soc(b), default_config().min_soc);
+    EXPECT_LE(fleet.soc(b), 1.0);
+  }
+}
+
+TEST(BikeFleet, InitialDistributionHasLowTail) {
+  // Fig. 2(d): a majority healthy plus a visible low-battery tail.
+  const BikeFleet fleet(2000, default_config(), 3);
+  const double low = fleet.low_fraction();
+  EXPECT_GT(low, 0.05);
+  EXPECT_LT(low, 0.40);
+}
+
+TEST(BikeFleet, RideDrainsProportionallyToDistance) {
+  BikeFleet fleet(3, default_config(), 4);
+  fleet.set_soc(0, 0.8);
+  const double after = fleet.ride(0, 5000.0);  // 5 km * 2%/km = 10%
+  EXPECT_NEAR(after, 0.7, 1e-12);
+  EXPECT_NEAR(fleet.soc(0), 0.7, 1e-12);
+}
+
+TEST(BikeFleet, RideClampsAtMinSoc) {
+  BikeFleet fleet(2, default_config(), 5);
+  fleet.set_soc(0, 0.05);
+  EXPECT_DOUBLE_EQ(fleet.ride(0, 1e6), default_config().min_soc);
+}
+
+TEST(BikeFleet, RideRejectsNegativeDistance) {
+  BikeFleet fleet(1, default_config(), 6);
+  EXPECT_THROW((void)fleet.ride(0, -1.0), std::invalid_argument);
+}
+
+TEST(BikeFleet, CanRideChecksRemainingRange) {
+  BikeFleet fleet(2, default_config(), 7);
+  fleet.set_soc(0, 0.10);  // 10% - min 2% = 8% => 4 km range
+  EXPECT_TRUE(fleet.can_ride(0, 3000.0));
+  EXPECT_FALSE(fleet.can_ride(0, 5000.0));
+}
+
+TEST(BikeFleet, RechargeRestoresFull) {
+  BikeFleet fleet(2, default_config(), 8);
+  fleet.set_soc(1, 0.1);
+  fleet.recharge(1);
+  EXPECT_DOUBLE_EQ(fleet.soc(1), 1.0);
+  EXPECT_FALSE(fleet.is_low(1));
+}
+
+TEST(BikeFleet, LowBatteryDetection) {
+  BikeFleet fleet(4, default_config(), 9);
+  fleet.set_soc(0, 0.10);
+  fleet.set_soc(1, 0.19);
+  fleet.set_soc(2, 0.20);  // exactly at threshold: not low (strict <)
+  fleet.set_soc(3, 0.90);
+  EXPECT_TRUE(fleet.is_low(0));
+  EXPECT_TRUE(fleet.is_low(1));
+  EXPECT_FALSE(fleet.is_low(2));
+  EXPECT_FALSE(fleet.is_low(3));
+  EXPECT_EQ(fleet.low_battery_bikes(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(BikeFleet, SetSocClamps) {
+  BikeFleet fleet(1, default_config(), 10);
+  fleet.set_soc(0, 2.0);
+  EXPECT_DOUBLE_EQ(fleet.soc(0), 1.0);
+  fleet.set_soc(0, -1.0);
+  EXPECT_DOUBLE_EQ(fleet.soc(0), default_config().min_soc);
+}
+
+TEST(BikeFleet, IndexBoundsChecked) {
+  BikeFleet fleet(2, default_config(), 11);
+  EXPECT_THROW((void)fleet.soc(2), std::out_of_range);
+  EXPECT_THROW(fleet.set_soc(2, 0.5), std::out_of_range);
+  EXPECT_THROW((void)fleet.ride(2, 1.0), std::out_of_range);
+  EXPECT_THROW((void)fleet.can_ride(2, 1.0), std::out_of_range);
+  EXPECT_THROW(fleet.recharge(2), std::out_of_range);
+}
+
+TEST(BikeFleet, DeterministicPerSeed) {
+  const BikeFleet a(50, default_config(), 12), b(50, default_config(), 12);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.soc(i), b.soc(i));
+  }
+}
+
+}  // namespace
+}  // namespace esharing::energy

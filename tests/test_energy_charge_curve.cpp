@@ -1,0 +1,83 @@
+#include "energy/charge_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::energy {
+namespace {
+
+ChargeCurve curve() { return ChargeCurve{}; }
+
+TEST(ChargeCurve, CcPhaseIsLinear) {
+  // 0.2 -> 0.6 entirely below the knee: 0.4 SoC at 0.8 SoC/h = 0.5 h.
+  EXPECT_NEAR(charge_time_hours(curve(), 0.2, 0.6), 0.5, 1e-12);
+  EXPECT_NEAR(charge_time_hours(curve(), 0.0, 0.8), 1.0, 1e-12);
+}
+
+TEST(ChargeCurve, CvPhaseSlowsDown) {
+  // Equal SoC gains cost more time above the knee.
+  const double below = charge_time_hours(curve(), 0.60, 0.70);
+  const double above = charge_time_hours(curve(), 0.85, 0.95);
+  EXPECT_GT(above, 2.0 * below);
+}
+
+TEST(ChargeCurve, TargetsClampAtMaxSoc) {
+  const double to_max = charge_time_hours(curve(), 0.5, 1.0);
+  const double to_clamp = charge_time_hours(curve(), 0.5, curve().max_soc);
+  EXPECT_DOUBLE_EQ(to_max, to_clamp);
+  EXPECT_TRUE(std::isfinite(to_max));
+}
+
+TEST(ChargeCurve, TimeAndSocAreInverses) {
+  stats::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double from = rng.uniform(0.0, 0.9);
+    const double to = rng.uniform(from, 0.99);
+    const double t = charge_time_hours(curve(), from, to);
+    EXPECT_NEAR(soc_after_charging(curve(), from, t), std::min(to, curve().max_soc),
+                1e-9);
+  }
+}
+
+TEST(ChargeCurve, SocAfterChargingMonotoneAndBounded) {
+  double prev = 0.1;
+  for (double h = 0.0; h <= 8.0; h += 0.25) {
+    const double s = soc_after_charging(curve(), 0.1, h);
+    EXPECT_GE(s, prev - 1e-12);
+    EXPECT_LE(s, curve().max_soc + 1e-12);
+    prev = s;
+  }
+}
+
+TEST(ChargeCurve, Validates) {
+  EXPECT_THROW((void)charge_time_hours(curve(), -0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)charge_time_hours(curve(), 0.9, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)soc_after_charging(curve(), 0.5, -1.0), std::invalid_argument);
+  ChargeCurve bad = curve();
+  bad.cc_rate_per_hour = 0.0;
+  EXPECT_THROW((void)charge_time_hours(bad, 0.1, 0.5), std::invalid_argument);
+  bad = curve();
+  bad.knee_soc = 1.5;
+  EXPECT_THROW((void)charge_time_hours(bad, 0.1, 0.5), std::invalid_argument);
+}
+
+TEST(PileChargeHours, ParallelismBoundedBySlowestBattery) {
+  const std::vector<double> socs{0.1, 0.5, 0.7};
+  const double serial = pile_charge_hours(curve(), socs, 0.95, 1);
+  const double parallel = pile_charge_hours(curve(), socs, 0.95, 3);
+  const double slowest = charge_time_hours(curve(), 0.1, 0.95);
+  EXPECT_GT(serial, parallel);
+  EXPECT_NEAR(parallel, slowest, 1e-9);  // 3 slots: makespan = slowest
+  EXPECT_THROW((void)pile_charge_hours(curve(), socs, 0.95, 0),
+               std::invalid_argument);
+}
+
+TEST(PileChargeHours, EmptyPileIsFree) {
+  EXPECT_DOUBLE_EQ(pile_charge_hours(curve(), {}, 0.95, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace esharing::energy

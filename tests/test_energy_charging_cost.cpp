@@ -1,0 +1,112 @@
+#include "energy/charging_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include <stdexcept>
+
+namespace esharing::energy {
+namespace {
+
+ChargingCostParams paper_params() {
+  return {.service_cost_q = 5.0, .delay_cost_d = 5.0, .energy_cost_b = 2.0};
+}
+
+TEST(ChargingCost, StationCostFormula) {
+  // b*l + q + (t-1)*d for t=3, l=4: 2*4 + 5 + 10 = 23 (first stop pays no
+  // delay, so the Eq. 10 total closes).
+  EXPECT_DOUBLE_EQ(station_cost(3, 4, paper_params()), 23.0);
+  EXPECT_DOUBLE_EQ(station_cost(1, 0, paper_params()), 5.0);
+  EXPECT_THROW((void)station_cost(0, 4, paper_params()), std::invalid_argument);
+}
+
+TEST(ChargingCost, TotalMatchesEq10) {
+  // C = n q + l b + (n^2 - n)/2 d, n=10, l=30:
+  // 50 + 60 + 45*5 = 335.
+  EXPECT_DOUBLE_EQ(total_charging_cost(10, 30, paper_params()), 335.0);
+  EXPECT_DOUBLE_EQ(total_charging_cost(0, 0, paper_params()), 0.0);
+  EXPECT_DOUBLE_EQ(total_charging_cost(1, 0, paper_params()), 5.0);
+}
+
+TEST(ChargingCost, TotalEqualsSumOfStationCosts) {
+  const auto p = paper_params();
+  const std::size_t n = 7;
+  const std::vector<std::size_t> bikes{3, 1, 4, 1, 5, 9, 2};
+  double sum = 0.0;
+  std::size_t total_bikes = 0;
+  for (std::size_t t = 1; t <= n; ++t) {
+    sum += station_cost(t, bikes[t - 1], p);
+    total_bikes += bikes[t - 1];
+  }
+  EXPECT_NEAR(sum, total_charging_cost(n, total_bikes, p), 1e-9);
+}
+
+TEST(SavingRatio, MatchesEq11ClosedForm) {
+  const auto p = paper_params();
+  // m=13, n=20: 1 - (13*5 + 78*5) / (20*5 + 190*5) = 1 - 455/1050.
+  EXPECT_NEAR(saving_ratio(13, 20, p), 1.0 - 455.0 / 1050.0, 1e-12);
+}
+
+TEST(SavingRatio, BoundaryCases) {
+  const auto p = paper_params();
+  EXPECT_DOUBLE_EQ(saving_ratio(20, 20, p), 0.0);   // no aggregation
+  EXPECT_GT(saving_ratio(0, 20, p), 0.99);          // everything aggregated
+  EXPECT_THROW((void)saving_ratio(5, 0, p), std::invalid_argument);
+  EXPECT_THROW((void)saving_ratio(21, 20, p), std::invalid_argument);
+}
+
+TEST(SavingRatio, MonotoneDecreasingInM) {
+  const auto p = paper_params();
+  double prev = 1.1;
+  for (std::size_t m = 0; m <= 20; ++m) {
+    const double r = saving_ratio(m, 20, p);
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(SavingRatio, PaperHeadline65PercentOfStationsSavesAboutHalf) {
+  // Fig. 7(a): m/n = 0.65 brings about 50% saving (for delay-dominated
+  // regimes). With n=40, m=26 and the paper's q=d the quadratic delay term
+  // dominates and the saving is close to 0.5.
+  const double r = saving_ratio(26, 40, paper_params());
+  EXPECT_NEAR(r, 0.5, 0.1);
+}
+
+TEST(SavingRatio, GrowsWithDelayCost) {
+  ChargingCostParams cheap_delay{.service_cost_q = 5.0, .delay_cost_d = 0.5,
+                                 .energy_cost_b = 2.0};
+  ChargingCostParams pricey_delay{.service_cost_q = 5.0, .delay_cost_d = 50.0,
+                                  .energy_cost_b = 2.0};
+  EXPECT_GT(saving_ratio(10, 20, pricey_delay), saving_ratio(10, 20, cheap_delay));
+}
+
+TEST(MaxStationSaving, MatchesEq12) {
+  EXPECT_DOUBLE_EQ(max_station_saving(1, paper_params()), 5.0);   // q only
+  EXPECT_DOUBLE_EQ(max_station_saving(7, paper_params()), 35.0);  // q + 6d
+  EXPECT_THROW((void)max_station_saving(0, paper_params()),
+               std::invalid_argument);
+}
+
+TEST(UniformOffer, FormulaAndBudgetGuarantee) {
+  const auto p = paper_params();
+  // v = alpha*(q + (t-1) d)/l. alpha=0.4, t=3, l=4 -> 0.4*15/4 = 1.5.
+  EXPECT_DOUBLE_EQ(uniform_offer(0.4, 3, 4, p), 1.5);
+  // Total payment when all l users accept = alpha*(q+td) <= Delta_i.
+  for (double alpha : {0.1, 0.5, 1.0}) {
+    const double total_paid = uniform_offer(alpha, 3, 4, p) * 4.0;
+    EXPECT_LE(total_paid, max_station_saving(3, p) + 1e-12);
+  }
+}
+
+TEST(UniformOffer, Validates) {
+  const auto p = paper_params();
+  EXPECT_THROW((void)uniform_offer(-0.1, 1, 2, p), std::invalid_argument);
+  EXPECT_THROW((void)uniform_offer(1.1, 1, 2, p), std::invalid_argument);
+  EXPECT_THROW((void)uniform_offer(0.5, 1, 0, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::energy

@@ -1,0 +1,144 @@
+#include "geo/geohash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include <set>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::geo {
+namespace {
+
+TEST(Geohash, KnownReferenceValue) {
+  // Canonical example: 57.64911, 10.40744 -> u4pruydqqvj
+  EXPECT_EQ(geohash_encode({57.64911, 10.40744}, 11), "u4pruydqqvj");
+}
+
+TEST(Geohash, BeijingCellPrefix) {
+  // Downtown Beijing hashes start with "wx4" at precision >= 3.
+  const std::string h = geohash_encode({39.9042, 116.4074}, 7);
+  EXPECT_EQ(h.substr(0, 3), "wx4");
+  EXPECT_EQ(h.size(), 7u);
+}
+
+TEST(Geohash, DecodeRecoversCenterWithinCellError) {
+  const LatLon original{39.9042, 116.4074};
+  const auto cell = geohash_decode(geohash_encode(original, 7));
+  EXPECT_LE(std::abs(cell.center.lat - original.lat), cell.lat_err);
+  EXPECT_LE(std::abs(cell.center.lon - original.lon), cell.lon_err);
+}
+
+TEST(Geohash, SevenCharCellIsAbout153By117MetersAtBeijing) {
+  const auto cell = geohash_decode(geohash_encode({39.9, 116.4}, 7));
+  // 7 chars = 18 lon bits + 17 lat bits: 180/2^17 deg tall, 360/2^18 wide.
+  const double lat_m = 2.0 * cell.lat_err * 111195.0;
+  const double lon_m = 2.0 * cell.lon_err * 111195.0 *
+                       std::cos(39.9 * std::numbers::pi / 180.0);
+  EXPECT_NEAR(lat_m, 152.7, 5.0);
+  EXPECT_NEAR(lon_m, 117.2, 5.0);
+}
+
+TEST(Geohash, LongerPrecisionShrinksCell) {
+  const LatLon c{39.9, 116.4};
+  const auto c5 = geohash_decode(geohash_encode(c, 5));
+  const auto c9 = geohash_decode(geohash_encode(c, 9));
+  EXPECT_LT(c9.lat_err, c5.lat_err);
+  EXPECT_LT(c9.lon_err, c5.lon_err);
+}
+
+TEST(Geohash, PrefixPropertyHolds) {
+  // A shorter geohash is a prefix of the longer one for the same point.
+  const LatLon c{-33.8675, 151.207};
+  EXPECT_EQ(geohash_encode(c, 4), geohash_encode(c, 9).substr(0, 4));
+}
+
+TEST(Geohash, RoundTripPropertyRandomPoints) {
+  stats::Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const LatLon c{rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0)};
+    const std::string h = geohash_encode(c, 8);
+    ASSERT_TRUE(geohash_valid(h));
+    const auto cell = geohash_decode(h);
+    EXPECT_LE(std::abs(cell.center.lat - c.lat), cell.lat_err * 1.0000001);
+    EXPECT_LE(std::abs(cell.center.lon - c.lon), cell.lon_err * 1.0000001);
+    // Re-encoding the center reproduces the hash.
+    EXPECT_EQ(geohash_encode(cell.center, 8), h);
+  }
+}
+
+TEST(Geohash, EncodeRejectsBadInputs) {
+  EXPECT_THROW(geohash_encode({91.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(geohash_encode({0.0, 181.0}), std::invalid_argument);
+  EXPECT_THROW(geohash_encode({0.0, 0.0}, 0), std::invalid_argument);
+  EXPECT_THROW(geohash_encode({0.0, 0.0}, 23), std::invalid_argument);
+}
+
+TEST(Geohash, DecodeRejectsBadInputs) {
+  EXPECT_THROW(geohash_decode(""), std::invalid_argument);
+  EXPECT_THROW(geohash_decode("wx4a"), std::invalid_argument);  // 'a' invalid
+  EXPECT_THROW(geohash_decode("wx4!"), std::invalid_argument);
+}
+
+TEST(Geohash, ValidityPredicate) {
+  EXPECT_TRUE(geohash_valid("wx4g0bm"));
+  EXPECT_FALSE(geohash_valid(""));
+  EXPECT_FALSE(geohash_valid("aio"));  // a, i, o are not geohash digits
+  EXPECT_FALSE(geohash_valid("wx4 g"));
+}
+
+
+TEST(GeohashNeighbors, AdjacentCellsAreOneCellApart) {
+  const std::string h = geohash_encode({39.9, 116.4}, 7);
+  const auto cell = geohash_decode(h);
+  const std::string east = geohash_neighbor(h, 1, 0);
+  const auto ecell = geohash_decode(east);
+  EXPECT_NEAR(ecell.center.lon - cell.center.lon, 2.0 * cell.lon_err, 1e-9);
+  EXPECT_NEAR(ecell.center.lat, cell.center.lat, 1e-9);
+  const std::string north = geohash_neighbor(h, 0, 1);
+  const auto ncell = geohash_decode(north);
+  EXPECT_NEAR(ncell.center.lat - cell.center.lat, 2.0 * cell.lat_err, 1e-9);
+}
+
+TEST(GeohashNeighbors, RoundTripReturnsToStart) {
+  const std::string h = geohash_encode({-12.34, 45.67}, 6);
+  std::string walked = h;
+  walked = geohash_neighbor(walked, 1, 0);
+  walked = geohash_neighbor(walked, 0, 1);
+  walked = geohash_neighbor(walked, -1, 0);
+  walked = geohash_neighbor(walked, 0, -1);
+  EXPECT_EQ(walked, h);
+}
+
+TEST(GeohashNeighbors, EightDistinctNeighbors) {
+  const std::string h = geohash_encode({39.9, 116.4}, 7);
+  const auto nbrs = geohash_neighbors(h);
+  ASSERT_EQ(nbrs.size(), 8u);
+  std::set<std::string> unique(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_EQ(unique.count(h), 0u);
+  for (const auto& n : nbrs) {
+    EXPECT_EQ(n.size(), h.size());
+    EXPECT_TRUE(geohash_valid(n));
+  }
+}
+
+TEST(GeohashNeighbors, WrapsAcrossDateline) {
+  const std::string h = geohash_encode({0.0, 179.999}, 5);
+  const std::string east = geohash_neighbor(h, 1, 0);
+  const auto cell = geohash_decode(east);
+  EXPECT_LT(cell.center.lon, 0.0);  // crossed into the western hemisphere
+}
+
+TEST(GeohashNeighbors, ClampsAtPole) {
+  const std::string h = geohash_encode({89.99, 0.0}, 4);
+  const std::string north = geohash_neighbor(h, 0, 5);
+  const auto cell = geohash_decode(north);
+  EXPECT_LE(cell.center.lat + cell.lat_err, 90.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace esharing::geo

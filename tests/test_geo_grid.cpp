@@ -1,0 +1,108 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esharing::geo {
+namespace {
+
+Grid make_grid() { return Grid({{0, 0}, {3000, 3000}}, 100.0); }
+
+TEST(Grid, DimensionsFromBoxAndCellSize) {
+  const Grid g = make_grid();
+  EXPECT_EQ(g.cols(), 30);
+  EXPECT_EQ(g.rows(), 30);
+  EXPECT_EQ(g.cell_count(), 900u);
+}
+
+TEST(Grid, NonDivisibleExtentRoundsUp) {
+  const Grid g({{0, 0}, {250, 130}}, 100.0);
+  EXPECT_EQ(g.cols(), 3);
+  EXPECT_EQ(g.rows(), 2);
+}
+
+TEST(Grid, RejectsDegenerateInputs) {
+  EXPECT_THROW(Grid({{0, 0}, {0, 10}}, 100.0), std::invalid_argument);
+  EXPECT_THROW(Grid({{0, 0}, {10, 10}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(Grid({{0, 0}, {10, 10}}, -5.0), std::invalid_argument);
+}
+
+TEST(Grid, CellOfInteriorPoint) {
+  const Grid g = make_grid();
+  const auto c = g.cell_of({250.0, 1730.0});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->col, 2);
+  EXPECT_EQ(c->row, 17);
+}
+
+TEST(Grid, CellOfOutsideReturnsNullopt) {
+  const Grid g = make_grid();
+  EXPECT_FALSE(g.cell_of({-1.0, 100.0}).has_value());
+  EXPECT_FALSE(g.cell_of({100.0, 3000.5}).has_value());
+}
+
+TEST(Grid, MaxEdgePointsClampIntoLastCell) {
+  const Grid g = make_grid();
+  const auto c = g.cell_of({3000.0, 3000.0});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->col, 29);
+  EXPECT_EQ(c->row, 29);
+}
+
+TEST(Grid, ClampedCellOfFarPoints) {
+  const Grid g = make_grid();
+  EXPECT_EQ(g.clamped_cell_of({-500.0, 99999.0}), (CellId{0, 29}));
+  EXPECT_EQ(g.clamped_cell_of({99999.0, -500.0}), (CellId{29, 0}));
+}
+
+TEST(Grid, IndexRoundTrip) {
+  const Grid g = make_grid();
+  for (std::size_t i : {std::size_t{0}, std::size_t{29}, std::size_t{30},
+                        std::size_t{450}, std::size_t{899}}) {
+    EXPECT_EQ(g.index_of(g.cell_at(i)), i);
+  }
+}
+
+TEST(Grid, IndexOfRejectsOutsideCells) {
+  const Grid g = make_grid();
+  EXPECT_THROW(g.index_of({30, 0}), std::out_of_range);
+  EXPECT_THROW(g.index_of({0, -1}), std::out_of_range);
+  EXPECT_THROW(g.cell_at(900), std::out_of_range);
+}
+
+TEST(Grid, CentroidIsCellCenter) {
+  const Grid g = make_grid();
+  EXPECT_EQ(g.centroid_of({0, 0}), (Point{50.0, 50.0}));
+  EXPECT_EQ(g.centroid_of({29, 29}), (Point{2950.0, 2950.0}));
+}
+
+TEST(Grid, CentroidRoundTripsThroughCellOf) {
+  const Grid g = make_grid();
+  for (std::size_t i = 0; i < g.cell_count(); i += 37) {
+    const CellId c = g.cell_at(i);
+    EXPECT_EQ(g.clamped_cell_of(g.centroid_of(c)), c);
+  }
+}
+
+TEST(Grid, AllCentroidsCountAndOrder) {
+  const Grid g({{0, 0}, {200, 200}}, 100.0);
+  const auto cs = g.all_centroids();
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_EQ(cs[0], (Point{50, 50}));
+  EXPECT_EQ(cs[1], (Point{150, 50}));   // row-major: col varies first
+  EXPECT_EQ(cs[2], (Point{50, 150}));
+  EXPECT_EQ(cs[3], (Point{150, 150}));
+}
+
+TEST(Grid, HistogramCountsAndClamps) {
+  const Grid g({{0, 0}, {200, 200}}, 100.0);
+  const auto h = g.histogram({{10, 10}, {20, 20}, {150, 50}, {-99, -99}});
+  EXPECT_EQ(h[0], 3u);  // two interior + one clamped
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 0u);
+  EXPECT_EQ(h[3], 0u);
+}
+
+}  // namespace
+}  // namespace esharing::geo

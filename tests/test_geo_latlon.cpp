@@ -1,0 +1,68 @@
+#include "geo/latlon.h"
+
+#include <gtest/gtest.h>
+
+namespace esharing::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  const LatLon p{39.9, 116.4};
+  EXPECT_DOUBLE_EQ(haversine_m(p, p), 0.0);
+}
+
+TEST(Haversine, OneDegreeLatitudeIsAbout111Km) {
+  const double d = haversine_m({0.0, 0.0}, {1.0, 0.0});
+  EXPECT_NEAR(d, 111195.0, 100.0);
+}
+
+TEST(Haversine, SymmetricInArguments) {
+  const LatLon a{39.9, 116.4};
+  const LatLon b{40.0, 116.5};
+  EXPECT_DOUBLE_EQ(haversine_m(a, b), haversine_m(b, a));
+}
+
+TEST(Haversine, KnownCityPairDistance) {
+  // Beijing <-> Shanghai, great-circle roughly 1070 km.
+  const double d = haversine_m({39.9042, 116.4074}, {31.2304, 121.4737});
+  EXPECT_NEAR(d, 1.07e6, 3e4);
+}
+
+TEST(LocalProjection, RoundTripsCoordinates) {
+  const LocalProjection proj({39.86, 116.38});
+  const LatLon original{39.8723, 116.4041};
+  const LatLon back = proj.to_geo(proj.to_local(original));
+  EXPECT_NEAR(back.lat, original.lat, 1e-9);
+  EXPECT_NEAR(back.lon, original.lon, 1e-9);
+}
+
+TEST(LocalProjection, OriginMapsToZero) {
+  const LatLon origin{39.86, 116.38};
+  const LocalProjection proj(origin);
+  const Point p = proj.to_local(origin);
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(LocalProjection, AgreesWithHaversineOverCityExtent) {
+  // Within a ~3 km metropolitan field the equirectangular error must stay
+  // far below the 100 m grid granularity.
+  const LatLon origin{39.86, 116.38};
+  const LocalProjection proj(origin);
+  const LatLon far{39.887, 116.415};
+  const double planar = distance(proj.to_local(origin), proj.to_local(far));
+  const double sphere = haversine_m(origin, far);
+  EXPECT_NEAR(planar, sphere, 5.0);
+}
+
+TEST(LocalProjection, NorthIsPositiveYEastIsPositiveX) {
+  const LocalProjection proj({39.86, 116.38});
+  const Point north = proj.to_local({39.87, 116.38});
+  const Point east = proj.to_local({39.86, 116.39});
+  EXPECT_GT(north.y, 0.0);
+  EXPECT_NEAR(north.x, 0.0, 1e-9);
+  EXPECT_GT(east.x, 0.0);
+  EXPECT_NEAR(east.y, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace esharing::geo

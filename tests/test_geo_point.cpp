@@ -1,0 +1,112 @@
+#include "geo/point.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace esharing::geo {
+namespace {
+
+TEST(Point, ArithmeticOperators) {
+  const Point a{3.0, 4.0};
+  const Point b{1.0, -2.0};
+  EXPECT_EQ(a + b, (Point{4.0, 2.0}));
+  EXPECT_EQ(a - b, (Point{2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Point{6.0, 8.0}));
+  EXPECT_EQ(2.0 * a, (Point{6.0, 8.0}));
+  EXPECT_EQ(a / 2.0, (Point{1.5, 2.0}));
+}
+
+TEST(Point, NormAndNorm2) {
+  const Point p{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(p.norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Point{}).norm(), 0.0);
+}
+
+TEST(Point, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance2({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Point, DistanceIsSymmetric) {
+  const Point a{-10.5, 20.25};
+  const Point b{7.0, -3.5};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+TEST(Point, StreamOutput) {
+  std::ostringstream os;
+  os << Point{1.5, -2.0};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+TEST(BoundingBox, ContainsHalfOpenSemantics) {
+  const BoundingBox box{{0, 0}, {10, 10}};
+  EXPECT_TRUE(box.contains({0, 0}));
+  EXPECT_TRUE(box.contains({9.999, 9.999}));
+  EXPECT_FALSE(box.contains({10, 5}));
+  EXPECT_FALSE(box.contains({5, 10}));
+  EXPECT_FALSE(box.contains({-0.001, 5}));
+}
+
+TEST(BoundingBox, WidthHeightCenter) {
+  const BoundingBox box{{2, 3}, {12, 7}};
+  EXPECT_DOUBLE_EQ(box.width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.height(), 4.0);
+  EXPECT_EQ(box.center(), (Point{7.0, 5.0}));
+}
+
+TEST(BoundingBox, ExpandedToCoversNewPoint) {
+  BoundingBox box{{0, 0}, {1, 1}};
+  box = box.expanded_to({5, -2});
+  EXPECT_EQ(box.min, (Point{0, -2}));
+  EXPECT_EQ(box.max, (Point{5, 1}));
+}
+
+TEST(BoundingBox, InflatedGrowsAllSides) {
+  const BoundingBox box = BoundingBox{{0, 0}, {2, 2}}.inflated(1.0);
+  EXPECT_EQ(box.min, (Point{-1, -1}));
+  EXPECT_EQ(box.max, (Point{3, 3}));
+}
+
+TEST(BoundingBoxOfSet, MatchesExtremes) {
+  const std::vector<Point> pts{{1, 5}, {-3, 2}, {4, -1}};
+  const BoundingBox box = bounding_box(pts);
+  EXPECT_EQ(box.min, (Point{-3, -1}));
+  EXPECT_EQ(box.max, (Point{4, 5}));
+}
+
+TEST(BoundingBoxOfSet, ThrowsOnEmpty) {
+  EXPECT_THROW(bounding_box({}), std::invalid_argument);
+}
+
+TEST(Centroid, AveragesPoints) {
+  const std::vector<Point> pts{{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_EQ(centroid(pts), (Point{1, 1}));
+}
+
+TEST(Centroid, ThrowsOnEmpty) {
+  EXPECT_THROW(centroid({}), std::invalid_argument);
+}
+
+TEST(NearestIndex, FindsClosest) {
+  const std::vector<Point> pts{{0, 0}, {10, 0}, {5, 5}};
+  EXPECT_EQ(nearest_index(pts, {9, 1}), 1u);
+  EXPECT_EQ(nearest_index(pts, {0.1, -0.1}), 0u);
+  EXPECT_EQ(nearest_index(pts, {5, 4}), 2u);
+}
+
+TEST(NearestIndex, ThrowsOnEmpty) {
+  EXPECT_THROW(nearest_index({}, {0, 0}), std::invalid_argument);
+}
+
+TEST(NearestIndex, TiePrefersFirst) {
+  const std::vector<Point> pts{{-1, 0}, {1, 0}};
+  EXPECT_EQ(nearest_index(pts, {0, 0}), 0u);
+}
+
+}  // namespace
+}  // namespace esharing::geo

@@ -1,0 +1,117 @@
+#include "geo/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::geo {
+namespace {
+
+Polygon unit_square() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(Polygon, RejectsDegenerate) {
+  EXPECT_THROW(Polygon({{0, 0}, {1, 1}}), std::invalid_argument);
+}
+
+TEST(Polygon, ContainsInteriorExcludesExterior) {
+  const Polygon sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_TRUE(sq.contains({0.01, 0.99}));
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({-0.1, 0.5}));
+  EXPECT_FALSE(sq.contains({0.5, 2.0}));
+}
+
+TEST(Polygon, ConcaveShapeHandled) {
+  // An L-shape: the notch must be outside.
+  const Polygon ell({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(ell.contains({0.5, 1.5}));
+  EXPECT_TRUE(ell.contains({1.5, 0.5}));
+  EXPECT_FALSE(ell.contains({1.5, 1.5}));  // the notch
+  EXPECT_DOUBLE_EQ(ell.area(), 3.0);
+}
+
+TEST(Polygon, SignedAreaOrientation) {
+  EXPECT_DOUBLE_EQ(unit_square().signed_area(), 1.0);  // CCW
+  const Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_DOUBLE_EQ(cw.signed_area(), -1.0);
+  EXPECT_DOUBLE_EQ(cw.area(), 1.0);
+}
+
+TEST(Polygon, BoundsAndRectangleFactory) {
+  const Polygon rect = Polygon::rectangle({{10, 20}, {30, 50}});
+  EXPECT_DOUBLE_EQ(rect.area(), 600.0);
+  const BoundingBox b = rect.bounds();
+  EXPECT_EQ(b.min, (Point{10, 20}));
+  EXPECT_EQ(b.max, (Point{30, 50}));
+  EXPECT_TRUE(rect.contains({15, 35}));
+}
+
+TEST(Polygon, MonteCarloAreaAgreement) {
+  // contains() integrates to the polygon's area.
+  const Polygon tri({{0, 0}, {4, 0}, {0, 4}});
+  stats::Rng rng(1);
+  int inside = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    inside += tri.contains({rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)}) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(inside) / n * 16.0, tri.area(), 0.2);
+}
+
+TEST(ConvexHull, SquareWithInteriorPoints) {
+  const auto hull = convex_hull(
+      {{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}, {0.2, 0.7}});
+  EXPECT_EQ(hull.vertices().size(), 4u);
+  EXPECT_DOUBLE_EQ(hull.area(), 1.0);
+}
+
+TEST(ConvexHull, HullContainsAllInputPoints) {
+  stats::Rng rng(2);
+  auto pts = stats::uniform_points(rng, {{0, 0}, {100, 100}}, 60);
+  const auto hull = convex_hull(pts);
+  // Interior points (shrunk slightly toward the centroid) are inside.
+  const Point c = centroid(pts);
+  for (Point p : pts) {
+    EXPECT_TRUE(hull.contains({c.x + 0.99 * (p.x - c.x),
+                               c.y + 0.99 * (p.y - c.y)}));
+  }
+}
+
+TEST(ConvexHull, RejectsCollinear) {
+  EXPECT_THROW((void)convex_hull({{0, 0}, {1, 1}, {2, 2}, {3, 3}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)convex_hull({{0, 0}, {0, 0}, {1, 1}}),
+               std::invalid_argument);
+}
+
+TEST(ZoneSet, EmptyPermitsEverything) {
+  const ZoneSet zones;
+  EXPECT_TRUE(zones.permits({123, 456}));
+}
+
+TEST(ZoneSet, ForbiddenZonesWin) {
+  ZoneSet zones;
+  zones.add_allowed(Polygon::rectangle({{0, 0}, {100, 100}}));
+  zones.add_forbidden(Polygon::rectangle({{40, 40}, {60, 60}}));
+  EXPECT_TRUE(zones.permits({10, 10}));
+  EXPECT_FALSE(zones.permits({50, 50}));   // forbidden inside allowed
+  EXPECT_FALSE(zones.permits({200, 200})); // outside every allowed zone
+}
+
+TEST(ZoneSet, MultipleAllowedZones) {
+  ZoneSet zones;
+  zones.add_allowed(Polygon::rectangle({{0, 0}, {10, 10}}));
+  zones.add_allowed(Polygon::rectangle({{90, 90}, {100, 100}}));
+  EXPECT_TRUE(zones.permits({5, 5}));
+  EXPECT_TRUE(zones.permits({95, 95}));
+  EXPECT_FALSE(zones.permits({50, 50}));
+}
+
+}  // namespace
+}  // namespace esharing::geo

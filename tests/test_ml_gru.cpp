@@ -1,0 +1,179 @@
+#include "ml/gru.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "ml/moving_average.h"
+#include "ml/seasonal_naive.h"
+#include "stats/rng.h"
+
+namespace esharing::ml {
+namespace {
+
+Series sine_series(std::size_t n, double period, double amp = 10.0,
+                   double offset = 20.0) {
+  Series s;
+  s.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    s.push_back(offset + amp * std::sin(2.0 * std::numbers::pi *
+                                        static_cast<double>(t) / period));
+  }
+  return s;
+}
+
+GruConfig tiny_config() {
+  GruConfig cfg;
+  cfg.layers = 1;
+  cfg.hidden = 6;
+  cfg.lookback = 4;
+  cfg.epochs = 5;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Gru, ValidatesConfig) {
+  GruConfig bad = tiny_config();
+  bad.layers = 0;
+  EXPECT_THROW(GruForecaster{bad}, std::invalid_argument);
+  bad = tiny_config();
+  bad.hidden = 0;
+  EXPECT_THROW(GruForecaster{bad}, std::invalid_argument);
+  bad = tiny_config();
+  bad.lookback = 0;
+  EXPECT_THROW(GruForecaster{bad}, std::invalid_argument);
+}
+
+TEST(Gru, LifecycleGuards) {
+  GruForecaster gru(tiny_config());
+  EXPECT_THROW((void)gru.forecast({1, 2, 3, 4, 5}, 1), std::logic_error);
+  EXPECT_THROW(gru.fit({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Gru, ParameterCountMatchesArchitecture) {
+  GruConfig cfg = tiny_config();
+  cfg.layers = 2;
+  cfg.hidden = 5;
+  const GruForecaster gru(cfg);
+  const std::size_t h = 5;
+  const std::size_t expected = (3 * h * 1 + 3 * h * h + 3 * h) +
+                               (3 * h * h + 3 * h * h + 3 * h) + h + 1;
+  EXPECT_EQ(gru.parameters().size(), expected);
+}
+
+/// The critical test: analytic BPTT gradients vs central finite
+/// differences, for 1-3 stacked layers.
+class GruGradientCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(GruGradientCheck, AnalyticMatchesNumeric) {
+  GruConfig cfg;
+  cfg.layers = GetParam();
+  cfg.hidden = 4;
+  cfg.lookback = 5;
+  cfg.epochs = 1;
+  cfg.seed = 21 + static_cast<std::uint64_t>(GetParam());
+  GruForecaster gru(cfg);
+
+  stats::Rng rng(77);
+  Window w;
+  for (std::size_t i = 0; i < cfg.lookback; ++i) {
+    w.input.push_back(rng.uniform(-1.0, 1.0));
+  }
+  w.target = rng.uniform(-1.0, 1.0);
+
+  const auto analytic = gru.sample_gradient(w);
+  auto& params = gru.parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+  const double eps = 1e-6;
+  for (std::size_t k = 0; k < params.size(); k += 5) {
+    const double saved = params[k];
+    params[k] = saved + eps;
+    const double up = gru.sample_loss(w);
+    params[k] = saved - eps;
+    const double down = gru.sample_loss(w);
+    params[k] = saved;
+    EXPECT_NEAR(analytic[k], (up - down) / (2.0 * eps), 1e-5)
+        << "parameter index " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, GruGradientCheck, ::testing::Values(1, 2, 3));
+
+TEST(Gru, TrainingLossDecreases) {
+  GruConfig cfg;
+  cfg.layers = 1;
+  cfg.hidden = 12;
+  cfg.lookback = 8;
+  cfg.epochs = 15;
+  cfg.seed = 5;
+  GruForecaster gru(cfg);
+  gru.fit(sine_series(200, 24.0));
+  const auto& losses = gru.loss_history();
+  ASSERT_EQ(losses.size(), 15u);
+  EXPECT_LT(losses.back(), 0.5 * losses.front());
+}
+
+TEST(Gru, LearnsSineBetterThanMovingAverage) {
+  const Series s = sine_series(260, 24.0);
+  const auto [train, test] = split(s, 0.8);
+  GruConfig cfg;
+  cfg.layers = 1;
+  cfg.hidden = 16;
+  cfg.lookback = 12;
+  cfg.epochs = 30;
+  cfg.seed = 7;
+  GruForecaster gru(cfg);
+  gru.fit(train);
+  MovingAverageForecaster ma(3);
+  ma.fit(train);
+  EXPECT_LT(evaluate_rmse(gru, train, test), evaluate_rmse(ma, train, test));
+}
+
+TEST(Gru, DeterministicPerSeed) {
+  const Series train = sine_series(80, 12.0);
+  GruForecaster a(tiny_config()), b(tiny_config());
+  a.fit(train);
+  b.fit(train);
+  const auto fa = a.forecast(train, 3);
+  const auto fb = b.forecast(train, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(fa[i], fb[i]);
+}
+
+TEST(Gru, NameEncodesArchitecture) {
+  GruConfig cfg = tiny_config();
+  cfg.layers = 2;
+  cfg.lookback = 12;
+  EXPECT_EQ(GruForecaster(cfg).name(), "GRU(layers=2,back=12)");
+}
+
+TEST(SeasonalNaive, RepeatsLastSeason) {
+  SeasonalNaiveForecaster sn(3);
+  sn.fit({1.0});
+  const auto f = sn.forecast({10, 20, 30, 40, 50, 60}, 4);
+  EXPECT_DOUBLE_EQ(f[0], 40.0);
+  EXPECT_DOUBLE_EQ(f[1], 50.0);
+  EXPECT_DOUBLE_EQ(f[2], 60.0);
+  EXPECT_DOUBLE_EQ(f[3], 40.0);  // recursion wraps into its own forecasts
+}
+
+TEST(SeasonalNaive, PerfectOnExactlyPeriodicSeries) {
+  const Series s = sine_series(96, 24.0);
+  const auto [train, test] = split(s, 0.75);
+  SeasonalNaiveForecaster sn(24);
+  sn.fit(train);
+  EXPECT_NEAR(evaluate_rmse(sn, train, test), 0.0, 1e-9);
+}
+
+TEST(SeasonalNaive, Validates) {
+  EXPECT_THROW(SeasonalNaiveForecaster(0), std::invalid_argument);
+  SeasonalNaiveForecaster sn(24);
+  sn.fit({1.0});
+  EXPECT_THROW((void)sn.forecast({1, 2, 3}, 1), std::invalid_argument);
+  EXPECT_THROW(sn.fit({}), std::invalid_argument);
+  EXPECT_EQ(sn.name(), "SeasonalNaive(period=24)");
+}
+
+}  // namespace
+}  // namespace esharing::ml

@@ -1,0 +1,106 @@
+#include "ml/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::ml {
+namespace {
+
+TEST(Mat, ZeroInitializedAndIndexed) {
+  Mat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.0);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m.at(0, 3), std::out_of_range);
+}
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  Mat a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  const auto x = solve_linear(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, HandlesPivoting) {
+  // Leading zero forces a row swap.
+  Mat a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  const auto x = solve_linear(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, RejectsSingularAndBadShapes) {
+  Mat singular(2, 2);
+  singular.at(0, 0) = 1;
+  singular.at(0, 1) = 2;
+  singular.at(1, 0) = 2;
+  singular.at(1, 1) = 4;
+  EXPECT_THROW((void)solve_linear(singular, {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)solve_linear(Mat(2, 3), {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)solve_linear(Mat(2, 2), {1}), std::invalid_argument);
+}
+
+TEST(SolveLinear, RandomSystemsRoundTrip) {
+  stats::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.index(5);
+    Mat a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_true[i] = rng.uniform(-5, 5);
+      for (std::size_t j = 0; j < n; ++j) a.at(i, j) = rng.uniform(-1, 1);
+      a.at(i, i) += static_cast<double>(n);  // diagonally dominant
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a.at(i, j) * x_true[j];
+    }
+    const auto x = solve_linear(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(LeastSquares, RecoversExactLinearModel) {
+  // y = 3 + 2x fitted from noiseless samples.
+  Mat x(5, 2);
+  std::vector<double> y(5);
+  for (int i = 0; i < 5; ++i) {
+    x.at(static_cast<std::size_t>(i), 0) = 1.0;
+    x.at(static_cast<std::size_t>(i), 1) = i;
+    y[static_cast<std::size_t>(i)] = 3.0 + 2.0 * i;
+  }
+  const auto beta = least_squares(x, y);
+  EXPECT_NEAR(beta[0], 3.0, 1e-6);
+  EXPECT_NEAR(beta[1], 2.0, 1e-6);
+}
+
+TEST(LeastSquares, OverdeterminedMinimizesResidual) {
+  // Conflicting observations: fit must be the average.
+  Mat x(2, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 1.0;
+  const auto beta = least_squares(x, {1.0, 3.0});
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+}
+
+TEST(LeastSquares, RejectsBadShapes) {
+  EXPECT_THROW((void)least_squares(Mat(2, 1), {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)least_squares(Mat(0, 0), {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::ml

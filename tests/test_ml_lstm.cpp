@@ -1,0 +1,194 @@
+#include "ml/lstm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "ml/moving_average.h"
+#include "stats/rng.h"
+
+namespace esharing::ml {
+namespace {
+
+Series sine_series(std::size_t n, double period, double amp = 10.0,
+                   double offset = 20.0) {
+  Series s;
+  s.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    s.push_back(offset + amp * std::sin(2.0 * std::numbers::pi *
+                                        static_cast<double>(t) / period));
+  }
+  return s;
+}
+
+LstmConfig tiny_config() {
+  LstmConfig cfg;
+  cfg.layers = 1;
+  cfg.hidden = 6;
+  cfg.lookback = 4;
+  cfg.epochs = 5;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Lstm, ValidatesConfig) {
+  LstmConfig bad = tiny_config();
+  bad.layers = 0;
+  EXPECT_THROW(LstmForecaster{bad}, std::invalid_argument);
+  bad = tiny_config();
+  bad.hidden = 0;
+  EXPECT_THROW(LstmForecaster{bad}, std::invalid_argument);
+  bad = tiny_config();
+  bad.lookback = 0;
+  EXPECT_THROW(LstmForecaster{bad}, std::invalid_argument);
+  bad = tiny_config();
+  bad.epochs = 0;
+  EXPECT_THROW(LstmForecaster{bad}, std::invalid_argument);
+}
+
+TEST(Lstm, MustFitBeforeForecast) {
+  LstmForecaster lstm(tiny_config());
+  EXPECT_THROW((void)lstm.forecast({1, 2, 3, 4, 5}, 1), std::logic_error);
+}
+
+TEST(Lstm, FitRejectsTooShortSeries) {
+  LstmForecaster lstm(tiny_config());
+  EXPECT_THROW(lstm.fit({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Lstm, ForecastRejectsShortHistory) {
+  LstmForecaster lstm(tiny_config());
+  lstm.fit(sine_series(40, 8.0));
+  EXPECT_THROW((void)lstm.forecast({1, 2}, 1), std::invalid_argument);
+}
+
+TEST(Lstm, ParameterCountMatchesArchitecture) {
+  LstmConfig cfg = tiny_config();
+  cfg.layers = 2;
+  cfg.hidden = 5;
+  const LstmForecaster lstm(cfg);
+  // Layer 0: 4H*1 + 4H*H + 4H; layer 1: 4H*H + 4H*H + 4H; head: H + 1.
+  const std::size_t h = 5;
+  const std::size_t expected = (4 * h * 1 + 4 * h * h + 4 * h) +
+                               (4 * h * h + 4 * h * h + 4 * h) + h + 1;
+  EXPECT_EQ(lstm.parameters().size(), expected);
+}
+
+/// The critical correctness test: analytic BPTT gradients must match
+/// central finite differences on random parameters.
+class LstmGradientCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(LstmGradientCheck, AnalyticMatchesNumeric) {
+  LstmConfig cfg;
+  cfg.layers = GetParam();  // checks 1-, 2- and 3-layer stacks
+  cfg.hidden = 4;
+  cfg.lookback = 5;
+  cfg.epochs = 1;
+  cfg.seed = 11 + static_cast<std::uint64_t>(GetParam());
+  LstmForecaster lstm(cfg);
+
+  stats::Rng rng(99);
+  Window w;
+  for (std::size_t i = 0; i < cfg.lookback; ++i) {
+    w.input.push_back(rng.uniform(-1.0, 1.0));
+  }
+  w.target = rng.uniform(-1.0, 1.0);
+
+  const auto analytic = lstm.sample_gradient(w);
+  auto& params = lstm.parameters();
+  ASSERT_EQ(analytic.size(), params.size());
+
+  const double eps = 1e-6;
+  // Probe a spread of parameters (every 7th) rather than all of them.
+  for (std::size_t k = 0; k < params.size(); k += 7) {
+    const double saved = params[k];
+    params[k] = saved + eps;
+    const double up = lstm.sample_loss(w);
+    params[k] = saved - eps;
+    const double down = lstm.sample_loss(w);
+    params[k] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic[k], numeric, 1e-5)
+        << "parameter index " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, LstmGradientCheck, ::testing::Values(1, 2, 3));
+
+TEST(Lstm, TrainingLossDecreases) {
+  LstmConfig cfg;
+  cfg.layers = 1;
+  cfg.hidden = 12;
+  cfg.lookback = 8;
+  cfg.epochs = 15;
+  cfg.seed = 5;
+  LstmForecaster lstm(cfg);
+  lstm.fit(sine_series(200, 24.0));
+  const auto& losses = lstm.loss_history();
+  ASSERT_EQ(losses.size(), 15u);
+  EXPECT_LT(losses.back(), 0.5 * losses.front());
+}
+
+TEST(Lstm, LearnsSineWaveBetterThanMovingAverage) {
+  const Series s = sine_series(260, 24.0);
+  const auto [train, test] = split(s, 0.8);
+
+  LstmConfig cfg;
+  cfg.layers = 1;
+  cfg.hidden = 16;
+  cfg.lookback = 12;
+  cfg.epochs = 30;
+  cfg.seed = 7;
+  LstmForecaster lstm(cfg);
+  lstm.fit(train);
+  const double lstm_rmse = evaluate_rmse(lstm, train, test);
+
+  MovingAverageForecaster ma(3);
+  ma.fit(train);
+  const double ma_rmse = evaluate_rmse(ma, train, test);
+
+  EXPECT_LT(lstm_rmse, ma_rmse);
+  EXPECT_LT(lstm_rmse, 2.0);  // amplitude is 10; good fits land well below
+}
+
+TEST(Lstm, DeterministicForSameSeed) {
+  const Series train = sine_series(80, 12.0);
+  LstmForecaster a(tiny_config()), b(tiny_config());
+  a.fit(train);
+  b.fit(train);
+  const auto fa = a.forecast(train, 3);
+  const auto fb = b.forecast(train, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(fa[i], fb[i]);
+}
+
+TEST(Lstm, MultiHorizonForecastHasRequestedLength) {
+  LstmForecaster lstm(tiny_config());
+  const Series train = sine_series(60, 12.0);
+  lstm.fit(train);
+  EXPECT_EQ(lstm.forecast(train, 6).size(), 6u);
+}
+
+TEST(Lstm, NameEncodesArchitecture) {
+  LstmConfig cfg = tiny_config();
+  cfg.layers = 2;
+  cfg.lookback = 12;
+  EXPECT_EQ(LstmForecaster(cfg).name(), "LSTM(layers=2,back=12)");
+}
+
+TEST(Lstm, ForecastScaleMatchesSeriesScale) {
+  // Forecasts of a series centered at 20 must come back near 20, proving
+  // the scaler round-trip works.
+  LstmConfig cfg = tiny_config();
+  cfg.epochs = 10;
+  LstmForecaster lstm(cfg);
+  const Series train = sine_series(120, 24.0, 2.0, 20.0);
+  lstm.fit(train);
+  const double f = lstm.forecast(train, 1)[0];
+  EXPECT_GT(f, 10.0);
+  EXPECT_LT(f, 30.0);
+}
+
+}  // namespace
+}  // namespace esharing::ml

@@ -1,0 +1,93 @@
+#include "ml/series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esharing::ml {
+namespace {
+
+TEST(Difference, FirstAndSecondOrder) {
+  const Series s{1, 3, 6, 10};
+  EXPECT_EQ(difference(s, 0), s);
+  EXPECT_EQ(difference(s, 1), (Series{2, 3, 4}));
+  EXPECT_EQ(difference(s, 2), (Series{1, 1}));
+}
+
+TEST(Difference, Validates) {
+  EXPECT_THROW((void)difference({1, 2}, -1), std::invalid_argument);
+  EXPECT_THROW((void)difference({1, 2}, 2), std::invalid_argument);
+}
+
+TEST(Undifference, InvertsDifference) {
+  const Series s{5, 7, 4, 9, 9};
+  const Series d = difference(s, 1);
+  const Series restored = undifference_once(d, s.front());
+  const Series expected(s.begin() + 1, s.end());
+  ASSERT_EQ(restored.size(), expected.size());
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored[i], expected[i]);
+  }
+}
+
+TEST(Split, FractionSplitsSizes) {
+  const Series s{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto [train, test] = split(s, 0.7);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  EXPECT_DOUBLE_EQ(train.front(), 1.0);
+  EXPECT_DOUBLE_EQ(test.front(), 8.0);
+}
+
+TEST(Split, Validates) {
+  const Series s{1, 2, 3};
+  EXPECT_THROW((void)split(s, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)split(s, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)split({1}, 0.5), std::invalid_argument);  // empty train
+}
+
+TEST(Scaler, StandardizesToZeroMeanUnitVariance) {
+  Scaler sc;
+  sc.fit({2, 4, 6, 8});
+  EXPECT_DOUBLE_EQ(sc.mean(), 5.0);
+  const Series z = sc.transform({2, 4, 6, 8});
+  double sum = 0.0;
+  for (double v : z) sum += v;
+  EXPECT_NEAR(sum, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sc.inverse_one(sc.transform_one(7.0)), 7.0);
+}
+
+TEST(Scaler, ConstantSeriesIsSafe) {
+  Scaler sc;
+  sc.fit({3, 3, 3});
+  EXPECT_DOUBLE_EQ(sc.transform_one(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(sc.inverse_one(0.0), 3.0);
+}
+
+TEST(Scaler, RoundTripVector) {
+  Scaler sc;
+  sc.fit({1, 5, 9, 2});
+  const Series original{0.5, 3.0, 10.0};
+  const Series back = sc.inverse(sc.transform(original));
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(back[i], original[i], 1e-12);
+  }
+}
+
+TEST(SlidingWindows, ProducesAllWindows) {
+  const Series s{1, 2, 3, 4, 5};
+  const auto w = sliding_windows(s, 2);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].input, (Series{1, 2}));
+  EXPECT_DOUBLE_EQ(w[0].target, 3.0);
+  EXPECT_EQ(w[2].input, (Series{3, 4}));
+  EXPECT_DOUBLE_EQ(w[2].target, 5.0);
+}
+
+TEST(SlidingWindows, Validates) {
+  EXPECT_THROW((void)sliding_windows({1, 2, 3}, 0), std::invalid_argument);
+  EXPECT_THROW((void)sliding_windows({1, 2}, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::ml

@@ -1,0 +1,163 @@
+#include "privacy/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "data/synthetic_city.h"
+#include "geo/geohash.h"
+#include "stats/summary.h"
+
+namespace esharing::privacy {
+namespace {
+
+using geo::Point;
+
+TEST(Pseudonymize, StablePerSaltUnlinkableAcrossSalts) {
+  EXPECT_EQ(pseudonymize(42, 1), pseudonymize(42, 1));
+  EXPECT_NE(pseudonymize(42, 1), pseudonymize(42, 2));
+  EXPECT_NE(pseudonymize(42, 1), pseudonymize(43, 1));
+}
+
+TEST(Pseudonymize, NoCollisionsOverDenseRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 20000; ++id) {
+    seen.insert(pseudonymize(id, 7));
+  }
+  EXPECT_EQ(seen.size(), 20000u);  // bijective per salt
+}
+
+TEST(LambertWMinus1, KnownValues) {
+  // W_{-1}(-1/e) = -1.
+  EXPECT_NEAR(lambert_w_minus1(-1.0 / std::numbers::e), -1.0, 1e-6);
+  // W_{-1}(-0.1) ~ -3.577152.
+  EXPECT_NEAR(lambert_w_minus1(-0.1), -3.577152, 1e-5);
+  // Defining identity w * e^w = x across the domain.
+  for (double x : {-0.36, -0.3, -0.2, -0.1, -0.01, -1e-4}) {
+    const double w = lambert_w_minus1(x);
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10 + 1e-8 * std::abs(x));
+    EXPECT_LE(w, -1.0 + 1e-9);  // branch -1 stays below -1
+  }
+}
+
+TEST(LambertWMinus1, RejectsOutsideDomain) {
+  EXPECT_THROW((void)lambert_w_minus1(0.0), std::invalid_argument);
+  EXPECT_THROW((void)lambert_w_minus1(0.5), std::invalid_argument);
+  EXPECT_THROW((void)lambert_w_minus1(-0.5), std::invalid_argument);
+}
+
+TEST(PlanarLaplace, ValidatesEpsilon) {
+  EXPECT_THROW(PlanarLaplace(0.0), std::invalid_argument);
+  EXPECT_THROW(PlanarLaplace(-1.0), std::invalid_argument);
+}
+
+TEST(PlanarLaplace, DisplacementMatchesGammaMean) {
+  // Radius ~ Gamma(2, 1/eps): mean 2/eps, std sqrt(2)/eps.
+  const double eps = 0.01;
+  PlanarLaplace mech(eps);
+  stats::Rng rng(3);
+  std::vector<double> radii;
+  for (int i = 0; i < 20000; ++i) {
+    const Point q = mech.obfuscate({0, 0}, rng);
+    radii.push_back(q.norm());
+  }
+  EXPECT_NEAR(stats::mean(radii), 2.0 / eps, 5.0);
+  EXPECT_NEAR(stats::stddev(radii), std::sqrt(2.0) / eps, 5.0);
+  EXPECT_DOUBLE_EQ(mech.expected_displacement(), 200.0);
+}
+
+TEST(PlanarLaplace, DirectionIsUniform) {
+  PlanarLaplace mech(0.05);
+  stats::Rng rng(4);
+  int quadrant[4] = {0, 0, 0, 0};
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    const Point q = mech.obfuscate({0, 0}, rng);
+    quadrant[(q.x < 0 ? 0 : 1) + (q.y < 0 ? 0 : 2)]++;
+  }
+  for (int c : quadrant) EXPECT_NEAR(c, n / 4, n / 16);
+}
+
+TEST(PlanarLaplace, StrongerEpsilonMeansSmallerNoise) {
+  stats::Rng rng(5);
+  PlanarLaplace strong(0.001), weak(0.1);
+  double d_strong = 0.0, d_weak = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    d_strong += strong.obfuscate({0, 0}, rng).norm();
+    d_weak += weak.obfuscate({0, 0}, rng).norm();
+  }
+  EXPECT_GT(d_strong, 20.0 * d_weak);
+}
+
+class AnonymizeFixture : public ::testing::Test {
+ protected:
+  AnonymizeFixture() : city_(make_config(), 11), trips_(city_.generate_trips()) {}
+  static data::CityConfig make_config() {
+    data::CityConfig cfg;
+    cfg.num_days = 2;
+    cfg.trips_per_weekday = 300;
+    cfg.trips_per_weekend_day = 250;
+    cfg.num_bikes = 60;
+    return cfg;
+  }
+  data::SyntheticCity city_;
+  std::vector<data::TripRecord> trips_;
+};
+
+TEST_F(AnonymizeFixture, IdsArePseudonymizedConsistently) {
+  stats::Rng rng(6);
+  AnonymizeConfig cfg;
+  cfg.epsilon = 0.0;  // no location noise: isolate id handling
+  const auto anon = anonymize_trips(trips_, city_.projection(), cfg, rng);
+  ASSERT_EQ(anon.size(), trips_.size());
+  std::unordered_map<std::int64_t, std::int64_t> mapping;
+  for (std::size_t i = 0; i < trips_.size(); ++i) {
+    EXPECT_NE(anon[i].user_id, trips_[i].user_id);
+    const auto [it, inserted] =
+        mapping.emplace(trips_[i].user_id, anon[i].user_id);
+    if (!inserted) EXPECT_EQ(it->second, anon[i].user_id);  // stable
+    EXPECT_EQ(anon[i].order_id, trips_[i].order_id);
+    EXPECT_EQ(anon[i].start_time, trips_[i].start_time);
+  }
+}
+
+TEST_F(AnonymizeFixture, ZeroEpsilonKeepsLocations) {
+  stats::Rng rng(7);
+  AnonymizeConfig cfg;
+  cfg.epsilon = 0.0;
+  const auto anon = anonymize_trips(trips_, city_.projection(), cfg, rng);
+  for (std::size_t i = 0; i < trips_.size(); ++i) {
+    EXPECT_EQ(anon[i].end_geohash, trips_[i].end_geohash);
+  }
+}
+
+TEST_F(AnonymizeFixture, ObfuscationDisplacesByExpectedScale) {
+  stats::Rng rng(8);
+  AnonymizeConfig cfg;
+  cfg.epsilon = 0.02;  // expected displacement 100 m
+  const auto anon = anonymize_trips(trips_, city_.projection(), cfg, rng);
+  std::vector<double> displacement;
+  for (std::size_t i = 0; i < trips_.size(); ++i) {
+    const Point a = city_.projection().to_local(
+        geo::geohash_decode(trips_[i].end_geohash).center);
+    const Point b = city_.projection().to_local(
+        geo::geohash_decode(anon[i].end_geohash).center);
+    displacement.push_back(geo::distance(a, b));
+    EXPECT_TRUE(geo::geohash_valid(anon[i].end_geohash));
+  }
+  EXPECT_NEAR(stats::mean(displacement), 100.0, 30.0);
+}
+
+TEST_F(AnonymizeFixture, ObfuscationImprovesKAnonymityGranularity) {
+  // With strong noise the OD groups on a coarse grid blur together; the
+  // audit utility must at least run and report sane values.
+  const auto grid = city_.grid();
+  const std::size_t k_raw = min_od_group_size(grid, city_.projection(), trips_);
+  EXPECT_GE(k_raw, 1u);
+  EXPECT_EQ(min_od_group_size(grid, city_.projection(), {}), 0u);
+}
+
+}  // namespace
+}  // namespace esharing::privacy

@@ -1,0 +1,166 @@
+#include "rebalance/rebalance.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::rebalance {
+namespace {
+
+using geo::Point;
+
+TEST(ProportionalTargets, SplitsFleetByDemand) {
+  const std::vector<StationInventory> stations{
+      {{0, 0}, 6, 0}, {{100, 0}, 4, 0}, {{200, 0}, 0, 0}};
+  const auto targets = proportional_targets(stations, {1.0, 1.0, 2.0});
+  EXPECT_EQ(std::accumulate(targets.begin(), targets.end(), 0), 10);
+  EXPECT_EQ(targets[2], 5);
+  // 5 bikes over two equal-demand stations: a 3/2 split either way.
+  EXPECT_EQ(targets[0] + targets[1], 5);
+  EXPECT_LE(std::abs(targets[0] - targets[1]), 1);
+}
+
+TEST(ProportionalTargets, ZeroDemandStationsGetZero) {
+  const std::vector<StationInventory> stations{{{0, 0}, 5, 0}, {{1, 0}, 5, 0}};
+  const auto targets = proportional_targets(stations, {3.0, 0.0});
+  EXPECT_EQ(targets[0], 10);
+  EXPECT_EQ(targets[1], 0);
+}
+
+TEST(ProportionalTargets, RoundingConservesFleet) {
+  stats::Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<StationInventory> stations;
+    std::vector<double> demand;
+    int fleet = 0;
+    const std::size_t n = 3 + rng.index(10);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int bikes = static_cast<int>(rng.index(15));
+      stations.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)}, bikes, 0});
+      demand.push_back(rng.uniform(0.0, 5.0));
+      fleet += bikes;
+    }
+    const auto targets = proportional_targets(stations, demand);
+    EXPECT_EQ(std::accumulate(targets.begin(), targets.end(), 0), fleet);
+    for (int t : targets) EXPECT_GE(t, 0);
+  }
+}
+
+TEST(ProportionalTargets, Validates) {
+  const std::vector<StationInventory> stations{{{0, 0}, 1, 0}};
+  EXPECT_THROW((void)proportional_targets(stations, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)proportional_targets(stations, {-1.0}),
+               std::invalid_argument);
+}
+
+TEST(PlanRebalancing, BalancedInputNeedsNoWork) {
+  const std::vector<StationInventory> stations{{{0, 0}, 3, 3}, {{100, 0}, 2, 2}};
+  const auto plan = plan_rebalancing(stations, {});
+  EXPECT_TRUE(plan.stops.empty());
+  EXPECT_TRUE(plan.balanced());
+  EXPECT_EQ(plan.bikes_moved, 0);
+}
+
+TEST(PlanRebalancing, SimpleSurplusToDeficit) {
+  const std::vector<StationInventory> stations{
+      {{0, 0}, 10, 4}, {{500, 0}, 0, 6}};
+  TruckConfig truck;
+  truck.capacity = 10;
+  const auto plan = plan_rebalancing(stations, truck);
+  EXPECT_TRUE(plan.balanced());
+  EXPECT_EQ(plan.bikes_moved, 6);
+  const auto after = apply_plan(stations, plan, truck);
+  EXPECT_EQ(after[0], 4);
+  EXPECT_EQ(after[1], 6);
+}
+
+TEST(PlanRebalancing, CapacityForcesMultipleTrips) {
+  const std::vector<StationInventory> stations{
+      {{0, 0}, 12, 0}, {{500, 0}, 0, 12}};
+  TruckConfig truck;
+  truck.capacity = 4;
+  const auto plan = plan_rebalancing(stations, truck);
+  EXPECT_TRUE(plan.balanced());
+  EXPECT_EQ(plan.bikes_moved, 12);
+  // Three load/unload round trips: route at least 5 legs of 500 m.
+  EXPECT_GE(plan.stops.size(), 6u);
+  EXPECT_GE(plan.route_length_m, 2500.0);
+}
+
+TEST(PlanRebalancing, SurplusBeyondDeficitStaysPut) {
+  // 8 surplus but only 3 deficit: exactly 3 move.
+  const std::vector<StationInventory> stations{
+      {{0, 0}, 10, 2}, {{500, 0}, 1, 4}};
+  const auto plan = plan_rebalancing(stations, {});
+  EXPECT_EQ(plan.bikes_moved, 3);
+  const auto after = apply_plan(stations, plan, {});
+  EXPECT_EQ(after[0], 7);  // keeps 5 extra
+  EXPECT_EQ(after[1], 4);
+  EXPECT_EQ(plan.residual_imbalance, 5);
+}
+
+TEST(PlanRebalancing, DeficitBeyondSurplusPartiallyFilled) {
+  const std::vector<StationInventory> stations{
+      {{0, 0}, 5, 2}, {{500, 0}, 0, 10}};
+  const auto plan = plan_rebalancing(stations, {});
+  EXPECT_EQ(plan.bikes_moved, 3);
+  const auto after = apply_plan(stations, plan, {});
+  EXPECT_EQ(after[1], 3);
+  EXPECT_EQ(plan.residual_imbalance, 7);
+}
+
+TEST(PlanRebalancing, Validates) {
+  const std::vector<StationInventory> ok{{{0, 0}, 1, 1}};
+  TruckConfig bad;
+  bad.capacity = 0;
+  EXPECT_THROW((void)plan_rebalancing(ok, bad), std::invalid_argument);
+  const std::vector<StationInventory> negative{{{0, 0}, -1, 0}};
+  EXPECT_THROW((void)plan_rebalancing(negative, {}), std::invalid_argument);
+}
+
+TEST(PlanRebalancing, RandomInstancesAlwaysFeasibleAndTight) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<StationInventory> stations;
+    const std::size_t n = 2 + rng.index(12);
+    int fleet = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int bikes = static_cast<int>(rng.index(10));
+      stations.push_back(
+          {{rng.uniform(0, 2000), rng.uniform(0, 2000)}, bikes, 0});
+      fleet += bikes;
+    }
+    // Random demand-proportional targets conserve the fleet.
+    std::vector<double> demand;
+    for (std::size_t i = 0; i < n; ++i) demand.push_back(rng.uniform(0.0, 3.0));
+    const auto targets = proportional_targets(stations, demand);
+    for (std::size_t i = 0; i < n; ++i) stations[i].target = targets[i];
+
+    TruckConfig truck;
+    truck.capacity = 1 + static_cast<int>(rng.index(8));
+    const auto plan = plan_rebalancing(stations, truck);
+    // apply_plan validates loads/capacity internally — it must not throw.
+    const auto after = apply_plan(stations, plan, truck);
+    // Conserved fleet and a fully balanced outcome (targets conserve the
+    // total, so a capacity-limited truck can always finish eventually).
+    EXPECT_EQ(std::accumulate(after.begin(), after.end(), 0), fleet);
+    int residual = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      residual += std::abs(after[i] - stations[i].target);
+    }
+    EXPECT_EQ(residual, plan.residual_imbalance);
+    EXPECT_TRUE(plan.balanced()) << "trial " << trial;
+  }
+}
+
+TEST(TotalImbalance, SumsAbsoluteDifferences) {
+  EXPECT_EQ(total_imbalance({{{0, 0}, 5, 2}, {{1, 0}, 0, 3}}), 6);
+  EXPECT_EQ(total_imbalance({}), 0);
+}
+
+}  // namespace
+}  // namespace esharing::rebalance

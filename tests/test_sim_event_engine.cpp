@@ -1,0 +1,91 @@
+#include "sim/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace esharing::sim {
+namespace {
+
+TEST(EventEngine, RunsEventsInTimeOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  engine.schedule(30, [&] { order.push_back(3); });
+  engine.schedule(10, [&] { order.push_back(1); });
+  engine.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(EventEngine, SimultaneousEventsAreFifo) {
+  EventEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  (void)engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventEngine, HandlersCanScheduleMoreEvents) {
+  EventEngine engine;
+  std::vector<Seconds> fire_times;
+  // A self-rescheduling heartbeat that stops after 3 beats.
+  std::function<void()> beat = [&] {
+    fire_times.push_back(engine.now());
+    if (fire_times.size() < 3) engine.schedule_in(10, beat);
+  };
+  engine.schedule(5, beat);
+  (void)engine.run();
+  EXPECT_EQ(fire_times, (std::vector<Seconds>{5, 15, 25}));
+}
+
+TEST(EventEngine, RunUntilHorizonLeavesLaterEventsPending) {
+  EventEngine engine;
+  int fired = 0;
+  engine.schedule(10, [&] { ++fired; });
+  engine.schedule(20, [&] { ++fired; });
+  engine.schedule(30, [&] { ++fired; });
+  EXPECT_EQ(engine.run(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_EQ(engine.now(), 20);
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventEngine, StepExecutesExactlyOne) {
+  EventEngine engine;
+  int fired = 0;
+  engine.schedule(1, [&] { ++fired; });
+  engine.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.executed(), 2u);
+}
+
+TEST(EventEngine, RejectsPastAndNullEvents) {
+  EventEngine engine;
+  engine.schedule(100, [] {});
+  (void)engine.run();
+  EXPECT_THROW(engine.schedule(50, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule(200, nullptr), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(-1, [] {}), std::invalid_argument);
+}
+
+TEST(EventEngine, SchedulingAtCurrentTimeIsAllowed) {
+  EventEngine engine;
+  int fired = 0;
+  engine.schedule(10, [&] {
+    engine.schedule(10, [&] { ++fired; });  // same-time follow-up
+  });
+  (void)engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace esharing::sim

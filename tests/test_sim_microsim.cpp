@@ -1,0 +1,127 @@
+#include "sim/microsim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esharing::sim {
+namespace {
+
+data::CityConfig small_city() {
+  data::CityConfig cfg;
+  cfg.num_days = 2;
+  cfg.trips_per_weekday = 250;
+  cfg.trips_per_weekend_day = 200;
+  cfg.num_bikes = 80;
+  return cfg;
+}
+
+MicroSimConfig fast_config() {
+  MicroSimConfig cfg;
+  cfg.esharing.placer.ks_period = 0;
+  cfg.esharing.charging_operator.work_seconds = 8.0 * 3600.0;
+  return cfg;
+}
+
+class MicroSimFixture : public ::testing::Test {
+ protected:
+  MicroSimFixture()
+      : city_(small_city(), 71),
+        history_(city_.generate_trips()),
+        live_(city_.generate_trips()) {}
+  data::SyntheticCity city_;
+  std::vector<data::TripRecord> history_;
+  std::vector<data::TripRecord> live_;
+};
+
+TEST_F(MicroSimFixture, LifecycleGuards) {
+  MicroSimulation sim(city_, fast_config(), 1);
+  EXPECT_THROW((void)sim.run(live_), std::logic_error);
+  EXPECT_THROW(sim.bootstrap({}), std::invalid_argument);
+  MicroSimConfig bad = fast_config();
+  bad.walk_radius_m = 0.0;
+  EXPECT_THROW(MicroSimulation(city_, bad, 1), std::invalid_argument);
+}
+
+TEST_F(MicroSimFixture, DemandAccountingIsComplete) {
+  MicroSimulation sim(city_, fast_config(), 2);
+  sim.bootstrap(history_);
+  const auto m = sim.run(live_);
+  EXPECT_EQ(m.demand, live_.size());
+  EXPECT_EQ(m.demand, m.served + m.lost_no_bike + m.lost_low_battery);
+  EXPECT_GT(m.served, 0u);
+  EXPECT_GE(m.service_rate(), 0.0);
+  EXPECT_LE(m.service_rate(), 1.0);
+}
+
+TEST_F(MicroSimFixture, ChargingShiftsRunNightly) {
+  MicroSimulation sim(city_, fast_config(), 3);
+  sim.bootstrap(history_);
+  const auto m = sim.run(live_);
+  EXPECT_EQ(m.rounds.size(), 2u);  // one shift per simulated day
+}
+
+TEST_F(MicroSimFixture, LargerFleetServesMoreDemand) {
+  data::CityConfig small = small_city();
+  small.num_bikes = 12;
+  data::SyntheticCity sparse_city(small, 71);
+  const auto hist = sparse_city.generate_trips();
+  const auto live = sparse_city.generate_trips();
+  MicroSimulation sparse(sparse_city, fast_config(), 4);
+  sparse.bootstrap(hist);
+  const double sparse_rate = sparse.run(live).service_rate();
+
+  data::CityConfig big = small_city();
+  big.num_bikes = 300;
+  data::SyntheticCity dense_city(big, 71);
+  const auto hist2 = dense_city.generate_trips();
+  const auto live2 = dense_city.generate_trips();
+  MicroSimulation dense(dense_city, fast_config(), 4);
+  dense.bootstrap(hist2);
+  const double dense_rate = dense.run(live2).service_rate();
+
+  EXPECT_GT(dense_rate, sparse_rate);
+}
+
+TEST_F(MicroSimFixture, WiderWalkRadiusNeverHurtsService) {
+  MicroSimConfig narrow = fast_config();
+  narrow.walk_radius_m = 120.0;
+  MicroSimulation a(city_, narrow, 5);
+  a.bootstrap(history_);
+  const double narrow_rate = a.run(live_).service_rate();
+
+  MicroSimConfig wide = fast_config();
+  wide.walk_radius_m = 1500.0;
+  MicroSimulation b(city_, wide, 5);
+  b.bootstrap(history_);
+  const double wide_rate = b.run(live_).service_rate();
+  EXPECT_GE(wide_rate, narrow_rate);
+}
+
+TEST_F(MicroSimFixture, EgressWalkMatchesPlacementScale) {
+  MicroSimulation sim(city_, fast_config(), 6);
+  sim.bootstrap(history_);
+  const auto m = sim.run(live_);
+  EXPECT_GT(m.mean_egress_walk_m(), 1.0);
+  EXPECT_LT(m.mean_egress_walk_m(), 600.0);
+}
+
+TEST_F(MicroSimFixture, DeterministicPerSeed) {
+  MicroSimulation a(city_, fast_config(), 7);
+  MicroSimulation b(city_, fast_config(), 7);
+  a.bootstrap(history_);
+  b.bootstrap(history_);
+  const auto ma = a.run(live_);
+  const auto mb = b.run(live_);
+  EXPECT_EQ(ma.served, mb.served);
+  EXPECT_DOUBLE_EQ(ma.walk_to_bike_m, mb.walk_to_bike_m);
+}
+
+TEST(MicroSimMetrics, EmptyEdgeCases) {
+  const MicroSimMetrics m;
+  EXPECT_DOUBLE_EQ(m.service_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_egress_walk_m(), 0.0);
+}
+
+}  // namespace
+}  // namespace esharing::sim

@@ -1,0 +1,95 @@
+#include "solver/facility_location.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace esharing::solver {
+namespace {
+
+FlInstance two_by_two() {
+  // Clients at (0,0) w=1 and (10,0) w=2; facilities at the same spots.
+  return colocated_instance({{{0, 0}, 1.0}, {{10, 0}, 2.0}}, {5.0, 7.0});
+}
+
+TEST(FlInstance, ConnectionCostIsWeightedDistance) {
+  const auto inst = two_by_two();
+  EXPECT_DOUBLE_EQ(inst.connection_cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(inst.connection_cost(0, 1), 20.0);  // weight 2 * dist 10
+  EXPECT_DOUBLE_EQ(inst.connection_cost(1, 0), 10.0);
+}
+
+TEST(FlInstance, ValidateRejectsEmptyAndNegative) {
+  FlInstance inst;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+  inst.clients.push_back({{0, 0}, -1.0});
+  inst.facilities.push_back({{0, 0}, 1.0});
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+  inst.clients[0].weight = 1.0;
+  inst.facilities[0].opening_cost = -1.0;
+  EXPECT_THROW(inst.validate(), std::invalid_argument);
+  inst.facilities[0].opening_cost = 0.0;
+  EXPECT_NO_THROW(inst.validate());
+}
+
+TEST(ColocatedInstance, RejectsSizeMismatch) {
+  EXPECT_THROW((void)colocated_instance({{{0, 0}, 1.0}}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(AssignToOpen, PicksCheapestFacilityPerClient) {
+  const auto inst = two_by_two();
+  const auto sol = assign_to_open(inst, {0, 1});
+  EXPECT_EQ(sol.assignment[0], 0u);
+  EXPECT_EQ(sol.assignment[1], 1u);
+  EXPECT_DOUBLE_EQ(sol.connection_cost, 0.0);
+  EXPECT_DOUBLE_EQ(sol.opening_cost, 12.0);
+  EXPECT_DOUBLE_EQ(sol.total_cost(), 12.0);
+}
+
+TEST(AssignToOpen, SingleOpenFacilityTakesAll) {
+  const auto inst = two_by_two();
+  const auto sol = assign_to_open(inst, {0});
+  EXPECT_EQ(sol.assignment[0], 0u);
+  EXPECT_EQ(sol.assignment[1], 0u);
+  EXPECT_DOUBLE_EQ(sol.connection_cost, 20.0);
+  EXPECT_DOUBLE_EQ(sol.opening_cost, 5.0);
+}
+
+TEST(AssignToOpen, DeduplicatesOpenSet) {
+  const auto inst = two_by_two();
+  const auto sol = assign_to_open(inst, {0, 0, 0});
+  EXPECT_EQ(sol.open.size(), 1u);
+  EXPECT_DOUBLE_EQ(sol.opening_cost, 5.0);
+}
+
+TEST(AssignToOpen, RejectsEmptyOrInvalidOpenSet) {
+  const auto inst = two_by_two();
+  EXPECT_THROW((void)assign_to_open(inst, {}), std::invalid_argument);
+  EXPECT_THROW((void)assign_to_open(inst, {5}), std::invalid_argument);
+}
+
+TEST(Recost, RecomputesCostsFromAssignment) {
+  const auto inst = two_by_two();
+  FlSolution sol;
+  sol.open = {1};
+  sol.assignment = {1, 1};
+  const auto out = recost(inst, sol);
+  EXPECT_DOUBLE_EQ(out.connection_cost, 10.0);
+  EXPECT_DOUBLE_EQ(out.opening_cost, 7.0);
+}
+
+TEST(Recost, RejectsInconsistentSolutions) {
+  const auto inst = two_by_two();
+  FlSolution bad_size;
+  bad_size.open = {0};
+  bad_size.assignment = {0};
+  EXPECT_THROW((void)recost(inst, bad_size), std::invalid_argument);
+  FlSolution closed;
+  closed.open = {0};
+  closed.assignment = {0, 1};  // client 1 assigned to closed facility
+  EXPECT_THROW((void)recost(inst, closed), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::solver

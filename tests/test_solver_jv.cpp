@@ -1,0 +1,120 @@
+#include "solver/jv_primal_dual.h"
+
+#include <gtest/gtest.h>
+
+#include "solver/exact.h"
+#include "solver/jms_greedy.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::solver {
+namespace {
+
+using geo::Point;
+
+TEST(JvPrimalDual, SingleClusterOpensOne) {
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (int i = 0; i < 5; ++i) {
+    clients.push_back({{static_cast<double>(i), 0.0}, 1.0});
+    costs.push_back(100.0);
+  }
+  const auto sol = jv_primal_dual(colocated_instance(clients, costs));
+  EXPECT_EQ(sol.num_open(), 1u);
+}
+
+TEST(JvPrimalDual, DistantClustersOpenSeparately) {
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back({{static_cast<double>(i), 0.0}, 1.0});
+    clients.push_back({{100000.0 + i, 0.0}, 1.0});
+    costs.push_back(50.0);
+    costs.push_back(50.0);
+  }
+  const auto sol = jv_primal_dual(colocated_instance(clients, costs));
+  EXPECT_EQ(sol.num_open(), 2u);
+  EXPECT_LT(sol.connection_cost, 20.0);
+}
+
+TEST(JvPrimalDual, ZeroOpeningCostOpensEverywhere) {
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (int i = 0; i < 4; ++i) {
+    clients.push_back({{i * 100.0, 0.0}, 1.0});
+    costs.push_back(0.0);
+  }
+  const auto sol = jv_primal_dual(colocated_instance(clients, costs));
+  EXPECT_DOUBLE_EQ(sol.connection_cost, 0.0);
+}
+
+TEST(JvPrimalDual, AssignsToNearestOpen) {
+  stats::Rng rng(1);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 30);
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : pts) {
+    clients.push_back({p, rng.uniform(0.5, 2.0)});
+    costs.push_back(rng.uniform(300.0, 1500.0));
+  }
+  const auto inst = colocated_instance(clients, costs);
+  const auto sol = jv_primal_dual(inst);
+  for (std::size_t j = 0; j < inst.clients.size(); ++j) {
+    const double assigned = inst.connection_cost(sol.assignment[j], j);
+    for (std::size_t f : sol.open) {
+      EXPECT_LE(assigned, inst.connection_cost(f, j) + 1e-9);
+    }
+  }
+}
+
+/// Property: within the proven factor 3 of the exact optimum (the refined
+/// bound is 1.861; we assert 3 plus float slack).
+class JvApproximationRatio : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JvApproximationRatio, WithinFactor3OfOptimum) {
+  stats::Rng rng(GetParam());
+  const std::size_t n = 6 + rng.index(7);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, n);
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : pts) {
+    clients.push_back({p, rng.uniform(0.5, 4.0)});
+    costs.push_back(rng.uniform(100.0, 2000.0));
+  }
+  const auto inst = colocated_instance(clients, costs);
+  const auto jv = jv_primal_dual(inst);
+  const auto best = exact_facility_location(inst);
+  EXPECT_LE(jv.total_cost(), 3.0 * best.total_cost() + 1e-9);
+  EXPECT_GE(jv.total_cost(), best.total_cost() - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, JvApproximationRatio,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(JvPrimalDual, ComparableToJmsOnLargerInstances) {
+  // Both approximation algorithms should land in the same cost ballpark
+  // (JMS typically wins — 1.61 vs 1.861 — but JV must stay within 2x).
+  stats::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = stats::uniform_points(rng, {{0, 0}, {2000, 2000}}, 80);
+    std::vector<FlClient> clients;
+    std::vector<double> costs;
+    for (Point p : pts) {
+      clients.push_back({p, 1.0});
+      costs.push_back(rng.uniform(2000.0, 8000.0));
+    }
+    const auto inst = colocated_instance(clients, costs);
+    const auto jv = jv_primal_dual(inst);
+    const auto jms = jms_greedy(inst);
+    EXPECT_LT(jv.total_cost(), 2.0 * jms.total_cost());
+    EXPECT_LT(jms.total_cost(), 2.0 * jv.total_cost());
+  }
+}
+
+TEST(JvPrimalDual, ValidatesInstance) {
+  FlInstance empty;
+  EXPECT_THROW((void)jv_primal_dual(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::solver

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "solver/capacitated.h"
+#include "solver/k_median.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::solver {
+namespace {
+
+using geo::Point;
+
+FlInstance cluster_instance() {
+  // Two tight clusters far apart, colocated candidates.
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (int i = 0; i < 5; ++i) {
+    clients.push_back({{static_cast<double>(i * 10), 0.0}, 1.0});
+    clients.push_back({{10000.0 + i * 10, 0.0}, 1.0});
+    costs.push_back(123.0);  // k-median must ignore these
+    costs.push_back(123.0);
+  }
+  return colocated_instance(clients, costs);
+}
+
+TEST(KMedian, ValidatesK) {
+  const auto inst = cluster_instance();
+  EXPECT_THROW((void)k_median(inst, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)k_median(inst, 11, 1), std::invalid_argument);
+}
+
+TEST(KMedian, OpensExactlyKAndIgnoresOpeningCosts) {
+  const auto inst = cluster_instance();
+  const auto sol = k_median(inst, 2, 1);
+  EXPECT_EQ(sol.num_open(), 2u);
+  EXPECT_DOUBLE_EQ(sol.opening_cost, 0.0);
+}
+
+TEST(KMedian, KEquals2SplitsTheClusters) {
+  const auto inst = cluster_instance();
+  const auto sol = k_median(inst, 2, 2);
+  // One median per cluster keeps every walk within the 40 m cluster span.
+  EXPECT_LT(sol.connection_cost, 200.0);
+  const double x0 = inst.facilities[sol.open[0]].location.x;
+  const double x1 = inst.facilities[sol.open[1]].location.x;
+  EXPECT_NE(x0 < 5000.0, x1 < 5000.0);  // different clusters
+}
+
+TEST(KMedian, MoreMediansNeverIncreaseCost) {
+  stats::Rng rng(3);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 30);
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : pts) {
+    clients.push_back({p, rng.uniform(0.5, 2.0)});
+    costs.push_back(0.0);
+  }
+  const auto inst = colocated_instance(clients, costs);
+  double prev = std::numeric_limits<double>::infinity();
+  for (std::size_t k : {1, 2, 4, 8, 16}) {
+    const double c = k_median(inst, k, 4).connection_cost;
+    EXPECT_LE(c, prev + 1e-9);
+    prev = c;
+  }
+  // k = #facilities: everything is a median, walking cost 0.
+  EXPECT_DOUBLE_EQ(k_median(inst, pts.size(), 4).connection_cost, 0.0);
+}
+
+TEST(KMedian, SwapSearchBeatsBadSeeds) {
+  // Regardless of the random seed, the swap search should land both
+  // medians correctly on the two-cluster instance.
+  const auto inst = cluster_instance();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_LT(k_median(inst, 2, seed).connection_cost, 200.0);
+  }
+}
+
+// --- capacitated assignment ----------------------------------------------
+
+TEST(Capacitated, Validates) {
+  EXPECT_THROW((void)assign_capacitated({}, {{{0, 0}, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)assign_capacitated({{{0, 0}, 1.0}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)assign_capacitated({{{0, 0}, -1.0}}, {{{0, 0}, 1.0}}),
+      std::invalid_argument);
+}
+
+TEST(Capacitated, UnconstrainedMatchesNearest) {
+  const std::vector<CapacitatedStation> stations{{{0, 0}, 100.0},
+                                                 {{1000, 0}, 100.0}};
+  const std::vector<CapacitatedDemand> demands{{{100, 0}, 2.0},
+                                               {{900, 0}, 3.0}};
+  const auto a = assign_capacitated(stations, demands);
+  EXPECT_TRUE(a.feasible());
+  EXPECT_DOUBLE_EQ(a.walking_cost,
+                   uncapacitated_walking_cost(stations, demands));
+  EXPECT_DOUBLE_EQ(a.walking_cost, 2.0 * 100.0 + 3.0 * 100.0);
+}
+
+TEST(Capacitated, CapacitySqueezePushesDemandToSecondChoice) {
+  // Both demands prefer station 0 but it only fits one unit.
+  const std::vector<CapacitatedStation> stations{{{0, 0}, 1.0},
+                                                 {{1000, 0}, 10.0}};
+  const std::vector<CapacitatedDemand> demands{{{10, 0}, 1.0},
+                                               {{20, 0}, 1.0}};
+  const auto a = assign_capacitated(stations, demands);
+  EXPECT_TRUE(a.feasible());
+  // The demand with the larger regret (closer to 0, farther from 1000)
+  // keeps the scarce slot; exactly one unit travels to station 1.
+  double at_far = 0.0;
+  for (const auto& share : a.shares) {
+    if (share.station == 1) at_far += share.amount;
+  }
+  EXPECT_DOUBLE_EQ(at_far, 1.0);
+  EXPECT_GT(a.walking_cost, uncapacitated_walking_cost(stations, demands));
+}
+
+TEST(Capacitated, DemandSplitsAcrossStations) {
+  const std::vector<CapacitatedStation> stations{{{0, 0}, 2.0},
+                                                 {{100, 0}, 2.0}};
+  const std::vector<CapacitatedDemand> demands{{{50, 0}, 3.0}};
+  const auto a = assign_capacitated(stations, demands);
+  EXPECT_TRUE(a.feasible());
+  EXPECT_EQ(a.shares.size(), 2u);
+  double total = 0.0;
+  for (const auto& share : a.shares) total += share.amount;
+  EXPECT_DOUBLE_EQ(total, 3.0);
+}
+
+TEST(Capacitated, OverflowReportedWhenCapacityShort) {
+  const std::vector<CapacitatedStation> stations{{{0, 0}, 1.5}};
+  const std::vector<CapacitatedDemand> demands{{{10, 0}, 4.0}};
+  const auto a = assign_capacitated(stations, demands);
+  EXPECT_FALSE(a.feasible());
+  EXPECT_DOUBLE_EQ(a.overflow, 2.5);
+}
+
+TEST(Capacitated, ConservationProperty) {
+  stats::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<CapacitatedStation> stations;
+    std::vector<CapacitatedDemand> demands;
+    double cap_total = 0.0, dem_total = 0.0;
+    for (int s = 0; s < 6; ++s) {
+      const double cap = rng.uniform(0.0, 5.0);
+      stations.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)}, cap});
+      cap_total += cap;
+    }
+    for (int d = 0; d < 10; ++d) {
+      const double amt = rng.uniform(0.0, 3.0);
+      demands.push_back({{rng.uniform(0, 1000), rng.uniform(0, 1000)}, amt});
+      dem_total += amt;
+    }
+    const auto a = assign_capacitated(stations, demands);
+    double placed = 0.0;
+    for (const auto& share : a.shares) placed += share.amount;
+    EXPECT_NEAR(placed + a.overflow, dem_total, 1e-9);
+    EXPECT_LE(placed, cap_total + 1e-9);
+    if (a.feasible()) {
+      // Capacities can only worsen walking — but only comparable when all
+      // demand was actually placed.
+      EXPECT_GE(a.walking_cost,
+                uncapacitated_walking_cost(stations, demands) - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esharing::solver

@@ -1,0 +1,109 @@
+#include "solver/meyerson.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/spatial.h"
+
+namespace esharing::solver {
+namespace {
+
+using geo::Point;
+
+TEST(Meyerson, RejectsNonPositiveOpeningCost) {
+  EXPECT_THROW(MeyersonPlacer(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(MeyersonPlacer(-5.0, 1), std::invalid_argument);
+}
+
+TEST(Meyerson, FirstRequestAlwaysOpens) {
+  MeyersonPlacer placer(1000.0, 1);
+  const auto d = placer.process({10, 20});
+  EXPECT_TRUE(d.opened);
+  EXPECT_EQ(placer.num_open(), 1u);
+  EXPECT_DOUBLE_EQ(placer.total_connection_cost(), 0.0);
+}
+
+TEST(Meyerson, RepeatAtFacilityNeverOpensAgain) {
+  MeyersonPlacer placer(1000.0, 2);
+  (void)placer.process({0, 0});
+  for (int i = 0; i < 100; ++i) {
+    const auto d = placer.process({0, 0});
+    EXPECT_FALSE(d.opened);  // d = 0 -> prob 0
+    EXPECT_EQ(d.facility, 0u);
+  }
+  EXPECT_EQ(placer.num_open(), 1u);
+}
+
+TEST(Meyerson, FarRequestBeyondFAlwaysOpens) {
+  MeyersonPlacer placer(100.0, 3);
+  (void)placer.process({0, 0});
+  const auto d = placer.process({1000, 0});  // d=1000 >= f=100 -> prob 1
+  EXPECT_TRUE(d.opened);
+  EXPECT_EQ(placer.num_open(), 2u);
+}
+
+TEST(Meyerson, ZeroWeightRequestNeverOpens) {
+  MeyersonPlacer placer(100.0, 4);
+  (void)placer.process({0, 0});
+  const auto d = placer.process({1e6, 1e6}, 0.0);
+  EXPECT_FALSE(d.opened);
+  EXPECT_DOUBLE_EQ(d.connection_cost, 0.0);
+}
+
+TEST(Meyerson, NegativeWeightRejected) {
+  MeyersonPlacer placer(100.0, 5);
+  EXPECT_THROW((void)placer.process({0, 0}, -1.0), std::invalid_argument);
+}
+
+TEST(Meyerson, CostAccountingConsistent) {
+  MeyersonPlacer placer(500.0, 6);
+  stats::Rng rng(7);
+  double expected_conn = 0.0;
+  for (const Point p :
+       stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 200)) {
+    const auto d = placer.process(p);
+    if (!d.opened) expected_conn += d.connection_cost;
+  }
+  EXPECT_DOUBLE_EQ(placer.total_connection_cost(), expected_conn);
+  EXPECT_DOUBLE_EQ(placer.total_opening_cost(),
+                   500.0 * static_cast<double>(placer.num_open()));
+  EXPECT_DOUBLE_EQ(placer.total_cost(),
+                   placer.total_connection_cost() + placer.total_opening_cost());
+}
+
+TEST(Meyerson, AssignsToNearestFacility) {
+  MeyersonPlacer placer(1e9, 8);  // huge f: never open after the first
+  (void)placer.process({0, 0});
+  (void)placer.process({1000, 0});  // assigned, not opened (prob ~1e-6)
+  ASSERT_EQ(placer.num_open(), 1u);
+  const auto d = placer.process({100, 0});
+  EXPECT_EQ(d.facility, 0u);
+  EXPECT_DOUBLE_EQ(d.connection_cost, 100.0);
+}
+
+TEST(Meyerson, DeterministicPerSeed) {
+  stats::Rng rng(9);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 300);
+  MeyersonPlacer a(800.0, 42), b(800.0, 42);
+  for (Point p : pts) {
+    (void)a.process(p);
+    (void)b.process(p);
+  }
+  EXPECT_EQ(a.num_open(), b.num_open());
+  EXPECT_DOUBLE_EQ(a.total_cost(), b.total_cost());
+}
+
+TEST(Meyerson, OpensMoreWithCheaperF) {
+  stats::Rng rng(10);
+  const auto pts = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 400);
+  MeyersonPlacer cheap(200.0, 11), pricey(5000.0, 11);
+  for (Point p : pts) {
+    (void)cheap.process(p);
+    (void)pricey.process(p);
+  }
+  EXPECT_GT(cheap.num_open(), 2 * pricey.num_open());
+}
+
+}  // namespace
+}  // namespace esharing::solver

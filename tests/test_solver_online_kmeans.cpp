@@ -1,0 +1,102 @@
+#include "solver/online_kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/spatial.h"
+
+namespace esharing::solver {
+namespace {
+
+using geo::Point;
+
+TEST(OnlineKMeans, RejectsBadParameters) {
+  EXPECT_THROW(OnlineKMeans(0, 100, 1), std::invalid_argument);
+  EXPECT_THROW(OnlineKMeans(5, 0, 1), std::invalid_argument);
+}
+
+TEST(OnlineKMeans, WarmupTakesFirstKPlusOnePoints) {
+  OnlineKMeans km(3, 100, 1);
+  for (int i = 0; i < 4; ++i) {
+    const auto d = km.process({i * 10.0, 0.0});
+    EXPECT_TRUE(d.opened);
+  }
+  EXPECT_EQ(km.num_open(), 4u);
+  EXPECT_GT(km.facility_cost(), 0.0);
+}
+
+TEST(OnlineKMeans, RepeatedPointNeverBecomesNewCenter) {
+  OnlineKMeans km(2, 100, 2);
+  for (int i = 0; i < 3; ++i) (void)km.process({i * 100.0, 0.0});
+  for (int i = 0; i < 50; ++i) {
+    const auto d = km.process({0, 0});
+    EXPECT_FALSE(d.opened);
+    EXPECT_EQ(d.facility, 0u);
+  }
+}
+
+TEST(OnlineKMeans, FarPointOpensWithProbabilityOne) {
+  OnlineKMeans km(2, 100, 3);
+  for (int i = 0; i < 3; ++i) (void)km.process({i * 10.0, 0.0});
+  const auto d = km.process({1e6, 1e6});
+  EXPECT_TRUE(d.opened);
+}
+
+TEST(OnlineKMeans, PhaseAdvancesAndCostDoubles) {
+  // Stream widely scattered points so centers keep opening until the phase
+  // budget trips.
+  OnlineKMeans km(1, 8, 4);  // budget = ceil(3 * (1 + ln 8)) = 10
+  stats::Rng rng(5);
+  const double f0_phasecost[1] = {0.0};
+  (void)f0_phasecost;
+  double f_after_warmup = 0.0;
+  int opened = 0;
+  for (int i = 0; i < 4000 && km.phase() == 1; ++i) {
+    const Point p{rng.uniform(0.0, 1e7), rng.uniform(0.0, 1e7)};
+    const auto d = km.process(p);
+    if (km.num_open() == 2 && f_after_warmup == 0.0) {
+      f_after_warmup = km.facility_cost();
+    }
+    opened += d.opened ? 1 : 0;
+  }
+  EXPECT_GE(km.phase(), 2);
+  EXPECT_DOUBLE_EQ(km.facility_cost(), 2.0 * f_after_warmup);
+}
+
+TEST(OnlineKMeans, ConnectionCostIsLinearDistance) {
+  OnlineKMeans km(1, 100, 6);
+  (void)km.process({0, 0});
+  (void)km.process({10, 0});
+  // With huge f (tiny warmup dist would give small f; instead test via a
+  // non-opened decision's reported cost against the nearest center).
+  for (int i = 0; i < 200; ++i) {
+    const auto d = km.process({3, 4});
+    if (!d.opened) {
+      const double dist_to_center =
+          geo::distance(km.centers()[d.facility], {3, 4});
+      EXPECT_DOUBLE_EQ(d.connection_cost, dist_to_center);
+      return;
+    }
+  }
+  FAIL() << "point at distance 5 was always opened";
+}
+
+TEST(OnlineKMeans, OverOpensComparedToMeyersonStyleTarget) {
+  // Table V's qualitative finding: online k-means opens the most stations.
+  OnlineKMeans km(5, 500, 7);
+  stats::Rng rng(8);
+  for (const Point p :
+       stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 500)) {
+    (void)km.process(p);
+  }
+  EXPECT_GT(km.num_open(), 10u);  // far above the k=5 target
+}
+
+TEST(OnlineKMeans, NegativeWeightRejected) {
+  OnlineKMeans km(2, 10, 9);
+  EXPECT_THROW((void)km.process({0, 0}, -0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::solver

@@ -1,0 +1,76 @@
+#include "stats/ks1d.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace esharing::stats {
+namespace {
+
+TEST(Ks1d, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(ks1d_statistic(a, a), 0.0);
+}
+
+TEST(Ks1d, DisjointSamplesHaveStatisticOne) {
+  EXPECT_DOUBLE_EQ(ks1d_statistic({1, 2, 3}, {10, 11, 12}), 1.0);
+}
+
+TEST(Ks1d, KnownSmallExample) {
+  // a = {1, 3}, b = {2, 4}: CDF gaps of 1/2 at x in [1,2) etc.
+  EXPECT_DOUBLE_EQ(ks1d_statistic({1, 3}, {2, 4}), 0.5);
+}
+
+TEST(Ks1d, SymmetricAndBounded) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 50; ++i) {
+      a.push_back(rng.normal(0, 1));
+      b.push_back(rng.normal(0.5, 1.2));
+    }
+    const double dab = ks1d_statistic(a, b);
+    EXPECT_DOUBLE_EQ(dab, ks1d_statistic(b, a));
+    EXPECT_GE(dab, 0.0);
+    EXPECT_LE(dab, 1.0);
+  }
+}
+
+TEST(Ks1d, ThrowsOnEmpty) {
+  EXPECT_THROW((void)ks1d_statistic({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)ks1d_statistic({1.0}, {}), std::invalid_argument);
+}
+
+TEST(Ks1d, SameDistributionHighPValue) {
+  Rng rng(2);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(0, 1));
+  }
+  EXPECT_GT(ks1d_test(a, b).p_value, 0.05);
+}
+
+TEST(Ks1d, ShiftedDistributionLowPValue) {
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 300; ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(1.0, 1));
+  }
+  EXPECT_LT(ks1d_test(a, b).p_value, 1e-4);
+}
+
+TEST(Ks1d, HandlesTiesCorrectly) {
+  // Heavy ties: all equal values -> D = 0 between identical multisets,
+  // and D = 1 between different constants.
+  const std::vector<double> fives(10, 5.0);
+  EXPECT_DOUBLE_EQ(ks1d_statistic(fives, fives), 0.0);
+  const std::vector<double> sixes(7, 6.0);
+  EXPECT_DOUBLE_EQ(ks1d_statistic(fives, sixes), 1.0);
+}
+
+}  // namespace
+}  // namespace esharing::stats

@@ -1,0 +1,147 @@
+#include "stats/ks2d.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::stats {
+namespace {
+
+using geo::BoundingBox;
+using geo::Point;
+
+std::vector<Point> uniform_sample(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  return uniform_points(rng, BoundingBox{{0, 0}, {1000, 1000}}, n);
+}
+
+TEST(Ks2d, IdenticalSamplesHaveZeroStatistic) {
+  const auto a = uniform_sample(1, 60);
+  EXPECT_DOUBLE_EQ(peacock_statistic(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(fasano_franceschini_statistic(a, a), 0.0);
+}
+
+TEST(Ks2d, DisjointSamplesHaveStatisticNearOne) {
+  Rng rng(2);
+  const auto a = normal_points(rng, {0, 0}, 1.0, 50);
+  const auto b = normal_points(rng, {1e6, 1e6}, 1.0, 50);
+  EXPECT_GT(peacock_statistic(a, b), 0.99);
+}
+
+TEST(Ks2d, StatisticIsSymmetric) {
+  const auto a = uniform_sample(3, 40);
+  const auto b = uniform_sample(4, 50);
+  EXPECT_DOUBLE_EQ(peacock_statistic(a, b), peacock_statistic(b, a));
+  EXPECT_DOUBLE_EQ(fasano_franceschini_statistic(a, b),
+                   fasano_franceschini_statistic(b, a));
+}
+
+TEST(Ks2d, StatisticWithinUnitInterval) {
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto a = uniform_sample(10 + s, 30);
+    const auto b = uniform_sample(20 + s, 35);
+    const double d = peacock_statistic(a, b);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Ks2d, SameDistributionGivesSmallD) {
+  const auto a = uniform_sample(5, 150);
+  const auto b = uniform_sample(6, 150);
+  EXPECT_LT(peacock_statistic(a, b), 0.25);
+}
+
+TEST(Ks2d, DifferentDistributionsGiveLargerD) {
+  Rng rng(7);
+  const auto uniform = uniform_sample(8, 120);
+  const auto clustered = normal_points(rng, {500, 500}, 50.0, 120);
+  const double d_diff = peacock_statistic(uniform, clustered);
+  const double d_same = peacock_statistic(uniform, uniform_sample(9, 120));
+  EXPECT_GT(d_diff, 2.0 * d_same);
+}
+
+TEST(Ks2d, FasanoFranceschiniTracksPeacock) {
+  // The FF statistic uses a subset of Peacock's origins, so it can only be
+  // <= Peacock's D, and in practice stays close.
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    Rng rng(100 + s);
+    const auto a = uniform_sample(200 + s, 60);
+    const auto b = normal_points(rng, {500, 500}, 220.0, 60);
+    const double dp = peacock_statistic(a, b);
+    const double dff = fasano_franceschini_statistic(a, b);
+    EXPECT_LE(dff, dp + 1e-12);
+    EXPECT_GT(dff, dp * 0.5);
+  }
+}
+
+TEST(Ks2d, ThrowsOnEmptySamples) {
+  const auto a = uniform_sample(10, 5);
+  EXPECT_THROW((void)peacock_statistic(a, {}), std::invalid_argument);
+  EXPECT_THROW((void)peacock_statistic({}, a), std::invalid_argument);
+  EXPECT_THROW((void)fasano_franceschini_statistic({}, a), std::invalid_argument);
+  EXPECT_THROW((void)ks2d_test({}, a), std::invalid_argument);
+}
+
+TEST(Ks2d, SimilarityPercentFormula) {
+  EXPECT_DOUBLE_EQ(ks_similarity_percent(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(ks_similarity_percent(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ks_similarity_percent(0.25), 75.0);
+}
+
+TEST(Ks2d, TestUsesPeacockBelowLimitAndFfAbove) {
+  const auto a = uniform_sample(11, 30);
+  const auto b = uniform_sample(12, 30);
+  const auto peacock = ks2d_test(a, b, /*peacock_limit=*/100);
+  const auto ff = ks2d_test(a, b, /*peacock_limit=*/10);
+  EXPECT_DOUBLE_EQ(peacock.d, peacock_statistic(a, b));
+  EXPECT_DOUBLE_EQ(ff.d, fasano_franceschini_statistic(a, b));
+}
+
+TEST(Ks2d, PValueHighForSameDistribution) {
+  const auto a = uniform_sample(13, 120);
+  const auto b = uniform_sample(14, 120);
+  EXPECT_GT(ks2d_test(a, b).p_value, 0.05);
+}
+
+TEST(Ks2d, PValueLowForDifferentDistributions) {
+  Rng rng(15);
+  const auto a = uniform_sample(16, 120);
+  const auto b = normal_points(rng, {200, 800}, 40.0, 120);
+  EXPECT_LT(ks2d_test(a, b).p_value, 0.01);
+}
+
+TEST(Ks2d, TailProbabilityProperties) {
+  EXPECT_DOUBLE_EQ(ks_tail_probability(0.0), 1.0);
+  EXPECT_LT(ks_tail_probability(2.0), 0.01);
+  // Monotone decreasing.
+  double prev = 1.0;
+  for (double lambda = 0.1; lambda < 3.0; lambda += 0.1) {
+    const double q = ks_tail_probability(lambda);
+    EXPECT_LE(q, prev + 1e-12);
+    EXPECT_GE(q, 0.0);
+    prev = q;
+  }
+}
+
+TEST(Ks2d, WeekdayWeekendStyleShiftIsDetected) {
+  // Two POI mixtures sharing one cluster but differing in the other —
+  // the Table IV situation (weekday vs weekend demand).
+  Rng rng(17);
+  const std::vector<GaussianCluster> weekday{
+      {{500, 500}, 80.0, 3.0}, {{2500, 2500}, 80.0, 1.0}};
+  const std::vector<GaussianCluster> weekend{
+      {{500, 500}, 80.0, 1.0}, {{2500, 2500}, 80.0, 3.0}};
+  const auto w1 = mixture_points(rng, weekday, 150);
+  const auto w2 = mixture_points(rng, weekday, 150);
+  const auto e1 = mixture_points(rng, weekend, 150);
+  const double sim_within = ks2d_test(w1, w2).similarity;
+  const double sim_across = ks2d_test(w1, e1).similarity;
+  EXPECT_GT(sim_within, sim_across + 10.0);
+}
+
+}  // namespace
+}  // namespace esharing::stats

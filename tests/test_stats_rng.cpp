@@ -1,0 +1,159 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace esharing::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 4);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all of {2,3,4} appear
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, IndexCoversRangeAndRejectsEmpty) {
+  Rng rng(6);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.index(4));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(8);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonEdgeCases) {
+  Rng rng(10);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_THROW((void)rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliClampsProbability) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(13);
+  std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(14);
+  EXPECT_THROW((void)rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((void)rng.weighted_index({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialPositiveAndMeanMatches) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(2.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(17);
+  Rng child = a.fork();
+  // The child stream should not equal the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform() == child.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace esharing::stats

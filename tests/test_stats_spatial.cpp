@@ -1,0 +1,115 @@
+#include "stats/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.h"
+
+namespace esharing::stats {
+namespace {
+
+using geo::BoundingBox;
+using geo::Point;
+
+TEST(Spatial, UniformPointsStayInBox) {
+  Rng rng(1);
+  const BoundingBox box{{-10, 5}, {10, 25}};
+  for (const Point p : uniform_points(rng, box, 500)) {
+    EXPECT_TRUE(box.contains(p));
+  }
+}
+
+TEST(Spatial, UniformPointsCoverAllQuadrants) {
+  Rng rng(2);
+  const BoundingBox box{{0, 0}, {100, 100}};
+  int q[4] = {0, 0, 0, 0};
+  for (const Point p : uniform_points(rng, box, 400)) {
+    q[(p.x < 50 ? 0 : 1) + (p.y < 50 ? 0 : 2)]++;
+  }
+  for (int c : q) EXPECT_GT(c, 50);
+}
+
+TEST(Spatial, NormalPointsCenteredWithRequestedSpread) {
+  Rng rng(3);
+  const auto pts = normal_points(rng, {100, -50}, 20.0, 5000);
+  std::vector<double> xs, ys;
+  for (Point p : pts) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  EXPECT_NEAR(mean(xs), 100.0, 2.0);
+  EXPECT_NEAR(mean(ys), -50.0, 2.0);
+  EXPECT_NEAR(stddev(xs), 20.0, 1.5);
+}
+
+TEST(Spatial, NormalPointsRejectNegativeSigma) {
+  Rng rng(4);
+  EXPECT_THROW((void)normal_points(rng, {0, 0}, -1.0, 5), std::invalid_argument);
+}
+
+TEST(Spatial, RadialPoissonConcentratesMidRange) {
+  // With lambda = 4 and scale = 100, mass should concentrate around radius
+  // ~450 (Poisson mean 4 + 0.5 jitter), away from the center — the paper's
+  // "requests concentrate in the mid-range" workload.
+  Rng rng(5);
+  const auto pts = radial_poisson_points(rng, {0, 0}, 4.0, 100.0, 4000);
+  std::vector<double> radii;
+  for (Point p : pts) radii.push_back(p.norm());
+  EXPECT_NEAR(mean(radii), 450.0, 25.0);
+  // Few points near the center.
+  int near_center = 0;
+  for (double r : radii) near_center += r < 100.0 ? 1 : 0;
+  EXPECT_LT(near_center, static_cast<int>(0.12 * radii.size()));
+}
+
+TEST(Spatial, RadialPoissonRejectsBadScale) {
+  Rng rng(6);
+  EXPECT_THROW((void)radial_poisson_points(rng, {0, 0}, 1.0, 0.0, 5),
+               std::invalid_argument);
+}
+
+TEST(Spatial, MixtureRespectsWeights) {
+  Rng rng(7);
+  const std::vector<GaussianCluster> clusters{
+      {{0, 0}, 10.0, 1.0}, {{1000, 1000}, 10.0, 3.0}};
+  int near_second = 0;
+  const auto pts = mixture_points(rng, clusters, 2000);
+  for (Point p : pts) near_second += p.x > 500.0 ? 1 : 0;
+  EXPECT_NEAR(near_second / 2000.0, 0.75, 0.04);
+}
+
+TEST(Spatial, MixtureRejectsEmptyClusterList) {
+  Rng rng(8);
+  EXPECT_THROW((void)mixture_points(rng, {}, 5), std::invalid_argument);
+}
+
+TEST(Spatial, HashNoiseDeterministicPerCell) {
+  const Point a{150.0, 250.0};
+  const Point same_cell{199.0, 201.0};
+  EXPECT_DOUBLE_EQ(hash_noise(a, 100.0, 42), hash_noise(same_cell, 100.0, 42));
+  EXPECT_NE(hash_noise(a, 100.0, 42), hash_noise(a, 100.0, 43));
+}
+
+TEST(Spatial, HashNoiseUniformInUnitInterval) {
+  double sum = 0.0;
+  int n = 0;
+  for (int cx = 0; cx < 60; ++cx) {
+    for (int cy = 0; cy < 60; ++cy) {
+      const double v = hash_noise({cx * 100.0 + 1, cy * 100.0 + 1}, 100.0, 7);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 1.0);
+      sum += v;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Spatial, HashNoiseRejectsBadCellSize) {
+  EXPECT_THROW((void)hash_noise({0, 0}, 0.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace esharing::stats

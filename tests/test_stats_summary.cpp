@@ -1,0 +1,104 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <stdexcept>
+
+namespace esharing::stats {
+namespace {
+
+TEST(Summary, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({7.0}), 7.0);
+}
+
+TEST(Summary, MeanThrowsOnEmpty) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+}
+
+TEST(Summary, VarianceIsUnbiased) {
+  // Sample variance of {2,4,4,4,5,5,7,9} with n-1 = 32/7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+}
+
+TEST(Summary, StddevIsSqrtVariance) {
+  EXPECT_DOUBLE_EQ(stddev({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_NEAR(stddev({0.0, 2.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Summary, RmseOfKnownVectors) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+TEST(Summary, RmseRejectsMismatchedSizes) {
+  EXPECT_THROW((void)rmse({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)rmse({}, {}), std::invalid_argument);
+}
+
+TEST(Summary, MaeOfKnownVectors) {
+  EXPECT_DOUBLE_EQ(mae({1, 2}, {2, 4}), 1.5);
+  EXPECT_THROW((void)mae({1.0}, {}), std::invalid_argument);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Summary, QuantileValidatesInput) {
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Summary, PearsonPerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Summary, PearsonConstantInputIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {2, 5, 9}), 0.0);
+}
+
+TEST(Summary, PearsonValidatesInput) {
+  EXPECT_THROW((void)pearson({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW((void)pearson({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Accumulator, MatchesBatchStatistics) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  Accumulator acc;
+  for (double x : v) acc.add(x);
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(acc.variance(), variance(v), 1e-12);
+  EXPECT_NEAR(acc.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyThrows) {
+  const Accumulator acc;
+  EXPECT_THROW((void)acc.mean(), std::logic_error);
+  EXPECT_THROW((void)acc.min(), std::logic_error);
+  EXPECT_THROW((void)acc.max(), std::logic_error);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.5);
+}
+
+}  // namespace
+}  // namespace esharing::stats
