@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_placer.dir/bench_ablation_placer.cpp.o"
+  "CMakeFiles/bench_ablation_placer.dir/bench_ablation_placer.cpp.o.d"
+  "bench_ablation_placer"
+  "bench_ablation_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

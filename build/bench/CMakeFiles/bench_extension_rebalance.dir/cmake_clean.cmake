@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_rebalance.dir/bench_extension_rebalance.cpp.o"
+  "CMakeFiles/bench_extension_rebalance.dir/bench_extension_rebalance.cpp.o.d"
+  "bench_extension_rebalance"
+  "bench_extension_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_offline_vs_meyerson.dir/bench_fig04_offline_vs_meyerson.cpp.o"
+  "CMakeFiles/bench_fig04_offline_vs_meyerson.dir/bench_fig04_offline_vs_meyerson.cpp.o.d"
+  "bench_fig04_offline_vs_meyerson"
+  "bench_fig04_offline_vs_meyerson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_offline_vs_meyerson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig04_offline_vs_meyerson.
+# This may be replaced when dependencies are built.

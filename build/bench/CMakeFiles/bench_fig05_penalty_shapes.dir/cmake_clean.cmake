@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_penalty_shapes.dir/bench_fig05_penalty_shapes.cpp.o"
+  "CMakeFiles/bench_fig05_penalty_shapes.dir/bench_fig05_penalty_shapes.cpp.o.d"
+  "bench_fig05_penalty_shapes"
+  "bench_fig05_penalty_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_penalty_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

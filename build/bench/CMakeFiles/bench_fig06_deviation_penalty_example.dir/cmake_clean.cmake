@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_deviation_penalty_example.dir/bench_fig06_deviation_penalty_example.cpp.o"
+  "CMakeFiles/bench_fig06_deviation_penalty_example.dir/bench_fig06_deviation_penalty_example.cpp.o.d"
+  "bench_fig06_deviation_penalty_example"
+  "bench_fig06_deviation_penalty_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_deviation_penalty_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

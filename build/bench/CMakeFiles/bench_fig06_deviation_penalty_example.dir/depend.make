@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_deviation_penalty_example.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cost_vs_parking.dir/bench_fig10_cost_vs_parking.cpp.o"
+  "CMakeFiles/bench_fig10_cost_vs_parking.dir/bench_fig10_cost_vs_parking.cpp.o.d"
+  "bench_fig10_cost_vs_parking"
+  "bench_fig10_cost_vs_parking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cost_vs_parking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

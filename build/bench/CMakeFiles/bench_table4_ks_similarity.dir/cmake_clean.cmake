@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ks_similarity.dir/bench_table4_ks_similarity.cpp.o"
+  "CMakeFiles/bench_table4_ks_similarity.dir/bench_table4_ks_similarity.cpp.o.d"
+  "bench_table4_ks_similarity"
+  "bench_table4_ks_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ks_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/plp_compare.cpp" "bench/CMakeFiles/esharing_bench_common.dir/plp_compare.cpp.o" "gcc" "bench/CMakeFiles/esharing_bench_common.dir/plp_compare.cpp.o.d"
+  "/root/repo/bench/tier2.cpp" "bench/CMakeFiles/esharing_bench_common.dir/tier2.cpp.o" "gcc" "bench/CMakeFiles/esharing_bench_common.dir/tier2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/esharing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/esharing_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esharing_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esharing_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/esharing_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/rebalance/CMakeFiles/esharing_rebalance.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/esharing_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/esharing_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

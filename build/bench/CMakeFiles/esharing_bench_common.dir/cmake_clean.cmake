@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_bench_common.dir/plp_compare.cpp.o"
+  "CMakeFiles/esharing_bench_common.dir/plp_compare.cpp.o.d"
+  "CMakeFiles/esharing_bench_common.dir/tier2.cpp.o"
+  "CMakeFiles/esharing_bench_common.dir/tier2.cpp.o.d"
+  "libesharing_bench_common.a"
+  "libesharing_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charging_ops.dir/charging_ops.cpp.o"
+  "CMakeFiles/charging_ops.dir/charging_ops.cpp.o.d"
+  "charging_ops"
+  "charging_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charging_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_forecast.dir/demand_forecast.cpp.o"
+  "CMakeFiles/demand_forecast.dir/demand_forecast.cpp.o.d"
+  "demand_forecast"
+  "demand_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

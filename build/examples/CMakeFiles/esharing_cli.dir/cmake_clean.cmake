@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_cli.dir/esharing_cli.cpp.o"
+  "CMakeFiles/esharing_cli.dir/esharing_cli.cpp.o.d"
+  "esharing_cli"
+  "esharing_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_rebalance.dir/fleet_rebalance.cpp.o"
+  "CMakeFiles/fleet_rebalance.dir/fleet_rebalance.cpp.o.d"
+  "fleet_rebalance"
+  "fleet_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("geo")
+subdirs("stats")
+subdirs("data")
+subdirs("solver")
+subdirs("ml")
+subdirs("energy")
+subdirs("rebalance")
+subdirs("privacy")
+subdirs("core")
+subdirs("sim")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/charging_ops.cpp" "src/core/CMakeFiles/esharing_core.dir/charging_ops.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/charging_ops.cpp.o.d"
+  "/root/repo/src/core/daytype_router.cpp" "src/core/CMakeFiles/esharing_core.dir/daytype_router.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/daytype_router.cpp.o.d"
+  "/root/repo/src/core/demand_forecast.cpp" "src/core/CMakeFiles/esharing_core.dir/demand_forecast.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/demand_forecast.cpp.o.d"
+  "/root/repo/src/core/deviation_placer.cpp" "src/core/CMakeFiles/esharing_core.dir/deviation_placer.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/deviation_placer.cpp.o.d"
+  "/root/repo/src/core/esharing.cpp" "src/core/CMakeFiles/esharing_core.dir/esharing.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/esharing.cpp.o.d"
+  "/root/repo/src/core/incentive.cpp" "src/core/CMakeFiles/esharing_core.dir/incentive.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/incentive.cpp.o.d"
+  "/root/repo/src/core/penalty.cpp" "src/core/CMakeFiles/esharing_core.dir/penalty.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/penalty.cpp.o.d"
+  "/root/repo/src/core/stations_io.cpp" "src/core/CMakeFiles/esharing_core.dir/stations_io.cpp.o" "gcc" "src/core/CMakeFiles/esharing_core.dir/stations_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/esharing_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/esharing_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/esharing_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esharing_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

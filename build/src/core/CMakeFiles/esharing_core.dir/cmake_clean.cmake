@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_core.dir/charging_ops.cpp.o"
+  "CMakeFiles/esharing_core.dir/charging_ops.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/daytype_router.cpp.o"
+  "CMakeFiles/esharing_core.dir/daytype_router.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/demand_forecast.cpp.o"
+  "CMakeFiles/esharing_core.dir/demand_forecast.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/deviation_placer.cpp.o"
+  "CMakeFiles/esharing_core.dir/deviation_placer.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/esharing.cpp.o"
+  "CMakeFiles/esharing_core.dir/esharing.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/incentive.cpp.o"
+  "CMakeFiles/esharing_core.dir/incentive.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/penalty.cpp.o"
+  "CMakeFiles/esharing_core.dir/penalty.cpp.o.d"
+  "CMakeFiles/esharing_core.dir/stations_io.cpp.o"
+  "CMakeFiles/esharing_core.dir/stations_io.cpp.o.d"
+  "libesharing_core.a"
+  "libesharing_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/binning.cpp" "src/data/CMakeFiles/esharing_data.dir/binning.cpp.o" "gcc" "src/data/CMakeFiles/esharing_data.dir/binning.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/esharing_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/esharing_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/statistics.cpp" "src/data/CMakeFiles/esharing_data.dir/statistics.cpp.o" "gcc" "src/data/CMakeFiles/esharing_data.dir/statistics.cpp.o.d"
+  "/root/repo/src/data/synthetic_city.cpp" "src/data/CMakeFiles/esharing_data.dir/synthetic_city.cpp.o" "gcc" "src/data/CMakeFiles/esharing_data.dir/synthetic_city.cpp.o.d"
+  "/root/repo/src/data/trip.cpp" "src/data/CMakeFiles/esharing_data.dir/trip.cpp.o" "gcc" "src/data/CMakeFiles/esharing_data.dir/trip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_data.dir/binning.cpp.o"
+  "CMakeFiles/esharing_data.dir/binning.cpp.o.d"
+  "CMakeFiles/esharing_data.dir/csv.cpp.o"
+  "CMakeFiles/esharing_data.dir/csv.cpp.o.d"
+  "CMakeFiles/esharing_data.dir/statistics.cpp.o"
+  "CMakeFiles/esharing_data.dir/statistics.cpp.o.d"
+  "CMakeFiles/esharing_data.dir/synthetic_city.cpp.o"
+  "CMakeFiles/esharing_data.dir/synthetic_city.cpp.o.d"
+  "CMakeFiles/esharing_data.dir/trip.cpp.o"
+  "CMakeFiles/esharing_data.dir/trip.cpp.o.d"
+  "libesharing_data.a"
+  "libesharing_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

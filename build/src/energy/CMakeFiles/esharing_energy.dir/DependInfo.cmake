@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/battery.cpp" "src/energy/CMakeFiles/esharing_energy.dir/battery.cpp.o" "gcc" "src/energy/CMakeFiles/esharing_energy.dir/battery.cpp.o.d"
+  "/root/repo/src/energy/charge_curve.cpp" "src/energy/CMakeFiles/esharing_energy.dir/charge_curve.cpp.o" "gcc" "src/energy/CMakeFiles/esharing_energy.dir/charge_curve.cpp.o.d"
+  "/root/repo/src/energy/charging_cost.cpp" "src/energy/CMakeFiles/esharing_energy.dir/charging_cost.cpp.o" "gcc" "src/energy/CMakeFiles/esharing_energy.dir/charging_cost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

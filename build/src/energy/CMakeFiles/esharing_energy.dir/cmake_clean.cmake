@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_energy.dir/battery.cpp.o"
+  "CMakeFiles/esharing_energy.dir/battery.cpp.o.d"
+  "CMakeFiles/esharing_energy.dir/charge_curve.cpp.o"
+  "CMakeFiles/esharing_energy.dir/charge_curve.cpp.o.d"
+  "CMakeFiles/esharing_energy.dir/charging_cost.cpp.o"
+  "CMakeFiles/esharing_energy.dir/charging_cost.cpp.o.d"
+  "libesharing_energy.a"
+  "libesharing_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_geo.dir/geohash.cpp.o"
+  "CMakeFiles/esharing_geo.dir/geohash.cpp.o.d"
+  "CMakeFiles/esharing_geo.dir/grid.cpp.o"
+  "CMakeFiles/esharing_geo.dir/grid.cpp.o.d"
+  "CMakeFiles/esharing_geo.dir/latlon.cpp.o"
+  "CMakeFiles/esharing_geo.dir/latlon.cpp.o.d"
+  "CMakeFiles/esharing_geo.dir/point.cpp.o"
+  "CMakeFiles/esharing_geo.dir/point.cpp.o.d"
+  "CMakeFiles/esharing_geo.dir/polygon.cpp.o"
+  "CMakeFiles/esharing_geo.dir/polygon.cpp.o.d"
+  "libesharing_geo.a"
+  "libesharing_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/arima.cpp" "src/ml/CMakeFiles/esharing_ml.dir/arima.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/arima.cpp.o.d"
+  "/root/repo/src/ml/forecaster.cpp" "src/ml/CMakeFiles/esharing_ml.dir/forecaster.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/forecaster.cpp.o.d"
+  "/root/repo/src/ml/gru.cpp" "src/ml/CMakeFiles/esharing_ml.dir/gru.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/gru.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/esharing_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/lstm.cpp" "src/ml/CMakeFiles/esharing_ml.dir/lstm.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/lstm.cpp.o.d"
+  "/root/repo/src/ml/moving_average.cpp" "src/ml/CMakeFiles/esharing_ml.dir/moving_average.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/moving_average.cpp.o.d"
+  "/root/repo/src/ml/seasonal_naive.cpp" "src/ml/CMakeFiles/esharing_ml.dir/seasonal_naive.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/seasonal_naive.cpp.o.d"
+  "/root/repo/src/ml/series.cpp" "src/ml/CMakeFiles/esharing_ml.dir/series.cpp.o" "gcc" "src/ml/CMakeFiles/esharing_ml.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

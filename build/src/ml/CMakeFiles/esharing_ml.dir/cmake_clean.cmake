@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_ml.dir/arima.cpp.o"
+  "CMakeFiles/esharing_ml.dir/arima.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/forecaster.cpp.o"
+  "CMakeFiles/esharing_ml.dir/forecaster.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/gru.cpp.o"
+  "CMakeFiles/esharing_ml.dir/gru.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/linalg.cpp.o"
+  "CMakeFiles/esharing_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/lstm.cpp.o"
+  "CMakeFiles/esharing_ml.dir/lstm.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/moving_average.cpp.o"
+  "CMakeFiles/esharing_ml.dir/moving_average.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/seasonal_naive.cpp.o"
+  "CMakeFiles/esharing_ml.dir/seasonal_naive.cpp.o.d"
+  "CMakeFiles/esharing_ml.dir/series.cpp.o"
+  "CMakeFiles/esharing_ml.dir/series.cpp.o.d"
+  "libesharing_ml.a"
+  "libesharing_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_privacy.dir/privacy.cpp.o"
+  "CMakeFiles/esharing_privacy.dir/privacy.cpp.o.d"
+  "libesharing_privacy.a"
+  "libesharing_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

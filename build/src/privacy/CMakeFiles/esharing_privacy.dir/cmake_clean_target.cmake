@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesharing_privacy.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_rebalance.dir/rebalance.cpp.o"
+  "CMakeFiles/esharing_rebalance.dir/rebalance.cpp.o.d"
+  "libesharing_rebalance.a"
+  "libesharing_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

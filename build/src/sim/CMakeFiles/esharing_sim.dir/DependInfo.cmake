@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_engine.cpp" "src/sim/CMakeFiles/esharing_sim.dir/event_engine.cpp.o" "gcc" "src/sim/CMakeFiles/esharing_sim.dir/event_engine.cpp.o.d"
+  "/root/repo/src/sim/microsim.cpp" "src/sim/CMakeFiles/esharing_sim.dir/microsim.cpp.o" "gcc" "src/sim/CMakeFiles/esharing_sim.dir/microsim.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/esharing_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/esharing_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/esharing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/esharing_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/esharing_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/esharing_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esharing_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_sim.dir/event_engine.cpp.o"
+  "CMakeFiles/esharing_sim.dir/event_engine.cpp.o.d"
+  "CMakeFiles/esharing_sim.dir/microsim.cpp.o"
+  "CMakeFiles/esharing_sim.dir/microsim.cpp.o.d"
+  "CMakeFiles/esharing_sim.dir/simulation.cpp.o"
+  "CMakeFiles/esharing_sim.dir/simulation.cpp.o.d"
+  "libesharing_sim.a"
+  "libesharing_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

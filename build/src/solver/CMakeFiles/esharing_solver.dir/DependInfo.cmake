@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/capacitated.cpp" "src/solver/CMakeFiles/esharing_solver.dir/capacitated.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/capacitated.cpp.o.d"
+  "/root/repo/src/solver/exact.cpp" "src/solver/CMakeFiles/esharing_solver.dir/exact.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/exact.cpp.o.d"
+  "/root/repo/src/solver/facility_location.cpp" "src/solver/CMakeFiles/esharing_solver.dir/facility_location.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/facility_location.cpp.o.d"
+  "/root/repo/src/solver/jms_greedy.cpp" "src/solver/CMakeFiles/esharing_solver.dir/jms_greedy.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/jms_greedy.cpp.o.d"
+  "/root/repo/src/solver/jv_primal_dual.cpp" "src/solver/CMakeFiles/esharing_solver.dir/jv_primal_dual.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/jv_primal_dual.cpp.o.d"
+  "/root/repo/src/solver/k_median.cpp" "src/solver/CMakeFiles/esharing_solver.dir/k_median.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/k_median.cpp.o.d"
+  "/root/repo/src/solver/local_search.cpp" "src/solver/CMakeFiles/esharing_solver.dir/local_search.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/local_search.cpp.o.d"
+  "/root/repo/src/solver/meyerson.cpp" "src/solver/CMakeFiles/esharing_solver.dir/meyerson.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/meyerson.cpp.o.d"
+  "/root/repo/src/solver/online_kmeans.cpp" "src/solver/CMakeFiles/esharing_solver.dir/online_kmeans.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/online_kmeans.cpp.o.d"
+  "/root/repo/src/solver/tsp.cpp" "src/solver/CMakeFiles/esharing_solver.dir/tsp.cpp.o" "gcc" "src/solver/CMakeFiles/esharing_solver.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

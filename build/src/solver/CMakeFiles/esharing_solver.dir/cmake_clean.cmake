@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_solver.dir/capacitated.cpp.o"
+  "CMakeFiles/esharing_solver.dir/capacitated.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/exact.cpp.o"
+  "CMakeFiles/esharing_solver.dir/exact.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/facility_location.cpp.o"
+  "CMakeFiles/esharing_solver.dir/facility_location.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/jms_greedy.cpp.o"
+  "CMakeFiles/esharing_solver.dir/jms_greedy.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/jv_primal_dual.cpp.o"
+  "CMakeFiles/esharing_solver.dir/jv_primal_dual.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/k_median.cpp.o"
+  "CMakeFiles/esharing_solver.dir/k_median.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/local_search.cpp.o"
+  "CMakeFiles/esharing_solver.dir/local_search.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/meyerson.cpp.o"
+  "CMakeFiles/esharing_solver.dir/meyerson.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/online_kmeans.cpp.o"
+  "CMakeFiles/esharing_solver.dir/online_kmeans.cpp.o.d"
+  "CMakeFiles/esharing_solver.dir/tsp.cpp.o"
+  "CMakeFiles/esharing_solver.dir/tsp.cpp.o.d"
+  "libesharing_solver.a"
+  "libesharing_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ks1d.cpp" "src/stats/CMakeFiles/esharing_stats.dir/ks1d.cpp.o" "gcc" "src/stats/CMakeFiles/esharing_stats.dir/ks1d.cpp.o.d"
+  "/root/repo/src/stats/ks2d.cpp" "src/stats/CMakeFiles/esharing_stats.dir/ks2d.cpp.o" "gcc" "src/stats/CMakeFiles/esharing_stats.dir/ks2d.cpp.o.d"
+  "/root/repo/src/stats/spatial.cpp" "src/stats/CMakeFiles/esharing_stats.dir/spatial.cpp.o" "gcc" "src/stats/CMakeFiles/esharing_stats.dir/spatial.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/esharing_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/esharing_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

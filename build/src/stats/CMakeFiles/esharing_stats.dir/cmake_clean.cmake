@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esharing_stats.dir/ks1d.cpp.o"
+  "CMakeFiles/esharing_stats.dir/ks1d.cpp.o.d"
+  "CMakeFiles/esharing_stats.dir/ks2d.cpp.o"
+  "CMakeFiles/esharing_stats.dir/ks2d.cpp.o.d"
+  "CMakeFiles/esharing_stats.dir/spatial.cpp.o"
+  "CMakeFiles/esharing_stats.dir/spatial.cpp.o.d"
+  "CMakeFiles/esharing_stats.dir/summary.cpp.o"
+  "CMakeFiles/esharing_stats.dir/summary.cpp.o.d"
+  "libesharing_stats.a"
+  "libesharing_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esharing_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_charging_ops.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_charging_ops.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_charging_ops.cpp.o.d"
+  "/root/repo/tests/test_core_daytype_router.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_daytype_router.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_daytype_router.cpp.o.d"
+  "/root/repo/tests/test_core_demand_forecast.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_demand_forecast.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_demand_forecast.cpp.o.d"
+  "/root/repo/tests/test_core_deviation_placer.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_deviation_placer.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_deviation_placer.cpp.o.d"
+  "/root/repo/tests/test_core_esharing.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_esharing.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_esharing.cpp.o.d"
+  "/root/repo/tests/test_core_incentive.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_incentive.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_incentive.cpp.o.d"
+  "/root/repo/tests/test_core_penalty.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_penalty.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_penalty.cpp.o.d"
+  "/root/repo/tests/test_core_properties.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_properties.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_properties.cpp.o.d"
+  "/root/repo/tests/test_core_stations_io.cpp" "tests/CMakeFiles/esharing_tests.dir/test_core_stations_io.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_core_stations_io.cpp.o.d"
+  "/root/repo/tests/test_data_binning.cpp" "tests/CMakeFiles/esharing_tests.dir/test_data_binning.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_data_binning.cpp.o.d"
+  "/root/repo/tests/test_data_csv.cpp" "tests/CMakeFiles/esharing_tests.dir/test_data_csv.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_data_csv.cpp.o.d"
+  "/root/repo/tests/test_data_statistics.cpp" "tests/CMakeFiles/esharing_tests.dir/test_data_statistics.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_data_statistics.cpp.o.d"
+  "/root/repo/tests/test_data_synthetic_city.cpp" "tests/CMakeFiles/esharing_tests.dir/test_data_synthetic_city.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_data_synthetic_city.cpp.o.d"
+  "/root/repo/tests/test_data_trip.cpp" "tests/CMakeFiles/esharing_tests.dir/test_data_trip.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_data_trip.cpp.o.d"
+  "/root/repo/tests/test_energy_battery.cpp" "tests/CMakeFiles/esharing_tests.dir/test_energy_battery.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_energy_battery.cpp.o.d"
+  "/root/repo/tests/test_energy_charge_curve.cpp" "tests/CMakeFiles/esharing_tests.dir/test_energy_charge_curve.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_energy_charge_curve.cpp.o.d"
+  "/root/repo/tests/test_energy_charging_cost.cpp" "tests/CMakeFiles/esharing_tests.dir/test_energy_charging_cost.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_energy_charging_cost.cpp.o.d"
+  "/root/repo/tests/test_geo_geohash.cpp" "tests/CMakeFiles/esharing_tests.dir/test_geo_geohash.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_geo_geohash.cpp.o.d"
+  "/root/repo/tests/test_geo_grid.cpp" "tests/CMakeFiles/esharing_tests.dir/test_geo_grid.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_geo_grid.cpp.o.d"
+  "/root/repo/tests/test_geo_latlon.cpp" "tests/CMakeFiles/esharing_tests.dir/test_geo_latlon.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_geo_latlon.cpp.o.d"
+  "/root/repo/tests/test_geo_point.cpp" "tests/CMakeFiles/esharing_tests.dir/test_geo_point.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_geo_point.cpp.o.d"
+  "/root/repo/tests/test_geo_polygon.cpp" "tests/CMakeFiles/esharing_tests.dir/test_geo_polygon.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_geo_polygon.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/esharing_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ml_forecasters.cpp" "tests/CMakeFiles/esharing_tests.dir/test_ml_forecasters.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_ml_forecasters.cpp.o.d"
+  "/root/repo/tests/test_ml_gru.cpp" "tests/CMakeFiles/esharing_tests.dir/test_ml_gru.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_ml_gru.cpp.o.d"
+  "/root/repo/tests/test_ml_linalg.cpp" "tests/CMakeFiles/esharing_tests.dir/test_ml_linalg.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_ml_linalg.cpp.o.d"
+  "/root/repo/tests/test_ml_lstm.cpp" "tests/CMakeFiles/esharing_tests.dir/test_ml_lstm.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_ml_lstm.cpp.o.d"
+  "/root/repo/tests/test_ml_series.cpp" "tests/CMakeFiles/esharing_tests.dir/test_ml_series.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_ml_series.cpp.o.d"
+  "/root/repo/tests/test_privacy.cpp" "tests/CMakeFiles/esharing_tests.dir/test_privacy.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_privacy.cpp.o.d"
+  "/root/repo/tests/test_rebalance.cpp" "tests/CMakeFiles/esharing_tests.dir/test_rebalance.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_rebalance.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/esharing_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sim_event_engine.cpp" "tests/CMakeFiles/esharing_tests.dir/test_sim_event_engine.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_sim_event_engine.cpp.o.d"
+  "/root/repo/tests/test_sim_microsim.cpp" "tests/CMakeFiles/esharing_tests.dir/test_sim_microsim.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_sim_microsim.cpp.o.d"
+  "/root/repo/tests/test_sim_simulation.cpp" "tests/CMakeFiles/esharing_tests.dir/test_sim_simulation.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_sim_simulation.cpp.o.d"
+  "/root/repo/tests/test_solver_exact.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_exact.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_exact.cpp.o.d"
+  "/root/repo/tests/test_solver_fl.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_fl.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_fl.cpp.o.d"
+  "/root/repo/tests/test_solver_jms.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_jms.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_jms.cpp.o.d"
+  "/root/repo/tests/test_solver_jv.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_jv.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_jv.cpp.o.d"
+  "/root/repo/tests/test_solver_kmedian_capacitated.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_kmedian_capacitated.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_kmedian_capacitated.cpp.o.d"
+  "/root/repo/tests/test_solver_local_search.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_local_search.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_local_search.cpp.o.d"
+  "/root/repo/tests/test_solver_meyerson.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_meyerson.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_meyerson.cpp.o.d"
+  "/root/repo/tests/test_solver_online_kmeans.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_online_kmeans.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_online_kmeans.cpp.o.d"
+  "/root/repo/tests/test_solver_tsp.cpp" "tests/CMakeFiles/esharing_tests.dir/test_solver_tsp.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_solver_tsp.cpp.o.d"
+  "/root/repo/tests/test_stats_ks1d.cpp" "tests/CMakeFiles/esharing_tests.dir/test_stats_ks1d.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_stats_ks1d.cpp.o.d"
+  "/root/repo/tests/test_stats_ks2d.cpp" "tests/CMakeFiles/esharing_tests.dir/test_stats_ks2d.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_stats_ks2d.cpp.o.d"
+  "/root/repo/tests/test_stats_rng.cpp" "tests/CMakeFiles/esharing_tests.dir/test_stats_rng.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_stats_rng.cpp.o.d"
+  "/root/repo/tests/test_stats_spatial.cpp" "tests/CMakeFiles/esharing_tests.dir/test_stats_spatial.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_stats_spatial.cpp.o.d"
+  "/root/repo/tests/test_stats_summary.cpp" "tests/CMakeFiles/esharing_tests.dir/test_stats_summary.cpp.o" "gcc" "tests/CMakeFiles/esharing_tests.dir/test_stats_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/esharing_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/esharing_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/esharing_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/esharing_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/esharing_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/esharing_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/esharing_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/esharing_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rebalance/CMakeFiles/esharing_rebalance.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/esharing_privacy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
