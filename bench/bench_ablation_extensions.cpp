@@ -15,6 +15,7 @@
 #include "bench/prediction_data.h"
 #include "bench/util.h"
 #include "core/deviation_placer.h"
+#include "geo/spatial_index.h"
 #include "ml/gru.h"
 #include "ml/lstm.h"
 #include "ml/moving_average.h"
@@ -122,9 +123,10 @@ int main() {
         solver::jms_greedy(solver::colocated_instance(clients, costs));
     std::vector<Point> open;
     for (std::size_t i : plan.open) open.push_back(observed[i]);
+    const geo::SpatialIndex open_index(open);
     double walking = 0.0;
     for (Point p : true_pts) {
-      walking += geo::distance(open[geo::nearest_index(open, p)], p);
+      walking += geo::distance(open[open_index.nearest(p)], p);
     }
     return walking + static_cast<double>(open.size()) * f;
   };
@@ -139,7 +141,7 @@ int main() {
     const double pct = 100.0 * (cost - exact_cost) / exact_cost;
     std::cout << bench::cell(eps, 10, 3)
               << bench::cell(mech.expected_displacement(), 12, 0)
-              << bench::cell((pct >= 0 ? "+" : "") + bench::fmt(pct, 1) + "%",
+              << bench::cell(std::string(pct >= 0 ? "+" : "") + bench::fmt(pct, 1) + "%",
                              14)
               << '\n';
   }

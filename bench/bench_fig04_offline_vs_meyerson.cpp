@@ -63,7 +63,8 @@ int main() {
               << bench::cell(meyerson.total_connection_cost(), 12, 0)
               << bench::cell(meyerson.total_opening_cost(), 12, 0)
               << bench::cell(meyerson.total_cost(), 12, 0)
-              << bench::cell("+" + bench::fmt(pct, 1) + "%", 12) << '\n';
+              << bench::cell("+" + bench::fmt(pct, 1).append("%"), 12)
+              << '\n';
   }
   bench::print_rule();
   std::cout << "Mean online total-cost increase over offline: +"

@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/deviation_placer.h"
+#include "geo/spatial_index.h"
 #include "ml/lstm.h"
 #include "solver/jms_greedy.h"
 #include "solver/meyerson.h"
+#include "solver/reference.h"
 #include "solver/tsp.h"
 #include "stats/ks2d.h"
 #include "stats/rng.h"
@@ -26,20 +28,66 @@ std::vector<Point> points(std::size_t n, std::uint64_t seed) {
   return stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n);
 }
 
-void BM_JmsGreedy(benchmark::State& state) {
-  const auto pts = points(static_cast<std::size_t>(state.range(0)), 1);
+solver::FlInstance colocated(std::size_t n, std::uint64_t seed) {
   std::vector<solver::FlClient> clients;
   std::vector<double> costs;
-  for (Point p : pts) {
+  for (Point p : points(n, seed)) {
     clients.push_back({p, 1.0});
     costs.push_back(10000.0);
   }
-  const auto inst = solver::colocated_instance(clients, costs);
+  return solver::colocated_instance(std::move(clients), std::move(costs));
+}
+
+void BM_JmsGreedy(benchmark::State& state) {
+  const auto inst = colocated(static_cast<std::size_t>(state.range(0)), 1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(solver::jms_greedy(inst));
   }
 }
 BENCHMARK(BM_JmsGreedy)->Arg(50)->Arg(100)->Arg(200);
+
+/// The frozen pre-oracle JMS (per-iteration cost recompute + full re-sort)
+/// against the oracle-backed production solver above — same instances, so
+/// the ratio is the refactor's speedup.
+void BM_JmsGreedyReference(benchmark::State& state) {
+  const auto inst = colocated(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::reference::jms_greedy(inst));
+  }
+}
+BENCHMARK(BM_JmsGreedyReference)->Arg(50)->Arg(100)->Arg(200);
+
+/// Nearest-neighbor queries: the old linear scan (geo::nearest_index) vs
+/// the grid-bucket SpatialIndex, over identical point sets and queries.
+void BM_NearestLinear(benchmark::State& state) {
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), 21);
+  const auto queries = points(1024, 22);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::nearest_index(pts, queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_NearestLinear)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_NearestIndexed(benchmark::State& state) {
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), 21);
+  const auto queries = points(1024, 22);
+  const geo::SpatialIndex index(pts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.nearest(queries[i++ % queries.size()]));
+  }
+}
+BENCHMARK(BM_NearestIndexed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// One-off cost of building the index (amortized over the queries above).
+void BM_SpatialIndexBuild(benchmark::State& state) {
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::SpatialIndex(pts));
+  }
+}
+BENCHMARK(BM_SpatialIndexBuild)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_PeacockKs(benchmark::State& state) {
   const auto a = points(static_cast<std::size_t>(state.range(0)), 2);

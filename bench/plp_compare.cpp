@@ -6,6 +6,7 @@
 #include "core/deviation_placer.h"
 #include "data/binning.h"
 #include "geo/geohash.h"
+#include "geo/spatial_index.h"
 #include "ml/lstm.h"
 #include "solver/jms_greedy.h"
 #include "solver/meyerson.h"
@@ -114,9 +115,10 @@ MethodResult run_offline_oracle(const PlpScenario& s) {
   // do) rather than cell centroids: a colocated instance puts stations on
   // client centroids, so centroid distances under-count real walks.
   const auto open = open_locations(s.live_sites, sol);
+  const geo::SpatialIndex open_index(open);
   double walking = 0.0;
   for (Point p : s.live_requests) {
-    walking += geo::distance(open[geo::nearest_index(open, p)], p);
+    walking += geo::distance(open[open_index.nearest(p)], p);
   }
   return {"Offline*", static_cast<double>(sol.num_open()), walking / kKm,
           sol.opening_cost / kKm};

@@ -38,17 +38,11 @@ DeviationPenaltyPlacer::DeviationPenaltyPlacer(
   penalty_ = PenaltyFunction::of(config_.initial_penalty, config_.tolerance);
 
   // Algorithm 2 line 3: w* = min pairwise landmark distance / 2 (or the
-  // caller's override for degenerate landmark sets).
+  // caller's override for degenerate landmark sets). Indexed
+  // nearest-neighbor queries replace the former O(k^2) pairwise loop.
   double w_star = config_.w_star_override;
   if (!(w_star > 0.0)) {
-    double min_d = std::numeric_limits<double>::infinity();
-    for (std::size_t a = 0; a < offline_parkings.size(); ++a) {
-      for (std::size_t b = a + 1; b < offline_parkings.size(); ++b) {
-        min_d = std::min(min_d, geo::distance(offline_parkings[a],
-                                              offline_parkings[b]));
-      }
-    }
-    w_star = min_d / 2.0;
+    w_star = geo::min_pairwise_distance(offline_parkings) / 2.0;
   }
   // Line 4: w*/k seeds the effective opening cost (see the header note);
   // subsequent doublings multiply this scale. Per-location base costs act
@@ -72,26 +66,19 @@ DeviationPenaltyPlacer::DeviationPenaltyPlacer(
   stations_.reserve(offline_parkings.size());
   for (Point p : offline_parkings) {
     stations_.push_back({p, /*online_opened=*/false, /*active=*/true});
+    station_index_.insert(p);
   }
+  landmark_index_ = geo::SpatialIndex(offline_parkings);
   landmarks_ = std::move(offline_parkings);
 }
 
 double DeviationPenaltyPlacer::deviation(Point p) const {
-  return geo::distance(landmarks_[geo::nearest_index(landmarks_, p)], p);
+  return geo::distance(landmarks_[landmark_index_.nearest(p)], p);
 }
 
 std::size_t DeviationPenaltyPlacer::nearest_active(Point p) const {
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_i = stations_.size();
-  for (std::size_t i = 0; i < stations_.size(); ++i) {
-    if (!stations_[i].active) continue;
-    const double d2 = geo::distance2(stations_[i].location, p);
-    if (d2 < best) {
-      best = d2;
-      best_i = i;
-    }
-  }
-  return best_i;
+  const std::size_t i = station_index_.nearest(p);
+  return i == geo::SpatialIndex::npos ? stations_.size() : i;
 }
 
 solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
@@ -108,6 +95,7 @@ solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
   if (nearest == stations_.size()) {
     // All stations were removed; re-establish one here unconditionally.
     stations_.push_back({dest, true, true});
+    station_index_.insert(dest);
     decision.opened = true;
     decision.facility = stations_.size() - 1;
     return decision;
@@ -120,6 +108,7 @@ solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
       !config_.placement_filter || config_.placement_filter(dest);
   if (allowed && rng_.bernoulli(prob)) {
     stations_.push_back({dest, true, true});
+    station_index_.insert(dest);
     decision.opened = true;
     decision.facility = stations_.size() - 1;
     // Algorithm 2 lines 6-8: count openings; double f every beta*k opens.
@@ -164,6 +153,7 @@ void DeviationPenaltyPlacer::remove_station(std::size_t index) {
         "DeviationPenaltyPlacer::remove_station: cannot remove last station");
   }
   stations_[index].active = false;
+  station_index_.deactivate(index);
 }
 
 std::size_t DeviationPenaltyPlacer::num_active() const {

@@ -45,6 +45,7 @@
 
 #include "core/penalty.h"
 #include "geo/point.h"
+#include "geo/spatial_index.h"
 #include "solver/meyerson.h"
 #include "stats/rng.h"
 
@@ -115,6 +116,9 @@ class DeviationPenaltyPlacer {
 
   // --- observers ---------------------------------------------------------
   [[nodiscard]] const std::vector<Station>& stations() const { return stations_; }
+  /// Index of the active station nearest to `p` (ties: smallest index), or
+  /// stations().size() when none is active. Indexed query, O(1) expected.
+  [[nodiscard]] std::size_t nearest_active(geo::Point p) const;
   [[nodiscard]] std::size_t num_active() const;
   [[nodiscard]] std::size_t num_online_opened() const;
   /// Active station locations (order matches stations() filtering).
@@ -135,7 +139,6 @@ class DeviationPenaltyPlacer {
 
  private:
   void maybe_run_ks_test();
-  [[nodiscard]] std::size_t nearest_active(geo::Point p) const;
   /// Deviation of a destination from the offline prediction: distance to
   /// the nearest landmark.
   [[nodiscard]] double deviation(geo::Point p) const;
@@ -144,7 +147,10 @@ class DeviationPenaltyPlacer {
   std::function<double(geo::Point)> opening_cost_fn_;
   stats::Rng rng_;
   std::vector<Station> stations_;
+  /// Bucketed mirror of stations_ (same ids; deactivated on removal).
+  geo::SpatialIndex station_index_;
   std::vector<geo::Point> landmarks_;  ///< immutable offline set P
+  geo::SpatialIndex landmark_index_;   ///< bucketed mirror of landmarks_
   std::size_t k_;              ///< offline parking count |P|
   double reference_f_;         ///< mean base opening cost over landmarks
   double scale_;               ///< current opening scale (starts at w*/k)

@@ -24,6 +24,7 @@ IncentiveMechanism::IncentiveMechanism(std::vector<EnergyStation> stations,
   }
   positions_.assign(stations_.size(), 0);
   frozen_offer_.assign(stations_.size(), 0.0);
+  for (const EnergyStation& s : stations_) location_index_.insert(s.location);
 }
 
 void IncentiveMechanism::refresh_sequence() const {
@@ -83,9 +84,18 @@ Offer IncentiveMechanism::handle_pickup(std::size_t station_i, Point dest_j,
   // aggregation points and can never ping-pong (each accepted move strictly
   // grows the receiving pile above the donor's). Among eligible targets we
   // prefer the largest pile, tie-broken by the smallest extra walk.
+  // Candidate prefilter: eligible targets lie in the ring of radius
+  // intended_m +/- slack around station i. The index query uses a slightly
+  // inflated outer radius (hypot and squared-distance comparisons can
+  // disagree by an ulp at the boundary) and the exact mileage test is
+  // re-applied below, so the offered target is identical to the full scan's
+  // (within_radius returns ascending indices — the scan order the
+  // tie-breaking depends on).
+  const double outer_m =
+      (intended_m + config_.mileage_slack_m) * (1.0 + 1e-9) + 1e-9;
   std::size_t best_k = stations_.size();
   double best_walk = 0.0;
-  for (std::size_t k = 0; k < stations_.size(); ++k) {
+  for (std::size_t k : location_index_.within_radius(from.location, outer_m)) {
     if (k == station_i) continue;
     if (stations_[k].low_bikes.size() < from.low_bikes.size()) continue;
     const double ride = geo::distance(from.location, stations_[k].location);

@@ -22,6 +22,7 @@
 
 #include "energy/charging_cost.h"
 #include "geo/point.h"
+#include "geo/spatial_index.h"
 
 namespace esharing::core {
 
@@ -97,6 +98,10 @@ class IncentiveMechanism {
 
   IncentiveConfig config_;
   std::vector<EnergyStation> stations_;
+  /// Bucketed index over station locations (immutable within a session):
+  /// prunes the aggregation-target ring search to candidates near the
+  /// intended ride mileage instead of scanning every station.
+  geo::SpatialIndex location_index_;
   /// Offer value per station, frozen at the first offer so that emptying a
   /// pile of initial size l pays at most l * alpha*(q+td)/l = alpha*Delta_i
   /// (the Eq. 12 budget). 0 means not yet set; reset when a station

@@ -1,0 +1,261 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esharing::geo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Cell edge fitted to the observed extent: ~1 point per cell on uniform
+/// data, floored so the occupied region never exceeds ~4096 cells per axis
+/// (bounds ring scans even on adversarially sparse sets).
+double suggest_cell(const BoundingBox& box, std::size_t n) {
+  const double extent = std::max({box.width(), box.height(), 1e-9});
+  const double target =
+      extent / std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1)));
+  return std::max(target, extent / 4096.0);
+}
+
+std::int64_t cell_coord(double v, double cell) {
+  return static_cast<std::int64_t>(std::floor(v / cell));
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex() = default;
+
+SpatialIndex::SpatialIndex(double cell_size) : auto_cell_(false), cell_(cell_size) {
+  if (!(cell_size > 0.0)) {
+    throw std::invalid_argument("SpatialIndex: cell_size must be positive");
+  }
+}
+
+SpatialIndex::SpatialIndex(const std::vector<Point>& pts, double cell_size) {
+  if (cell_size > 0.0) {
+    auto_cell_ = false;
+    cell_ = cell_size;
+  } else if (!pts.empty()) {
+    cell_ = suggest_cell(bounding_box(pts), pts.size());
+  }
+  points_.reserve(pts.size());
+  for (Point p : pts) insert(p);
+  if (auto_cell_) rebuild_at_ = std::max<std::size_t>(32, points_.size() * 4);
+}
+
+SpatialIndex::CellKey SpatialIndex::cell_of(Point p) const {
+  return {cell_coord(p.x, cell_), cell_coord(p.y, cell_)};
+}
+
+std::size_t SpatialIndex::insert(Point p) {
+  const std::size_t id = points_.size();
+  points_.push_back(p);
+  active_.push_back(1);
+  ++active_count_;
+  bounds_ = id == 0 ? BoundingBox{p, p} : bounds_.expanded_to(p);
+
+  const double extent = std::max(bounds_.width(), bounds_.height());
+  if (auto_cell_ && (points_.size() >= rebuild_at_ || extent > cell_ * 1024.0)) {
+    rebuild();
+  } else {
+    insert_into_buckets(id);
+  }
+  return id;
+}
+
+void SpatialIndex::insert_into_buckets(std::size_t id) {
+  const CellKey key = cell_of(points_[id]);
+  if (points_.size() == 1 || buckets_.empty()) {
+    cell_lo_ = cell_hi_ = key;
+  } else {
+    cell_lo_ = {std::min(cell_lo_.cx, key.cx), std::min(cell_lo_.cy, key.cy)};
+    cell_hi_ = {std::max(cell_hi_.cx, key.cx), std::max(cell_hi_.cy, key.cy)};
+  }
+  buckets_[key].push_back(static_cast<std::uint32_t>(id));
+}
+
+void SpatialIndex::rebuild() {
+  cell_ = suggest_cell(bounds_, points_.size());
+  buckets_.clear();
+  for (std::size_t id = 0; id < points_.size(); ++id) insert_into_buckets(id);
+  rebuild_at_ = std::max<std::size_t>(32, points_.size() * 4);
+}
+
+void SpatialIndex::deactivate(std::size_t id) {
+  if (id >= points_.size()) throw std::out_of_range("SpatialIndex::deactivate");
+  if (active_[id]) {
+    active_[id] = 0;
+    --active_count_;
+  }
+}
+
+void SpatialIndex::activate(std::size_t id) {
+  if (id >= points_.size()) throw std::out_of_range("SpatialIndex::activate");
+  if (!active_[id]) {
+    active_[id] = 1;
+    ++active_count_;
+  }
+}
+
+bool SpatialIndex::is_active(std::size_t id) const {
+  if (id >= points_.size()) throw std::out_of_range("SpatialIndex::is_active");
+  return active_[id] != 0;
+}
+
+Point SpatialIndex::point(std::size_t id) const {
+  if (id >= points_.size()) throw std::out_of_range("SpatialIndex::point");
+  return points_[id];
+}
+
+void SpatialIndex::scan_cell(CellKey key, Point q, std::size_t exclude,
+                             double& best_d2, std::size_t& best_id) const {
+  const auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  for (const std::uint32_t raw : it->second) {
+    const auto id = static_cast<std::size_t>(raw);
+    if (!active_[id] || id == exclude) continue;
+    const double d2 = distance2(points_[id], q);
+    if (d2 < best_d2 || (d2 == best_d2 && id < best_id)) {
+      best_d2 = d2;
+      best_id = id;
+    }
+  }
+}
+
+std::size_t SpatialIndex::nearest_direct(Point q, std::size_t exclude,
+                                         double best_d2,
+                                         std::size_t best_id) const {
+  for (std::size_t id = 0; id < points_.size(); ++id) {
+    if (!active_[id] || id == exclude) continue;
+    const double d2 = distance2(points_[id], q);
+    if (d2 < best_d2 || (d2 == best_d2 && id < best_id)) {
+      best_d2 = d2;
+      best_id = id;
+    }
+  }
+  return best_id;
+}
+
+std::size_t SpatialIndex::nearest(Point q, std::size_t exclude) const {
+  if (active_count_ == 0) return npos;
+  const std::int64_t qx = cell_coord(q.x, cell_);
+  const std::int64_t qy = cell_coord(q.y, cell_);
+
+  // Expanding Chebyshev rings around the query cell, clipped to the
+  // occupied cell bounds. A cell at ring rho+1 is separated from q's cell
+  // by at least rho full cells along some axis, so once the current best
+  // beats rho*cell strictly no farther ring can improve it or tie it.
+  const std::int64_t rho_start =
+      std::max<std::int64_t>({0, cell_lo_.cx - qx, qx - cell_hi_.cx,
+                              cell_lo_.cy - qy, qy - cell_hi_.cy});
+  const std::int64_t rho_max = std::max(
+      std::max(std::llabs(qx - cell_lo_.cx), std::llabs(qx - cell_hi_.cx)),
+      std::max(std::llabs(qy - cell_lo_.cy), std::llabs(qy - cell_hi_.cy)));
+
+  double best_d2 = kInf;
+  std::size_t best_id = npos;
+  std::size_t cells_visited = 0;
+  for (std::int64_t rho = rho_start; rho <= rho_max; ++rho) {
+    // Degenerate geometry guard (tiny fixed cells over a huge sparse
+    // extent): once the ring sweep has cost about a full bucket sweep,
+    // finish with a direct scan — same comparator, so the same id.
+    if (cells_visited > buckets_.size() + 64) {
+      return nearest_direct(q, exclude, best_d2, best_id);
+    }
+    const std::int64_t x0 = std::max(qx - rho, cell_lo_.cx);
+    const std::int64_t x1 = std::min(qx + rho, cell_hi_.cx);
+    // Top and bottom rows of the ring.
+    if (qy + rho <= cell_hi_.cy && qy + rho >= cell_lo_.cy) {
+      for (std::int64_t x = x0; x <= x1; ++x) {
+        ++cells_visited;
+        scan_cell({x, qy + rho}, q, exclude, best_d2, best_id);
+      }
+    }
+    if (rho > 0 && qy - rho >= cell_lo_.cy && qy - rho <= cell_hi_.cy) {
+      for (std::int64_t x = x0; x <= x1; ++x) {
+        ++cells_visited;
+        scan_cell({x, qy - rho}, q, exclude, best_d2, best_id);
+      }
+    }
+    // Left and right columns (corners already covered by the rows).
+    if (rho > 0) {
+      const std::int64_t y0 = std::max(qy - rho + 1, cell_lo_.cy);
+      const std::int64_t y1 = std::min(qy + rho - 1, cell_hi_.cy);
+      if (qx - rho >= cell_lo_.cx && qx - rho <= cell_hi_.cx) {
+        for (std::int64_t y = y0; y <= y1; ++y) {
+          ++cells_visited;
+          scan_cell({qx - rho, y}, q, exclude, best_d2, best_id);
+        }
+      }
+      if (qx + rho <= cell_hi_.cx && qx + rho >= cell_lo_.cx) {
+        for (std::int64_t y = y0; y <= y1; ++y) {
+          ++cells_visited;
+          scan_cell({qx + rho, y}, q, exclude, best_d2, best_id);
+        }
+      }
+    }
+    if (best_id != npos) {
+      const double lim = static_cast<double>(rho) * cell_;
+      if (lim * lim > best_d2) break;
+    }
+  }
+  return best_id;
+}
+
+std::vector<std::size_t> SpatialIndex::within_radius(Point q,
+                                                     double radius) const {
+  std::vector<std::size_t> out;
+  if (active_count_ == 0 || radius < 0.0) return out;
+  const double r2 = radius * radius;
+  const std::int64_t x0 = std::max(cell_coord(q.x - radius, cell_), cell_lo_.cx);
+  const std::int64_t x1 = std::min(cell_coord(q.x + radius, cell_), cell_hi_.cx);
+  const std::int64_t y0 = std::max(cell_coord(q.y - radius, cell_), cell_lo_.cy);
+  const std::int64_t y1 = std::min(cell_coord(q.y + radius, cell_), cell_hi_.cy);
+  if (x1 < x0 || y1 < y0) return out;
+  // When the candidate rectangle holds more cells than the bucket table
+  // (tiny fixed cells over a huge sparse extent), sweeping the occupied
+  // buckets is strictly cheaper; the sort below makes both orders agree.
+  const auto w = static_cast<std::uint64_t>(x1 - x0 + 1);
+  const auto h = static_cast<std::uint64_t>(y1 - y0 + 1);
+  const bool rect_too_big =
+      w > buckets_.size() || h > buckets_.size() || w * h > buckets_.size();
+  auto scan_bucket = [&](const std::vector<std::uint32_t>& members) {
+    for (const std::uint32_t raw : members) {
+      const auto id = static_cast<std::size_t>(raw);
+      if (active_[id] && distance2(points_[id], q) <= r2) out.push_back(id);
+    }
+  };
+  if (rect_too_big) {
+    for (const auto& [key, members] : buckets_) {
+      if (key.cx < x0 || key.cx > x1 || key.cy < y0 || key.cy > y1) continue;
+      scan_bucket(members);
+    }
+  } else {
+    for (std::int64_t cx = x0; cx <= x1; ++cx) {
+      for (std::int64_t cy = y0; cy <= y1; ++cy) {
+        const auto it = buckets_.find({cx, cy});
+        if (it != buckets_.end()) scan_bucket(it->second);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double min_pairwise_distance(const std::vector<Point>& pts) {
+  if (pts.size() < 2) return kInf;
+  const SpatialIndex index(pts);
+  double min_d = kInf;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::size_t j = index.nearest(pts[i], i);
+    if (j != SpatialIndex::npos) {
+      min_d = std::min(min_d, distance(pts[i], pts[j]));
+    }
+  }
+  return min_d;
+}
+
+}  // namespace esharing::geo

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "data/binning.h"
+#include "geo/spatial_index.h"
 #include "stats/spatial.h"
 
 namespace esharing::sim {
@@ -125,9 +126,10 @@ void MicroSimulation::charging_shift(MicroSimMetrics& metrics) {
   std::vector<core::EnergyStation> stations;
   stations.reserve(parkings.size());
   for (Point p : parkings) stations.push_back({p, {}});
+  const geo::SpatialIndex parking_index(parkings);
   for (std::size_t b = 0; b < bikes_.size(); ++b) {
     if (!bikes_[b].in_ride && fleet_.is_low(b)) {
-      stations[geo::nearest_index(parkings, bikes_[b].position)]
+      stations[parking_index.nearest(bikes_[b].position)]
           .low_bikes.push_back(b);
     }
   }

@@ -1,7 +1,6 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -100,18 +99,10 @@ void Simulation::bootstrap(const std::vector<TripRecord>& history) {
 }
 
 std::size_t Simulation::nearest_active_station(Point p) const {
-  const auto& stations = system_.placer().stations();
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_i = 0;
-  for (std::size_t i = 0; i < stations.size(); ++i) {
-    if (!stations[i].active) continue;
-    const double d2 = geo::distance2(stations[i].location, p);
-    if (d2 < best) {
-      best = d2;
-      best_i = i;
-    }
-  }
-  return best_i;
+  // The placer maintains a spatial index over its stations; a miss (no
+  // active station) keeps this helper's legacy fallback of index 0.
+  const std::size_t i = system_.placer().nearest_active(p);
+  return i >= system_.placer().stations().size() ? 0 : i;
 }
 
 void Simulation::open_incentive_session() {
@@ -119,10 +110,10 @@ void Simulation::open_incentive_session() {
   session_station_snapshot_.clear();
   session_station_snapshot_.reserve(parkings.size());
   for (Point p : parkings) session_station_snapshot_.push_back({p, {}});
-  std::vector<Point> locations = parkings;
+  session_index_ = geo::SpatialIndex(parkings);
   for (std::size_t b = 0; b < bike_pos_.size(); ++b) {
     if (fleet_.is_low(b)) {
-      const std::size_t s = geo::nearest_index(locations, bike_pos_[b]);
+      const std::size_t s = session_index_.nearest(bike_pos_[b]);
       session_station_snapshot_[s].low_bikes.push_back(b);
     }
   }
@@ -187,10 +178,8 @@ SimMetrics Simulation::run(const std::vector<TripRecord>& live) {
     // Tier-two offer at pickup time.
     core::Offer offer;
     if (session_.has_value() && !session_station_snapshot_.empty()) {
-      std::vector<Point> locs;
-      locs.reserve(session_->stations().size());
-      for (const auto& s : session_->stations()) locs.push_back(s.location);
-      const std::size_t pickup_station = geo::nearest_index(locs, origin);
+      // session_index_ mirrors the session snapshot's station locations.
+      const std::size_t pickup_station = session_index_.nearest(origin);
       const core::UserBehavior user{
           rng_.uniform(config_.user_max_walk_lo_m, config_.user_max_walk_hi_m),
           rng_.uniform(config_.user_min_reward_lo, config_.user_min_reward_hi)};

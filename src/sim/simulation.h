@@ -17,6 +17,7 @@
 #include "data/trip.h"
 #include "energy/battery.h"
 #include "geo/point.h"
+#include "geo/spatial_index.h"
 #include "stats/rng.h"
 
 namespace esharing::sim {
@@ -96,6 +97,9 @@ class Simulation {
   std::vector<int> station_bikes_;
   std::size_t stations_removed_{0};
   std::vector<core::EnergyStation> session_station_snapshot_;
+  /// Bucketed index over the session's station snapshot locations (fixed
+  /// for the lifetime of one incentive session).
+  geo::SpatialIndex session_index_;
   std::optional<core::IncentiveMechanism> session_;
   data::Seconds next_round_at_{0};
   bool bootstrapped_{false};

@@ -1,0 +1,83 @@
+#include "solver/cost_oracle.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace esharing::solver {
+
+CostOracle::CostOracle(const FlInstance& instance)
+    : instance_(&instance),
+      rows_(instance.facilities.size()),
+      row_ready_(instance.facilities.size(), 0),
+      sorted_rows_(instance.facilities.size()),
+      sorted_ready_(instance.facilities.size(), 0) {}
+
+const std::vector<double>& CostOracle::row(std::size_t facility) const {
+  if (facility >= rows_.size()) {
+    throw std::out_of_range("CostOracle::row: facility index out of range");
+  }
+  if (!row_ready_[facility]) {
+    const std::size_t nc = instance_->clients.size();
+    std::vector<double> r(nc);
+    for (std::size_t j = 0; j < nc; ++j) {
+      r[j] = instance_->connection_cost(facility, j);
+    }
+    rows_[facility] = std::move(r);
+    row_ready_[facility] = 1;
+  }
+  return rows_[facility];
+}
+
+const std::vector<std::pair<double, std::size_t>>& CostOracle::sorted_row(
+    std::size_t facility) const {
+  if (facility >= sorted_rows_.size()) {
+    throw std::out_of_range("CostOracle::sorted_row: facility index out of range");
+  }
+  if (!sorted_ready_[facility]) {
+    const std::vector<double>& r = row(facility);
+    std::vector<std::pair<double, std::size_t>> sorted;
+    sorted.reserve(r.size());
+    for (std::size_t j = 0; j < r.size(); ++j) sorted.emplace_back(r[j], j);
+    std::sort(sorted.begin(), sorted.end());
+    sorted_rows_[facility] = std::move(sorted);
+    sorted_ready_[facility] = 1;
+  }
+  return sorted_rows_[facility];
+}
+
+FlSolution assign_to_open(const CostOracle& oracle,
+                          const std::vector<std::size_t>& open) {
+  if (open.empty()) {
+    throw std::invalid_argument("assign_to_open: empty open set");
+  }
+  for (std::size_t f : open) {
+    if (f >= oracle.num_facilities()) {
+      throw std::invalid_argument("assign_to_open: facility index out of range");
+    }
+  }
+  FlSolution sol;
+  sol.open = open;
+  std::sort(sol.open.begin(), sol.open.end());
+  sol.open.erase(std::unique(sol.open.begin(), sol.open.end()), sol.open.end());
+  sol.assignment.resize(oracle.num_clients());
+  for (std::size_t j = 0; j < oracle.num_clients(); ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_f = sol.open.front();
+    for (std::size_t f : sol.open) {
+      const double c = oracle.cost(f, j);
+      if (c < best) {
+        best = c;
+        best_f = f;
+      }
+    }
+    sol.assignment[j] = best_f;
+    sol.connection_cost += best;
+  }
+  for (std::size_t f : sol.open) {
+    sol.opening_cost += oracle.instance().facilities[f].opening_cost;
+  }
+  return sol;
+}
+
+}  // namespace esharing::solver

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file cost_oracle.h
+/// Lazily materialized client x facility cost matrix shared by every
+/// offline PLP solver. Each solver used to re-derive c_ij = a_j * d_ij via
+/// FlInstance::connection_cost on every access (and JMS re-sorted all
+/// clients per facility per iteration); the oracle computes each facility
+/// row at most once and caches the per-facility client ordering sorted by
+/// (cost, client index).
+///
+/// Exactness contract: `row(i)[j]` is the very expression
+/// `instance.connection_cost(i, j)` evaluated once — the same double — so
+/// solvers threaded through the oracle produce bit-identical open sets,
+/// assignments and costs to their pre-oracle versions (regression-tested).
+///
+/// Concurrency contract: rows are cached in preallocated per-facility
+/// slots. Concurrent const access is safe as long as no two threads touch
+/// the SAME not-yet-materialized facility row; the deterministic threaded
+/// solvers partition facilities across workers, which satisfies this.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+class CostOracle {
+ public:
+  /// The instance must outlive the oracle (no copy is taken).
+  explicit CostOracle(const FlInstance& instance);
+
+  [[nodiscard]] const FlInstance& instance() const { return *instance_; }
+  [[nodiscard]] std::size_t num_facilities() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_clients() const {
+    return instance_->clients.size();
+  }
+
+  /// c_ij, materializing facility i's row on first access.
+  [[nodiscard]] double cost(std::size_t facility, std::size_t client) const {
+    return row(facility)[client];
+  }
+
+  /// Facility i's full cost row, one entry per client.
+  [[nodiscard]] const std::vector<double>& row(std::size_t facility) const;
+
+  /// All clients ordered by (c_ij, client index) ascending — the exact
+  /// order std::sort produces on pairs, so prefix walks over a filtered
+  /// subsequence match sorting that subset directly.
+  [[nodiscard]] const std::vector<std::pair<double, std::size_t>>& sorted_row(
+      std::size_t facility) const;
+
+ private:
+  const FlInstance* instance_;
+  mutable std::vector<std::vector<double>> rows_;
+  mutable std::vector<char> row_ready_;
+  mutable std::vector<std::vector<std::pair<double, std::size_t>>> sorted_rows_;
+  mutable std::vector<char> sorted_ready_;
+};
+
+/// Oracle-backed twin of assign_to_open(instance, open): identical result,
+/// but connection costs come from cached rows.
+/// \throws std::invalid_argument if `open` is empty or indices are invalid.
+[[nodiscard]] FlSolution assign_to_open(const CostOracle& oracle,
+                                        const std::vector<std::size_t>& open);
+
+}  // namespace esharing::solver

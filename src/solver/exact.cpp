@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "solver/cost_oracle.h"
+
 namespace esharing::solver {
 
 namespace {
@@ -16,16 +18,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// facilities that are open or still undecided.
 class BranchAndBound {
  public:
-  explicit BranchAndBound(const FlInstance& inst) : inst_(inst) {
-    const std::size_t nf = inst.facilities.size();
-    const std::size_t nc = inst.clients.size();
-    cost_.resize(nf, std::vector<double>(nc));
-    for (std::size_t i = 0; i < nf; ++i) {
-      for (std::size_t j = 0; j < nc; ++j) {
-        cost_[i][j] = inst.connection_cost(i, j);
-      }
-    }
-    state_.assign(nf, State::kUndecided);
+  explicit BranchAndBound(const FlInstance& inst) : inst_(inst), oracle_(inst) {
+    state_.assign(inst.facilities.size(), State::kUndecided);
   }
 
   FlSolution solve() {
@@ -45,7 +39,7 @@ class BranchAndBound {
       double cheapest = kInf;
       for (std::size_t i = 0; i < inst_.facilities.size(); ++i) {
         if (state_[i] != State::kClosed) {
-          cheapest = std::min(cheapest, cost_[i][j]);
+          cheapest = std::min(cheapest, oracle_.cost(i, j));
         }
       }
       if (cheapest == kInf) return kInf;  // some client unservable
@@ -74,7 +68,7 @@ class BranchAndBound {
   }
 
   const FlInstance& inst_;
-  std::vector<std::vector<double>> cost_;
+  CostOracle oracle_;
   std::vector<State> state_;
   double best_cost_{kInf};
   std::vector<std::size_t> best_open_;

@@ -1,10 +1,10 @@
 #include "solver/jms_greedy.h"
 
-#include <algorithm>
 #include <limits>
-#include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "solver/parallel.h"
 
 namespace esharing::solver {
 
@@ -19,48 +19,86 @@ struct Star {
   std::size_t take{0};  ///< how many cheapest unconnected clients to connect
 };
 
+/// Strict "a wins over b" in the deterministic reduction. Scanning
+/// facilities (and prefix sizes) in ascending order with this comparator
+/// selects the lexicographic (ratio, facility, take) minimum — exactly the
+/// candidate a sequential first-strict-minimum scan keeps.
+bool better(const Star& a, const Star& b) {
+  if (a.ratio != b.ratio) return a.ratio < b.ratio;
+  if (a.facility != b.facility) return a.facility < b.facility;
+  return a.take < b.take;
+}
+
+/// Best star among facilities [begin, end) given the current assignment.
+Star best_star_in_range(const CostOracle& oracle, std::size_t begin,
+                        std::size_t end, const std::vector<bool>& open,
+                        const std::vector<std::size_t>& assigned,
+                        const std::vector<double>& current_cost) {
+  const FlInstance& instance = oracle.instance();
+  const std::size_t nc = assigned.size();
+  Star best;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double fee = open[i] ? 0.0 : instance.facilities[i].opening_cost;
+
+    // Switching gain from already-connected clients that prefer i,
+    // accumulated in client-index order (matches the reference exactly).
+    const std::vector<double>& row = oracle.row(i);
+    double gain = 0.0;
+    for (std::size_t j = 0; j < nc; ++j) {
+      if (assigned[j] != kUnassigned && row[j] < current_cost[j]) {
+        gain += current_cost[j] - row[j];
+      }
+    }
+
+    // Best prefix of cheapest unconnected clients: walk the cached
+    // (cost, client) ordering, skipping connected clients — the same
+    // sequence as sorting the unconnected set from scratch.
+    const auto& sorted = oracle.sorted_row(i);
+    double prefix = 0.0;
+    std::size_t taken = 0;
+    for (const auto& [cij, j] : sorted) {
+      if (assigned[j] != kUnassigned) continue;
+      prefix += cij;
+      ++taken;
+      const double ratio = (fee + prefix - gain) / static_cast<double>(taken);
+      if (const Star cand{i, ratio, taken}; better(cand, best)) {
+        best = cand;
+      }
+    }
+  }
+  return best;
+}
+
 }  // namespace
 
-FlSolution jms_greedy(const FlInstance& instance) {
+FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
+  const FlInstance& instance = oracle.instance();
   instance.validate();
   const std::size_t nf = instance.facilities.size();
   const std::size_t nc = instance.clients.size();
+  const std::size_t threads = std::max<std::size_t>(options.num_threads, 1);
 
   std::vector<bool> open(nf, false);
   std::vector<std::size_t> assigned(nc, kUnassigned);
   std::vector<double> current_cost(nc, kInf);  // connection cost of assigned
   std::size_t unconnected = nc;
 
-  // Scratch: per facility, unconnected clients sorted by connection cost.
-  std::vector<std::pair<double, std::size_t>> costs;
-  costs.reserve(nc);
-
   while (unconnected > 0) {
     Star best;
-    for (std::size_t i = 0; i < nf; ++i) {
-      const double fee = open[i] ? 0.0 : instance.facilities[i].opening_cost;
-
-      // Switching gain from already-connected clients that prefer i.
-      double gain = 0.0;
-      costs.clear();
-      for (std::size_t j = 0; j < nc; ++j) {
-        const double cij = instance.connection_cost(i, j);
-        if (assigned[j] == kUnassigned) {
-          costs.emplace_back(cij, j);
-        } else if (cij < current_cost[j]) {
-          gain += current_cost[j] - cij;
-        }
-      }
-      std::sort(costs.begin(), costs.end());
-
-      // Best prefix of cheapest unconnected clients for this facility.
-      double prefix = 0.0;
-      for (std::size_t k = 0; k < costs.size(); ++k) {
-        prefix += costs[k].first;
-        const double ratio = (fee + prefix - gain) / static_cast<double>(k + 1);
-        if (ratio < best.ratio) {
-          best = {i, ratio, k + 1};
-        }
+    if (threads <= 1) {
+      best = best_star_in_range(oracle, 0, nf, open, assigned, current_cost);
+    } else {
+      // Workers own disjoint facility ranges (so lazy row materialization
+      // never races); the chunk-ordered reduction keeps the result
+      // identical to the sequential scan.
+      std::vector<Star> local(std::min(threads, nf));
+      detail::for_each_chunk(nf, threads,
+                             [&](std::size_t b, std::size_t e, std::size_t c) {
+                               local[c] = best_star_in_range(
+                                   oracle, b, e, open, assigned, current_cost);
+                             });
+      for (const Star& s : local) {
+        if (s.take != 0 && (best.take == 0 || better(s, best))) best = s;
       }
     }
 
@@ -70,47 +108,64 @@ FlSolution jms_greedy(const FlInstance& instance) {
       throw std::logic_error("jms_greedy: no improving star found");
     }
 
-    // Open the winning facility, connect its star, switch movable clients.
+    // Open the winning facility, switch movable clients, connect its star.
     const std::size_t i = best.facility;
     open[i] = true;
-    costs.clear();
+    const std::vector<double>& row = oracle.row(i);
     for (std::size_t j = 0; j < nc; ++j) {
-      const double cij = instance.connection_cost(i, j);
-      if (assigned[j] == kUnassigned) {
-        costs.emplace_back(cij, j);
-      } else if (cij < current_cost[j]) {
+      if (assigned[j] != kUnassigned && row[j] < current_cost[j]) {
         assigned[j] = i;
-        current_cost[j] = cij;
+        current_cost[j] = row[j];
       }
     }
-    std::sort(costs.begin(), costs.end());
-    for (std::size_t k = 0; k < best.take && k < costs.size(); ++k) {
-      const std::size_t j = costs[k].second;
+    std::size_t taken = 0;
+    for (const auto& [cij, j] : oracle.sorted_row(i)) {
+      if (taken >= best.take) break;
+      if (assigned[j] != kUnassigned) continue;
       assigned[j] = i;
-      current_cost[j] = costs[k].first;
+      current_cost[j] = cij;
+      ++taken;
       --unconnected;
     }
   }
 
-  FlSolution sol;
+  // Tighten once: every client moves to its cheapest open facility. Then
+  // drop facilities that ended up with no clients (a facility can lose all
+  // its clients to later stars; keeping it would pay f_i for nothing) —
+  // pruning unused facilities cannot change any client's cheapest choice,
+  // so the assignment and connection cost carry over without a second
+  // assignment pass.
+  std::vector<std::size_t> opened;
   for (std::size_t i = 0; i < nf; ++i) {
-    if (open[i]) sol.open.push_back(i);
+    if (open[i]) opened.push_back(i);
   }
-  sol.assignment = std::move(assigned);
-  // Final tightening: every client moves to its cheapest open facility (the
-  // greedy already keeps this invariant, recost() also re-checks indices).
-  FlSolution tight = assign_to_open(instance, sol.open);
-
-  // Drop facilities that ended up with no clients and zero benefit: a
-  // facility can lose all its clients to later stars; keeping it would pay
-  // f_i for nothing.
+  FlSolution tight = assign_to_open(oracle, opened);
   std::vector<bool> used(nf, false);
   for (std::size_t f : tight.assignment) used[f] = true;
   std::vector<std::size_t> pruned;
   for (std::size_t f : tight.open) {
     if (used[f]) pruned.push_back(f);
   }
-  return assign_to_open(instance, pruned);
+  if (pruned.size() == tight.open.size()) return tight;
+
+  FlSolution sol;
+  sol.assignment = std::move(tight.assignment);
+  sol.connection_cost = tight.connection_cost;
+  for (std::size_t f : pruned) {
+    sol.opening_cost += instance.facilities[f].opening_cost;
+  }
+  sol.open = std::move(pruned);
+  return sol;
+}
+
+FlSolution jms_greedy(const FlInstance& instance, const JmsOptions& options) {
+  instance.validate();
+  const CostOracle oracle(instance);
+  return jms_greedy(oracle, options);
+}
+
+FlSolution jms_greedy(const FlInstance& instance) {
+  return jms_greedy(instance, JmsOptions{});
 }
 
 }  // namespace esharing::solver

@@ -13,15 +13,38 @@
 /// where already-connected clients may switch to i whenever that lowers
 /// their connection cost (the switching gain offsets i's price, and an
 /// already-open facility has f_i = 0 for subsequent stars). Iterations stop
-/// once every client is connected. Complexity O(iterations * F * C log C),
-/// bounded by the paper's O(N^3) on colocated instances.
+/// once every client is connected.
+///
+/// Costs come from a CostOracle: each facility's cost row and (cost,
+/// client) ordering are materialized once instead of being recomputed and
+/// re-sorted every iteration, dropping the per-iteration work from
+/// O(F * C log C) to O(F * C). Star evaluation can optionally be
+/// partitioned across threads; the winning star is reduced by the
+/// lexicographic (ratio, facility, prefix-size) minimum, which equals the
+/// sequential first-strict-minimum scan, so results are bit-identical for
+/// every num_threads value (see solver::reference for the frozen baseline).
 
+#include <cstddef>
+
+#include "solver/cost_oracle.h"
 #include "solver/facility_location.h"
 
 namespace esharing::solver {
 
+struct JmsOptions {
+  /// Worker threads for the per-facility star scan. 1 = fully sequential
+  /// (no threads spawned). Outputs are identical for any value.
+  std::size_t num_threads{1};
+};
+
 /// Solve an instance with the JMS greedy.
 /// \throws std::invalid_argument on invalid instances.
+[[nodiscard]] FlSolution jms_greedy(const FlInstance& instance,
+                                    const JmsOptions& options);
 [[nodiscard]] FlSolution jms_greedy(const FlInstance& instance);
+
+/// Run against an existing oracle (shared with other solver passes).
+[[nodiscard]] FlSolution jms_greedy(const CostOracle& oracle,
+                                    const JmsOptions& options = {});
 
 }  // namespace esharing::solver

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "solver/cost_oracle.h"
+
 namespace esharing::solver {
 
 namespace {
@@ -19,13 +21,11 @@ FlSolution jv_primal_dual(const FlInstance& instance) {
   const std::size_t nf = instance.facilities.size();
   const std::size_t nc = instance.clients.size();
 
-  // Precompute connection costs.
-  std::vector<std::vector<double>> cost(nf, std::vector<double>(nc));
-  for (std::size_t i = 0; i < nf; ++i) {
-    for (std::size_t j = 0; j < nc; ++j) {
-      cost[i][j] = instance.connection_cost(i, j);
-    }
-  }
+  // Row-cached connection costs.
+  const CostOracle oracle(instance);
+  const auto cost = [&oracle](std::size_t i, std::size_t j) {
+    return oracle.cost(i, j);
+  };
 
   // Edge events sorted by cost: (c_ij, i, j).
   struct Edge {
@@ -35,8 +35,9 @@ FlSolution jv_primal_dual(const FlInstance& instance) {
   std::vector<Edge> edges;
   edges.reserve(nf * nc);
   for (std::size_t i = 0; i < nf; ++i) {
+    const std::vector<double>& row = oracle.row(i);
     for (std::size_t j = 0; j < nc; ++j) {
-      edges.push_back({cost[i][j], i, j});
+      edges.push_back({row[j], i, j});
     }
   }
   std::sort(edges.begin(), edges.end(),
@@ -77,7 +78,7 @@ FlSolution jv_primal_dual(const FlInstance& instance) {
       // Positive contribution iff the client's (current or frozen) dual
       // exceeds the edge cost.
       const double a = frozen[j] ? alpha[j] : t;
-      if (a > cost[i][j]) contributors[i].push_back(j);
+      if (a > cost(i, j)) contributors[i].push_back(j);
       if (!frozen[j]) freeze(j, i, t);
     }
   };
@@ -97,7 +98,7 @@ FlSolution jv_primal_dual(const FlInstance& instance) {
       std::size_t rate = 0;
       for (std::size_t j : tight[i]) {
         const double a = frozen[j] ? alpha[j] : now;
-        p += std::max(0.0, a - cost[i][j]);
+        p += std::max(0.0, a - cost(i, j));
         rate += frozen[j] ? 0 : 1;
       }
       if (rate == 0) continue;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "solver/cost_oracle.h"
 #include "stats/rng.h"
 
 namespace esharing::solver {
@@ -13,13 +14,18 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-double connection_total(const std::vector<std::vector<double>>& cost,
+double connection_total(const CostOracle& oracle,
                         const std::vector<std::size_t>& open,
                         std::size_t nc) {
+  // Cache the row pointers once; the min scan keeps the `open` vector
+  // order of the pre-oracle implementation.
+  std::vector<const std::vector<double>*> rows;
+  rows.reserve(open.size());
+  for (std::size_t i : open) rows.push_back(&oracle.row(i));
   double total = 0.0;
   for (std::size_t j = 0; j < nc; ++j) {
     double best = kInf;
-    for (std::size_t i : open) best = std::min(best, cost[i][j]);
+    for (const auto* row : rows) best = std::min(best, (*row)[j]);
     total += best;
   }
   return total;
@@ -35,12 +41,7 @@ FlSolution k_median(const FlInstance& instance, std::size_t k,
   if (k == 0 || k > nf) {
     throw std::invalid_argument("k_median: k outside [1, #facilities]");
   }
-  std::vector<std::vector<double>> cost(nf, std::vector<double>(nc));
-  for (std::size_t i = 0; i < nf; ++i) {
-    for (std::size_t j = 0; j < nc; ++j) {
-      cost[i][j] = instance.connection_cost(i, j);
-    }
-  }
+  const CostOracle oracle(instance);
 
   // Seeding: weighted farthest-point (k-means++ flavour) over facilities,
   // using each facility's distance to the current open set measured via
@@ -53,11 +54,11 @@ FlSolution k_median(const FlInstance& instance, std::size_t k,
     // Pick the facility that most reduces the connection total.
     double best_gain = -kInf;
     std::size_t best_i = nf;
-    const double base = connection_total(cost, open, nc);
+    const double base = connection_total(oracle, open, nc);
     for (std::size_t i = 0; i < nf; ++i) {
       if (is_open[i]) continue;
       open.push_back(i);
-      const double gain = base - connection_total(cost, open, nc);
+      const double gain = base - connection_total(oracle, open, nc);
       open.pop_back();
       if (gain > best_gain) {
         best_gain = gain;
@@ -69,7 +70,7 @@ FlSolution k_median(const FlInstance& instance, std::size_t k,
   }
 
   // Single-swap local search.
-  double current = connection_total(cost, open, nc);
+  double current = connection_total(oracle, open, nc);
   for (std::size_t round = 0; round < options.max_swap_rounds; ++round) {
     double best = current;
     std::size_t best_slot = open.size(), best_in = nf;
@@ -78,7 +79,7 @@ FlSolution k_median(const FlInstance& instance, std::size_t k,
       for (std::size_t in = 0; in < nf; ++in) {
         if (is_open[in]) continue;
         open[slot] = in;
-        const double c = connection_total(cost, open, nc);
+        const double c = connection_total(oracle, open, nc);
         open[slot] = out;
         if (c < best - options.min_improvement) {
           best = c;
@@ -95,7 +96,7 @@ FlSolution k_median(const FlInstance& instance, std::size_t k,
   }
 
   // Assemble: k-median charges no opening costs.
-  FlSolution sol = assign_to_open(instance, open);
+  FlSolution sol = assign_to_open(oracle, open);
   sol.opening_cost = 0.0;
   return sol;
 }

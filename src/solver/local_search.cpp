@@ -1,9 +1,10 @@
 #include "solver/local_search.h"
 
-#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "solver/parallel.h"
 
 namespace esharing::solver {
 
@@ -11,25 +12,34 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Evaluate the total cost of an open set given precomputed connection
-/// costs; returns infinity for an empty set.
-double evaluate(const FlInstance& inst,
-                const std::vector<std::vector<double>>& cost,
-                const std::vector<bool>& open) {
+/// One candidate move: open `force_open` and/or close `force_close`
+/// (nf = no-op on that side). Open moves have force_close == nf, close
+/// moves force_open == nf, swaps set both.
+struct Move {
+  std::size_t force_open;
+  std::size_t force_close;
+};
+
+/// Total cost of `open` with the move's overrides applied, scanning
+/// facilities in ascending index order exactly like the pre-oracle
+/// evaluate() did; returns infinity for an empty effective set.
+double evaluate(const CostOracle& oracle, const std::vector<bool>& open,
+                std::size_t force_open, std::size_t force_close) {
+  const FlInstance& inst = oracle.instance();
+  const std::size_t nf = open.size();
   double total = 0.0;
-  bool any = false;
-  for (std::size_t i = 0; i < open.size(); ++i) {
-    if (open[i]) {
-      any = true;
+  std::vector<const std::vector<double>*> rows;
+  for (std::size_t i = 0; i < nf; ++i) {
+    const bool on = (open[i] || i == force_open) && i != force_close;
+    if (on) {
       total += inst.facilities[i].opening_cost;
+      rows.push_back(&oracle.row(i));
     }
   }
-  if (!any) return kInf;
+  if (rows.empty()) return kInf;
   for (std::size_t j = 0; j < inst.clients.size(); ++j) {
     double best = kInf;
-    for (std::size_t i = 0; i < open.size(); ++i) {
-      if (open[i]) best = std::min(best, cost[i][j]);
-    }
+    for (const auto* row : rows) best = std::min(best, (*row)[j]);
     total += best;
   }
   return total;
@@ -37,20 +47,25 @@ double evaluate(const FlInstance& inst,
 
 }  // namespace
 
-FlSolution local_search(const FlInstance& instance, const FlSolution& initial,
+FlSolution local_search(const CostOracle& oracle, const FlSolution& initial,
                         const LocalSearchOptions& options) {
+  const FlInstance& instance = oracle.instance();
   instance.validate();
   if (initial.open.empty()) {
     throw std::invalid_argument("local_search: empty initial open set");
   }
   const std::size_t nf = instance.facilities.size();
-  const std::size_t nc = instance.clients.size();
-  std::vector<std::vector<double>> cost(nf, std::vector<double>(nc));
-  for (std::size_t i = 0; i < nf; ++i) {
-    for (std::size_t j = 0; j < nc; ++j) {
-      cost[i][j] = instance.connection_cost(i, j);
-    }
-  }
+  const std::size_t threads = std::max<std::size_t>(options.num_threads, 1);
+
+  // Materialize every row up front: move evaluations overlap on rows, and
+  // the lazy-materialization contract requires disjoint facilities per
+  // thread — which this facility-partitioned warm-up satisfies.
+  detail::for_each_chunk(nf, threads,
+                         [&](std::size_t b, std::size_t e, std::size_t) {
+                           for (std::size_t i = b; i < e; ++i) {
+                             static_cast<void>(oracle.row(i));
+                           }
+                         });
 
   std::vector<bool> open(nf, false);
   for (std::size_t i : initial.open) {
@@ -59,53 +74,48 @@ FlSolution local_search(const FlInstance& instance, const FlSolution& initial,
     }
     open[i] = true;
   }
-  double current = evaluate(instance, cost, open);
+  double current = evaluate(oracle, open, nf, nf);
 
+  std::vector<Move> moves;
+  std::vector<double> move_cost;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    double best = current;
-    std::size_t best_open = nf, best_close = nf;
-
-    // Open moves.
+    // Canonical move order: opens, closes, swaps (out-major). The
+    // sequential selection below depends on this order, so it is part of
+    // the determinism contract.
+    moves.clear();
     for (std::size_t i = 0; i < nf; ++i) {
-      if (open[i]) continue;
-      open[i] = true;
-      const double c = evaluate(instance, cost, open);
-      open[i] = false;
-      if (c < best - options.min_improvement) {
-        best = c;
-        best_open = i;
-        best_close = nf;
-      }
+      if (!open[i]) moves.push_back({i, nf});
     }
-    // Close moves.
     for (std::size_t i = 0; i < nf; ++i) {
-      if (!open[i]) continue;
-      open[i] = false;
-      const double c = evaluate(instance, cost, open);
-      open[i] = true;
-      if (c < best - options.min_improvement) {
-        best = c;
-        best_open = nf;
-        best_close = i;
-      }
+      if (open[i]) moves.push_back({nf, i});
     }
-    // Swap moves.
     if (options.allow_swaps) {
       for (std::size_t out = 0; out < nf; ++out) {
         if (!open[out]) continue;
-        open[out] = false;
         for (std::size_t in = 0; in < nf; ++in) {
-          if (open[in] || in == out) continue;
-          open[in] = true;
-          const double c = evaluate(instance, cost, open);
-          open[in] = false;
-          if (c < best - options.min_improvement) {
-            best = c;
-            best_open = in;
-            best_close = out;
-          }
+          if (!open[in] && in != out) moves.push_back({in, out});
         }
-        open[out] = true;
+      }
+    }
+
+    // Evaluate all candidates (parallelizable: each is independent), then
+    // select sequentially with the original evolving-threshold rule.
+    move_cost.assign(moves.size(), kInf);
+    detail::for_each_chunk(moves.size(), threads,
+                           [&](std::size_t b, std::size_t e, std::size_t) {
+                             for (std::size_t m = b; m < e; ++m) {
+                               move_cost[m] = evaluate(oracle, open,
+                                                       moves[m].force_open,
+                                                       moves[m].force_close);
+                             }
+                           });
+    double best = current;
+    std::size_t best_open = nf, best_close = nf;
+    for (std::size_t m = 0; m < moves.size(); ++m) {
+      if (move_cost[m] < best - options.min_improvement) {
+        best = move_cost[m];
+        best_open = moves[m].force_open;
+        best_close = moves[m].force_close;
       }
     }
 
@@ -119,24 +129,31 @@ FlSolution local_search(const FlInstance& instance, const FlSolution& initial,
   for (std::size_t i = 0; i < nf; ++i) {
     if (open[i]) open_set.push_back(i);
   }
-  return assign_to_open(instance, open_set);
+  return assign_to_open(oracle, open_set);
+}
+
+FlSolution local_search(const FlInstance& instance, const FlSolution& initial,
+                        const LocalSearchOptions& options) {
+  const CostOracle oracle(instance);
+  return local_search(oracle, initial, options);
 }
 
 FlSolution local_search_from_scratch(const FlInstance& instance,
                                      const LocalSearchOptions& options) {
   instance.validate();
+  const CostOracle oracle(instance);
   // Start from the single facility with the cheapest (opening + service)
   // cost; local search opens the rest as needed.
   std::size_t best = 0;
   double best_cost = kInf;
   for (std::size_t i = 0; i < instance.facilities.size(); ++i) {
-    const auto sol = assign_to_open(instance, {i});
+    const auto sol = assign_to_open(oracle, {i});
     if (sol.total_cost() < best_cost) {
       best_cost = sol.total_cost();
       best = i;
     }
   }
-  return local_search(instance, assign_to_open(instance, {best}), options);
+  return local_search(oracle, assign_to_open(oracle, {best}), options);
 }
 
 }  // namespace esharing::solver

@@ -7,7 +7,16 @@
 /// analysis bounds local optima at 3x the true optimum (Arya et al.); in
 /// this library the pass is mainly used to polish solutions from the
 /// greedy/primal-dual algorithms and as another cross-check in tests.
+///
+/// Connection costs come from a CostOracle (rows materialized once, not
+/// per scan). Candidate-move evaluation can be partitioned across threads:
+/// every move's cost is computed independently, then the winning move is
+/// selected by a sequential scan in the canonical move order (opens,
+/// closes, swaps), so results are bit-identical for every num_threads.
 
+#include <cstddef>
+
+#include "solver/cost_oracle.h"
 #include "solver/facility_location.h"
 
 namespace esharing::solver {
@@ -16,6 +25,9 @@ struct LocalSearchOptions {
   std::size_t max_iterations{1000};  ///< safety cap on improving moves
   double min_improvement{1e-9};      ///< ignore smaller-than-noise gains
   bool allow_swaps{true};            ///< include swap moves (costlier scan)
+  /// Worker threads for candidate-move evaluation. 1 = fully sequential
+  /// (no threads spawned). Outputs are identical for any value.
+  std::size_t num_threads{1};
 };
 
 /// Improve `initial` by local search. The returned solution's total cost
@@ -23,6 +35,11 @@ struct LocalSearchOptions {
 /// \throws std::invalid_argument on invalid instances or an empty/invalid
 ///         initial open set.
 [[nodiscard]] FlSolution local_search(const FlInstance& instance,
+                                      const FlSolution& initial,
+                                      const LocalSearchOptions& options = {});
+
+/// Run against an existing oracle (shared with other solver passes).
+[[nodiscard]] FlSolution local_search(const CostOracle& oracle,
                                       const FlSolution& initial,
                                       const LocalSearchOptions& options = {});
 

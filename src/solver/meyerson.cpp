@@ -18,14 +18,16 @@ OnlineDecision MeyersonPlacer::process(geo::Point p, double weight) {
   OnlineDecision decision;
   if (facilities_.empty()) {
     facilities_.push_back(p);
+    index_.insert(p);
     decision.opened = true;
     decision.facility = 0;
     return decision;
   }
-  const std::size_t nearest = geo::nearest_index(facilities_, p);
+  const std::size_t nearest = index_.nearest(p);
   const double d = weight * geo::distance(facilities_[nearest], p);
   if (rng_.bernoulli(d / opening_cost_)) {
     facilities_.push_back(p);
+    index_.insert(p);
     decision.opened = true;
     decision.facility = facilities_.size() - 1;
   } else {

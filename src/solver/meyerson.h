@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "geo/point.h"
+#include "geo/spatial_index.h"
 #include "stats/rng.h"
 
 namespace esharing::solver {
@@ -50,6 +51,7 @@ class MeyersonPlacer {
   double opening_cost_;
   stats::Rng rng_;
   std::vector<geo::Point> facilities_;
+  geo::SpatialIndex index_;  ///< bucketed mirror of facilities_ (same ids)
   double connection_cost_{0.0};
 };
 

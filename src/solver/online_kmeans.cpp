@@ -26,6 +26,7 @@ OnlineDecision OnlineKMeans::process(geo::Point p, double weight) {
   // pairwise distance among them seeds f_1 = (w*)^2 / k.
   if (centers_.size() <= k_) {
     centers_.push_back(p);
+    index_.insert(p);
     warmup_.push_back(p);
     decision.opened = true;
     decision.facility = centers_.size() - 1;
@@ -46,10 +47,11 @@ OnlineDecision OnlineKMeans::process(geo::Point p, double weight) {
     return decision;
   }
 
-  const std::size_t nearest = geo::nearest_index(centers_, p);
+  const std::size_t nearest = index_.nearest(p);
   const double d2 = weight * geo::distance2(centers_[nearest], p);
   if (rng_.bernoulli(d2 / f_r_)) {
     centers_.push_back(p);
+    index_.insert(p);
     decision.opened = true;
     decision.facility = centers_.size() - 1;
     if (++opened_in_phase_ >= phase_budget_) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "geo/point.h"
+#include "geo/spatial_index.h"
 #include "solver/meyerson.h"
 #include "stats/rng.h"
 
@@ -40,6 +41,7 @@ class OnlineKMeans {
   std::size_t phase_budget_;
   stats::Rng rng_;
   std::vector<geo::Point> centers_;
+  geo::SpatialIndex index_;  ///< bucketed mirror of centers_ (same ids)
   std::vector<geo::Point> warmup_;  ///< first k+1 points before streaming
   double f_r_{0.0};
   std::size_t opened_in_phase_{0};

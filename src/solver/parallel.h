@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file parallel.h
+/// Minimal deterministic fork-join helper for the threaded solver paths.
+/// Work is split into contiguous chunks; the caller reduces per-chunk
+/// results in chunk order, which keeps outputs independent of thread
+/// scheduling (the determinism contract documented in DESIGN.md).
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace esharing::solver::detail {
+
+/// Invoke fn(begin, end, chunk) over contiguous chunks covering [0, n).
+/// With num_threads <= 1 (or n == 0) everything runs inline on the caller;
+/// otherwise min(num_threads, n) worker threads each take one chunk.
+template <typename Fn>
+void for_each_chunk(std::size_t n, std::size_t num_threads, Fn&& fn) {
+  const std::size_t t = std::min(std::max<std::size_t>(num_threads, 1), n);
+  if (t <= 1) {
+    if (n > 0) fn(std::size_t{0}, n, std::size_t{0});
+    return;
+  }
+  const std::size_t chunk = (n + t - 1) / t;
+  std::vector<std::thread> workers;
+  workers.reserve(t);
+  for (std::size_t c = 0; c < t; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end, c] { fn(begin, end, c); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace esharing::solver::detail

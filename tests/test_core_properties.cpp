@@ -120,7 +120,9 @@ TEST(PlacementFilter, ForbiddenZonesNeverGetStations) {
   }
   EXPECT_GT(placer.num_online_opened(), 10u);  // west half opens freely
   for (const auto& station : placer.stations()) {
-    if (station.online_opened) EXPECT_LT(station.location.x, 500.0);
+    if (station.online_opened) {
+      EXPECT_LT(station.location.x, 500.0);
+    }
   }
   // East-half requests were all assigned, not opened.
   EXPECT_GT(placer.total_connection_cost(), 0.0);

@@ -49,7 +49,9 @@ TEST(SyntheticCity, TripsAreChronologicalWithUniqueOrderIds) {
   const auto trips = city.generate_trips();
   std::set<std::int64_t> ids;
   for (std::size_t i = 0; i < trips.size(); ++i) {
-    if (i > 0) EXPECT_LE(trips[i - 1].start_time, trips[i].start_time);
+    if (i > 0) {
+      EXPECT_LE(trips[i - 1].start_time, trips[i].start_time);
+    }
     ids.insert(trips[i].order_id);
   }
   EXPECT_EQ(ids.size(), trips.size());

@@ -78,9 +78,9 @@ TEST(Geohash, EncodeRejectsBadInputs) {
 }
 
 TEST(Geohash, DecodeRejectsBadInputs) {
-  EXPECT_THROW(geohash_decode(""), std::invalid_argument);
-  EXPECT_THROW(geohash_decode("wx4a"), std::invalid_argument);  // 'a' invalid
-  EXPECT_THROW(geohash_decode("wx4!"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(geohash_decode("")), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(geohash_decode("wx4a")), std::invalid_argument);  // 'a' invalid
+  EXPECT_THROW(static_cast<void>(geohash_decode("wx4!")), std::invalid_argument);
 }
 
 TEST(Geohash, ValidityPredicate) {

@@ -66,9 +66,9 @@ TEST(Grid, IndexRoundTrip) {
 
 TEST(Grid, IndexOfRejectsOutsideCells) {
   const Grid g = make_grid();
-  EXPECT_THROW(g.index_of({30, 0}), std::out_of_range);
-  EXPECT_THROW(g.index_of({0, -1}), std::out_of_range);
-  EXPECT_THROW(g.cell_at(900), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(g.index_of({30, 0})), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(g.index_of({0, -1})), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(g.cell_at(900)), std::out_of_range);
 }
 
 TEST(Grid, CentroidIsCellCenter) {

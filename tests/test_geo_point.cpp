@@ -80,7 +80,7 @@ TEST(BoundingBoxOfSet, MatchesExtremes) {
 }
 
 TEST(BoundingBoxOfSet, ThrowsOnEmpty) {
-  EXPECT_THROW(bounding_box({}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(bounding_box({})), std::invalid_argument);
 }
 
 TEST(Centroid, AveragesPoints) {
@@ -89,7 +89,7 @@ TEST(Centroid, AveragesPoints) {
 }
 
 TEST(Centroid, ThrowsOnEmpty) {
-  EXPECT_THROW(centroid({}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(centroid({})), std::invalid_argument);
 }
 
 TEST(NearestIndex, FindsClosest) {
@@ -100,7 +100,7 @@ TEST(NearestIndex, FindsClosest) {
 }
 
 TEST(NearestIndex, ThrowsOnEmpty) {
-  EXPECT_THROW(nearest_index({}, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(nearest_index({}, {0, 0})), std::invalid_argument);
 }
 
 TEST(NearestIndex, TiePrefersFirst) {

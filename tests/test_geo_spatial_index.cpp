@@ -1,0 +1,239 @@
+#include "geo/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::geo {
+namespace {
+
+constexpr std::size_t kNpos = SpatialIndex::npos;
+
+/// Brute-force mirror of SpatialIndex::nearest: first strict minimum of
+/// squared distance over ids in insertion order (ties -> smallest id).
+std::size_t brute_nearest(const std::vector<Point>& pts,
+                          const std::vector<char>& active, Point q,
+                          std::size_t exclude = kNpos) {
+  std::size_t best = kNpos;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!active[i] || i == exclude) continue;
+    const double d2 = distance2(pts[i], q);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Brute-force mirror of within_radius: active ids with d^2 <= r^2,
+/// ascending.
+std::vector<std::size_t> brute_within(const std::vector<Point>& pts,
+                                      const std::vector<char>& active, Point q,
+                                      double radius) {
+  std::vector<std::size_t> out;
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (active[i] && distance2(pts[i], q) <= r2) out.push_back(i);
+  }
+  return out;
+}
+
+/// A randomized point set with exact duplicates sprinkled in (every sixth
+/// point repeats an earlier one) and a detached far cluster, so queries
+/// cross duplicate ids, empty buckets, and large inter-cluster gaps.
+std::vector<Point> make_points(stats::Rng& rng, std::size_t n) {
+  auto pts = stats::uniform_points(rng, {{0.0, 0.0}, {1000.0, 1000.0}}, n);
+  for (std::size_t i = 5; i < pts.size(); i += 6) pts[i] = pts[i / 2];
+  const auto far = stats::uniform_points(
+      rng, {{50000.0, 50000.0}, {50200.0, 50200.0}}, std::max<std::size_t>(n / 10, 1));
+  pts.insert(pts.end(), far.begin(), far.end());
+  return pts;
+}
+
+std::vector<Point> make_queries(stats::Rng& rng, std::size_t n) {
+  auto qs = stats::uniform_points(rng, {{-200.0, -200.0}, {1200.0, 1200.0}}, n);
+  // Probes inside the empty gap and beyond both clusters.
+  qs.push_back({20000.0, 20000.0});
+  qs.push_back({-1e6, 3.0});
+  qs.push_back({50100.0, 50100.0});
+  return qs;
+}
+
+TEST(SpatialIndex, EmptyIndexReturnsNposAndNoNeighbors) {
+  const SpatialIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.nearest({1.0, 2.0}), kNpos);
+  EXPECT_TRUE(index.within_radius({1.0, 2.0}, 1e9).empty());
+}
+
+TEST(SpatialIndex, NonPositiveCellSizeThrows) {
+  EXPECT_THROW(SpatialIndex(0.0), std::invalid_argument);
+  EXPECT_THROW(SpatialIndex(-5.0), std::invalid_argument);
+}
+
+TEST(SpatialIndex, NearestMatchesBruteForceAcrossCellSizes) {
+  stats::Rng rng(42);
+  const auto pts = make_points(rng, 400);
+  const auto queries = make_queries(rng, 200);
+  const std::vector<char> active(pts.size(), 1);
+  // 0.0 = auto sizing; the fixed sizes are deliberately mismatched to the
+  // data extent (tiny cells and one-bucket-for-everything cells).
+  for (double cell : {0.0, 0.5, 37.0, 1e6}) {
+    const SpatialIndex index(pts, cell);
+    ASSERT_EQ(index.size(), pts.size());
+    for (Point q : queries) {
+      EXPECT_EQ(index.nearest(q), brute_nearest(pts, active, q))
+          << "cell=" << cell << " q=" << q;
+    }
+  }
+}
+
+TEST(SpatialIndex, WithinRadiusMatchesBruteForceAcrossCellSizes) {
+  stats::Rng rng(7);
+  const auto pts = make_points(rng, 300);
+  const auto queries = make_queries(rng, 60);
+  const std::vector<char> active(pts.size(), 1);
+  for (double cell : {0.0, 2.0, 111.0}) {
+    const SpatialIndex index(pts, cell);
+    for (Point q : queries) {
+      for (double r : {0.0, 1.0, 55.0, 400.0, 80000.0}) {
+        EXPECT_EQ(index.within_radius(q, r), brute_within(pts, active, q, r))
+            << "cell=" << cell << " r=" << r << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(SpatialIndex, WithinRadiusBoundaryIsInclusive) {
+  const std::vector<Point> pts{{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  const SpatialIndex index(pts);
+  // d((0,0),(3,4)) = 5 exactly: the boundary point must be included.
+  EXPECT_EQ(index.within_radius({0.0, 0.0}, 5.0),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(index.within_radius({0.0, 0.0}, 10.0),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(SpatialIndex, DeactivatedEntriesAreInvisibleUntilReactivated) {
+  stats::Rng rng(3);
+  const auto pts = make_points(rng, 250);
+  const auto queries = make_queries(rng, 80);
+  SpatialIndex index(pts);
+  std::vector<char> active(pts.size(), 1);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (rng.bernoulli(0.4)) {
+      index.deactivate(i);
+      active[i] = 0;
+    }
+  }
+  EXPECT_EQ(index.active_count(),
+            static_cast<std::size_t>(
+                std::count(active.begin(), active.end(), char{1})));
+  for (Point q : queries) {
+    EXPECT_EQ(index.nearest(q), brute_nearest(pts, active, q));
+    EXPECT_EQ(index.within_radius(q, 150.0), brute_within(pts, active, q, 150.0));
+  }
+  // Reactivate half of the removed ids and re-check.
+  for (std::size_t i = 0; i < pts.size(); i += 2) {
+    if (!active[i]) {
+      index.activate(i);
+      active[i] = 1;
+    }
+  }
+  for (Point q : queries) {
+    EXPECT_EQ(index.nearest(q), brute_nearest(pts, active, q));
+    EXPECT_EQ(index.within_radius(q, 90.0), brute_within(pts, active, q, 90.0));
+  }
+}
+
+TEST(SpatialIndex, AllDeactivatedBehavesLikeEmpty) {
+  SpatialIndex index;
+  index.insert({1.0, 1.0});
+  index.insert({2.0, 2.0});
+  index.deactivate(0);
+  index.deactivate(1);
+  EXPECT_EQ(index.active_count(), 0u);
+  EXPECT_EQ(index.nearest({1.5, 1.5}), kNpos);
+  EXPECT_TRUE(index.within_radius({1.5, 1.5}, 100.0).empty());
+}
+
+TEST(SpatialIndex, ExcludeSkipsSelfMatches) {
+  stats::Rng rng(11);
+  const auto pts = make_points(rng, 120);
+  const std::vector<char> active(pts.size(), 1);
+  const SpatialIndex index(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(index.nearest(pts[i], i), brute_nearest(pts, active, pts[i], i));
+  }
+}
+
+TEST(SpatialIndex, TiesBreakTowardSmallestInsertionId) {
+  // Exact duplicates: the query at the shared location must return the
+  // first-inserted id, matching a first-strict-minimum linear scan.
+  SpatialIndex index;
+  index.insert({5.0, 5.0});
+  index.insert({9.0, 9.0});
+  index.insert({5.0, 5.0});
+  EXPECT_EQ(index.nearest({5.0, 5.0}), 0u);
+  // Four corners equidistant from the center: smallest id wins even when
+  // the tied candidates sit in different grid cells.
+  SpatialIndex corners(1.0);
+  corners.insert({-1.0, -1.0});
+  corners.insert({1.0, -1.0});
+  corners.insert({-1.0, 1.0});
+  corners.insert({1.0, 1.0});
+  EXPECT_EQ(corners.nearest({0.0, 0.0}), 0u);
+}
+
+TEST(SpatialIndex, IncrementalInsertMatchesBruteForceThroughRebuilds) {
+  stats::Rng rng(19);
+  const auto pts = make_points(rng, 500);
+  const auto queries = make_queries(rng, 40);
+  SpatialIndex index;  // auto-sized: grows through several rebuilds
+  std::vector<Point> seen;
+  std::vector<char> active;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(index.insert(pts[i]), i);
+    seen.push_back(pts[i]);
+    active.push_back(1);
+    if (i % 97 == 0 || i + 1 == pts.size()) {
+      for (Point q : queries) {
+        ASSERT_EQ(index.nearest(q), brute_nearest(seen, active, q)) << "n=" << i;
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) EXPECT_EQ(index.point(i), pts[i]);
+}
+
+TEST(SpatialIndex, MinPairwiseDistanceMatchesQuadraticScan) {
+  stats::Rng rng(23);
+  for (std::size_t n : {2u, 3u, 17u, 300u}) {
+    const auto pts = make_points(rng, n);
+    double brute = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        brute = std::min(brute, distance(pts[i], pts[j]));
+      }
+    }
+    EXPECT_EQ(min_pairwise_distance(pts), brute) << "n=" << n;
+  }
+}
+
+TEST(SpatialIndex, MinPairwiseDistanceDegenerateSets) {
+  EXPECT_TRUE(std::isinf(min_pairwise_distance({})));
+  EXPECT_TRUE(std::isinf(min_pairwise_distance({{1.0, 2.0}})));
+  EXPECT_EQ(min_pairwise_distance({{1.0, 2.0}, {1.0, 2.0}}), 0.0);
+}
+
+}  // namespace
+}  // namespace esharing::geo

@@ -117,7 +117,9 @@ TEST_F(AnonymizeFixture, IdsArePseudonymizedConsistently) {
     EXPECT_NE(anon[i].user_id, trips_[i].user_id);
     const auto [it, inserted] =
         mapping.emplace(trips_[i].user_id, anon[i].user_id);
-    if (!inserted) EXPECT_EQ(it->second, anon[i].user_id);  // stable
+    if (!inserted) {
+      EXPECT_EQ(it->second, anon[i].user_id);  // stable
+    }
     EXPECT_EQ(anon[i].order_id, trips_[i].order_id);
     EXPECT_EQ(anon[i].start_time, trips_[i].start_time);
   }

@@ -1,0 +1,123 @@
+#include "solver/cost_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace esharing::solver {
+namespace {
+
+using geo::Point;
+
+/// A general (non-colocated) instance: weighted clients and candidate
+/// facilities drawn independently.
+FlInstance random_instance(stats::Rng& rng, std::size_t nc, std::size_t nf) {
+  FlInstance inst;
+  for (Point p : stats::uniform_points(rng, {{0, 0}, {2000, 2000}}, nc)) {
+    inst.clients.push_back({p, rng.uniform(0.5, 3.0)});
+  }
+  for (Point p : stats::uniform_points(rng, {{0, 0}, {2000, 2000}}, nf)) {
+    inst.facilities.push_back({p, rng.uniform(100.0, 5000.0)});
+  }
+  return inst;
+}
+
+TEST(CostOracle, RowsEqualConnectionCostExactly) {
+  stats::Rng rng(5);
+  const auto inst = random_instance(rng, 60, 35);
+  const CostOracle oracle(inst);
+  ASSERT_EQ(oracle.num_facilities(), inst.facilities.size());
+  ASSERT_EQ(oracle.num_clients(), inst.clients.size());
+  for (std::size_t i = 0; i < inst.facilities.size(); ++i) {
+    const auto& row = oracle.row(i);
+    ASSERT_EQ(row.size(), inst.clients.size());
+    for (std::size_t j = 0; j < inst.clients.size(); ++j) {
+      // Bit-identical, not approximately equal: the oracle's contract is
+      // that it caches the very same double the solvers used to recompute.
+      EXPECT_EQ(row[j], inst.connection_cost(i, j)) << i << "," << j;
+      EXPECT_EQ(oracle.cost(i, j), inst.connection_cost(i, j));
+    }
+  }
+}
+
+TEST(CostOracle, RowsAreCachedAcrossAccessOrders) {
+  stats::Rng rng(9);
+  const auto inst = random_instance(rng, 40, 20);
+  const CostOracle oracle(inst);
+  // Touch rows out of order, interleaved with sorted rows; repeated access
+  // must return the same cached data.
+  const auto& r7 = oracle.row(7);
+  const auto& s7 = oracle.sorted_row(7);
+  const auto& r0 = oracle.row(0);
+  EXPECT_EQ(&oracle.row(7), &r7);
+  EXPECT_EQ(&oracle.sorted_row(7), &s7);
+  EXPECT_EQ(&oracle.row(0), &r0);
+  EXPECT_EQ(r7, oracle.row(7));
+}
+
+TEST(CostOracle, SortedRowIsSortedPermutationWithIndexTieBreak) {
+  stats::Rng rng(13);
+  auto inst = random_instance(rng, 50, 12);
+  // Force exact cost ties: clients 10..13 duplicate client 2 (same point,
+  // same weight), so their costs against every facility are identical.
+  for (std::size_t j = 10; j <= 13; ++j) inst.clients[j] = inst.clients[2];
+  const CostOracle oracle(inst);
+  for (std::size_t i = 0; i < inst.facilities.size(); ++i) {
+    const auto& sorted = oracle.sorted_row(i);
+    ASSERT_EQ(sorted.size(), inst.clients.size());
+    std::vector<char> seen(inst.clients.size(), 0);
+    for (std::size_t k = 0; k < sorted.size(); ++k) {
+      const auto [cost, client] = sorted[k];
+      EXPECT_EQ(cost, inst.connection_cost(i, client));
+      EXPECT_FALSE(seen[client]);
+      seen[client] = 1;
+      if (k > 0) {
+        // (cost, client) strictly increasing lexicographically.
+        EXPECT_TRUE(sorted[k - 1].first < cost ||
+                    (sorted[k - 1].first == cost && sorted[k - 1].second < client));
+      }
+    }
+  }
+}
+
+TEST(CostOracle, AssignToOpenMatchesInstanceVersion) {
+  stats::Rng rng(21);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto inst = random_instance(rng, 80, 30);
+    const CostOracle oracle(inst);
+    // Unsorted open sets with duplicates: both versions canonicalize.
+    std::vector<std::size_t> open{17, 3, 3, 22, 0, 17};
+    const auto via_oracle = assign_to_open(oracle, open);
+    const auto via_instance = assign_to_open(inst, open);
+    EXPECT_EQ(via_oracle.open, via_instance.open);
+    EXPECT_EQ(via_oracle.assignment, via_instance.assignment);
+    EXPECT_EQ(via_oracle.connection_cost, via_instance.connection_cost);
+    EXPECT_EQ(via_oracle.opening_cost, via_instance.opening_cost);
+  }
+}
+
+TEST(CostOracle, WorksOnColocatedInstances) {
+  stats::Rng rng(31);
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : stats::uniform_points(rng, {{0, 0}, {800, 800}}, 25)) {
+    clients.push_back({p, rng.uniform(1.0, 2.0)});
+    costs.push_back(500.0);
+  }
+  const auto inst = colocated_instance(clients, costs);
+  const CostOracle oracle(inst);
+  for (std::size_t i = 0; i < inst.facilities.size(); ++i) {
+    // A colocated facility's own client costs nothing; the sorted row must
+    // lead with it (cost 0 ties break toward the smallest client index,
+    // and i is the unique zero-cost client here).
+    EXPECT_EQ(oracle.cost(i, i), 0.0);
+    EXPECT_EQ(oracle.sorted_row(i).front().second, i);
+  }
+}
+
+}  // namespace
+}  // namespace esharing::solver

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/deviation_placer.h"
+#include "core/penalty.h"
+#include "solver/cost_oracle.h"
+#include "solver/jms_greedy.h"
+#include "solver/k_median.h"
+#include "solver/local_search.h"
+#include "solver/reference.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+/// Regression tests for the CostOracle/SpatialIndex refactor: every solver
+/// threaded through the shared query layer must return BIT-IDENTICAL open
+/// sets, assignments and costs to the frozen pre-refactor implementations
+/// in solver::reference, for any thread count.
+
+namespace esharing::solver {
+namespace {
+
+using geo::Point;
+
+FlInstance random_colocated(stats::Rng& rng, std::size_t n, double f) {
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n)) {
+    clients.push_back({p, rng.uniform(0.5, 4.0)});
+    costs.push_back(f * rng.uniform(0.5, 1.5));
+  }
+  return colocated_instance(std::move(clients), std::move(costs));
+}
+
+FlInstance random_general(stats::Rng& rng, std::size_t nc, std::size_t nf) {
+  FlInstance inst;
+  for (Point p : stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, nc)) {
+    inst.clients.push_back({p, rng.uniform(0.5, 4.0)});
+  }
+  for (Point p : stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, nf)) {
+    inst.facilities.push_back({p, rng.uniform(500.0, 8000.0)});
+  }
+  return inst;
+}
+
+void expect_identical(const FlSolution& got, const FlSolution& want) {
+  EXPECT_EQ(got.open, want.open);
+  EXPECT_EQ(got.assignment, want.assignment);
+  // Exact double equality, not a tolerance: the refactor's contract.
+  EXPECT_EQ(got.connection_cost, want.connection_cost);
+  EXPECT_EQ(got.opening_cost, want.opening_cost);
+}
+
+TEST(SolverRegression, JmsGreedyMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    stats::Rng rng(seed);
+    const auto colocated = random_colocated(rng, 60, 4000.0);
+    expect_identical(jms_greedy(colocated), reference::jms_greedy(colocated));
+    const auto general = random_general(rng, 50, 25);
+    expect_identical(jms_greedy(general), reference::jms_greedy(general));
+  }
+}
+
+TEST(SolverRegression, JmsGreedyOracleOverloadMatchesInstanceOverload) {
+  stats::Rng rng(77);
+  const auto inst = random_general(rng, 45, 20);
+  const CostOracle oracle(inst);
+  expect_identical(jms_greedy(oracle), jms_greedy(inst));
+}
+
+TEST(SolverRegression, JmsGreedyIsThreadCountInvariant) {
+  stats::Rng rng(101);
+  const auto inst = random_general(rng, 70, 40);
+  const auto sequential = jms_greedy(inst, JmsOptions{1});
+  for (std::size_t threads : {2u, 3u, 8u, 64u}) {
+    expect_identical(jms_greedy(inst, JmsOptions{threads}), sequential);
+  }
+}
+
+TEST(SolverRegression, LocalSearchMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    stats::Rng rng(seed * 13);
+    const auto inst = random_general(rng, 40, 18);
+    const auto initial = assign_to_open(inst, {0});
+    for (bool swaps : {true, false}) {
+      LocalSearchOptions opts;
+      opts.allow_swaps = swaps;
+      expect_identical(local_search(inst, initial, opts),
+                       reference::local_search(inst, initial, opts));
+    }
+  }
+}
+
+TEST(SolverRegression, LocalSearchIsThreadCountInvariant) {
+  stats::Rng rng(55);
+  const auto inst = random_general(rng, 60, 24);
+  const auto initial = assign_to_open(inst, {3, 11});
+  LocalSearchOptions opts;
+  const auto sequential = local_search(inst, initial, opts);
+  for (std::size_t threads : {2u, 5u, 16u}) {
+    opts.num_threads = threads;
+    expect_identical(local_search(inst, initial, opts), sequential);
+  }
+}
+
+TEST(SolverRegression, KMedianMatchesReference) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    stats::Rng rng(seed * 7);
+    const auto inst = random_general(rng, 50, 22);
+    for (std::size_t k : {1u, 4u, 9u}) {
+      expect_identical(k_median(inst, k, seed), reference::k_median(inst, k, seed));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace esharing::solver
+
+namespace esharing::core {
+namespace {
+
+using geo::Point;
+
+/// A literal Algorithm 2 mirror using linear scans everywhere the placer
+/// uses SpatialIndex queries, with its own Rng consuming the same draws.
+/// Adaptive penalty switching is disabled in both so neither consults the
+/// KS machinery; everything else (scale doubling, weights, removals) runs.
+struct LinearScanPlacerMirror {
+  struct St {
+    Point location;
+    bool active;
+  };
+  std::vector<St> stations;
+  std::vector<Point> landmarks;
+  std::function<double(Point)> opening_cost_fn;
+  double reference_f{0.0};
+  double scale{0.0};
+  double beta{1.0};
+  std::size_t k{0};
+  std::size_t opens_since_double{0};
+  PenaltyFunction penalty{PenaltyFunction::none()};
+  stats::Rng rng;
+  double connection_cost{0.0};
+
+  LinearScanPlacerMirror(const std::vector<Point>& parkings,
+                         std::function<double(Point)> cost_fn,
+                         const DeviationPlacerConfig& config, std::uint64_t seed)
+      : landmarks(parkings), opening_cost_fn(std::move(cost_fn)),
+        beta(config.beta), k(parkings.size()), rng(seed) {
+    penalty = PenaltyFunction::of(config.initial_penalty, config.tolerance);
+    double min_d = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < parkings.size(); ++i) {
+      for (std::size_t j = i + 1; j < parkings.size(); ++j) {
+        min_d = std::min(min_d, geo::distance(parkings[i], parkings[j]));
+      }
+    }
+    const double w_star = min_d / 2.0;
+    for (Point p : parkings) reference_f += opening_cost_fn(p);
+    reference_f /= static_cast<double>(parkings.size());
+    scale = std::max({config.initial_scale_multiplier * w_star /
+                          static_cast<double>(k),
+                      reference_f, std::numeric_limits<double>::min()});
+    for (Point p : parkings) stations.push_back({p, true});
+  }
+
+  std::size_t nearest_active(Point p) const {
+    std::size_t best = stations.size();
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < stations.size(); ++i) {
+      if (!stations[i].active) continue;
+      const double d2 = geo::distance2(stations[i].location, p);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  double deviation(Point p) const {
+    std::size_t best = 0;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < landmarks.size(); ++i) {
+      const double d2 = geo::distance2(landmarks[i], p);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = i;
+      }
+    }
+    return geo::distance(landmarks[best], p);
+  }
+
+  solver::OnlineDecision process(Point dest, double weight) {
+    solver::OnlineDecision decision;
+    const std::size_t nearest = nearest_active(dest);
+    const double c = weight * geo::distance(stations[nearest].location, dest);
+    const double f = opening_cost_fn(dest) / reference_f * scale;
+    const double prob = std::min(penalty(deviation(dest)) * c / f, 1.0);
+    if (rng.bernoulli(prob)) {
+      stations.push_back({dest, true});
+      decision.opened = true;
+      decision.facility = stations.size() - 1;
+      if (static_cast<double>(++opens_since_double) >=
+          beta * static_cast<double>(k)) {
+        opens_since_double = 0;
+        scale *= 2.0;
+      }
+    } else {
+      decision.facility = nearest;
+      decision.connection_cost = c;
+      connection_cost += c;
+    }
+    return decision;
+  }
+};
+
+TEST(SolverRegression, DeviationPlacerMatchesLinearScanMirror) {
+  const std::uint64_t seed = 2020;
+  stats::Rng setup(seed);
+  const auto parkings =
+      stats::uniform_points(setup, {{0, 0}, {2000, 2000}}, 15);
+  const auto opening_cost = [](Point p) {
+    return 5000.0 + 0.1 * p.x + 0.05 * p.y;
+  };
+  DeviationPlacerConfig config;
+  config.adaptive_type = false;  // keep both sides off the KS machinery
+  config.ks_period = 0;
+  DeviationPenaltyPlacer placer(parkings, parkings, opening_cost, config, seed);
+  LinearScanPlacerMirror mirror(parkings, opening_cost, config, seed);
+
+  // A wider box than the landmarks so deviations sweep the penalty's
+  // tolerance band; every 80th request removes a station (footnote 2).
+  stats::Rng stream(seed ^ 0x9e3779b9ULL);
+  const auto dests =
+      stats::uniform_points(stream, {{-500, -500}, {2500, 2500}}, 600);
+  for (std::size_t t = 0; t < dests.size(); ++t) {
+    const double weight = stream.uniform(0.5, 2.0);
+    const auto got = placer.process(dests[t], weight);
+    const auto want = mirror.process(dests[t], weight);
+    ASSERT_EQ(got.opened, want.opened) << "t=" << t;
+    ASSERT_EQ(got.facility, want.facility) << "t=" << t;
+    ASSERT_EQ(got.connection_cost, want.connection_cost) << "t=" << t;
+    if (t % 80 == 79 && placer.num_active() > 1) {
+      const std::size_t victim = got.facility;
+      placer.remove_station(victim);
+      mirror.stations[victim].active = false;
+    }
+  }
+
+  ASSERT_EQ(placer.stations().size(), mirror.stations.size());
+  for (std::size_t i = 0; i < mirror.stations.size(); ++i) {
+    EXPECT_EQ(placer.stations()[i].location, mirror.stations[i].location);
+    EXPECT_EQ(placer.stations()[i].active, mirror.stations[i].active);
+  }
+  EXPECT_EQ(placer.total_connection_cost(), mirror.connection_cost);
+  EXPECT_EQ(placer.cost_scale(), mirror.scale);
+}
+
+}  // namespace
+}  // namespace esharing::core
