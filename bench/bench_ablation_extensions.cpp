@@ -31,6 +31,7 @@ using geo::Point;
 
 
 int main() {
+  const bench::MetricsSession metrics("bench_ablation_extensions");
   bench::print_title("Extensions -- polynomial penalty, GRU engine, privacy");
 
   // --- (a) polynomial penalty --------------------------------------------

@@ -70,6 +70,7 @@ Outcome run(const core::DeviationPlacerConfig& cfg, int trials = 10) {
 }  // namespace
 
 int main() {
+  const bench::MetricsSession metrics("bench_ablation_placer");
   bench::print_title(
       "Ablation -- deviation-penalty placer knobs on a half-shifted stream");
 

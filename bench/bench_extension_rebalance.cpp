@@ -37,6 +37,7 @@ std::vector<rebalance::StationInventory> random_network(std::size_t n,
 }  // namespace
 
 int main() {
+  const bench::MetricsSession metrics("bench_extension_rebalance");
   bench::print_title(
       "Extension -- rebalancing substrate cost and charge-curve timing");
 

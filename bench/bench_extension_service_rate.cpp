@@ -39,6 +39,7 @@ sim::MicroSimMetrics run_once(std::size_t bikes, double walk_radius,
 }  // namespace
 
 int main() {
+  const bench::MetricsSession metrics("bench_extension_service_rate");
   bench::print_title(
       "Extension -- service rate (1 - customer loss) at agent level");
 

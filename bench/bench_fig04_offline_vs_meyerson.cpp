@@ -18,6 +18,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig04_offline_vs_meyerson");
   bench::print_title(
       "Fig. 4 -- Offline (JMS 1.61) vs Meyerson online on 100 uniform "
       "arrivals,\n1000x1000 m^2, f = 5000 m");

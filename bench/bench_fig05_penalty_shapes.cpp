@@ -12,6 +12,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig05_penalty_shapes");
   const double L = 200.0;
   const auto g1 = core::PenaltyFunction::type1(L);
   const auto g2 = core::PenaltyFunction::type2(L);

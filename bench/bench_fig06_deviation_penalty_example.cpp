@@ -41,6 +41,7 @@ std::vector<Point> offline_landmarks(const std::vector<Point>& sample,
 }  // namespace
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig06_deviation_penalty_example");
   const double f = 5000.0;
   const geo::BoundingBox field{{0, 0}, {1000, 1000}};
 

@@ -13,6 +13,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig07_saving_ratio");
   energy::ChargingCostParams p{.service_cost_q = 5.0, .delay_cost_d = 5.0,
                                .energy_cost_b = 2.0};
 

@@ -59,6 +59,7 @@ void run_day_type(const char* label, const ml::Series& series,
 }  // namespace
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig08_actual_vs_predicted");
   bench::print_title(
       "Fig. 8 -- actual requests vs LSTM prediction (2-layer, back=12)");
   const auto series = bench::make_demand_series(28, 2017);

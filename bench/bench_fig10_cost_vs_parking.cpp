@@ -13,6 +13,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig10_cost_vs_parking");
   bench::print_title(
       "Fig. 10 -- total cost vs #parking per region (a: actual, b: "
       "predicted)");

@@ -11,6 +11,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig11_lowenergy_heatmap");
   bench::print_title(
       "Fig. 11 -- low-energy bike distribution before/after incentives");
 

@@ -14,6 +14,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_fig12_charging_cost");
   bench::print_title(
       "Fig. 12 -- total charging cost and % charged vs service cost,\nfor "
       "alpha in {0, 0.4, 0.7, 1}");

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/util.h"
 #include "core/deviation_placer.h"
 #include "geo/spatial_index.h"
 #include "ml/lstm.h"
@@ -161,4 +162,15 @@ BENCHMARK(BM_LstmTrainingSample);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run is wrapped in a MetricsSession:
+// kernels execute with the obs layer enabled (ESHARING_METRICS=0 reverts to
+// the disabled baseline for overhead A/B runs) and the session drops
+// bench_micro_perf.metrics.json on exit.
+int main(int argc, char** argv) {
+  const esharing::bench::MetricsSession metrics("bench_micro_perf");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,13 +13,12 @@
 
 #include "bench/prediction_data.h"
 #include "bench/util.h"
-#include "ml/arima.h"
-#include "ml/lstm.h"
-#include "ml/moving_average.h"
+#include "ml/factory.h"
 
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_table2_prediction_rmse");
   bench::print_title(
       "Table II -- RMSE of prediction algorithms on hourly weekday demand");
   const auto series = bench::make_demand_series(28, 2017);
@@ -46,17 +45,17 @@ int main() {
   for (int layers = 1; layers <= 3; ++layers) {
     std::cout << bench::cell(std::to_string(layers) + "-layer", 8);
     for (int back : backs) {
-      ml::LstmConfig cfg;
-      cfg.layers = layers;
-      cfg.hidden = 24;
-      cfg.lookback = static_cast<std::size_t>(back);
-      cfg.epochs = 15;
-      cfg.seed = 42 + static_cast<std::uint64_t>(layers * 100 + back);
-      ml::LstmForecaster lstm(cfg);
-      lstm.fit(train);
-      const double rmse = ml::evaluate_rmse(lstm, train, test);
+      ml::ForecasterSpec spec;
+      spec.layers = layers;
+      spec.hidden = 24;
+      spec.lookback = static_cast<std::size_t>(back);
+      spec.epochs = 15;
+      spec.seed = 42 + static_cast<std::uint64_t>(layers * 100 + back);
+      const auto lstm = ml::make_forecaster("lstm", spec);
+      lstm->fit(train);
+      const double rmse = ml::evaluate_rmse(*lstm, train, test);
       lstm_best = std::min(lstm_best, rmse);
-      record(lstm.name(), rmse);
+      record(lstm->name(), rmse);
       std::cout << bench::cell(rmse, 10, 1) << std::flush;
     }
     std::cout << '\n';
@@ -72,11 +71,13 @@ int main() {
   std::cout << bench::cell("", 8);
   double ma_best = std::numeric_limits<double>::infinity();
   for (int wz = 1; wz <= 5; ++wz) {
-    ml::MovingAverageForecaster ma(static_cast<std::size_t>(wz));
-    ma.fit(train);
-    const double rmse = ml::evaluate_rmse(ma, train, test);
+    ml::ForecasterSpec spec;
+    spec.ma_window = static_cast<std::size_t>(wz);
+    const auto ma = ml::make_forecaster("ma", spec);
+    ma->fit(train);
+    const double rmse = ml::evaluate_rmse(*ma, train, test);
     ma_best = std::min(ma_best, rmse);
-    record(ma.name(), rmse);
+    record(ma->name(), rmse);
     std::cout << bench::cell(rmse, 10, 1);
   }
   std::cout << '\n';
@@ -92,11 +93,14 @@ int main() {
   for (int d = 0; d <= 2; ++d) {
     std::cout << bench::cell("d=" + std::to_string(d), 8);
     for (int p = 2; p <= 10; p += 2) {
-      ml::ArimaForecaster arima(p, d);
-      arima.fit(train);
-      const double rmse = ml::evaluate_rmse(arima, train, test);
+      ml::ForecasterSpec spec;
+      spec.arima_p = p;
+      spec.arima_d = d;
+      const auto arima = ml::make_forecaster("arima", spec);
+      arima->fit(train);
+      const double rmse = ml::evaluate_rmse(*arima, train, test);
       arima_best = std::min(arima_best, rmse);
-      record(arima.name(), rmse);
+      record(arima->name(), rmse);
       std::cout << bench::cell(rmse, 10, 1);
     }
     std::cout << '\n';

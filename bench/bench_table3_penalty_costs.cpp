@@ -76,6 +76,7 @@ Costs run_once(Workload w, core::PenaltyType type, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  const bench::MetricsSession metrics("bench_table3_penalty_costs");
   bench::print_title(
       "Table III -- cost of penalty functions under uniform / Poisson / "
       "normal\nrequest distributions (km, averaged over 100 trials)");

@@ -17,6 +17,7 @@ using namespace esharing;
 using geo::Point;
 
 int main() {
+  const bench::MetricsSession metrics("bench_table4_ks_similarity");
   bench::print_title(
       "Table IV -- similarity (%) between destination distributions of "
       "days\n(same hour interval, averaged over 24 h)");

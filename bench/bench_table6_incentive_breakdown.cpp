@@ -14,6 +14,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_table6_incentive_breakdown");
   bench::print_title(
       "Table VI -- charging costs ($) and distance (km) per incentive "
       "level");

@@ -20,6 +20,7 @@
 using namespace esharing;
 
 int main() {
+  const bench::MetricsSession metrics("bench_theorem1_lower_bound");
   bench::print_title(
       "Theorem 1 -- no O(1)-competitive online PLP (adversarial stream)");
 

@@ -7,10 +7,10 @@
 #include "data/binning.h"
 #include "geo/geohash.h"
 #include "geo/spatial_index.h"
-#include "ml/lstm.h"
-#include "solver/jms_greedy.h"
+#include "ml/factory.h"
 #include "solver/meyerson.h"
 #include "solver/online_kmeans.h"
+#include "solver/registry.h"
 #include "stats/rng.h"
 #include "stats/spatial.h"
 
@@ -40,12 +40,19 @@ std::vector<solver::FlClient> aggregate(const geo::Grid& grid,
   return clients;
 }
 
-solver::FlSolution plan(const std::vector<solver::FlClient>& sites,
-                        const std::function<double(Point)>& f) {
+solver::FlInstance scenario_instance(const std::vector<solver::FlClient>& sites,
+                                     const std::function<double(Point)>& f) {
   std::vector<double> costs;
   costs.reserve(sites.size());
   for (const auto& c : sites) costs.push_back(f(c.location));
-  return solver::jms_greedy(solver::colocated_instance(sites, costs));
+  return solver::colocated_instance(sites, costs);
+}
+
+solver::FlSolution plan(const std::vector<solver::FlClient>& sites,
+                        const std::function<double(Point)>& f) {
+  // Routed through the unified entry point; solve("jms") is bit-identical
+  // to calling jms_greedy directly.
+  return solver::solve("jms", scenario_instance(sites, f));
 }
 
 std::vector<Point> open_locations(const std::vector<solver::FlClient>& sites,
@@ -124,6 +131,23 @@ MethodResult run_offline_oracle(const PlpScenario& s) {
           sol.opening_cost / kKm};
 }
 
+MethodResult run_offline_solver(const PlpScenario& s,
+                                const std::string& solver_name,
+                                std::uint64_t seed) {
+  solver::SolveOptions options;
+  options.seed = seed;
+  const auto sol = solver::solve(
+      solver_name, scenario_instance(s.live_sites, s.opening_cost), options);
+  const auto open = open_locations(s.live_sites, sol);
+  const geo::SpatialIndex open_index(open);
+  double walking = 0.0;
+  for (Point p : s.live_requests) {
+    walking += geo::distance(open[open_index.nearest(p)], p);
+  }
+  return {solver_name, static_cast<double>(sol.num_open()), walking / kKm,
+          sol.opening_cost / kKm};
+}
+
 MethodResult run_meyerson(const PlpScenario& s, std::uint64_t seed) {
   solver::MeyersonPlacer placer(s.mean_opening_cost, seed);
   for (Point p : s.live_requests) (void)placer.process(p);
@@ -155,15 +179,16 @@ MethodResult run_esharing(const PlpScenario& s, bool predicted,
   } else {
     // Prediction path: per-cell spatial shares from history, volume from an
     // LSTM forecast of the region's hourly demand over the live week.
-    ml::LstmConfig cfg;
-    cfg.layers = 2;
-    cfg.hidden = 16;
-    cfg.lookback = 12;
-    cfg.epochs = 12;
-    cfg.seed = seed;
-    ml::LstmForecaster lstm(cfg);
-    lstm.fit(s.history_hourly);
-    const auto forecast = lstm.forecast(s.history_hourly, s.history_hourly.size());
+    ml::ForecasterSpec spec;
+    spec.layers = 2;
+    spec.hidden = 16;
+    spec.lookback = 12;
+    spec.epochs = 12;
+    spec.seed = seed;
+    const auto lstm = ml::make_forecaster("lstm", spec);
+    lstm->fit(s.history_hourly);
+    const auto forecast =
+        lstm->forecast(s.history_hourly, s.history_hourly.size());
     double predicted_volume = 0.0;
     for (double v : forecast) predicted_volume += std::max(v, 0.0);
     double history_volume = 0.0;

@@ -44,6 +44,12 @@ struct MethodResult {
                                                       std::uint64_t seed);
 
 [[nodiscard]] MethodResult run_offline_oracle(const PlpScenario& s);
+/// Offline frontier: solve the live demand with any solver registered in
+/// solver::SolverRegistry ("jms", "jv", "local_search", ...), walking
+/// measured against the raw request stream like run_offline_oracle.
+[[nodiscard]] MethodResult run_offline_solver(const PlpScenario& s,
+                                              const std::string& solver_name,
+                                              std::uint64_t seed = 0);
 [[nodiscard]] MethodResult run_meyerson(const PlpScenario& s, std::uint64_t seed);
 [[nodiscard]] MethodResult run_online_kmeans(const PlpScenario& s,
                                              std::uint64_t seed);

@@ -5,12 +5,45 @@
 /// binary regenerates one table or figure of the paper and prints it in a
 /// paper-shaped layout; these helpers keep the output consistent.
 
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/registry.h"
+
 namespace esharing::bench {
+
+/// RAII metrics scope for a bench main: enables the obs layer on entry and
+/// writes `<name>.metrics.json` next to the bench's stdout output on exit.
+/// Setting ESHARING_METRICS=0 in the environment keeps metrics disabled
+/// (used for overhead A/B measurement; no snapshot is written then).
+class MetricsSession {
+ public:
+  explicit MetricsSession(std::string name) : name_(std::move(name)) {
+    const char* env = std::getenv("ESHARING_METRICS");
+    enabled_ = env == nullptr || std::string(env) != "0";
+    if (enabled_) obs::set_enabled(true);
+  }
+
+  MetricsSession(const MetricsSession&) = delete;
+  MetricsSession& operator=(const MetricsSession&) = delete;
+
+  ~MetricsSession() {
+    if (!enabled_) return;
+    obs::set_enabled(false);
+    const std::string path = name_ + ".metrics.json";
+    if (obs::write_snapshot_json(obs::Registry::global(), path)) {
+      std::cout << "\nmetrics snapshot: " << path << '\n';
+    }
+  }
+
+ private:
+  std::string name_;
+  bool enabled_{false};
+};
 
 inline void print_title(const std::string& title) {
   std::cout << '\n' << std::string(78, '=') << '\n'

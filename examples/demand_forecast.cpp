@@ -9,11 +9,12 @@
 #include <iomanip>
 #include <iostream>
 
+#include <memory>
+#include <vector>
+
 #include "data/binning.h"
 #include "data/synthetic_city.h"
-#include "ml/arima.h"
-#include "ml/lstm.h"
-#include "ml/moving_average.h"
+#include "ml/factory.h"
 
 using namespace esharing;
 
@@ -36,24 +37,26 @@ int main() {
   const auto [train, test] = ml::split(weekdays, 0.8);
   std::cout << "weekday demand series: " << weekdays.size() << " hours\n";
 
-  ml::LstmConfig lcfg;
-  lcfg.layers = 2;
-  lcfg.hidden = 24;
-  lcfg.lookback = 12;
-  lcfg.epochs = 25;
-  lcfg.seed = 44;
-  ml::LstmForecaster lstm(lcfg);
-  ml::MovingAverageForecaster ma(3);
-  ml::ArimaForecaster arima(8, 0);
-  lstm.fit(train);
-  ma.fit(train);
-  arima.fit(train);
+  // Every model comes out of the same factory; the spec fields a model
+  // does not understand are ignored.
+  ml::ForecasterSpec spec;
+  spec.layers = 2;
+  spec.hidden = 24;
+  spec.lookback = 12;
+  spec.epochs = 25;
+  spec.seed = 44;
+  spec.ma_window = 3;
+  spec.arima_p = 8;
+  spec.arima_d = 0;
+  std::vector<std::unique_ptr<ml::Forecaster>> models;
+  for (const char* name : {"lstm", "ma", "arima"}) {
+    models.push_back(ml::make_forecaster(name, spec));
+    models.back()->fit(train);
+  }
+  const ml::Forecaster& lstm = *models.front();
 
   std::cout << "\nrolling one-step RMSE over the test weeks:\n";
-  for (const ml::Forecaster* model :
-       {static_cast<const ml::Forecaster*>(&lstm),
-        static_cast<const ml::Forecaster*>(&ma),
-        static_cast<const ml::Forecaster*>(&arima)}) {
+  for (const auto& model : models) {
     std::cout << "  " << std::left << std::setw(24) << model->name()
               << std::right << std::fixed << std::setprecision(1)
               << ml::evaluate_rmse(*model, train, test) << '\n';

@@ -5,9 +5,29 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/registry.h"
 #include "solver/tsp.h"
 
 namespace esharing::core {
+
+namespace {
+
+struct ChargingMetrics {
+  obs::Counter& rounds;
+  obs::Counter& stations_visited;
+  obs::Counter& bikes_charged;
+
+  static ChargingMetrics& get() {
+    static ChargingMetrics m{
+        obs::Registry::global().counter("core.charging_ops.rounds"),
+        obs::Registry::global().counter("core.charging_ops.stations_visited"),
+        obs::Registry::global().counter("core.charging_ops.bikes_charged"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ChargingRoundResult run_charging_round(
     const std::vector<EnergyStation>& stations,
@@ -74,6 +94,11 @@ ChargingRoundResult run_charging_round(
     result.energy_cost +=
         costs.energy_cost_b * static_cast<double>(stations[station].low_bikes.size());
     result.bikes_charged += stations[station].low_bikes.size();
+  }
+  if (obs::enabled()) {
+    ChargingMetrics::get().rounds.add();
+    ChargingMetrics::get().stations_visited.add(result.stations_visited);
+    ChargingMetrics::get().bikes_charged.add(result.bikes_charged);
   }
   return result;
 }

@@ -4,11 +4,41 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.h"
 #include "stats/ks2d.h"
 
 namespace esharing::core {
 
 using geo::Point;
+
+namespace {
+
+struct PlacerMetrics {
+  obs::Counter& requests;
+  obs::Counter& stations_opened;
+  obs::Counter& stations_removed;
+  obs::Counter& ks_tests;
+  obs::Counter& penalty_switches;
+  obs::Counter& cost_doublings;
+  obs::Gauge& cost_scale;
+  obs::Gauge& last_similarity;
+
+  static PlacerMetrics& get() {
+    static PlacerMetrics m{
+        obs::Registry::global().counter("core.placer.requests"),
+        obs::Registry::global().counter("core.placer.stations_opened"),
+        obs::Registry::global().counter("core.placer.stations_removed"),
+        obs::Registry::global().counter("core.placer.ks_tests"),
+        obs::Registry::global().counter("core.placer.penalty_switches"),
+        obs::Registry::global().counter("core.placer.cost_doublings"),
+        obs::Registry::global().gauge("core.placer.cost_scale"),
+        obs::Registry::global().gauge("core.placer.last_similarity"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 DeviationPenaltyPlacer::DeviationPenaltyPlacer(
     std::vector<Point> offline_parkings, std::vector<Point> historical_sample,
@@ -87,6 +117,7 @@ solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
     throw std::invalid_argument("DeviationPenaltyPlacer::process: negative weight");
   }
   ++requests_seen_;
+  if (obs::enabled()) PlacerMetrics::get().requests.add();
   window_.push_back(dest);
   while (window_.size() > config_.window_capacity) window_.pop_front();
 
@@ -98,6 +129,7 @@ solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
     station_index_.insert(dest);
     decision.opened = true;
     decision.facility = stations_.size() - 1;
+    if (obs::enabled()) PlacerMetrics::get().stations_opened.add();
     return decision;
   }
 
@@ -111,11 +143,19 @@ solver::OnlineDecision DeviationPenaltyPlacer::process(Point dest,
     station_index_.insert(dest);
     decision.opened = true;
     decision.facility = stations_.size() - 1;
+    if (obs::enabled()) PlacerMetrics::get().stations_opened.add();
     // Algorithm 2 lines 6-8: count openings; double f every beta*k opens.
     if (static_cast<double>(++opens_since_double_) >=
         config_.beta * static_cast<double>(k_)) {
       opens_since_double_ = 0;
       scale_ *= 2.0;
+      if (obs::enabled()) {
+        PlacerMetrics::get().cost_doublings.add();
+        PlacerMetrics::get().cost_scale.set(scale_);
+        obs::Registry::global().emit(
+            "placer.cost_doubling",
+            {{"scale", scale_}, {"requests", requests_seen_}});
+      }
       maybe_run_ks_test();  // lines 9-10 sit inside the doubling branch
     }
   } else {
@@ -135,9 +175,21 @@ void DeviationPenaltyPlacer::maybe_run_ks_test() {
   const std::vector<Point> current(window_.begin(), window_.end());
   const auto result = stats::ks2d_test(history_, current);
   last_similarity_ = result.similarity;
+  if (obs::enabled()) {
+    PlacerMetrics::get().ks_tests.add();
+    PlacerMetrics::get().last_similarity.set(result.similarity);
+  }
   if (config_.adaptive_type) {
     const PenaltyType wanted = penalty_type_for_similarity(result.similarity);
     if (wanted != penalty_.type()) {
+      if (obs::enabled()) {
+        PlacerMetrics::get().penalty_switches.add();
+        obs::Registry::global().emit(
+            "placer.penalty_switch",
+            {{"similarity", result.similarity},
+             {"from", penalty_type_name(penalty_.type())},
+             {"to", penalty_type_name(wanted)}});
+      }
       penalty_ = PenaltyFunction::of(wanted, config_.tolerance);
     }
   }
@@ -154,6 +206,7 @@ void DeviationPenaltyPlacer::remove_station(std::size_t index) {
   }
   stations_[index].active = false;
   station_index_.deactivate(index);
+  if (obs::enabled()) PlacerMetrics::get().stations_removed.add();
 }
 
 std::size_t DeviationPenaltyPlacer::num_active() const {

@@ -2,14 +2,113 @@
 
 #include <stdexcept>
 
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
 #include "solver/jms_greedy.h"
 
 namespace esharing::core {
 
 using geo::Point;
 
+namespace {
+
+[[noreturn]] void config_fail(const std::string& field, double got,
+                              const std::string& why) {
+  throw std::invalid_argument("ESharingConfig: " + field + " = " +
+                              std::to_string(got) + " is invalid: " + why);
+}
+
+}  // namespace
+
+void ESharingConfig::validate() const {
+  if (!(placer.beta >= 1.0)) {
+    config_fail("placer.beta", placer.beta,
+                "the opening scale doubles every beta*k openings, so beta "
+                "must be >= 1");
+  }
+  if (!(placer.tolerance > 0.0)) {
+    config_fail("placer.tolerance", placer.tolerance,
+                "the penalty tolerance L is a distance in meters and must "
+                "be positive");
+  }
+  if (placer.window_capacity == 0) {
+    config_fail("placer.window_capacity", 0.0,
+                "the KS sliding window must hold at least one destination");
+  }
+  if (placer.ks_min_samples == 0) {
+    config_fail("placer.ks_min_samples", 0.0,
+                "the KS test needs at least one window sample; use "
+                "adaptive_type=false to disable penalty switching instead");
+  }
+  if (!(placer.w_star_override >= 0.0)) {
+    config_fail("placer.w_star_override", placer.w_star_override,
+                "must be 0 (compute w* from the landmarks) or positive");
+  }
+  if (!(placer.initial_scale_override >= 0.0)) {
+    config_fail("placer.initial_scale_override", placer.initial_scale_override,
+                "must be 0 (derive the scale from gamma * w*/k) or positive");
+  }
+  if (!(placer.initial_scale_override > 0.0) &&
+      !(placer.initial_scale_multiplier > 0.0)) {
+    config_fail("placer.initial_scale_multiplier",
+                placer.initial_scale_multiplier,
+                "gamma must be positive when no initial_scale_override is "
+                "given, or the initial opening scale collapses to zero");
+  }
+  if (!(incentive.alpha >= 0.0 && incentive.alpha <= 1.0)) {
+    config_fail("incentive.alpha", incentive.alpha,
+                "the incentive level is a fraction of the saving and must "
+                "lie in [0, 1] (0 disables offers)");
+  }
+  if (!(incentive.mileage_slack_m >= 0.0)) {
+    config_fail("incentive.mileage_slack_m", incentive.mileage_slack_m,
+                "the |d(i,k) - d(i,j)| tolerance is a distance and cannot "
+                "be negative");
+  }
+  if (incentive.max_sequence_position == 0) {
+    config_fail("incentive.max_sequence_position", 0.0,
+                "the offer value uses a 1-based sequence position, so the "
+                "cap must be >= 1");
+  }
+  if (!(incentive.costs.service_cost_q >= 0.0)) {
+    config_fail("incentive.costs.service_cost_q",
+                incentive.costs.service_cost_q,
+                "per-stop service cost cannot be negative");
+  }
+  if (!(incentive.costs.delay_cost_d >= 0.0)) {
+    config_fail("incentive.costs.delay_cost_d", incentive.costs.delay_cost_d,
+                "per-position delay cost cannot be negative");
+  }
+  if (!(incentive.costs.energy_cost_b >= 0.0)) {
+    config_fail("incentive.costs.energy_cost_b", incentive.costs.energy_cost_b,
+                "per-bike charging cost cannot be negative");
+  }
+  if (!(charging_operator.speed_mps > 0.0)) {
+    config_fail("charging_operator.speed_mps", charging_operator.speed_mps,
+                "the service vehicle must move to reach any station");
+  }
+  if (!(charging_operator.stop_overhead_s >= 0.0)) {
+    config_fail("charging_operator.stop_overhead_s",
+                charging_operator.stop_overhead_s,
+                "per-stop overhead is a duration and cannot be negative");
+  }
+  if (!(charging_operator.charge_time_s >= 0.0)) {
+    config_fail("charging_operator.charge_time_s",
+                charging_operator.charge_time_s,
+                "per-stop charge time is a duration and cannot be negative");
+  }
+  if (!(charging_operator.work_seconds > 0.0)) {
+    config_fail("charging_operator.work_seconds",
+                charging_operator.work_seconds,
+                "a non-positive shift means the operator can never serve a "
+                "single stop");
+  }
+}
+
 ESharing::ESharing(ESharingConfig config, std::uint64_t seed)
-    : config_(config), seed_(seed) {}
+    : config_(config), seed_(seed) {
+  config_.validate();
+}
 
 const solver::FlSolution& ESharing::plan_offline(
     const std::vector<data::DemandSite>& sites,
@@ -32,7 +131,11 @@ const solver::FlSolution& ESharing::plan_offline(
   }
   const auto instance = solver::colocated_instance(std::move(clients),
                                                    std::move(costs));
-  offline_ = solver::jms_greedy(instance);
+  {
+    const obs::ScopedTimer timer(
+        obs::Registry::global().histogram("core.esharing.plan_offline_seconds"));
+    offline_ = solver::jms_greedy(instance);
+  }
   offline_locations_.clear();
   for (std::size_t f : offline_->open) {
     offline_locations_.push_back(instance.facilities[f].location);

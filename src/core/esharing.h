@@ -35,6 +35,13 @@ struct ESharingConfig {
   DeviationPlacerConfig placer;
   IncentiveConfig incentive;
   OperatorConfig charging_operator;
+
+  /// Fail fast on inconsistent parameters. Called by the ESharing
+  /// constructor, so a bad config surfaces at construction with a message
+  /// naming the offending field, the value it had, and why it is invalid —
+  /// instead of deep inside the online phase.
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate() const;
 };
 
 class ESharing {

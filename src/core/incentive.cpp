@@ -4,11 +4,33 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.h"
 #include "solver/tsp.h"
 
 namespace esharing::core {
 
 using geo::Point;
+
+namespace {
+
+struct IncentiveMetrics {
+  obs::Counter& offers_made;
+  obs::Counter& offers_accepted;
+  obs::Counter& relocations;
+  obs::Gauge& incentives_paid;
+
+  static IncentiveMetrics& get() {
+    static IncentiveMetrics m{
+        obs::Registry::global().counter("core.incentive.offers_made"),
+        obs::Registry::global().counter("core.incentive.offers_accepted"),
+        obs::Registry::global().counter("core.incentive.relocations"),
+        obs::Registry::global().gauge("core.incentive.incentives_paid"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 IncentiveMechanism::IncentiveMechanism(std::vector<EnergyStation> stations,
                                        IncentiveConfig config)
@@ -141,6 +163,7 @@ Offer IncentiveMechanism::handle_pickup(std::size_t station_i, Point dest_j,
 
   offer.made = true;
   ++offers_made_;
+  if (obs::enabled()) IncentiveMetrics::get().offers_made.add();
   offer.incentive = v;
   offer.from_station = station_i;
   offer.to_station = best_k;
@@ -153,6 +176,11 @@ Offer IncentiveMechanism::handle_pickup(std::size_t station_i, Point dest_j,
     offer.accepted = true;
     paid_ += v;
     ++relocations_;
+    if (obs::enabled()) {
+      IncentiveMetrics::get().offers_accepted.add();
+      IncentiveMetrics::get().relocations.add();
+      IncentiveMetrics::get().incentives_paid.set(paid_);
+    }
     from.low_bikes.erase(from.low_bikes.begin() +
                          static_cast<std::ptrdiff_t>(bike_slot));
     stations_[best_k].low_bikes.push_back(offer.bike);

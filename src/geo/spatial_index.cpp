@@ -4,9 +4,34 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace esharing::geo {
 
 namespace {
+
+/// Handles resolved once; updates are gated on obs::enabled() and never
+/// influence query results.
+struct IndexMetrics {
+  obs::Counter& nearest_queries;
+  obs::Counter& nearest_cells_scanned;
+  obs::Counter& nearest_direct_fallbacks;
+  obs::Counter& radius_queries;
+  obs::Counter& rebuilds;
+
+  static IndexMetrics& get() {
+    static IndexMetrics m{
+        obs::Registry::global().counter("geo.spatial_index.nearest_queries"),
+        obs::Registry::global().counter(
+            "geo.spatial_index.nearest_cells_scanned"),
+        obs::Registry::global().counter(
+            "geo.spatial_index.nearest_direct_fallbacks"),
+        obs::Registry::global().counter("geo.spatial_index.radius_queries"),
+        obs::Registry::global().counter("geo.spatial_index.rebuilds"),
+    };
+    return m;
+  }
+};
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -78,6 +103,7 @@ void SpatialIndex::insert_into_buckets(std::size_t id) {
 }
 
 void SpatialIndex::rebuild() {
+  if (obs::enabled()) IndexMetrics::get().rebuilds.add();
   cell_ = suggest_cell(bounds_, points_.size());
   buckets_.clear();
   for (std::size_t id = 0; id < points_.size(); ++id) insert_into_buckets(id);
@@ -140,6 +166,13 @@ std::size_t SpatialIndex::nearest_direct(Point q, std::size_t exclude,
 }
 
 std::size_t SpatialIndex::nearest(Point q, std::size_t exclude) const {
+  if (obs::enabled()) {
+    // Sub-microsecond hot path (every online request, every bike↔station
+    // match) — batch per thread instead of one RMW per query.
+    thread_local obs::CounterShard queries(
+        IndexMetrics::get().nearest_queries);
+    queries.add();
+  }
   if (active_count_ == 0) return npos;
   const std::int64_t qx = cell_coord(q.x, cell_);
   const std::int64_t qy = cell_coord(q.y, cell_);
@@ -163,6 +196,10 @@ std::size_t SpatialIndex::nearest(Point q, std::size_t exclude) const {
     // extent): once the ring sweep has cost about a full bucket sweep,
     // finish with a direct scan — same comparator, so the same id.
     if (cells_visited > buckets_.size() + 64) {
+      if (obs::enabled()) {
+        IndexMetrics::get().nearest_direct_fallbacks.add();
+        IndexMetrics::get().nearest_cells_scanned.add(cells_visited);
+      }
       return nearest_direct(q, exclude, best_d2, best_id);
     }
     const std::int64_t x0 = std::max(qx - rho, cell_lo_.cx);
@@ -202,11 +239,17 @@ std::size_t SpatialIndex::nearest(Point q, std::size_t exclude) const {
       if (lim * lim > best_d2) break;
     }
   }
+  if (obs::enabled()) {
+    thread_local obs::CounterShard cells(
+        IndexMetrics::get().nearest_cells_scanned, 4096);
+    cells.add(cells_visited);
+  }
   return best_id;
 }
 
 std::vector<std::size_t> SpatialIndex::within_radius(Point q,
                                                      double radius) const {
+  if (obs::enabled()) IndexMetrics::get().radius_queries.add();
   std::vector<std::size_t> out;
   if (active_count_ == 0 || radius < 0.0) return out;
   const double r2 = radius * radius;

@@ -1,0 +1,57 @@
+#include "ml/factory.h"
+
+#include <stdexcept>
+
+#include "ml/arima.h"
+#include "ml/gru.h"
+#include "ml/lstm.h"
+#include "ml/moving_average.h"
+#include "ml/seasonal_naive.h"
+
+namespace esharing::ml {
+
+std::unique_ptr<Forecaster> make_forecaster(std::string_view name,
+                                            const ForecasterSpec& spec) {
+  if (name == "ma") {
+    return std::make_unique<MovingAverageForecaster>(spec.ma_window);
+  }
+  if (name == "arima") {
+    return std::make_unique<ArimaForecaster>(spec.arima_p, spec.arima_d);
+  }
+  if (name == "lstm") {
+    LstmConfig config;
+    config.layers = spec.layers;
+    config.hidden = spec.hidden;
+    config.lookback = spec.lookback;
+    config.epochs = spec.epochs;
+    config.learning_rate = spec.learning_rate;
+    config.seed = spec.seed;
+    return std::make_unique<LstmForecaster>(config);
+  }
+  if (name == "gru") {
+    GruConfig config;
+    config.layers = spec.layers;
+    config.hidden = spec.hidden;
+    config.lookback = spec.lookback;
+    config.epochs = spec.epochs;
+    config.learning_rate = spec.learning_rate;
+    config.seed = spec.seed;
+    return std::make_unique<GruForecaster>(config);
+  }
+  if (name == "seasonal_naive") {
+    return std::make_unique<SeasonalNaiveForecaster>(spec.period);
+  }
+  std::string known;
+  for (const std::string& n : forecaster_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("make_forecaster: unknown model '" +
+                              std::string(name) + "'; known: " + known);
+}
+
+std::vector<std::string> forecaster_names() {
+  return {"arima", "gru", "lstm", "ma", "seasonal_naive"};
+}
+
+}  // namespace esharing::ml

@@ -1,0 +1,85 @@
+#include "obs/event_sink.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace esharing::obs {
+
+void StreamEventSink::write(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+}
+
+struct FileEventSink::Impl {
+  std::mutex mu;
+  std::ofstream out;
+};
+
+FileEventSink::FileEventSink(const std::string& path) : impl_(new Impl) {
+  impl_->out.open(path, std::ios::trunc);
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("FileEventSink: cannot open " + path);
+  }
+}
+
+FileEventSink::~FileEventSink() { delete impl_; }
+
+void FileEventSink::write(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->out << line << '\n';
+}
+
+void MemoryEventSink::write(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(line);
+}
+
+std::vector<std::string> MemoryEventSink::lines() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lines_;
+}
+
+void MemoryEventSink::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lines_.clear();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9.007e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace esharing::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file event_sink.h
+/// Structured JSONL event output. A sink receives one complete JSON object
+/// per line (built by Registry::emit); the built-ins cover the three uses:
+/// a stream sink for piping into a terminal, a file sink for run artifacts
+/// and a memory sink for tests. Events carry a monotonic sequence number
+/// instead of wall-clock timestamps so that seeded runs emit bit-identical
+/// logs — the same determinism contract as everything else in this repo.
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace esharing::obs {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// `line` is a complete JSON object without the trailing newline.
+  virtual void write(const std::string& line) = 0;
+};
+
+/// Writes each event as one line to a caller-owned stream.
+class StreamEventSink final : public EventSink {
+ public:
+  /// The stream must outlive the sink.
+  explicit StreamEventSink(std::ostream& out) : out_(&out) {}
+  void write(const std::string& line) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream* out_;
+};
+
+/// Appends events to `path` (truncates on open).
+/// \throws std::runtime_error when the file cannot be opened.
+class FileEventSink final : public EventSink {
+ public:
+  explicit FileEventSink(const std::string& path);
+  ~FileEventSink() override;
+  void write(const std::string& line) override;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Buffers events in memory; the test sink.
+class MemoryEventSink final : public EventSink {
+ public:
+  void write(const std::string& line) override;
+  [[nodiscard]] std::vector<std::string> lines() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// JSON string escaping for event/field values (quotes, backslash,
+/// control characters).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest-ish stable JSON number: integral values print without a
+/// decimal point, others with up to 12 significant digits.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace esharing::obs

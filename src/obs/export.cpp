@@ -1,0 +1,87 @@
+#include "obs/export.h"
+
+#include <fstream>
+
+namespace esharing::obs {
+
+namespace {
+
+void append_json_histogram(std::string& out,
+                           const Snapshot::HistogramSample& h) {
+  out += '"';
+  out += json_escape(h.name);
+  out += "\":{\"upper_bounds\":[";
+  for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+    if (i) out += ',';
+    out += json_number(h.upper_bounds[i]);
+  }
+  out += "],\"buckets\":[";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(h.buckets[i]);
+  }
+  out += "],\"count\":";
+  out += std::to_string(h.count);
+  out += ",\"sum\":";
+  out += json_number(h.sum);
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(snapshot.counters[i].name);
+    out += "\":";
+    out += std::to_string(snapshot.counters[i].value);
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(snapshot.gauges[i].name);
+    out += "\":";
+    out += json_number(snapshot.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    if (i) out += ',';
+    append_json_histogram(out, snapshot.histograms[i]);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_csv(const Snapshot& snapshot) {
+  std::string out = "kind,name,value\n";
+  for (const auto& c : snapshot.counters) {
+    out += "counter," + c.name + ',' + std::to_string(c.value) + '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "gauge," + g.name + ',' + json_number(g.value) + '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "histogram," + h.name + ".count," + std::to_string(h.count) + '\n';
+    out += "histogram," + h.name + ".sum," + json_number(h.sum) + '\n';
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const std::string edge = b < h.upper_bounds.size()
+                                   ? "le_" + json_number(h.upper_bounds[b])
+                                   : std::string("overflow");
+      out += "histogram," + h.name + '.' + edge + ',' +
+             std::to_string(h.buckets[b]) + '\n';
+    }
+  }
+  return out;
+}
+
+bool write_snapshot_json(const Registry& registry, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json(registry.snapshot()) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace esharing::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file export.h
+/// Snapshot serialization: the machine-readable metrics artifact. JSON is
+/// the primary shape (benches drop `<bench>.metrics.json` next to their
+/// stdout tables; CI uploads it), CSV is the spreadsheet-friendly twin.
+/// Both orders entries by metric name and use stable key layouts, so
+/// snapshots diff cleanly across runs — the golden-snapshot test freezes
+/// the shape.
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace esharing::obs {
+
+/// {"counters":{name:value,...},"gauges":{...},
+///  "histograms":{name:{"upper_bounds":[...],"buckets":[...],
+///                      "count":N,"sum":S},...}}
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// One row per scalar: `kind,name,value`; histograms flatten to
+/// `histogram,name.count`, `histogram,name.sum` and per-bucket
+/// `histogram,name.le_<bound>` rows.
+[[nodiscard]] std::string to_csv(const Snapshot& snapshot);
+
+/// Serialize `registry.snapshot()` as JSON into `path`.
+/// \returns false when the file cannot be written.
+bool write_snapshot_json(const Registry& registry, const std::string& path);
+
+}  // namespace esharing::obs

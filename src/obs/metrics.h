@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file metrics.h
+/// Lock-free metric primitives of the observability layer: named instances
+/// live in an obs::Registry; instrumented code holds plain references and
+/// updates them with relaxed atomics, so the fast path never takes a lock.
+///
+/// The whole layer is gated by a single process-wide flag (obs::enabled(),
+/// off by default). Instrumentation sites check it before touching any
+/// metric, so a disabled build pays one relaxed load + branch per site —
+/// indistinguishable from baseline on every bench — and an enabled one pays
+/// a handful of uncontended atomic adds. Metrics are strictly
+/// observational: they never feed back into algorithm control flow, which
+/// is what keeps solver/placer/sim outputs bit-identical with metrics on or
+/// off (regression-tested).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace esharing::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Whether instrumentation sites should record. Relaxed read: callers use
+/// it as a cheap gate, not as a synchronization point.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip the process-wide recording flag (default off). Safe to call from
+/// any thread at any time; sites observe the change on their next check.
+void set_enabled(bool on);
+
+/// Monotonic event count (queries served, rows materialized, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (current cost scale, thread count, ...) that also
+/// supports accumulation of doubles (total incentives paid).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `upper_bounds` are the inclusive upper edges of
+/// the finite buckets (strictly ascending); one overflow bucket is
+/// implicit. Bucket layout is frozen at construction — no allocation or
+/// rebinning ever happens on observe(), so concurrent observers only touch
+/// atomics.
+class Histogram {
+ public:
+  /// \throws std::invalid_argument if bounds are not strictly ascending.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return upper_bounds_;
+  }
+  /// Per-bucket counts; index upper_bounds().size() is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket edges for ScopedTimer histograms: 1 µs .. 10 s decades.
+[[nodiscard]] std::vector<double> default_time_buckets();
+
+/// Amortizing proxy for a Counter on paths too hot to pay one atomic RMW
+/// per event (sub-microsecond query loops, per-access cache-hit counts).
+/// Events accumulate in a plain integer and flush to the backing Counter
+/// every `batch` events and on destruction. The intended use is one
+/// function-local `thread_local` shard per site, so the hot path costs a
+/// non-atomic increment and a compare; snapshots can lag the truth by at
+/// most batch-1 events per live thread.
+class CounterShard {
+ public:
+  explicit CounterShard(Counter& target, std::uint64_t batch = 1024)
+      : target_(&target), batch_(batch) {}
+  CounterShard(const CounterShard&) = delete;
+  CounterShard& operator=(const CounterShard&) = delete;
+  ~CounterShard() { flush(); }
+
+  void add(std::uint64_t n = 1) {
+    pending_ += n;
+    if (pending_ >= batch_) flush();
+  }
+  void flush() {
+    if (pending_ != 0) {
+      target_->add(pending_);
+      pending_ = 0;
+    }
+  }
+  [[nodiscard]] std::uint64_t pending() const { return pending_; }
+
+ private:
+  Counter* target_;
+  std::uint64_t batch_;
+  std::uint64_t pending_{0};
+};
+
+}  // namespace esharing::obs

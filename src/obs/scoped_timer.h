@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file scoped_timer.h
+/// RAII wall-clock timer feeding a Histogram in seconds. When metrics are
+/// disabled the constructor stores a null handle and the destructor is a
+/// no-op — no clock read, no atomic.
+///
+/// Timings only ever feed histograms; no code path reads them back, so the
+/// non-deterministic clock cannot leak into solver/placer/sim results.
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace esharing::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(enabled() ? &hist : nullptr),
+        start_(hist_ ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{}) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->observe(std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace esharing::obs

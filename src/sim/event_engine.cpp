@@ -3,7 +3,26 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.h"
+
 namespace esharing::sim {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& events_executed;
+  obs::Counter& runs;
+
+  static EngineMetrics& get() {
+    static EngineMetrics m{
+        obs::Registry::global().counter("sim.event_engine.events_executed"),
+        obs::Registry::global().counter("sim.event_engine.runs"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 void EventEngine::schedule(Seconds when, Handler handler) {
   if (when < now_) {
@@ -41,6 +60,10 @@ std::size_t EventEngine::run(Seconds until) {
   }
   if (now_ < until && until != std::numeric_limits<Seconds>::max()) {
     now_ = until;  // time advances to the horizon even without events
+  }
+  if (obs::enabled()) {
+    EngineMetrics::get().runs.add();
+    EngineMetrics::get().events_executed.add(count);
   }
   return count;
 }

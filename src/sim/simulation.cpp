@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/registry.h"
 #include "stats/spatial.h"
 
 namespace esharing::sim {
@@ -11,6 +12,79 @@ namespace esharing::sim {
 using data::Seconds;
 using data::TripRecord;
 using geo::Point;
+
+namespace {
+
+struct SimObsMetrics {
+  obs::Counter& trips;
+  obs::Counter& charging_rounds;
+  obs::Histogram& charging_round_cost;
+
+  static SimObsMetrics& get() {
+    static SimObsMetrics m{
+        obs::Registry::global().counter("sim.simulation.trips"),
+        obs::Registry::global().counter("sim.simulation.charging_rounds"),
+        obs::Registry::global().histogram(
+            "sim.simulation.charging_round_cost",
+            {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+void SimConfig::validate() const {
+  esharing.validate();
+  const auto fail = [](const std::string& field, double got,
+                       const std::string& why) {
+    throw std::invalid_argument("SimConfig: " + field + " = " +
+                                std::to_string(got) + " is invalid: " + why);
+  };
+  if (!(energy.consumption_per_km > 0.0)) {
+    fail("energy.consumption_per_km", energy.consumption_per_km,
+         "bikes must drain charge when ridden, or low-battery piles never "
+         "form");
+  }
+  if (!(energy.low_threshold > 0.0 && energy.low_threshold <= 1.0)) {
+    fail("energy.low_threshold", energy.low_threshold,
+         "the low-battery threshold is a state-of-charge fraction in (0, 1]");
+  }
+  if (!(energy.low_tail_fraction >= 0.0 && energy.low_tail_fraction <= 1.0)) {
+    fail("energy.low_tail_fraction", energy.low_tail_fraction,
+         "the share of the fleet seeded low must lie in [0, 1]");
+  }
+  if (!(energy.min_soc >= 0.0 && energy.min_soc < 1.0)) {
+    fail("energy.min_soc", energy.min_soc,
+         "the floor state of charge must lie in [0, 1)");
+  }
+  if (!(mean_opening_cost > 0.0)) {
+    fail("mean_opening_cost", mean_opening_cost,
+         "the opening-cost field mean must be positive or every request "
+         "opens a station");
+  }
+  if (charging_period <= 0) {
+    fail("charging_period", static_cast<double>(charging_period),
+         "the operator round period is a duration in seconds and must be "
+         "positive");
+  }
+  if (!(user_max_walk_lo_m >= 0.0)) {
+    fail("user_max_walk_lo_m", user_max_walk_lo_m,
+         "walking tolerances are distances and cannot be negative");
+  }
+  if (!(user_max_walk_hi_m >= user_max_walk_lo_m)) {
+    fail("user_max_walk_hi_m", user_max_walk_hi_m,
+         "the sampling range upper bound must be >= user_max_walk_lo_m");
+  }
+  if (!(user_min_reward_hi >= user_min_reward_lo)) {
+    fail("user_min_reward_hi", user_min_reward_hi,
+         "the sampling range upper bound must be >= user_min_reward_lo");
+  }
+  if (history_sample_cap == 0) {
+    fail("history_sample_cap", 0.0,
+         "the KS reference needs at least one historical destination");
+  }
+}
 
 double SimMetrics::total_charging_cost() const {
   double sum = incentives_paid;
@@ -38,7 +112,9 @@ Simulation::Simulation(const data::SyntheticCity& city, SimConfig config,
       rng_(seed),
       system_(config.esharing, seed ^ 0xa5a5a5a5a5a5a5a5ULL),
       fleet_(city.config().num_bikes, config.energy, seed ^ 0x0f0f0f0f0f0f0fULL),
-      bike_pos_(city.config().num_bikes, Point{0.0, 0.0}) {}
+      bike_pos_(city.config().num_bikes, Point{0.0, 0.0}) {
+  config_.validate();
+}
 
 void Simulation::bootstrap(const std::vector<TripRecord>& history) {
   if (history.empty()) {
@@ -134,6 +210,15 @@ void Simulation::close_charging_period(SimMetrics& metrics) {
     }
   }
   metrics.charging_rounds.push_back(round);
+  if (obs::enabled()) {
+    SimObsMetrics::get().charging_rounds.add();
+    SimObsMetrics::get().charging_round_cost.observe(round.total_cost(0.0));
+    obs::Registry::global().emit(
+        "sim.charging_round",
+        {{"stations_visited", round.stations_visited},
+         {"bikes_charged", round.bikes_charged},
+         {"cost", round.total_cost(0.0)}});
+  }
   open_incentive_session();
 }
 
@@ -208,6 +293,7 @@ SimMetrics Simulation::run(const std::vector<TripRecord>& live) {
       metrics.walking_cost_m += geo::distance(dest, assigned);
     }
     ++metrics.trips;
+    if (obs::enabled()) SimObsMetrics::get().trips.add();
   }
 
   // Flush the open period so its incentives/charging land in the metrics.

@@ -37,6 +37,11 @@ struct SimConfig {
   /// up, the station is removed from P (the online algorithm may establish
   /// one there again later based on demand).
   bool remove_empty_stations{true};
+
+  /// Fail fast on inconsistent parameters (including the nested
+  /// ESharingConfig). Called by the Simulation constructor.
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate() const;
 };
 
 struct SimMetrics {

@@ -4,7 +4,32 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/registry.h"
+
 namespace esharing::solver {
+
+namespace {
+
+struct OracleMetrics {
+  obs::Counter& row_materializations;
+  obs::Counter& row_hits;
+  obs::Counter& sorted_materializations;
+  obs::Counter& sorted_hits;
+
+  static OracleMetrics& get() {
+    static OracleMetrics m{
+        obs::Registry::global().counter(
+            "solver.cost_oracle.row_materializations"),
+        obs::Registry::global().counter("solver.cost_oracle.row_hits"),
+        obs::Registry::global().counter(
+            "solver.cost_oracle.sorted_materializations"),
+        obs::Registry::global().counter("solver.cost_oracle.sorted_hits"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 CostOracle::CostOracle(const FlInstance& instance)
     : instance_(&instance),
@@ -18,6 +43,7 @@ const std::vector<double>& CostOracle::row(std::size_t facility) const {
     throw std::out_of_range("CostOracle::row: facility index out of range");
   }
   if (!row_ready_[facility]) {
+    if (obs::enabled()) OracleMetrics::get().row_materializations.add();
     const std::size_t nc = instance_->clients.size();
     std::vector<double> r(nc);
     for (std::size_t j = 0; j < nc; ++j) {
@@ -25,6 +51,11 @@ const std::vector<double>& CostOracle::row(std::size_t facility) const {
     }
     rows_[facility] = std::move(r);
     row_ready_[facility] = 1;
+  } else if (obs::enabled()) {
+    // Hit counting sits in the solvers' innermost loops (millions of
+    // accesses per solve) — batch per thread instead of one RMW per hit.
+    thread_local obs::CounterShard hits(OracleMetrics::get().row_hits);
+    hits.add();
   }
   return rows_[facility];
 }
@@ -35,6 +66,7 @@ const std::vector<std::pair<double, std::size_t>>& CostOracle::sorted_row(
     throw std::out_of_range("CostOracle::sorted_row: facility index out of range");
   }
   if (!sorted_ready_[facility]) {
+    if (obs::enabled()) OracleMetrics::get().sorted_materializations.add();
     const std::vector<double>& r = row(facility);
     std::vector<std::pair<double, std::size_t>> sorted;
     sorted.reserve(r.size());
@@ -42,6 +74,9 @@ const std::vector<std::pair<double, std::size_t>>& CostOracle::sorted_row(
     std::sort(sorted.begin(), sorted.end());
     sorted_rows_[facility] = std::move(sorted);
     sorted_ready_[facility] = 1;
+  } else if (obs::enabled()) {
+    thread_local obs::CounterShard hits(OracleMetrics::get().sorted_hits);
+    hits.add();
   }
   return sorted_rows_[facility];
 }

@@ -4,11 +4,30 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
 #include "solver/parallel.h"
 
 namespace esharing::solver {
 
 namespace {
+
+struct JmsMetrics {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Gauge& num_threads;
+  obs::Histogram& solve_seconds;
+
+  static JmsMetrics& get() {
+    static JmsMetrics m{
+        obs::Registry::global().counter("solver.jms_greedy.solves"),
+        obs::Registry::global().counter("solver.jms_greedy.iterations"),
+        obs::Registry::global().gauge("solver.jms_greedy.num_threads"),
+        obs::Registry::global().histogram("solver.jms_greedy.solve_seconds"),
+    };
+    return m;
+  }
+};
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
@@ -78,12 +97,19 @@ FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
   const std::size_t nc = instance.clients.size();
   const std::size_t threads = std::max<std::size_t>(options.num_threads, 1);
 
+  const obs::ScopedTimer timer(JmsMetrics::get().solve_seconds);
+  if (obs::enabled()) {
+    JmsMetrics::get().solves.add();
+    JmsMetrics::get().num_threads.set(static_cast<double>(threads));
+  }
+
   std::vector<bool> open(nf, false);
   std::vector<std::size_t> assigned(nc, kUnassigned);
   std::vector<double> current_cost(nc, kInf);  // connection cost of assigned
   std::size_t unconnected = nc;
 
   while (unconnected > 0) {
+    if (obs::enabled()) JmsMetrics::get().iterations.add();
     Star best;
     if (threads <= 1) {
       best = best_star_in_range(oracle, 0, nf, open, assigned, current_cost);

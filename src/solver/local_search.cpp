@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
 #include "solver/parallel.h"
 
 namespace esharing::solver {
@@ -11,6 +13,23 @@ namespace esharing::solver {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct LocalSearchMetrics {
+  obs::Counter& solves;
+  obs::Counter& iterations;
+  obs::Counter& moves_evaluated;
+  obs::Histogram& solve_seconds;
+
+  static LocalSearchMetrics& get() {
+    static LocalSearchMetrics m{
+        obs::Registry::global().counter("solver.local_search.solves"),
+        obs::Registry::global().counter("solver.local_search.iterations"),
+        obs::Registry::global().counter("solver.local_search.moves_evaluated"),
+        obs::Registry::global().histogram("solver.local_search.solve_seconds"),
+    };
+    return m;
+  }
+};
 
 /// One candidate move: open `force_open` and/or close `force_close`
 /// (nf = no-op on that side). Open moves have force_close == nf, close
@@ -57,6 +76,9 @@ FlSolution local_search(const CostOracle& oracle, const FlSolution& initial,
   const std::size_t nf = instance.facilities.size();
   const std::size_t threads = std::max<std::size_t>(options.num_threads, 1);
 
+  const obs::ScopedTimer timer(LocalSearchMetrics::get().solve_seconds);
+  if (obs::enabled()) LocalSearchMetrics::get().solves.add();
+
   // Materialize every row up front: move evaluations overlap on rows, and
   // the lazy-materialization contract requires disjoint facilities per
   // thread — which this facility-partitioned warm-up satisfies.
@@ -100,6 +122,10 @@ FlSolution local_search(const CostOracle& oracle, const FlSolution& initial,
 
     // Evaluate all candidates (parallelizable: each is independent), then
     // select sequentially with the original evolving-threshold rule.
+    if (obs::enabled()) {
+      LocalSearchMetrics::get().iterations.add();
+      LocalSearchMetrics::get().moves_evaluated.add(moves.size());
+    }
     move_cost.assign(moves.size(), kInf);
     detail::for_each_chunk(moves.size(), threads,
                            [&](std::size_t b, std::size_t e, std::size_t) {

@@ -1,0 +1,162 @@
+#include "solver/registry.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "geo/spatial_index.h"
+#include "obs/registry.h"
+#include "solver/exact.h"
+#include "solver/jms_greedy.h"
+#include "solver/jv_primal_dual.h"
+#include "solver/k_median.h"
+#include "solver/local_search.h"
+#include "solver/meyerson.h"
+
+namespace esharing::solver {
+
+namespace {
+
+/// Meyerson is an online algorithm over a request stream; as an offline
+/// baseline it streams the instance's clients in index order (weight =
+/// arrivals) with the uniform opening cost set to the mean facility
+/// opening cost, then snaps every opened location onto the nearest
+/// candidate facility so the result is a solution of the given instance.
+FlSolution solve_meyerson(const FlInstance& instance,
+                          const SolveOptions& options) {
+  instance.validate();
+  double mean_f = 0.0;
+  for (const FlFacility& f : instance.facilities) mean_f += f.opening_cost;
+  mean_f /= static_cast<double>(instance.facilities.size());
+  if (!(mean_f > 0.0)) {
+    throw std::invalid_argument(
+        "solve(\"meyerson\"): the mean facility opening cost must be "
+        "positive (a zero cost would open a station at every request)");
+  }
+
+  MeyersonPlacer placer(mean_f, options.seed);
+  for (const FlClient& c : instance.clients) {
+    placer.process(c.location, c.weight);
+  }
+
+  std::vector<geo::Point> sites;
+  sites.reserve(instance.facilities.size());
+  for (const FlFacility& f : instance.facilities) sites.push_back(f.location);
+  const geo::SpatialIndex site_index(sites);
+
+  std::vector<std::size_t> open;
+  open.reserve(placer.facilities().size());
+  for (geo::Point p : placer.facilities()) {
+    open.push_back(site_index.nearest(p));
+  }
+  return assign_to_open(instance, open);
+}
+
+FlSolution solve_k_median(const FlInstance& instance,
+                          const SolveOptions& options) {
+  if (options.k == 0) {
+    throw std::invalid_argument(
+        "solve(\"k_median\"): options.k = 0 is invalid: the k-median "
+        "formulation opens exactly k stations, set options.k to the "
+        "station budget (1 <= k <= #facilities)");
+  }
+  return k_median(instance, options.k, options.seed);
+}
+
+}  // namespace
+
+SolverRegistry::SolverRegistry() {
+  solvers_.emplace("jms",
+                   [](const FlInstance& inst, const SolveOptions& opt) {
+                     return jms_greedy(inst, JmsOptions{opt.num_threads});
+                   });
+  solvers_.emplace("jv", [](const FlInstance& inst, const SolveOptions&) {
+    return jv_primal_dual(inst);
+  });
+  solvers_.emplace("local_search",
+                   [](const FlInstance& inst, const SolveOptions& opt) {
+                     LocalSearchOptions ls;
+                     ls.max_iterations = opt.max_iterations;
+                     ls.min_improvement = opt.min_improvement;
+                     ls.allow_swaps = opt.allow_swaps;
+                     ls.num_threads = opt.num_threads;
+                     return local_search_from_scratch(inst, ls);
+                   });
+  solvers_.emplace("k_median", solve_k_median);
+  solvers_.emplace("meyerson", solve_meyerson);
+  solvers_.emplace("exact",
+                   [](const FlInstance& inst, const SolveOptions& opt) {
+                     return exact_facility_location(inst,
+                                                    opt.exact_max_facilities);
+                   });
+}
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry instance;
+  return instance;
+}
+
+void SolverRegistry::register_solver(std::string name, SolverFn fn) {
+  if (name.empty()) {
+    throw std::invalid_argument("SolverRegistry: empty solver name");
+  }
+  if (!fn) {
+    throw std::invalid_argument("SolverRegistry: null solver fn for '" +
+                                name + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!solvers_.emplace(std::move(name), std::move(fn)).second) {
+    throw std::invalid_argument(
+        "SolverRegistry: solver already registered under that name");
+  }
+}
+
+bool SolverRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return solvers_.find(name) != solvers_.end();
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, fn] : solvers_) out.push_back(name);
+  return out;
+}
+
+FlSolution SolverRegistry::solve(std::string_view name,
+                                 const FlInstance& instance,
+                                 const SolveOptions& options) const {
+  SolverFn fn;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = solvers_.find(name);
+    if (it == solvers_.end()) {
+      std::string known;
+      for (const auto& [n, f] : solvers_) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw std::invalid_argument("SolverRegistry: unknown solver '" +
+                                  std::string(name) + "'; registered: " +
+                                  known);
+    }
+    fn = it->second;
+  }
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("solver.registry.solves." + std::string(name))
+        .add();
+  }
+  return fn(instance, options);
+}
+
+FlSolution solve(std::string_view name, const FlInstance& instance,
+                 const SolveOptions& options) {
+  return SolverRegistry::global().solve(name, instance, options);
+}
+
+std::vector<std::string> solver_names() {
+  return SolverRegistry::global().names();
+}
+
+}  // namespace esharing::solver

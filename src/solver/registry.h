@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file registry.h
+/// Unified solver entry point: one `solve(name, instance, options)` call
+/// mapping a solver name to the corresponding offline PLP algorithm. Benches
+/// and tools that compare solver families (Table V, plp_compare) iterate
+/// over names instead of hard-coding one call site per algorithm, and new
+/// solvers become comparable by registering under a name.
+///
+/// Built-in names:
+///   "jms"          Jain-Mahdian-... greedy (the paper's Algorithm 1)
+///   "jv"           Jain-Vazirani primal-dual
+///   "local_search" cheapest-single-facility start + open/close/swap moves
+///   "k_median"     fixed station budget (requires options.k >= 1)
+///   "meyerson"     the online baseline streamed over clients in index
+///                  order with uniform f = mean facility opening cost,
+///                  then mapped back onto the instance's candidate sites
+///   "exact"        branch-and-bound optimum (small instances only)
+///
+/// Every built-in returns a valid FlSolution on the given instance, and
+/// routing through the registry is bit-identical to calling the underlying
+/// solver directly with the same options.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+/// Superset of the per-solver knobs; each solver reads only the fields it
+/// understands and ignores the rest.
+struct SolveOptions {
+  /// Worker threads ("jms", "local_search"). Outputs are identical for any
+  /// value.
+  std::size_t num_threads{1};
+  /// Station budget, "k_median" only (that solver throws when left 0).
+  std::size_t k{0};
+  /// Randomized solvers ("k_median" seeding, "meyerson" coin flips).
+  std::uint64_t seed{0};
+  /// "local_search" controls.
+  std::size_t max_iterations{1000};
+  bool allow_swaps{true};
+  double min_improvement{1e-9};
+  /// "exact" safety cap on candidate facilities.
+  std::size_t exact_max_facilities{22};
+};
+
+using SolverFn =
+    std::function<FlSolution(const FlInstance&, const SolveOptions&)>;
+
+class SolverRegistry {
+ public:
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-ins above.
+  static SolverRegistry& global();
+
+  /// \throws std::invalid_argument on an empty name, a null fn, or a name
+  ///         already registered.
+  void register_solver(std::string name, SolverFn fn);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Registered names in sorted order.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Run the named solver.
+  /// \throws std::invalid_argument for unknown names (the message lists
+  ///         what is registered) and for solver-specific option errors.
+  [[nodiscard]] FlSolution solve(std::string_view name,
+                                 const FlInstance& instance,
+                                 const SolveOptions& options = {}) const;
+
+ private:
+  SolverRegistry();  ///< registers the built-ins
+
+  mutable std::mutex mu_;
+  std::map<std::string, SolverFn, std::less<>> solvers_;
+};
+
+/// Convenience forwarding to SolverRegistry::global().
+[[nodiscard]] FlSolution solve(std::string_view name,
+                               const FlInstance& instance,
+                               const SolveOptions& options = {});
+[[nodiscard]] std::vector<std::string> solver_names();
+
+}  // namespace esharing::solver

@@ -7,6 +7,7 @@
 
 #include "core/deviation_placer.h"
 #include "core/penalty.h"
+#include "obs/metrics.h"
 #include "solver/cost_oracle.h"
 #include "solver/jms_greedy.h"
 #include "solver/k_median.h"
@@ -104,6 +105,27 @@ TEST(SolverRegression, LocalSearchIsThreadCountInvariant) {
     opts.num_threads = threads;
     expect_identical(local_search(inst, initial, opts), sequential);
   }
+}
+
+/// The obs layer's contract: metrics are strictly observational, so the
+/// solvers return bit-identical solutions with instrumentation on or off.
+TEST(SolverRegression, SolversAreMetricsInvariant) {
+  stats::Rng rng(303);
+  const auto inst = random_general(rng, 50, 24);
+  const auto initial = assign_to_open(inst, {0});
+  const LocalSearchOptions opts;
+
+  obs::set_enabled(false);
+  const auto jms_off = jms_greedy(inst);
+  const auto ls_off = local_search(inst, initial, opts);
+
+  obs::set_enabled(true);
+  const auto jms_on = jms_greedy(inst);
+  const auto ls_on = local_search(inst, initial, opts);
+  obs::set_enabled(false);
+
+  expect_identical(jms_on, jms_off);
+  expect_identical(ls_on, ls_off);
 }
 
 TEST(SolverRegression, KMedianMatchesReference) {
@@ -257,6 +279,45 @@ TEST(SolverRegression, DeviationPlacerMatchesLinearScanMirror) {
   }
   EXPECT_EQ(placer.total_connection_cost(), mirror.connection_cost);
   EXPECT_EQ(placer.cost_scale(), mirror.scale);
+}
+
+/// Same contract for the online placer: identical seeded runs with the obs
+/// layer on vs off make identical decisions (the Rng draw sequence and all
+/// outputs are untouched by instrumentation).
+TEST(SolverRegression, DeviationPlacerIsMetricsInvariant) {
+  const std::uint64_t seed = 4040;
+  stats::Rng setup(seed);
+  const auto parkings =
+      stats::uniform_points(setup, {{0, 0}, {2000, 2000}}, 12);
+  const auto opening_cost = [](Point p) {
+    return 6000.0 + 0.05 * p.x + 0.1 * p.y;
+  };
+  const DeviationPlacerConfig config;  // adaptive KS machinery stays on
+  stats::Rng stream(seed + 1);
+  const auto dests =
+      stats::uniform_points(stream, {{-400, -400}, {2400, 2400}}, 400);
+
+  const auto run = [&](bool metrics_on) {
+    obs::set_enabled(metrics_on);
+    DeviationPenaltyPlacer placer(parkings, parkings, opening_cost, config,
+                                  seed);
+    std::vector<solver::OnlineDecision> decisions;
+    decisions.reserve(dests.size());
+    for (Point p : dests) decisions.push_back(placer.process(p));
+    obs::set_enabled(false);
+    return std::make_pair(std::move(decisions),
+                          placer.total_connection_cost());
+  };
+
+  const auto [off, off_cost] = run(false);
+  const auto [on, on_cost] = run(true);
+  ASSERT_EQ(on.size(), off.size());
+  for (std::size_t t = 0; t < off.size(); ++t) {
+    EXPECT_EQ(on[t].opened, off[t].opened) << "t=" << t;
+    EXPECT_EQ(on[t].facility, off[t].facility) << "t=" << t;
+    EXPECT_EQ(on[t].connection_cost, off[t].connection_cost) << "t=" << t;
+  }
+  EXPECT_EQ(on_cost, off_cost);
 }
 
 }  // namespace
