@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
+#include "data/wire.h"
 #include "obs/registry.h"
 #include "stats/ks2d.h"
 
@@ -193,6 +195,166 @@ void DeviationPenaltyPlacer::maybe_run_ks_test() {
       penalty_ = PenaltyFunction::of(wanted, config_.tolerance);
     }
   }
+}
+
+namespace {
+namespace wire = data::wire;
+// Placer checkpoint blob: magic + layout version. Bump the version on any
+// field change; restore() rejects unknown versions instead of misreading.
+constexpr std::uint64_t kPlacerMagic = 0x45504c4143455231ULL;  // "EPLACER1"
+constexpr std::uint64_t kPlacerVersion = 1;
+}  // namespace
+
+void DeviationPenaltyPlacer::save(std::ostream& os) const {
+  wire::write_u64(os, kPlacerMagic);
+  wire::write_u64(os, kPlacerVersion);
+  // Config scalars that must match on restore (behavioral fingerprint).
+  wire::write_f64(os, config_.beta);
+  wire::write_f64(os, config_.tolerance);
+  wire::write_u64(os, config_.ks_period);
+  wire::write_u64(os, config_.window_capacity);
+
+  wire::write_u64(os, k_);
+  wire::write_u64(os, stations_.size());
+  for (const Station& s : stations_) {
+    wire::write_f64(os, s.location.x);
+    wire::write_f64(os, s.location.y);
+    wire::write_u8(os, s.online_opened ? 1 : 0);
+    wire::write_u8(os, s.active ? 1 : 0);
+  }
+  wire::write_f64(os, reference_f_);
+  wire::write_f64(os, scale_);
+  wire::write_u64(os, opens_since_double_);
+  wire::write_u8(os, static_cast<std::uint8_t>(penalty_.type()));
+  wire::write_u64(os, history_.size());
+  for (Point p : history_) {
+    wire::write_f64(os, p.x);
+    wire::write_f64(os, p.y);
+  }
+  wire::write_u64(os, window_.size());
+  for (Point p : window_) {
+    wire::write_f64(os, p.x);
+    wire::write_f64(os, p.y);
+  }
+  wire::write_f64(os, connection_cost_);
+  wire::write_f64(os, last_similarity_);
+  wire::write_u64(os, requests_seen_);
+  // mt19937_64 state round-trips exactly through its text representation.
+  std::ostringstream engine_text;
+  engine_text << rng_.engine();
+  wire::write_string(os, engine_text.str());
+}
+
+DeviationPenaltyPlacer DeviationPenaltyPlacer::restore(
+    std::istream& is, std::function<double(geo::Point)> opening_cost_fn,
+    DeviationPlacerConfig config) {
+  constexpr std::uint64_t kSaneMax = 1ULL << 32;
+  if (wire::read_u64(is) != kPlacerMagic) {
+    throw std::runtime_error(
+        "DeviationPenaltyPlacer::restore: bad magic — not a placer "
+        "checkpoint blob");
+  }
+  const std::uint64_t version = wire::read_u64(is);
+  if (version != kPlacerVersion) {
+    throw std::runtime_error(
+        "DeviationPenaltyPlacer::restore: unsupported checkpoint version " +
+        std::to_string(version) + " (this build reads " +
+        std::to_string(kPlacerVersion) + ")");
+  }
+  const double beta = wire::read_f64(is);
+  const double tolerance = wire::read_f64(is);
+  const std::uint64_t ks_period = wire::read_u64(is);
+  const std::uint64_t window_capacity = wire::read_u64(is);
+  if (beta != config.beta || tolerance != config.tolerance ||
+      ks_period != config.ks_period ||
+      window_capacity != config.window_capacity) {
+    throw std::runtime_error(
+        "DeviationPenaltyPlacer::restore: config mismatch — the checkpoint "
+        "was written with beta/tolerance/ks_period/window_capacity = " +
+        std::to_string(beta) + "/" + std::to_string(tolerance) + "/" +
+        std::to_string(ks_period) + "/" + std::to_string(window_capacity));
+  }
+
+  const std::uint64_t k = wire::read_u64(is);
+  const std::uint64_t n_stations = wire::read_count(is, kSaneMax);
+  if (k == 0 || k > n_stations) {
+    throw std::runtime_error(
+        "DeviationPenaltyPlacer::restore: corrupt landmark count " +
+        std::to_string(k) + " of " + std::to_string(n_stations) +
+        " stations");
+  }
+  std::vector<Station> stations;
+  stations.reserve(n_stations);
+  for (std::uint64_t i = 0; i < n_stations; ++i) {
+    Station s;
+    s.location.x = wire::read_f64(is);
+    s.location.y = wire::read_f64(is);
+    s.online_opened = wire::read_u8(is) != 0;
+    s.active = wire::read_u8(is) != 0;
+    stations.push_back(s);
+  }
+
+  // The first k stations are the immutable offline landmark set; rebuild
+  // through the normal constructor (validation + landmark index), then
+  // overwrite the mutable state.
+  std::vector<Point> landmarks;
+  landmarks.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) landmarks.push_back(stations[i].location);
+  DeviationPenaltyPlacer placer(landmarks, {}, std::move(opening_cost_fn),
+                                config, /*seed=*/0);
+
+  placer.stations_.clear();
+  placer.station_index_ = geo::SpatialIndex();
+  for (const Station& s : stations) {
+    placer.stations_.push_back(s);
+    placer.station_index_.insert(s.location);
+  }
+  // Deactivations replay after all inserts; the spatial-index contract
+  // (results depend only on the insert/deactivate history's outcome, ids
+  // are insertion order) makes queries identical to the original instance.
+  for (std::size_t i = 0; i < placer.stations_.size(); ++i) {
+    if (!placer.stations_[i].active) placer.station_index_.deactivate(i);
+  }
+
+  placer.reference_f_ = wire::read_f64(is);
+  placer.scale_ = wire::read_f64(is);
+  placer.opens_since_double_ = wire::read_u64(is);
+  const std::uint8_t penalty_raw = wire::read_u8(is);
+  if (penalty_raw > static_cast<std::uint8_t>(PenaltyType::kTypeIII)) {
+    throw std::runtime_error(
+        "DeviationPenaltyPlacer::restore: corrupt penalty type " +
+        std::to_string(penalty_raw));
+  }
+  placer.penalty_ =
+      PenaltyFunction::of(static_cast<PenaltyType>(penalty_raw),
+                          config.tolerance);
+  const std::uint64_t n_history = wire::read_count(is, kSaneMax);
+  placer.history_.clear();
+  placer.history_.reserve(n_history);
+  for (std::uint64_t i = 0; i < n_history; ++i) {
+    Point p;
+    p.x = wire::read_f64(is);
+    p.y = wire::read_f64(is);
+    placer.history_.push_back(p);
+  }
+  const std::uint64_t n_window = wire::read_count(is, kSaneMax);
+  placer.window_.clear();
+  for (std::uint64_t i = 0; i < n_window; ++i) {
+    Point p;
+    p.x = wire::read_f64(is);
+    p.y = wire::read_f64(is);
+    placer.window_.push_back(p);
+  }
+  placer.connection_cost_ = wire::read_f64(is);
+  placer.last_similarity_ = wire::read_f64(is);
+  placer.requests_seen_ = wire::read_u64(is);
+  std::istringstream engine_text(wire::read_string(is));
+  engine_text >> placer.rng_.engine();
+  if (engine_text.fail()) {
+    throw std::runtime_error(
+        "DeviationPenaltyPlacer::restore: corrupt RNG engine state");
+  }
+  return placer;
 }
 
 void DeviationPenaltyPlacer::remove_station(std::size_t index) {

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "core/penalty.h"
@@ -130,6 +131,24 @@ class DeviationPenaltyPlacer {
   [[nodiscard]] double total_cost() const {
     return total_connection_cost() + total_opening_cost();
   }
+
+  // --- checkpointing ------------------------------------------------------
+  /// Serialize the full mutable state — stations, sliding window, KS
+  /// history, opening scale, penalty regime, counters and the RNG engine —
+  /// as versioned little-endian binary (see DESIGN.md, "Stream
+  /// checkpoints"). A placer restored from this blob continues the request
+  /// stream bit-identically to the original instance.
+  void save(std::ostream& os) const;
+
+  /// Rebuild a placer from a save() blob. `opening_cost_fn` and `config`
+  /// are not serialized (closures cannot be) and must semantically match
+  /// the ones the saved placer ran with; a few serialized config scalars
+  /// are cross-checked to catch mismatches early.
+  /// \throws std::runtime_error on truncated/corrupt input or a version or
+  ///         config mismatch.
+  [[nodiscard]] static DeviationPenaltyPlacer restore(
+      std::istream& is, std::function<double(geo::Point)> opening_cost_fn,
+      DeviationPlacerConfig config);
 
   [[nodiscard]] PenaltyType penalty_type() const { return penalty_.type(); }
   /// Current opening-cost scale (starts at w*/k, doubles per beta*k opens).

@@ -187,6 +187,18 @@ DeviationPenaltyPlacer& ESharing::placer() {
   return *placer_;
 }
 
+void ESharing::save_placer(std::ostream& os) const {
+  placer().save(os);
+}
+
+void ESharing::restore_placer(std::istream& is) {
+  if (!offline_.has_value()) {
+    throw std::logic_error("ESharing::restore_placer: plan_offline first");
+  }
+  placer_ = DeviationPenaltyPlacer::restore(is, opening_cost_fn_,
+                                            config_.placer);
+}
+
 IncentiveMechanism ESharing::make_incentive_session(
     const energy::BikeFleet& fleet,
     const std::vector<std::size_t>& bike_station) const {

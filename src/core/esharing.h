@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -88,6 +89,16 @@ class ESharing {
   /// Run the operator's charging round over the session's station state.
   [[nodiscard]] ChargingRoundResult charge(
       const IncentiveMechanism& session) const;
+
+  /// Checkpoint the running online placer (versioned binary; see
+  /// DeviationPenaltyPlacer::save). \throws std::logic_error before
+  /// start_online.
+  void save_placer(std::ostream& os) const;
+  /// Replace the online placer with one restored from a save_placer blob.
+  /// plan_offline must have been called (the restored placer reuses the
+  /// retained opening-cost field). \throws std::logic_error before
+  /// plan_offline, std::runtime_error on corrupt input.
+  void restore_placer(std::istream& is);
 
   [[nodiscard]] const ESharingConfig& config() const { return config_; }
 

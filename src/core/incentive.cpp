@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "data/wire.h"
 #include "obs/registry.h"
 #include "solver/tsp.h"
 
@@ -47,6 +49,92 @@ IncentiveMechanism::IncentiveMechanism(std::vector<EnergyStation> stations,
   positions_.assign(stations_.size(), 0);
   frozen_offer_.assign(stations_.size(), 0.0);
   for (const EnergyStation& s : stations_) location_index_.insert(s.location);
+}
+
+namespace {
+namespace wire = data::wire;
+constexpr std::uint64_t kIncentiveMagic = 0x45494e43454e5431ULL;  // "EINCENT1"
+constexpr std::uint64_t kIncentiveVersion = 1;
+}  // namespace
+
+void IncentiveMechanism::save(std::ostream& os) const {
+  wire::write_u64(os, kIncentiveMagic);
+  wire::write_u64(os, kIncentiveVersion);
+  wire::write_f64(os, config_.alpha);
+  wire::write_u64(os, stations_.size());
+  for (const EnergyStation& s : stations_) {
+    wire::write_f64(os, s.location.x);
+    wire::write_f64(os, s.location.y);
+    wire::write_u64(os, s.low_bikes.size());
+    for (std::size_t b : s.low_bikes) wire::write_u64(os, b);
+  }
+  wire::write_u64(os, frozen_offer_.size());
+  for (double v : frozen_offer_) wire::write_f64(os, v);
+  wire::write_u64(os, relocated_.size());
+  for (bool r : relocated_) wire::write_u8(os, r ? 1 : 0);
+  wire::write_f64(os, paid_);
+  wire::write_u64(os, relocations_);
+  wire::write_u64(os, offers_made_);
+}
+
+IncentiveMechanism IncentiveMechanism::restore(std::istream& is,
+                                               IncentiveConfig config) {
+  constexpr std::uint64_t kSaneMax = 1ULL << 32;
+  if (wire::read_u64(is) != kIncentiveMagic) {
+    throw std::runtime_error(
+        "IncentiveMechanism::restore: bad magic — not an incentive "
+        "checkpoint blob");
+  }
+  const std::uint64_t version = wire::read_u64(is);
+  if (version != kIncentiveVersion) {
+    throw std::runtime_error(
+        "IncentiveMechanism::restore: unsupported checkpoint version " +
+        std::to_string(version) + " (this build reads " +
+        std::to_string(kIncentiveVersion) + ")");
+  }
+  const double alpha = wire::read_f64(is);
+  if (alpha != config.alpha) {
+    throw std::runtime_error(
+        "IncentiveMechanism::restore: config mismatch — checkpoint was "
+        "written with alpha = " +
+        std::to_string(alpha) + ", restore config has " +
+        std::to_string(config.alpha));
+  }
+  const std::uint64_t n_stations = wire::read_count(is, kSaneMax);
+  std::vector<EnergyStation> stations;
+  stations.reserve(n_stations);
+  for (std::uint64_t i = 0; i < n_stations; ++i) {
+    EnergyStation s;
+    s.location.x = wire::read_f64(is);
+    s.location.y = wire::read_f64(is);
+    const std::uint64_t n_low = wire::read_count(is, kSaneMax);
+    s.low_bikes.reserve(n_low);
+    for (std::uint64_t b = 0; b < n_low; ++b) {
+      s.low_bikes.push_back(wire::read_u64(is));
+    }
+    stations.push_back(std::move(s));
+  }
+  IncentiveMechanism session(std::move(stations), config);
+  const std::uint64_t n_frozen = wire::read_count(is, kSaneMax);
+  if (n_frozen != session.stations_.size()) {
+    throw std::runtime_error(
+        "IncentiveMechanism::restore: frozen-offer table size " +
+        std::to_string(n_frozen) + " does not match " +
+        std::to_string(session.stations_.size()) + " stations");
+  }
+  for (std::uint64_t i = 0; i < n_frozen; ++i) {
+    session.frozen_offer_[i] = wire::read_f64(is);
+  }
+  const std::uint64_t n_relocated = wire::read_count(is, kSaneMax);
+  session.relocated_.assign(n_relocated, false);
+  for (std::uint64_t i = 0; i < n_relocated; ++i) {
+    session.relocated_[i] = wire::read_u8(is) != 0;
+  }
+  session.paid_ = wire::read_f64(is);
+  session.relocations_ = wire::read_u64(is);
+  session.offers_made_ = wire::read_u64(is);
+  session.sequence_dirty_ = true;  // recomputed lazily from pile state
+  return session;
 }
 
 void IncentiveMechanism::refresh_sequence() const {

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <iosfwd>
 #include <limits>
 #include <vector>
 
@@ -78,6 +79,19 @@ class IncentiveMechanism {
   /// \throws std::out_of_range for bad station indices.
   Offer handle_pickup(std::size_t station_i, geo::Point dest_j,
                       const UserBehavior& user, const CanRideFn& can_ride);
+
+  // --- checkpointing ------------------------------------------------------
+  /// Serialize the session state (stations with their low-bike piles,
+  /// frozen offers, relocation set, payment counters) as versioned binary.
+  /// A session restored from the blob answers subsequent handle_pickup
+  /// calls identically to the original (the TSP sequence is recomputed
+  /// lazily and is a pure function of the pile state).
+  void save(std::ostream& os) const;
+  /// Rebuild a session from a save() blob; `config` must match the one the
+  /// saved session ran with (alpha is cross-checked).
+  /// \throws std::runtime_error on truncated/corrupt input or mismatch.
+  [[nodiscard]] static IncentiveMechanism restore(std::istream& is,
+                                                  IncentiveConfig config);
 
   // --- observers ---------------------------------------------------------
   [[nodiscard]] const std::vector<EnergyStation>& stations() const {

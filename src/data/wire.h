@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file wire.h
+/// Minimal little-endian binary (de)serialization helpers shared by the
+/// checkpointable components (the stream pipeline state, the online placer,
+/// the incentive session). Fixed-width integers and IEEE-754 doubles are
+/// written byte-by-byte in little-endian order, so checkpoints are portable
+/// across compilers and identical runs produce identical bytes — the
+/// property the checkpoint round-trip regression tests lock in.
+///
+/// Readers throw std::runtime_error on truncated input; container sizes are
+/// length-prefixed with u64. This is intentionally not a general format —
+/// every consumer writes a magic tag + version first and owns its layout.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace esharing::data::wire {
+
+inline void write_u8(std::ostream& os, std::uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+inline void write_u64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    os.put(static_cast<char>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+inline void write_i64(std::ostream& os, std::int64_t v) {
+  write_u64(os, static_cast<std::uint64_t>(v));
+}
+
+inline void write_f64(std::ostream& os, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  __builtin_memcpy(&bits, &v, sizeof(bits));
+  write_u64(os, bits);
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+[[nodiscard]] inline std::uint8_t read_u8(std::istream& is) {
+  const int c = is.get();
+  if (c == std::istream::traits_type::eof()) {
+    throw std::runtime_error("wire: truncated input (expected u8)");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+[[nodiscard]] inline std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(read_u8(is)) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::int64_t read_i64(std::istream& is) {
+  return static_cast<std::int64_t>(read_u64(is));
+}
+
+[[nodiscard]] inline double read_f64(std::istream& is) {
+  const std::uint64_t bits = read_u64(is);
+  double v;
+  __builtin_memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+[[nodiscard]] inline std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (static_cast<std::uint64_t>(is.gcount()) != n) {
+    throw std::runtime_error("wire: truncated input (expected string of " +
+                             std::to_string(n) + " bytes)");
+  }
+  return s;
+}
+
+/// Read a length prefix that is about to size a container; guards against
+/// absurd sizes from corrupted input before any allocation happens.
+[[nodiscard]] inline std::uint64_t read_count(std::istream& is,
+                                              std::uint64_t sane_max) {
+  const std::uint64_t n = read_u64(is);
+  if (n > sane_max) {
+    throw std::runtime_error("wire: implausible element count " +
+                             std::to_string(n) + " (max " +
+                             std::to_string(sane_max) + ") — corrupt input?");
+  }
+  return n;
+}
+
+}  // namespace esharing::data::wire

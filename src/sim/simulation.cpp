@@ -84,6 +84,24 @@ void SimConfig::validate() const {
     fail("history_sample_cap", 0.0,
          "the KS reference needs at least one historical destination");
   }
+  if (stream_shards == 0) {
+    fail("stream_shards", 0.0,
+         "the streaming replay needs at least one EventBus shard");
+  }
+  if (stream_batch == 0) {
+    fail("stream_batch", 0.0,
+         "the drain batch must hold at least one event");
+  }
+  if (stream_queue_capacity < stream_batch) {
+    fail("stream_queue_capacity", static_cast<double>(stream_queue_capacity),
+         "per-shard rings must hold at least one drain batch (stream_batch "
+         "= " + std::to_string(stream_batch) + ")");
+  }
+  if (!(stream_route_cell_m > 0.0)) {
+    fail("stream_route_cell_m", stream_route_cell_m,
+         "shard routing divides space into cells, so the cell edge must be "
+         "positive");
+  }
 }
 
 double SimMetrics::total_charging_cost() const {
@@ -222,6 +240,82 @@ void Simulation::close_charging_period(SimMetrics& metrics) {
   open_incentive_session();
 }
 
+void Simulation::process_trip(const TripRecord& trip, SimMetrics& metrics) {
+  while (trip.start_time >= next_round_at_) {
+    close_charging_period(metrics);
+    next_round_at_ += config_.charging_period;
+  }
+
+  const Point dest = city_.end_point(trip);
+  const auto decision = system_.handle_request(dest);
+  const Point assigned =
+      system_.placer().stations()[decision.facility].location;
+  station_bikes_.resize(system_.placer().stations().size(), 0);
+
+  const auto bike =
+      static_cast<std::size_t>(trip.bike_id - 1) % bike_pos_.size();
+  const Point origin = bike_pos_[bike];
+
+  // Pick-up empties the origin station's inventory; footnote 2: a
+  // station whose last bike leaves is removed from P (it can be
+  // re-established online later).
+  const std::size_t origin_station = nearest_active_station(origin);
+  if (station_bikes_[origin_station] > 0) {
+    --station_bikes_[origin_station];
+  }
+  if (config_.remove_empty_stations &&
+      station_bikes_[origin_station] == 0 &&
+      system_.placer().num_active() > 1) {
+    system_.placer().remove_station(origin_station);
+    ++stations_removed_;
+  }
+
+  // Tier-two offer at pickup time.
+  core::Offer offer;
+  if (session_.has_value() && !session_station_snapshot_.empty()) {
+    // session_index_ mirrors the session snapshot's station locations.
+    const std::size_t pickup_station = session_index_.nearest(origin);
+    const core::UserBehavior user{
+        rng_.uniform(config_.user_max_walk_lo_m, config_.user_max_walk_hi_m),
+        rng_.uniform(config_.user_min_reward_lo, config_.user_min_reward_hi)};
+    offer = session_->handle_pickup(
+        pickup_station, assigned, user,
+        [this](std::size_t b, double dist) { return fleet_.can_ride(b, dist); });
+  }
+
+  if (offer.accepted) {
+    // The user rides the low-energy bike to the aggregation station and
+    // walks the extra distance to the destination; their intended bike
+    // stays where it was.
+    // The departing bike is the low-energy one (it sits at the same
+    // pickup station the user walked to); the origin decrement above
+    // already accounts for it.
+    const Point target = session_->stations()[offer.to_station].location;
+    fleet_.ride(offer.bike, offer.ride_m);
+    bike_pos_[offer.bike] = target;
+    ++station_bikes_[nearest_active_station(target)];
+    metrics.walking_cost_m += geo::distance(dest, target);
+  } else {
+    const double ride = geo::distance(origin, assigned);
+    fleet_.ride(bike, ride);
+    bike_pos_[bike] = assigned;
+    ++station_bikes_[nearest_active_station(assigned)];
+    metrics.walking_cost_m += geo::distance(dest, assigned);
+  }
+  ++metrics.trips;
+  if (obs::enabled()) SimObsMetrics::get().trips.add();
+}
+
+void Simulation::finalize(SimMetrics& metrics) {
+  // Flush the open period so its incentives/charging land in the metrics.
+  close_charging_period(metrics);
+  next_round_at_ += config_.charging_period;
+
+  metrics.stations_final = system_.placer().num_active();
+  metrics.stations_online_opened = system_.placer().num_online_opened();
+  metrics.stations_removed = stations_removed_;
+}
+
 SimMetrics Simulation::run(const std::vector<TripRecord>& live) {
   if (!bootstrapped_) {
     throw std::logic_error("Simulation::run: bootstrap first");
@@ -230,79 +324,60 @@ SimMetrics Simulation::run(const std::vector<TripRecord>& live) {
   data::sort_by_start_time(trips);
 
   SimMetrics metrics;
-  for (const auto& trip : trips) {
-    while (trip.start_time >= next_round_at_) {
-      close_charging_period(metrics);
-      next_round_at_ += config_.charging_period;
-    }
+  for (const auto& trip : trips) process_trip(trip, metrics);
+  finalize(metrics);
+  return metrics;
+}
 
-    const Point dest = city_.end_point(trip);
-    const auto decision = system_.handle_request(dest);
-    const Point assigned =
-        system_.placer().stations()[decision.facility].location;
-    station_bikes_.resize(system_.placer().stations().size(), 0);
-
-    const auto bike =
-        static_cast<std::size_t>(trip.bike_id - 1) % bike_pos_.size();
-    const Point origin = bike_pos_[bike];
-
-    // Pick-up empties the origin station's inventory; footnote 2: a
-    // station whose last bike leaves is removed from P (it can be
-    // re-established online later).
-    const std::size_t origin_station = nearest_active_station(origin);
-    if (station_bikes_[origin_station] > 0) {
-      --station_bikes_[origin_station];
-    }
-    if (config_.remove_empty_stations &&
-        station_bikes_[origin_station] == 0 &&
-        system_.placer().num_active() > 1) {
-      system_.placer().remove_station(origin_station);
-      ++stations_removed_;
-    }
-
-    // Tier-two offer at pickup time.
-    core::Offer offer;
-    if (session_.has_value() && !session_station_snapshot_.empty()) {
-      // session_index_ mirrors the session snapshot's station locations.
-      const std::size_t pickup_station = session_index_.nearest(origin);
-      const core::UserBehavior user{
-          rng_.uniform(config_.user_max_walk_lo_m, config_.user_max_walk_hi_m),
-          rng_.uniform(config_.user_min_reward_lo, config_.user_min_reward_hi)};
-      offer = session_->handle_pickup(
-          pickup_station, assigned, user,
-          [this](std::size_t b, double dist) { return fleet_.can_ride(b, dist); });
-    }
-
-    if (offer.accepted) {
-      // The user rides the low-energy bike to the aggregation station and
-      // walks the extra distance to the destination; their intended bike
-      // stays where it was.
-      // The departing bike is the low-energy one (it sits at the same
-      // pickup station the user walked to); the origin decrement above
-      // already accounts for it.
-      const Point target = session_->stations()[offer.to_station].location;
-      fleet_.ride(offer.bike, offer.ride_m);
-      bike_pos_[offer.bike] = target;
-      ++station_bikes_[nearest_active_station(target)];
-      metrics.walking_cost_m += geo::distance(dest, target);
-    } else {
-      const double ride = geo::distance(origin, assigned);
-      fleet_.ride(bike, ride);
-      bike_pos_[bike] = assigned;
-      ++station_bikes_[nearest_active_station(assigned)];
-      metrics.walking_cost_m += geo::distance(dest, assigned);
-    }
-    ++metrics.trips;
-    if (obs::enabled()) SimObsMetrics::get().trips.add();
+SimMetrics Simulation::run_streamed(const std::vector<TripRecord>& live,
+                                    stream::BusStats* bus_stats) {
+  if (!bootstrapped_) {
+    throw std::logic_error("Simulation::run_streamed: bootstrap first");
   }
+  std::vector<TripRecord> trips = live;
+  data::sort_by_start_time(trips);
 
-  // Flush the open period so its incentives/charging land in the metrics.
-  close_charging_period(metrics);
-  next_round_at_ += config_.charging_period;
+  stream::EventBusConfig bus_config;
+  bus_config.shard_count = config_.stream_shards;
+  bus_config.queue_capacity = config_.stream_queue_capacity;
+  bus_config.max_batch = config_.stream_batch;
+  bus_config.policy = stream::BackpressurePolicy::kBlock;
+  bus_config.route_cell_m = config_.stream_route_cell_m;
+  stream::EventBus bus(bus_config);
 
-  metrics.stations_final = system_.placer().num_active();
-  metrics.stations_online_opened = system_.placer().num_online_opened();
-  metrics.stations_removed = stations_removed_;
+  SimMetrics metrics;
+  std::vector<stream::Event> batch;
+  // Consuming in merged seq order reproduces the sorted trip order exactly,
+  // so the mutation sequence (placer, RNG, fleet) matches run() bit for
+  // bit at any shard count.
+  const auto pump = [&] {
+    batch.clear();
+    bus.drain_all_ordered(batch);
+    for (const stream::Event& e : batch) {
+      process_trip(trips[static_cast<std::size_t>(e.ref)], metrics);
+    }
+  };
+  std::size_t since_pump = 0;
+  for (std::size_t i = 0; i < trips.size(); ++i) {
+    const TripRecord& trip = trips[i];
+    stream::Event e;
+    e.kind = stream::EventKind::kTripEnd;
+    e.time = trip.start_time;
+    e.where = city_.end_point(trip);
+    e.origin = city_.start_point(trip);
+    e.bike_id = trip.bike_id;
+    e.ref = static_cast<std::int64_t>(i);
+    bus.publish(e);
+    // Pump before any shard can fill: the worst case routes every trip to
+    // one shard, so the cadence is bounded by the ring capacity.
+    if (++since_pump >= config_.stream_queue_capacity) {
+      pump();
+      since_pump = 0;
+    }
+  }
+  pump();
+  finalize(metrics);
+  if (bus_stats != nullptr) *bus_stats = bus.stats();
   return metrics;
 }
 

@@ -19,6 +19,7 @@
 #include "geo/point.h"
 #include "geo/spatial_index.h"
 #include "stats/rng.h"
+#include "stream/event_bus.h"
 
 namespace esharing::sim {
 
@@ -37,6 +38,13 @@ struct SimConfig {
   /// up, the station is removed from P (the online algorithm may establish
   /// one there again later based on demand).
   bool remove_empty_stations{true};
+  /// Streaming-replay knobs (run_streamed): trips are published onto a
+  /// sharded stream::EventBus and consumed in merged publish order, which
+  /// is regression-tested to be bit-identical to run() at any shard count.
+  std::size_t stream_shards{1};           ///< EventBus shard count (>= 1)
+  std::size_t stream_queue_capacity{1024};///< per-shard ring capacity
+  std::size_t stream_batch{256};          ///< drain batch cap (<= capacity)
+  double stream_route_cell_m{100.0};      ///< shard-routing cell edge (m)
 
   /// Fail fast on inconsistent parameters (including the nested
   /// ESharingConfig). Called by the Simulation constructor.
@@ -82,6 +90,16 @@ class Simulation {
   /// \throws std::logic_error if bootstrap was not called.
   SimMetrics run(const std::vector<data::TripRecord>& live);
 
+  /// Replay the same trip stream through the esharing::stream front door:
+  /// every trip is published onto a bounded sharded EventBus (knobs in
+  /// SimConfig) and consumed in merged seq order. Produces bit-identical
+  /// metrics, station sets and incentive payouts to run() at any shard
+  /// count — the end-to-end regression the stream tests lock in. The
+  /// optional `bus_stats` receives the bus counters of the replay.
+  /// \throws std::logic_error if bootstrap was not called.
+  SimMetrics run_streamed(const std::vector<data::TripRecord>& live,
+                          stream::BusStats* bus_stats = nullptr);
+
   [[nodiscard]] const core::ESharing& system() const { return system_; }
   [[nodiscard]] const energy::BikeFleet& fleet() const { return fleet_; }
   [[nodiscard]] const SimConfig& config() const { return config_; }
@@ -89,6 +107,12 @@ class Simulation {
  private:
   void open_incentive_session();
   void close_charging_period(SimMetrics& metrics);
+  /// The shared per-trip logic of run() and run_streamed(): charging-period
+  /// rollover, tier-one request, footnote-2 removal, tier-two offer, bike
+  /// movement and metric accrual.
+  void process_trip(const data::TripRecord& trip, SimMetrics& metrics);
+  /// Flush the open charging period and fill the station-count metrics.
+  void finalize(SimMetrics& metrics);
   /// Index of the nearest active placer station to `p`.
   [[nodiscard]] std::size_t nearest_active_station(geo::Point p) const;
 

@@ -102,6 +102,9 @@ class Rng {
   }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+  /// Const view of the engine — lets checkpointing code serialize the
+  /// generator state (operator<< on mt19937_64 does not disturb it).
+  [[nodiscard]] const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

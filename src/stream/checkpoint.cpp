@@ -1,0 +1,119 @@
+#include "stream/checkpoint.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "data/wire.h"
+
+namespace esharing::stream {
+
+namespace {
+
+namespace wire = data::wire;
+constexpr std::uint64_t kCheckpointMagic = 0x4553545243435031ULL;  // "ESTRCCP1"
+constexpr std::uint64_t kCheckpointVersion = 1;
+
+}  // namespace
+
+void save_checkpoint(std::ostream& os, const EventBus& bus,
+                     const OnlinePlacerDriver& placer_driver,
+                     const IncentiveDriver& incentive_driver) {
+  if (bus.pending_total() != 0) {
+    throw std::logic_error(
+        "save_checkpoint: " + std::to_string(bus.pending_total()) +
+        " events still queued — drain and consume them first (the "
+        "checkpoint format only represents queues-drained state)");
+  }
+  if (placer_driver.shard_count() != bus.shard_count()) {
+    throw std::logic_error(
+        "save_checkpoint: driver serves " +
+        std::to_string(placer_driver.shard_count()) + " shards but the bus "
+        "has " + std::to_string(bus.shard_count()));
+  }
+  wire::write_u64(os, kCheckpointMagic);
+  wire::write_u64(os, kCheckpointVersion);
+  wire::write_u64(os, bus.shard_count());
+  wire::write_f64(os, bus.config().route_cell_m);
+  wire::write_u8(os, static_cast<std::uint8_t>(bus.config().policy));
+  wire::write_u64(os, bus.config().queue_capacity);
+  wire::write_u64(os, bus.next_seq());
+  placer_driver.system().save_placer(os);
+  placer_driver.save(os);
+  incentive_driver.save(os);
+}
+
+CheckpointInfo restore_checkpoint(std::istream& is, EventBus& bus,
+                                  core::ESharing& system,
+                                  OnlinePlacerDriver& placer_driver,
+                                  IncentiveDriver& incentive_driver) {
+  if (&placer_driver.system() != &system) {
+    throw std::logic_error(
+        "restore_checkpoint: `system` is not the ESharing instance the "
+        "placer driver serves");
+  }
+  if (wire::read_u64(is) != kCheckpointMagic) {
+    throw std::runtime_error(
+        "restore_checkpoint: bad magic — not an esharing stream checkpoint");
+  }
+  CheckpointInfo info;
+  info.version = wire::read_u64(is);
+  if (info.version != kCheckpointVersion) {
+    throw std::runtime_error(
+        "restore_checkpoint: unsupported checkpoint version " +
+        std::to_string(info.version) + " (this build reads version " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  info.shard_count = wire::read_u64(is);
+  if (info.shard_count != bus.shard_count()) {
+    throw std::runtime_error(
+        "restore_checkpoint: checkpoint was taken with " +
+        std::to_string(info.shard_count) + " shards, the live bus has " +
+        std::to_string(bus.shard_count()) +
+        " — restore with a bus of the same shard count");
+  }
+  const double route_cell_m = wire::read_f64(is);
+  if (route_cell_m != bus.config().route_cell_m) {
+    throw std::runtime_error(
+        "restore_checkpoint: checkpoint routed events on " +
+        std::to_string(route_cell_m) + " m cells, the live bus routes on " +
+        std::to_string(bus.config().route_cell_m) +
+        " m — shard ownership would not line up");
+  }
+  (void)wire::read_u8(is);   // policy: informative, does not affect state
+  (void)wire::read_u64(is);  // queue_capacity: likewise
+  bus.resume_seq(wire::read_u64(is));
+  system.restore_placer(is);
+  placer_driver.restore_from(is);
+  incentive_driver.restore_from(is);
+  info.events_consumed = placer_driver.events_consumed();
+  info.last_seq = placer_driver.last_seq();
+  return info;
+}
+
+void save_checkpoint_file(const std::string& path, const EventBus& bus,
+                          const OnlinePlacerDriver& placer_driver,
+                          const IncentiveDriver& incentive_driver) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+  }
+  save_checkpoint(os, bus, placer_driver, incentive_driver);
+  os.flush();
+  if (!os) {
+    throw std::runtime_error("save_checkpoint_file: write failed for " + path);
+  }
+}
+
+CheckpointInfo restore_checkpoint_file(const std::string& path, EventBus& bus,
+                                       core::ESharing& system,
+                                       OnlinePlacerDriver& placer_driver,
+                                       IncentiveDriver& incentive_driver) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("restore_checkpoint_file: cannot open " + path);
+  }
+  return restore_checkpoint(is, bus, system, placer_driver, incentive_driver);
+}
+
+}  // namespace esharing::stream

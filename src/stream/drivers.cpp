@@ -1,0 +1,314 @@
+#include "stream/drivers.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "data/wire.h"
+#include "obs/registry.h"
+#include "stats/ks2d.h"
+
+namespace esharing::stream {
+
+using geo::Point;
+
+namespace {
+
+namespace wire = data::wire;
+constexpr std::uint64_t kDriverMagic = 0x4553545244525631ULL;  // "ESTRDRV1"
+constexpr std::uint64_t kDriverVersion = 1;
+
+struct DriverObsMetrics {
+  obs::Counter& events;
+  obs::Counter& trip_ends;
+  obs::Counter& regime_checks;
+  obs::Gauge& regime_similarity;
+  obs::Counter& sessions_opened;
+  obs::Counter& watchlist_assigned;
+
+  static DriverObsMetrics& get() {
+    static DriverObsMetrics m{
+        obs::Registry::global().counter("stream.placer_driver.events"),
+        obs::Registry::global().counter("stream.placer_driver.trip_ends"),
+        obs::Registry::global().counter("stream.placer_driver.regime_checks"),
+        obs::Registry::global().gauge("stream.placer_driver.regime_similarity"),
+        obs::Registry::global().counter("stream.incentive_driver.sessions_opened"),
+        obs::Registry::global().counter("stream.incentive_driver.watchlist_assigned"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+void PlacerDriverConfig::validate() const {
+  state.validate();
+  if (regime_check_period > 0 && regime_min_samples == 0) {
+    throw std::invalid_argument(
+        "PlacerDriverConfig: regime_min_samples = 0 is invalid: the KS "
+        "regime check needs at least one window sample (set "
+        "regime_check_period = 0 to disable the check instead)");
+  }
+}
+
+OnlinePlacerDriver::OnlinePlacerDriver(core::ESharing& system,
+                                       const EventBus& bus,
+                                       std::vector<Point> historical_sample,
+                                       PlacerDriverConfig config)
+    : system_(&system), bus_(&bus), config_(config) {
+  config_.validate();
+  if (!system.online_started()) {
+    throw std::logic_error(
+        "OnlinePlacerDriver: the system must be online (call start_online) "
+        "before streaming requests into it");
+  }
+  states_.reserve(bus.shard_count());
+  for (std::size_t s = 0; s < bus.shard_count(); ++s) {
+    states_.emplace_back(config_.state);
+  }
+  regimes_.assign(bus.shard_count(), ShardRegime{});
+  shard_history_.assign(bus.shard_count(), {});
+  for (Point p : historical_sample) {
+    shard_history_[bus.shard_of(p)].push_back(p);
+  }
+}
+
+std::optional<solver::OnlineDecision> OnlinePlacerDriver::consume(
+    const Event& e) {
+  const std::size_t shard = bus_->shard_of(e.where);
+  states_[shard].ingest(e);
+  ++consumed_;
+  last_seq_ = e.seq;
+  if (obs::enabled()) DriverObsMetrics::get().events.add();
+  if (e.kind != EventKind::kTripEnd) return std::nullopt;
+
+  const auto decision = system_->handle_request(e.where, e.weight);
+  ShardRegime& regime = regimes_[shard];
+  ++regime.trip_ends;
+  if (obs::enabled()) DriverObsMetrics::get().trip_ends.add();
+  if (config_.regime_check_period > 0 &&
+      regime.trip_ends % config_.regime_check_period == 0) {
+    run_regime_check(shard);
+  }
+  return decision;
+}
+
+std::size_t OnlinePlacerDriver::pump(EventBus& bus) {
+  std::vector<Event> batch;
+  bus.drain_all_ordered(batch);
+  for (const Event& e : batch) consume(e);
+  return batch.size();
+}
+
+void OnlinePlacerDriver::run_regime_check(std::size_t shard) {
+  const auto& history = shard_history_[shard];
+  const auto window = states_[shard].window_points();
+  if (history.empty() || window.size() < config_.regime_min_samples) return;
+  const auto result = stats::ks2d_test(history, window);
+  ShardRegime& regime = regimes_[shard];
+  regime.similarity = result.similarity;
+  ++regime.checks;
+  if (obs::enabled()) {
+    DriverObsMetrics::get().regime_checks.add();
+    DriverObsMetrics::get().regime_similarity.set(result.similarity);
+    obs::Registry::global().emit(
+        "stream.regime_check",
+        {{"shard", shard},
+         {"similarity", result.similarity},
+         {"window", window.size()}});
+  }
+}
+
+const StreamState& OnlinePlacerDriver::shard_state(std::size_t shard) const {
+  if (shard >= states_.size()) {
+    throw std::out_of_range("OnlinePlacerDriver::shard_state: shard " +
+                            std::to_string(shard) + " of " +
+                            std::to_string(states_.size()));
+  }
+  return states_[shard];
+}
+
+const ShardRegime& OnlinePlacerDriver::shard_regime(std::size_t shard) const {
+  if (shard >= regimes_.size()) {
+    throw std::out_of_range("OnlinePlacerDriver::shard_regime: shard " +
+                            std::to_string(shard) + " of " +
+                            std::to_string(regimes_.size()));
+  }
+  return regimes_[shard];
+}
+
+StateSnapshot OnlinePlacerDriver::merged_snapshot() const {
+  // Snapshot every shard at the global clock so lazily-evicted entries and
+  // decay references line up — merged views are then shard-count invariant.
+  data::Seconds global_now = 0;
+  for (const auto& st : states_) global_now = std::max(global_now, st.now());
+  std::vector<StateSnapshot> snaps;
+  snaps.reserve(states_.size());
+  for (const auto& st : states_) snaps.push_back(st.snapshot(global_now));
+  return StreamState::merge(snaps);
+}
+
+std::vector<WatchEntry> OnlinePlacerDriver::watchlist() const {
+  return merged_snapshot().watchlist;
+}
+
+void OnlinePlacerDriver::save(std::ostream& os) const {
+  wire::write_u64(os, kDriverMagic);
+  wire::write_u64(os, kDriverVersion);
+  wire::write_u64(os, states_.size());
+  wire::write_u64(os, consumed_);
+  wire::write_u64(os, last_seq_);
+  for (const auto& regime : regimes_) {
+    wire::write_f64(os, regime.similarity);
+    wire::write_u64(os, regime.checks);
+    wire::write_u64(os, regime.trip_ends);
+  }
+  for (const auto& st : states_) st.save(os);
+}
+
+void OnlinePlacerDriver::restore_from(std::istream& is) {
+  if (wire::read_u64(is) != kDriverMagic) {
+    throw std::runtime_error(
+        "OnlinePlacerDriver::restore_from: bad magic — not a driver "
+        "checkpoint blob");
+  }
+  const std::uint64_t version = wire::read_u64(is);
+  if (version != kDriverVersion) {
+    throw std::runtime_error(
+        "OnlinePlacerDriver::restore_from: unsupported version " +
+        std::to_string(version));
+  }
+  const std::uint64_t shards = wire::read_u64(is);
+  if (shards != states_.size()) {
+    throw std::runtime_error(
+        "OnlinePlacerDriver::restore_from: checkpoint has " +
+        std::to_string(shards) + " shards, this driver has " +
+        std::to_string(states_.size()) +
+        " — restore with a bus of the same shard count");
+  }
+  consumed_ = wire::read_u64(is);
+  last_seq_ = wire::read_u64(is);
+  for (auto& regime : regimes_) {
+    regime.similarity = wire::read_f64(is);
+    regime.checks = wire::read_u64(is);
+    regime.trip_ends = wire::read_u64(is);
+  }
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    states_[s] = StreamState::restore(is, config_.state);
+  }
+}
+
+// --- IncentiveDriver --------------------------------------------------------
+
+void IncentiveDriverConfig::validate() const {
+  if (!(assign_radius_m > 0.0)) {
+    throw std::invalid_argument(
+        "IncentiveDriverConfig: assign_radius_m = " +
+        std::to_string(assign_radius_m) +
+        " is invalid: the watchlist-to-parking assignment radius must be "
+        "positive");
+  }
+}
+
+IncentiveDriver::IncentiveDriver(IncentiveDriverConfig config)
+    : config_(config) {
+  config_.validate();
+}
+
+void IncentiveDriver::fold_session_totals() {
+  if (!session_.has_value()) return;
+  paid_closed_ += session_->total_incentives_paid();
+  offers_closed_ += session_->offers_made();
+  relocations_closed_ += session_->relocations();
+}
+
+void IncentiveDriver::open_session(const std::vector<Point>& parkings,
+                                   const std::vector<WatchEntry>& watchlist) {
+  if (parkings.empty()) {
+    throw std::invalid_argument("IncentiveDriver::open_session: no parkings");
+  }
+  fold_session_totals();
+  std::vector<core::EnergyStation> stations;
+  stations.reserve(parkings.size());
+  for (Point p : parkings) stations.push_back({p, {}});
+  geo::SpatialIndex index(parkings);
+  std::size_t assigned = 0;
+  for (const WatchEntry& w : watchlist) {
+    const std::size_t s = index.nearest(w.where);
+    if (s == geo::SpatialIndex::npos) continue;
+    if (geo::distance(parkings[s], w.where) > config_.assign_radius_m) continue;
+    stations[s].low_bikes.push_back(static_cast<std::size_t>(w.bike_id));
+    ++assigned;
+  }
+  session_.emplace(std::move(stations), config_.incentive);
+  session_index_ = std::move(index);
+  paid_total_ = paid_closed_;
+  offers_total_ = offers_closed_;
+  relocations_total_ = relocations_closed_;
+  if (obs::enabled()) {
+    DriverObsMetrics::get().sessions_opened.add();
+    DriverObsMetrics::get().watchlist_assigned.add(assigned);
+  }
+}
+
+core::Offer IncentiveDriver::handle_trip(
+    const Event& e, Point assigned,
+    const core::IncentiveMechanism::CanRideFn& can_ride) {
+  core::Offer offer;
+  if (!session_.has_value()) return offer;
+  const std::size_t pickup = session_index_.nearest(e.origin);
+  if (pickup == geo::SpatialIndex::npos) return offer;
+  const core::UserBehavior user{e.user_max_walk_m, e.user_min_reward};
+  offer = session_->handle_pickup(pickup, assigned, user, can_ride);
+  paid_total_ = paid_closed_ + session_->total_incentives_paid();
+  offers_total_ = offers_closed_ + session_->offers_made();
+  relocations_total_ = relocations_closed_ + session_->relocations();
+  return offer;
+}
+
+const core::IncentiveMechanism& IncentiveDriver::session() const {
+  if (!session_.has_value()) {
+    throw std::logic_error("IncentiveDriver::session: no open session");
+  }
+  return *session_;
+}
+
+core::IncentiveMechanism& IncentiveDriver::session() {
+  if (!session_.has_value()) {
+    throw std::logic_error("IncentiveDriver::session: no open session");
+  }
+  return *session_;
+}
+
+void IncentiveDriver::save(std::ostream& os) const {
+  wire::write_f64(os, paid_closed_);
+  wire::write_u64(os, offers_closed_);
+  wire::write_u64(os, relocations_closed_);
+  wire::write_u8(os, session_.has_value() ? 1 : 0);
+  if (session_.has_value()) session_->save(os);
+}
+
+void IncentiveDriver::restore_from(std::istream& is) {
+  paid_closed_ = wire::read_f64(is);
+  offers_closed_ = wire::read_u64(is);
+  relocations_closed_ = wire::read_u64(is);
+  const bool has_session = wire::read_u8(is) != 0;
+  if (has_session) {
+    session_ = core::IncentiveMechanism::restore(is, config_.incentive);
+    std::vector<Point> locations;
+    locations.reserve(session_->stations().size());
+    for (const auto& s : session_->stations()) locations.push_back(s.location);
+    session_index_ = geo::SpatialIndex(locations);
+  } else {
+    session_.reset();
+    session_index_ = geo::SpatialIndex();
+  }
+  paid_total_ = paid_closed_ +
+                (session_.has_value() ? session_->total_incentives_paid() : 0.0);
+  offers_total_ =
+      offers_closed_ + (session_.has_value() ? session_->offers_made() : 0);
+  relocations_total_ =
+      relocations_closed_ + (session_.has_value() ? session_->relocations() : 0);
+}
+
+}  // namespace esharing::stream

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file drivers.h
+/// Incremental consumers that keep the two tiers served from the event
+/// stream:
+///
+///   * OnlinePlacerDriver — feeds every drained trip-end request to the
+///     DeviationPenaltyPlacer (Algorithm 2) exactly as the batch replay
+///     would, and runs the periodic 2-D KS regime check on the per-shard
+///     sliding windows of StreamState instead of re-scanning full history.
+///     Sharding makes the check cheap twice over: each shard's window holds
+///     only its cells' destinations (the O(n^2) Fasano–Franceschini
+///     statistic shrinks quadratically with the shard count), and the
+///     reference sample is partitioned once at construction with the same
+///     cell router, so shard-local current-vs-historical comparisons are
+///     statistically like-for-like (the stratified analogue of Table IV's
+///     per-region blocks).
+///
+///   * IncentiveDriver — tier two off the watchlist: builds incentive
+///     sessions (Algorithm 3) from the merged low-battery watchlist and
+///     routes pickup interactions of drained trip events into the session,
+///     paying Eq. 13 offers within the Eq. 12 budget.
+///
+/// Both drivers are deterministic: their outputs depend only on the seq
+/// order of consumed events, never on shard count or drain timing.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/esharing.h"
+#include "core/incentive.h"
+#include "geo/spatial_index.h"
+#include "stream/event.h"
+#include "stream/event_bus.h"
+#include "stream/stream_state.h"
+
+namespace esharing::stream {
+
+struct PlacerDriverConfig {
+  StreamStateConfig state;
+  /// Run the shard-local KS regime check every this many trip-end events
+  /// ingested by a shard (0 disables the stream-side check; the placer's
+  /// internal Algorithm 2 switching is never affected either way).
+  std::size_t regime_check_period{512};
+  /// Skip the check until the shard window has this many points.
+  std::size_t regime_min_samples{16};
+
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate() const;
+};
+
+/// Regime signal of one shard: the stream-window KS similarity against the
+/// shard's slice of the historical sample.
+struct ShardRegime {
+  double similarity{100.0};  ///< paper similarity 100*(1-D) %
+  std::uint64_t checks{0};
+  std::uint64_t trip_ends{0};
+};
+
+class OnlinePlacerDriver {
+ public:
+  /// \param system must be online (start_online called); decisions mutate
+  ///        its placer exactly as direct handle_request calls would.
+  /// \param historical_sample the KS reference H(x, y); partitioned across
+  ///        shards with `bus`'s router so shard-local tests compare
+  ///        like-for-like regions.
+  /// \throws std::invalid_argument on invalid config,
+  ///         std::logic_error if the system is not online.
+  OnlinePlacerDriver(core::ESharing& system, const EventBus& bus,
+                     std::vector<geo::Point> historical_sample,
+                     PlacerDriverConfig config);
+
+  /// Consume one drained event (events must arrive in ascending seq order;
+  /// use EventBus::drain_all_ordered or a per-shard merge). Trip ends drive
+  /// the placer; battery telemetry updates the shard watchlist.
+  /// \returns the placer decision for trip-end events.
+  std::optional<solver::OnlineDecision> consume(const Event& e);
+
+  /// Drain every pending event from the bus in publish order and consume
+  /// it. Returns the number of events processed.
+  std::size_t pump(EventBus& bus);
+
+  [[nodiscard]] const core::ESharing& system() const { return *system_; }
+  [[nodiscard]] const StreamState& shard_state(std::size_t shard) const;
+  [[nodiscard]] const ShardRegime& shard_regime(std::size_t shard) const;
+  [[nodiscard]] std::size_t shard_count() const { return states_.size(); }
+  [[nodiscard]] std::uint64_t events_consumed() const { return consumed_; }
+  [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
+  [[nodiscard]] bool any_consumed() const { return consumed_ > 0; }
+  /// Merged deterministic view across all shards.
+  [[nodiscard]] StateSnapshot merged_snapshot() const;
+  /// Merged low-battery watchlist (sorted by bike id).
+  [[nodiscard]] std::vector<WatchEntry> watchlist() const;
+
+  // Checkpoint hooks used by the pipeline container (checkpoint.h).
+  void save(std::ostream& os) const;
+  void restore_from(std::istream& is);
+
+ private:
+  void run_regime_check(std::size_t shard);
+
+  core::ESharing* system_;
+  const EventBus* bus_;  ///< router reference for shard-of mapping
+  PlacerDriverConfig config_;
+  std::vector<StreamState> states_;
+  std::vector<ShardRegime> regimes_;
+  std::vector<std::vector<geo::Point>> shard_history_;
+  std::uint64_t consumed_{0};
+  std::uint64_t last_seq_{0};
+};
+
+struct IncentiveDriverConfig {
+  core::IncentiveConfig incentive;
+  /// A watchlist-built session maps each watchlisted bike to the nearest
+  /// parking within this radius; farther bikes are left to the operator.
+  double assign_radius_m{1e9};
+
+  void validate() const;
+};
+
+class IncentiveDriver {
+ public:
+  /// \throws std::invalid_argument on invalid config.
+  explicit IncentiveDriver(IncentiveDriverConfig config);
+
+  /// Open a session over `parkings` with its low-bike piles built from the
+  /// merged watchlist (Algorithm 3's aggregation set, fed by telemetry
+  /// instead of a fleet scan). Replaces any running session.
+  /// \throws std::invalid_argument on empty parkings.
+  void open_session(const std::vector<geo::Point>& parkings,
+                    const std::vector<WatchEntry>& watchlist);
+
+  /// Route one drained trip event's pickup into the running session: the
+  /// pickup station is the nearest session station to `e.origin`, the
+  /// destination parking is `assigned` (tier one's decision for this
+  /// rider). No-op without a session. Thresholds come from the event
+  /// (Eq. 13), battery feasibility from `can_ride`.
+  core::Offer handle_trip(const Event& e, geo::Point assigned,
+                          const core::IncentiveMechanism::CanRideFn& can_ride);
+
+  [[nodiscard]] bool session_open() const { return session_.has_value(); }
+  [[nodiscard]] const core::IncentiveMechanism& session() const;
+  [[nodiscard]] core::IncentiveMechanism& session();
+  [[nodiscard]] double total_incentives_paid() const { return paid_total_; }
+  [[nodiscard]] std::uint64_t offers_made() const { return offers_total_; }
+  [[nodiscard]] std::uint64_t relocations() const { return relocations_total_; }
+
+  // Checkpoint hooks (see checkpoint.h).
+  void save(std::ostream& os) const;
+  void restore_from(std::istream& is);
+
+ private:
+  void fold_session_totals();
+
+  IncentiveDriverConfig config_;
+  std::optional<core::IncentiveMechanism> session_;
+  geo::SpatialIndex session_index_;
+  /// Totals across closed sessions (the open session adds its own live
+  /// counters on top; see the observers above).
+  double paid_closed_{0.0};
+  std::uint64_t offers_closed_{0};
+  std::uint64_t relocations_closed_{0};
+  double paid_total_{0.0};
+  std::uint64_t offers_total_{0};
+  std::uint64_t relocations_total_{0};
+};
+
+}  // namespace esharing::stream

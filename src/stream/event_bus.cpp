@@ -1,0 +1,218 @@
+#include "stream/event_bus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace esharing::stream {
+
+namespace {
+
+struct BusObsMetrics {
+  obs::Counter& published;
+  obs::Counter& dropped_oldest;
+  obs::Counter& rejected;
+  obs::Counter& blocked;
+  obs::Counter& drained_events;
+  obs::Counter& drained_batches;
+
+  static BusObsMetrics& get() {
+    static BusObsMetrics m{
+        obs::Registry::global().counter("stream.event_bus.published"),
+        obs::Registry::global().counter("stream.event_bus.dropped_oldest"),
+        obs::Registry::global().counter("stream.event_bus.rejected"),
+        obs::Registry::global().counter("stream.event_bus.blocked_publishes"),
+        obs::Registry::global().counter("stream.event_bus.drained_events"),
+        obs::Registry::global().counter("stream.event_bus.drained_batches"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kTripStart: return "trip_start";
+    case EventKind::kTripEnd: return "trip_end";
+    case EventKind::kBatteryLevel: return "battery_level";
+  }
+  return "unknown";
+}
+
+const char* backpressure_policy_name(BackpressurePolicy p) {
+  switch (p) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop_oldest";
+    case BackpressurePolicy::kReject: return "reject";
+  }
+  return "unknown";
+}
+
+void EventBusConfig::validate() const {
+  const auto fail = [](const std::string& field, double got,
+                       const std::string& why) {
+    throw std::invalid_argument("EventBusConfig: " + field + " = " +
+                                std::to_string(got) + " is invalid: " + why);
+  };
+  if (shard_count < 1) {
+    fail("shard_count", static_cast<double>(shard_count),
+         "the bus needs at least one shard to route events to");
+  }
+  if (queue_capacity < 1) {
+    fail("queue_capacity", static_cast<double>(queue_capacity),
+         "a shard ring must hold at least one event");
+  }
+  if (max_batch < 1) {
+    fail("max_batch", static_cast<double>(max_batch),
+         "a drain batch must make progress on at least one event");
+  }
+  if (max_batch > queue_capacity) {
+    fail("max_batch", static_cast<double>(max_batch),
+         "a drain batch cannot exceed queue_capacity = " +
+             std::to_string(queue_capacity) +
+             " (the ring never holds that many events)");
+  }
+  if (!(route_cell_m > 0.0)) {
+    fail("route_cell_m", route_cell_m,
+         "the routing cell edge is a length in meters and must be positive");
+  }
+}
+
+EventBus::EventBus(EventBusConfig config) : config_(config) {
+  config_.validate();
+  shards_.reserve(config_.shard_count);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->ring.resize(config_.queue_capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t EventBus::shard_of(geo::Point p) const {
+  // Same Fibonacci cell-coordinate mixing the spatial index uses; the
+  // floor() keeps negative coordinates consistent across platforms.
+  const auto cx =
+      static_cast<std::int64_t>(std::floor(p.x / config_.route_cell_m));
+  const auto cy =
+      static_cast<std::int64_t>(std::floor(p.y / config_.route_cell_m));
+  std::uint64_t h = static_cast<std::uint64_t>(cx) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint64_t>(cy) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+       (h >> 2);
+  return static_cast<std::size_t>(h % shards_.size());
+}
+
+bool EventBus::publish(Event e) {
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[shard_of(e.where)];
+
+  std::unique_lock<std::mutex> lock(shard.mu);
+  if (shard.count == config_.queue_capacity) {
+    switch (config_.policy) {
+      case BackpressurePolicy::kBlock:
+        ++shard.blocked;
+        if (obs::enabled()) BusObsMetrics::get().blocked.add();
+        shard.space.wait(lock,
+                         [&] { return shard.count < config_.queue_capacity; });
+        break;
+      case BackpressurePolicy::kDropOldest:
+        shard.head = (shard.head + 1) % config_.queue_capacity;
+        --shard.count;
+        ++shard.dropped;
+        if (obs::enabled()) BusObsMetrics::get().dropped_oldest.add();
+        break;
+      case BackpressurePolicy::kReject:
+        ++shard.rejected;
+        if (obs::enabled()) BusObsMetrics::get().rejected.add();
+        return false;
+    }
+  }
+  shard.ring[(shard.head + shard.count) % config_.queue_capacity] = e;
+  ++shard.count;
+  published_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) BusObsMetrics::get().published.add();
+  return true;
+}
+
+void EventBus::resume_seq(std::uint64_t next) {
+  std::uint64_t current = next_seq_.load(std::memory_order_relaxed);
+  while (current < next &&
+         !next_seq_.compare_exchange_weak(current, next,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t EventBus::drain(std::size_t shard_index, std::vector<Event>& out) {
+  if (shard_index >= shards_.size()) {
+    throw std::out_of_range("EventBus::drain: shard " +
+                            std::to_string(shard_index) + " of " +
+                            std::to_string(shards_.size()));
+  }
+  Shard& shard = *shards_[shard_index];
+  std::size_t n = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n = std::min(shard.count, config_.max_batch);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(shard.ring[(shard.head + i) % config_.queue_capacity]);
+    }
+    shard.head = (shard.head + n) % config_.queue_capacity;
+    shard.count -= n;
+    shard.drained += n;
+  }
+  if (n > 0) {
+    shard.space.notify_all();
+    if (obs::enabled()) {
+      BusObsMetrics::get().drained_events.add(n);
+      BusObsMetrics::get().drained_batches.add();
+    }
+  }
+  return n;
+}
+
+std::size_t EventBus::drain_all_ordered(std::vector<Event>& out) {
+  const std::size_t before = out.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    while (drain(s, out) > 0) {
+    }
+  }
+  // Per-shard batches are FIFO; a stable merge by seq restores the global
+  // publish order across shards.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            BySeq{});
+  return out.size() - before;
+}
+
+std::size_t EventBus::pending(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("EventBus::pending: shard " +
+                            std::to_string(shard) + " of " +
+                            std::to_string(shards_.size()));
+  }
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->count;
+}
+
+std::size_t EventBus::pending_total() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += pending(s);
+  return total;
+}
+
+BusStats EventBus::stats() const {
+  BusStats st;
+  st.published = published_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    st.dropped_oldest += shard->dropped;
+    st.rejected += shard->rejected;
+    st.blocked_publishes += shard->blocked;
+    st.drained += shard->drained;
+  }
+  return st;
+}
+
+}  // namespace esharing::stream

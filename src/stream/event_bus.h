@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file event_bus.h
+/// Sharded, bounded ingestion queues: the front door of `esharing::stream`.
+///
+/// Events are routed to a shard by the grid cell of their location (the
+/// paper's 100x100 m demand grid is the natural partition key: everything
+/// downstream — demand windows, arrival rates, the watchlist — is keyed by
+/// cell, so one cell's state always lives in exactly one shard). Each shard
+/// owns one bounded MPSC ring: any number of publishers, one consumer
+/// draining in batches. A full ring applies the configured backpressure
+/// policy:
+///
+///   * kBlock      — publish waits for the consumer (lossless, the default);
+///   * kDropOldest — overwrite the oldest undrained event (freshness over
+///                   completeness, for telemetry like battery levels);
+///   * kReject     — publish fails fast and returns false (load shedding).
+///
+/// Every publish is stamped with a bus-wide monotonic sequence number.
+/// Per-shard FIFO plus the seq stamp lets a consumer merge any number of
+/// shards back into the exact publish order (see replay.h), which is the
+/// mechanism behind the multi-shard == single-shard determinism guarantee.
+/// Drops/rejections/blocks are observable through `obs` counters
+/// (`stream.event_bus.*`).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "geo/grid.h"
+#include "stream/event.h"
+
+namespace esharing::stream {
+
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock = 0,
+  kDropOldest = 1,
+  kReject = 2
+};
+
+[[nodiscard]] const char* backpressure_policy_name(BackpressurePolicy p);
+
+struct EventBusConfig {
+  std::size_t shard_count{1};      ///< >= 1; shards own disjoint cell sets
+  std::size_t queue_capacity{4096};///< per-shard ring capacity (events)
+  std::size_t max_batch{256};      ///< drain batch cap; <= queue_capacity
+  BackpressurePolicy policy{BackpressurePolicy::kBlock};
+  double route_cell_m{100.0};      ///< routing cell edge (paper grid: 100 m)
+
+  /// Fail fast with an actionable message (PR 2 validate() convention).
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate() const;
+};
+
+/// Counters snapshot for tests and status lines (the authoritative values
+/// also land in the obs registry when enabled).
+struct BusStats {
+  std::uint64_t published{0};
+  std::uint64_t dropped_oldest{0};
+  std::uint64_t rejected{0};
+  std::uint64_t blocked_publishes{0};  ///< publishes that had to wait
+  std::uint64_t drained{0};
+};
+
+class EventBus {
+ public:
+  /// \throws std::invalid_argument on invalid config.
+  explicit EventBus(EventBusConfig config);
+
+  [[nodiscard]] const EventBusConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Deterministic shard of a location: Fibonacci-mixed hash of its
+  /// routing-cell coordinates modulo the shard count. Pure function of
+  /// (point, config) — identical across runs and machines.
+  [[nodiscard]] std::size_t shard_of(geo::Point p) const;
+
+  /// Publish one event; assigns `e.seq` (bus-wide monotonic) and routes by
+  /// `e.where`. Returns false only under kReject on a full ring (the event
+  /// is discarded and no seq is consumed from the caller's perspective of
+  /// delivered events — rejected publishes still advance the stamp so
+  /// accepted order stays consistent across shards).
+  bool publish(Event e);
+
+  /// Drain up to min(max_batch, pending) events from one shard, appending
+  /// to `out` in FIFO order. Returns the number drained. Thread-safe, but
+  /// intended for one consumer per shard.
+  /// \throws std::out_of_range on a bad shard index.
+  std::size_t drain(std::size_t shard, std::vector<Event>& out);
+
+  /// Drain every shard completely and merge by seq into publish order.
+  /// Single-consumer convenience for the deterministic pipeline.
+  std::size_t drain_all_ordered(std::vector<Event>& out);
+
+  /// The seq the next publish will be stamped with.
+  [[nodiscard]] std::uint64_t next_seq() const {
+    return next_seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Fast-forward the seq counter (to max(current, next)). Used by
+  /// checkpoint restore so a fresh bus continues the stamp sequence of the
+  /// checkpointed one — window entries carry seqs, so bit-identical resume
+  /// needs the counter to resume too. Not thread-safe against concurrent
+  /// publishes; call before the pipeline restarts.
+  void resume_seq(std::uint64_t next);
+
+  /// Events currently queued in one shard.
+  [[nodiscard]] std::size_t pending(std::size_t shard) const;
+  /// Events currently queued across all shards.
+  [[nodiscard]] std::size_t pending_total() const;
+
+  [[nodiscard]] BusStats stats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable space;  ///< producers wait here under kBlock
+    std::vector<Event> ring;
+    std::size_t head{0};  ///< oldest undrained slot
+    std::size_t count{0};
+    std::uint64_t dropped{0};
+    std::uint64_t rejected{0};
+    std::uint64_t blocked{0};
+    std::uint64_t drained{0};
+  };
+
+  EventBusConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint64_t> published_{0};
+};
+
+}  // namespace esharing::stream

@@ -1,0 +1,44 @@
+#include "stream/replay.h"
+
+#include <algorithm>
+
+namespace esharing::stream {
+
+namespace {
+
+void pump_into(EventBus& bus, OnlinePlacerDriver& driver, ReplayResult& out) {
+  std::vector<Event> batch;
+  bus.drain_all_ordered(batch);
+  for (const Event& e : batch) {
+    const auto decision = driver.consume(e);
+    if (decision.has_value()) out.decisions.push_back(*decision);
+  }
+  out.consumed += batch.size();
+}
+
+}  // namespace
+
+ReplayResult replay_log(EventBus& bus, OnlinePlacerDriver& driver,
+                        const std::vector<Event>& events,
+                        std::size_t pump_every) {
+  const std::size_t capacity = bus.config().queue_capacity;
+  const std::size_t cadence =
+      std::min(pump_every == 0 ? capacity : pump_every, capacity);
+  ReplayResult result;
+  std::size_t since_pump = 0;
+  for (const Event& e : events) {
+    if (bus.publish(e)) {
+      ++result.published;
+    } else {
+      ++result.rejected;
+    }
+    if (++since_pump >= cadence) {
+      pump_into(bus, driver, result);
+      since_pump = 0;
+    }
+  }
+  pump_into(bus, driver, result);
+  return result;
+}
+
+}  // namespace esharing::stream

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file replay.h
+/// Deterministic replay: push a pre-built event log through a bus/driver
+/// pair in publish order, draining often enough that a bounded kBlock ring
+/// can never deadlock a single-threaded caller. Because every event carries
+/// a bus-assigned seq and the driver consumes in merged seq order, the
+/// decision trace of a replay depends only on the log — not on the shard
+/// count, the queue capacity, or the pump cadence. That is the
+/// "single-shard replay mode" contract: replaying any log through a
+/// one-shard bus is the reference execution that multi-shard runs are
+/// regression-tested against (tests/stream_pipeline_test.cpp).
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/meyerson.h"
+#include "stream/drivers.h"
+#include "stream/event_bus.h"
+
+namespace esharing::stream {
+
+/// Outcome of a replay: the tier-one decision trace, one entry per
+/// trip-end event, in seq order.
+struct ReplayResult {
+  std::size_t published{0};
+  std::size_t consumed{0};
+  std::size_t rejected{0};  ///< kReject publishes that were shed
+  std::vector<solver::OnlineDecision> decisions;
+};
+
+/// Publish `events` in order into `bus` and pump `driver` every
+/// `pump_every` publishes (0 selects the bus queue capacity). The
+/// effective cadence is clamped to the queue capacity, so a kBlock bus is
+/// always drained before any shard can fill even if every event routes to
+/// one shard. A final pump flushes the tail.
+ReplayResult replay_log(EventBus& bus, OnlinePlacerDriver& driver,
+                        const std::vector<Event>& events,
+                        std::size_t pump_every = 0);
+
+}  // namespace esharing::stream

@@ -174,6 +174,25 @@ TEST(SimConfigValidate, RejectsBadSimulationFields) {
   expect_rejects(c, "history_sample_cap");
 }
 
+TEST(SimConfigValidate, RejectsBadStreamKnobs) {
+  sim::SimConfig c;
+  c.stream_shards = 0;
+  expect_rejects(c, "stream_shards");
+
+  c = {};
+  c.stream_batch = 0;
+  expect_rejects(c, "stream_batch");
+
+  c = {};
+  c.stream_queue_capacity = 8;
+  c.stream_batch = 9;
+  expect_rejects(c, "stream_queue_capacity");
+
+  c = {};
+  c.stream_route_cell_m = 0.0;
+  expect_rejects(c, "stream_route_cell_m");
+}
+
 TEST(SimConfigValidate, NestedESharingConfigIsChecked) {
   sim::SimConfig c;
   c.esharing.incentive.alpha = 2.0;

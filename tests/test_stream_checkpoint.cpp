@@ -1,0 +1,317 @@
+#include "stream/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/esharing.h"
+#include "data/wire.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+#include "stream/drivers.h"
+#include "stream/event_bus.h"
+#include "stream/replay.h"
+
+namespace esharing::stream {
+namespace {
+
+using data::DemandSite;
+using geo::Point;
+
+std::vector<DemandSite> two_cluster_sites() {
+  std::vector<DemandSite> sites;
+  std::size_t cell = 0;
+  for (double dx : {0.0, 100.0, 200.0}) {
+    sites.push_back({{dx + 100.0, 100.0}, 10.0, cell++});
+    sites.push_back({{dx + 2400.0, 2500.0}, 8.0, cell++});
+  }
+  return sites;
+}
+
+core::ESharingConfig system_config() {
+  core::ESharingConfig cfg;
+  cfg.placer.ks_period = 0;
+  cfg.placer.adaptive_type = false;
+  return cfg;
+}
+
+EventBusConfig bus_config(std::size_t shards) {
+  EventBusConfig cfg;
+  cfg.shard_count = shards;
+  cfg.queue_capacity = 128;
+  cfg.max_batch = 64;
+  return cfg;
+}
+
+PlacerDriverConfig driver_config() {
+  PlacerDriverConfig cfg;
+  cfg.regime_check_period = 32;
+  cfg.regime_min_samples = 8;
+  return cfg;
+}
+
+/// One complete streaming pipeline: system, bus, drivers — built
+/// identically for a given seed so runs are comparable.
+struct Pipeline {
+  core::ESharing system;
+  std::vector<Point> sample;
+  EventBus bus;
+  OnlinePlacerDriver placer_driver;
+  IncentiveDriver incentive_driver;
+
+  explicit Pipeline(std::uint64_t seed, std::size_t shards = 4)
+      : system(system_config(), seed),
+        sample(make_sample(seed)),
+        bus(bus_config(shards)),
+        placer_driver(start(system, seed), bus, sample, driver_config()),
+        incentive_driver(IncentiveDriverConfig{}) {}
+
+  static std::vector<Point> make_sample(std::uint64_t seed) {
+    stats::Rng rng(seed);
+    return stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, 120);
+  }
+
+  static core::ESharing& start(core::ESharing& system, std::uint64_t seed) {
+    (void)system.plan_offline(two_cluster_sites(),
+                              [](Point) { return 2000.0; });
+    stats::Rng rng(seed);
+    system.start_online(
+        stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, 120));
+    return system;
+  }
+};
+
+/// Trip-end requests with battery telemetry sprinkled in so the watchlist
+/// (and therefore the incentive blob) is non-trivial.
+std::vector<Event> mixed_log(std::uint64_t seed, int n) {
+  stats::Rng rng(seed);
+  const auto points = stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n);
+  std::vector<Event> log;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Event e;
+    e.kind = EventKind::kTripEnd;
+    e.time = static_cast<data::Seconds>(i * 20);
+    e.where = points[i];
+    log.push_back(e);
+    if (i % 10 == 3) {
+      Event b;
+      b.kind = EventKind::kBatteryLevel;
+      b.time = e.time + 1;
+      b.where = points[i];
+      b.bike_id = static_cast<std::int64_t>(i / 10);
+      b.soc = 0.1;
+      log.push_back(b);
+    }
+  }
+  return log;
+}
+
+void expect_same_decisions(const std::vector<solver::OnlineDecision>& a,
+                           const std::vector<solver::OnlineDecision>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].opened, b[i].opened) << "decision " << i;
+    EXPECT_EQ(a[i].facility, b[i].facility) << "decision " << i;
+    EXPECT_DOUBLE_EQ(a[i].connection_cost, b[i].connection_cost)
+        << "decision " << i;
+  }
+}
+
+TEST(StreamCheckpoint, HalfwayRestoreContinuesBitIdentically) {
+  const auto log = mixed_log(42, 300);
+  const std::vector<Event> first(log.begin(), log.begin() + 150);
+  const std::vector<Event> second(log.begin() + 150, log.end());
+
+  // Pipeline A runs uninterrupted; checkpoint taken at the halfway mark.
+  Pipeline a(9);
+  (void)replay_log(a.bus, a.placer_driver, first);
+  a.incentive_driver.open_session(a.system.parking_locations(),
+                                  a.placer_driver.watchlist());
+  std::ostringstream blob;
+  save_checkpoint(blob, a.bus, a.placer_driver, a.incentive_driver);
+  const auto tail_a = replay_log(a.bus, a.placer_driver, second);
+
+  // Pipeline B is a fresh process restored from the blob.
+  Pipeline b(9);
+  std::istringstream in(blob.str());
+  const CheckpointInfo info = restore_checkpoint(
+      in, b.bus, b.system, b.placer_driver, b.incentive_driver);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.shard_count, 4u);
+  EXPECT_EQ(info.events_consumed, first.size());
+  EXPECT_EQ(info.last_seq, first.size() - 1);
+  EXPECT_TRUE(b.incentive_driver.session_open());
+  const auto tail_b = replay_log(b.bus, b.placer_driver, second);
+
+  // The resumed run reproduces the uninterrupted one decision for decision.
+  expect_same_decisions(tail_a.decisions, tail_b.decisions);
+  const auto stations_a = a.system.placer().active_locations();
+  const auto stations_b = b.system.placer().active_locations();
+  ASSERT_EQ(stations_a.size(), stations_b.size());
+  for (std::size_t i = 0; i < stations_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stations_a[i].x, stations_b[i].x);
+    EXPECT_DOUBLE_EQ(stations_a[i].y, stations_b[i].y);
+  }
+  EXPECT_EQ(a.system.placer().requests_seen(),
+            b.system.placer().requests_seen());
+  EXPECT_EQ(a.placer_driver.events_consumed(),
+            b.placer_driver.events_consumed());
+  EXPECT_EQ(a.placer_driver.last_seq(), b.placer_driver.last_seq());
+
+  // Shard states match exactly — including the window publish seqs, which
+  // only line up because the restored bus resumed the seq counter.
+  for (std::size_t s = 0; s < a.placer_driver.shard_count(); ++s) {
+    EXPECT_TRUE(a.placer_driver.shard_state(s).equals(
+        b.placer_driver.shard_state(s)))
+        << "shard " << s;
+    EXPECT_DOUBLE_EQ(a.placer_driver.shard_regime(s).similarity,
+                     b.placer_driver.shard_regime(s).similarity);
+    EXPECT_EQ(a.placer_driver.shard_regime(s).checks,
+              b.placer_driver.shard_regime(s).checks);
+  }
+
+  // Incentive sessions stay in lock-step through identical pickups.
+  const auto can_ride = [](std::size_t, double) { return true; };
+  stats::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    Event e;
+    e.kind = EventKind::kTripEnd;
+    e.origin = {rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)};
+    e.user_max_walk_m = rng.uniform(100.0, 600.0);
+    e.user_min_reward = rng.uniform(0.0, 1.0);
+    const Point assigned = stations_a[static_cast<std::size_t>(i) %
+                                      stations_a.size()];
+    const core::Offer oa = a.incentive_driver.handle_trip(e, assigned, can_ride);
+    const core::Offer ob = b.incentive_driver.handle_trip(e, assigned, can_ride);
+    EXPECT_EQ(oa.made, ob.made) << "trip " << i;
+    EXPECT_EQ(oa.accepted, ob.accepted) << "trip " << i;
+    EXPECT_DOUBLE_EQ(oa.incentive, ob.incentive) << "trip " << i;
+  }
+  EXPECT_DOUBLE_EQ(a.incentive_driver.total_incentives_paid(),
+                   b.incentive_driver.total_incentives_paid());
+  EXPECT_EQ(a.incentive_driver.offers_made(), b.incentive_driver.offers_made());
+  EXPECT_EQ(a.incentive_driver.relocations(), b.incentive_driver.relocations());
+
+  // Identical state checkpoints to identical bytes.
+  std::ostringstream blob_a, blob_b;
+  save_checkpoint(blob_a, a.bus, a.placer_driver, a.incentive_driver);
+  save_checkpoint(blob_b, b.bus, b.placer_driver, b.incentive_driver);
+  EXPECT_EQ(blob_a.str(), blob_b.str());
+}
+
+TEST(StreamCheckpoint, SaveRequiresDrainedQueues) {
+  Pipeline p(3);
+  Event e;
+  e.kind = EventKind::kTripEnd;
+  e.where = {10, 10};
+  ASSERT_TRUE(p.bus.publish(e));
+  std::ostringstream blob;
+  EXPECT_THROW(
+      save_checkpoint(blob, p.bus, p.placer_driver, p.incentive_driver),
+      std::logic_error);
+  // Draining and consuming clears the objection.
+  (void)p.placer_driver.pump(p.bus);
+  EXPECT_NO_THROW(
+      save_checkpoint(blob, p.bus, p.placer_driver, p.incentive_driver));
+}
+
+TEST(StreamCheckpoint, RestoreRejectsForeignOrCorruptBlobs) {
+  Pipeline p(3);
+
+  {  // Not a checkpoint at all.
+    std::istringstream junk("definitely not a checkpoint blob");
+    EXPECT_THROW((void)restore_checkpoint(junk, p.bus, p.system,
+                                          p.placer_driver, p.incentive_driver),
+                 std::runtime_error);
+  }
+  {  // Right magic, unsupported version.
+    std::ostringstream os;
+    data::wire::write_u64(os, 0x4553545243435031ULL);
+    data::wire::write_u64(os, 999);
+    std::istringstream is(os.str());
+    EXPECT_THROW((void)restore_checkpoint(is, p.bus, p.system,
+                                          p.placer_driver, p.incentive_driver),
+                 std::runtime_error);
+  }
+  {  // Truncated mid-body.
+    std::ostringstream os;
+    save_checkpoint(os, p.bus, p.placer_driver, p.incentive_driver);
+    const std::string full = os.str();
+    std::istringstream is(full.substr(0, full.size() / 2));
+    EXPECT_THROW((void)restore_checkpoint(is, p.bus, p.system,
+                                          p.placer_driver, p.incentive_driver),
+                 std::runtime_error);
+  }
+}
+
+TEST(StreamCheckpoint, RestoreRejectsMismatchedBusFingerprint) {
+  Pipeline four(3, 4);
+  std::ostringstream blob;
+  save_checkpoint(blob, four.bus, four.placer_driver, four.incentive_driver);
+
+  {  // Different shard count: shard ownership would not line up.
+    Pipeline two(3, 2);
+    std::istringstream is(blob.str());
+    EXPECT_THROW(
+        (void)restore_checkpoint(is, two.bus, two.system, two.placer_driver,
+                                 two.incentive_driver),
+        std::runtime_error);
+  }
+  {  // Same shard count but different routing cell: same problem.
+    core::ESharing system(system_config(), 3);
+    Pipeline::start(system, 3);
+    auto cfg = bus_config(4);
+    cfg.route_cell_m = 250.0;
+    EventBus bus(cfg);
+    OnlinePlacerDriver driver(system, bus, Pipeline::make_sample(3),
+                              driver_config());
+    IncentiveDriver incentives{IncentiveDriverConfig{}};
+    std::istringstream is(blob.str());
+    EXPECT_THROW(
+        (void)restore_checkpoint(is, bus, system, driver, incentives),
+        std::runtime_error);
+  }
+  {  // Wiring error: `system` is not the driver's system.
+    Pipeline other(3, 4);
+    core::ESharing stranger(system_config(), 3);
+    Pipeline::start(stranger, 3);
+    std::istringstream is(blob.str());
+    EXPECT_THROW(
+        (void)restore_checkpoint(is, other.bus, stranger, other.placer_driver,
+                                 other.incentive_driver),
+        std::logic_error);
+  }
+}
+
+TEST(StreamCheckpoint, FileWrappersRoundTrip) {
+  const std::string path = testing::TempDir() + "esharing_stream_ckpt.bin";
+  const auto log = mixed_log(8, 100);
+
+  Pipeline a(21);
+  (void)replay_log(a.bus, a.placer_driver, log);
+  save_checkpoint_file(path, a.bus, a.placer_driver, a.incentive_driver);
+
+  Pipeline b(21);
+  const CheckpointInfo info = restore_checkpoint_file(
+      path, b.bus, b.system, b.placer_driver, b.incentive_driver);
+  EXPECT_EQ(info.events_consumed, log.size());
+  for (std::size_t s = 0; s < a.placer_driver.shard_count(); ++s) {
+    EXPECT_TRUE(a.placer_driver.shard_state(s).equals(
+        b.placer_driver.shard_state(s)));
+  }
+  std::remove(path.c_str());
+
+  Pipeline c(21);
+  EXPECT_THROW(
+      (void)restore_checkpoint_file("/nonexistent/dir/ckpt.bin", c.bus,
+                                    c.system, c.placer_driver,
+                                    c.incentive_driver),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace esharing::stream

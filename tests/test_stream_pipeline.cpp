@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/esharing.h"
+#include "sim/microsim.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+#include "stream/drivers.h"
+#include "stream/event_bus.h"
+#include "stream/replay.h"
+
+namespace esharing::stream {
+namespace {
+
+using data::DemandSite;
+using geo::Point;
+
+std::vector<DemandSite> two_cluster_sites() {
+  std::vector<DemandSite> sites;
+  std::size_t cell = 0;
+  for (double dx : {0.0, 100.0, 200.0}) {
+    sites.push_back({{dx + 100.0, 100.0}, 10.0, cell++});
+    sites.push_back({{dx + 2400.0, 2500.0}, 8.0, cell++});
+  }
+  return sites;
+}
+
+core::ESharingConfig system_config() {
+  core::ESharingConfig cfg;
+  cfg.placer.ks_period = 0;
+  cfg.placer.adaptive_type = false;
+  return cfg;
+}
+
+/// A planned, online system plus the KS sample it was started with.
+struct OnlineSystem {
+  core::ESharing system;
+  std::vector<Point> sample;
+
+  explicit OnlineSystem(std::uint64_t seed) : system(system_config(), seed) {
+    (void)system.plan_offline(two_cluster_sites(),
+                              [](Point) { return 2000.0; });
+    stats::Rng rng(seed);
+    sample = stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, 120);
+    system.start_online(sample);
+  }
+};
+
+std::vector<Event> request_log(std::uint64_t seed, int n) {
+  stats::Rng rng(seed);
+  const auto points = stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n);
+  std::vector<Event> log;
+  log.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Event e;
+    e.kind = EventKind::kTripEnd;
+    e.time = static_cast<data::Seconds>(i * 30);
+    e.where = points[i];
+    log.push_back(e);
+  }
+  return log;
+}
+
+/// Batch reference: the same requests fed straight into handle_request.
+std::vector<solver::OnlineDecision> batch_decisions(
+    core::ESharing& system, const std::vector<Event>& log) {
+  std::vector<solver::OnlineDecision> decisions;
+  for (const Event& e : log) {
+    decisions.push_back(system.handle_request(e.where, e.weight));
+  }
+  return decisions;
+}
+
+void expect_same_decisions(const std::vector<solver::OnlineDecision>& a,
+                           const std::vector<solver::OnlineDecision>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].opened, b[i].opened) << "decision " << i;
+    EXPECT_EQ(a[i].facility, b[i].facility) << "decision " << i;
+    EXPECT_DOUBLE_EQ(a[i].connection_cost, b[i].connection_cost)
+        << "decision " << i;
+  }
+}
+
+void expect_same_stations(const std::vector<Point>& a,
+                          const std::vector<Point>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x) << "station " << i;
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y) << "station " << i;
+  }
+}
+
+TEST(StreamPipeline, DriverRequiresOnlineSystem) {
+  core::ESharing offline_only(system_config(), 1);
+  (void)offline_only.plan_offline(two_cluster_sites(),
+                                  [](Point) { return 2000.0; });
+  const EventBus bus(EventBusConfig{});
+  EXPECT_THROW(OnlinePlacerDriver(offline_only, bus, {}, PlacerDriverConfig{}),
+               std::logic_error);
+}
+
+TEST(StreamPipeline, DriverConfigValidation) {
+  PlacerDriverConfig cfg;
+  cfg.regime_min_samples = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.regime_check_period = 0;  // disabled check: min samples may be 0
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(StreamPipeline, StreamedDecisionsMatchBatchSingleShard) {
+  OnlineSystem batch(7);
+  OnlineSystem streamed(7);
+  const auto log = request_log(99, 300);
+
+  const auto expected = batch_decisions(batch.system, log);
+
+  EventBusConfig bus_cfg;
+  bus_cfg.shard_count = 1;
+  bus_cfg.queue_capacity = 64;
+  bus_cfg.max_batch = 32;
+  EventBus bus(bus_cfg);
+  OnlinePlacerDriver driver(streamed.system, bus, streamed.sample,
+                            PlacerDriverConfig{});
+  const auto result = replay_log(bus, driver, log);
+
+  EXPECT_EQ(result.published, log.size());
+  EXPECT_EQ(result.consumed, log.size());
+  expect_same_decisions(expected, result.decisions);
+  expect_same_stations(batch.system.placer().active_locations(),
+                       streamed.system.placer().active_locations());
+  EXPECT_EQ(batch.system.placer().requests_seen(),
+            streamed.system.placer().requests_seen());
+}
+
+TEST(StreamPipeline, FourShardsMatchBatchAndSingleShard) {
+  OnlineSystem batch(11);
+  OnlineSystem one_shard(11);
+  OnlineSystem four_shard(11);
+  const auto log = request_log(123, 400);
+
+  const auto expected = batch_decisions(batch.system, log);
+
+  EventBusConfig cfg1;
+  cfg1.shard_count = 1;
+  EventBus bus1(cfg1);
+  OnlinePlacerDriver driver1(one_shard.system, bus1, one_shard.sample,
+                             PlacerDriverConfig{});
+  const auto r1 = replay_log(bus1, driver1, log);
+
+  EventBusConfig cfg4;
+  cfg4.shard_count = 4;
+  EventBus bus4(cfg4);
+  OnlinePlacerDriver driver4(four_shard.system, bus4, four_shard.sample,
+                             PlacerDriverConfig{});
+  const auto r4 = replay_log(bus4, driver4, log);
+
+  expect_same_decisions(expected, r1.decisions);
+  expect_same_decisions(r1.decisions, r4.decisions);
+  expect_same_stations(one_shard.system.placer().active_locations(),
+                       four_shard.system.placer().active_locations());
+  expect_same_stations(batch.system.placer().active_locations(),
+                       four_shard.system.placer().active_locations());
+
+  // The merged stream views are also shard-count invariant.
+  const auto m1 = driver1.merged_snapshot();
+  const auto m4 = driver4.merged_snapshot();
+  ASSERT_EQ(m1.window.size(), m4.window.size());
+  for (std::size_t i = 0; i < m1.window.size(); ++i) {
+    EXPECT_EQ(m1.window[i].seq, m4.window[i].seq);
+  }
+}
+
+TEST(StreamPipeline, RegimeChecksRunFromShardWindows) {
+  OnlineSystem sys(13);
+  const auto log = request_log(5, 256);
+
+  EventBusConfig cfg;
+  cfg.shard_count = 2;
+  EventBus bus(cfg);
+  PlacerDriverConfig driver_cfg;
+  driver_cfg.regime_check_period = 16;
+  driver_cfg.regime_min_samples = 8;
+  OnlinePlacerDriver driver(sys.system, bus, sys.sample, driver_cfg);
+  (void)replay_log(bus, driver, log);
+
+  std::uint64_t checks = 0;
+  for (std::size_t s = 0; s < driver.shard_count(); ++s) {
+    const auto& regime = driver.shard_regime(s);
+    checks += regime.checks;
+    EXPECT_GE(regime.similarity, 0.0);
+    EXPECT_LE(regime.similarity, 100.0);
+  }
+  EXPECT_GT(checks, 0u);
+  EXPECT_EQ(driver.events_consumed(), log.size());
+}
+
+TEST(StreamPipeline, IncentiveDriverMatchesDirectSession) {
+  // Parkings on a line, watchlisted bikes near them, trips picking up at
+  // the stations: the driver must reproduce a hand-built Algorithm 3
+  // session offer for offer.
+  std::vector<Point> parkings;
+  for (int i = 0; i < 6; ++i) parkings.push_back({i * 400.0, 0.0});
+  std::vector<WatchEntry> watchlist;
+  for (int b = 0; b < 8; ++b) {
+    watchlist.push_back({b, {b % 6 * 400.0 + 10.0, 5.0}, 0.1, 0});
+  }
+
+  core::IncentiveConfig icfg;
+  icfg.alpha = 0.5;
+  IncentiveDriverConfig dcfg;
+  dcfg.incentive = icfg;
+  IncentiveDriver driver(dcfg);
+  driver.open_session(parkings, watchlist);
+  ASSERT_TRUE(driver.session_open());
+
+  // Hand-built twin: identical stations and piles.
+  std::vector<core::EnergyStation> stations;
+  for (Point p : parkings) stations.push_back({p, {}});
+  const geo::SpatialIndex index(parkings);
+  for (const auto& w : watchlist) {
+    stations[index.nearest(w.where)].low_bikes.push_back(
+        static_cast<std::size_t>(w.bike_id));
+  }
+  core::IncentiveMechanism twin(stations, icfg);
+
+  const auto can_ride = [](std::size_t, double) { return true; };
+  stats::Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    Event e;
+    e.kind = EventKind::kTripEnd;
+    e.origin = {rng.uniform(0.0, 2000.0), rng.uniform(-20.0, 20.0)};
+    e.user_max_walk_m = rng.uniform(100.0, 600.0);
+    e.user_min_reward = rng.uniform(0.0, 1.0);
+    const Point assigned = parkings[static_cast<std::size_t>(i) % parkings.size()];
+
+    const core::Offer got = driver.handle_trip(e, assigned, can_ride);
+    const core::UserBehavior user{e.user_max_walk_m, e.user_min_reward};
+    const core::Offer want = twin.handle_pickup(index.nearest(e.origin),
+                                                assigned, user, can_ride);
+    EXPECT_EQ(got.made, want.made) << "trip " << i;
+    EXPECT_EQ(got.accepted, want.accepted) << "trip " << i;
+    EXPECT_DOUBLE_EQ(got.incentive, want.incentive) << "trip " << i;
+    EXPECT_EQ(got.bike, want.bike) << "trip " << i;
+  }
+  EXPECT_DOUBLE_EQ(driver.total_incentives_paid(),
+                   twin.total_incentives_paid());
+  EXPECT_EQ(driver.offers_made(), twin.offers_made());
+  EXPECT_EQ(driver.relocations(), twin.relocations());
+  EXPECT_GT(driver.offers_made(), 0u);  // the scenario exercises offers
+
+  // Re-opening folds the closed session's totals into the running counts.
+  const double paid_before = driver.total_incentives_paid();
+  driver.open_session(parkings, watchlist);
+  EXPECT_DOUBLE_EQ(driver.total_incentives_paid(), paid_before);
+}
+
+TEST(StreamPipeline, IncentiveDriverGuards) {
+  IncentiveDriverConfig bad;
+  bad.assign_radius_m = 0.0;
+  EXPECT_THROW(IncentiveDriver{bad}, std::invalid_argument);
+
+  IncentiveDriver driver{IncentiveDriverConfig{}};
+  EXPECT_FALSE(driver.session_open());
+  EXPECT_THROW((void)driver.session(), std::logic_error);
+  EXPECT_THROW(driver.open_session({}, {}), std::invalid_argument);
+  // Without a session a trip is a no-op, not an error.
+  Event e;
+  const auto offer =
+      driver.handle_trip(e, {0, 0}, [](std::size_t, double) { return true; });
+  EXPECT_FALSE(offer.made);
+}
+
+TEST(StreamPipeline, WatchlistFeedsIncentiveSessions) {
+  OnlineSystem sys(17);
+  EventBusConfig cfg;
+  cfg.shard_count = 2;
+  EventBus bus(cfg);
+  StreamStateConfig state_cfg;
+  state_cfg.low_soc_threshold = 0.25;
+  PlacerDriverConfig driver_cfg;
+  driver_cfg.state = state_cfg;
+  OnlinePlacerDriver driver(sys.system, bus, sys.sample, driver_cfg);
+
+  // Telemetry: four low bikes, one healthy.
+  for (int b = 0; b < 5; ++b) {
+    Event e;
+    e.kind = EventKind::kBatteryLevel;
+    e.time = b;
+    e.where = {b * 700.0, b * 300.0};
+    e.bike_id = b;
+    e.soc = b == 4 ? 0.9 : 0.1;
+    ASSERT_TRUE(bus.publish(e));
+  }
+  (void)driver.pump(bus);
+
+  const auto watchlist = driver.watchlist();
+  ASSERT_EQ(watchlist.size(), 4u);
+  IncentiveDriver incentives{IncentiveDriverConfig{}};
+  incentives.open_session(sys.system.parking_locations(), watchlist);
+  std::size_t piled = 0;
+  for (const auto& s : incentives.session().stations()) {
+    piled += s.low_bikes.size();
+  }
+  EXPECT_EQ(piled, 4u);  // every watchlisted bike lands in some pile
+}
+
+TEST(StreamPipeline, MicrosimPublishesTelemetryOntoBus) {
+  data::CityConfig city_cfg;
+  city_cfg.num_days = 1;
+  city_cfg.trips_per_weekday = 150;
+  city_cfg.trips_per_weekend_day = 120;
+  city_cfg.num_bikes = 40;
+  city_cfg.num_users = 80;
+  data::SyntheticCity city(city_cfg, 21);
+  const auto history = city.generate_trips();
+  const auto live = city.generate_trips();
+
+  sim::MicroSimConfig cfg;
+  cfg.esharing.placer.ks_period = 0;
+  sim::MicroSimulation microsim(city, cfg, 3);
+  microsim.bootstrap(history);
+
+  EventBusConfig bus_cfg;
+  bus_cfg.shard_count = 2;
+  bus_cfg.queue_capacity = 128;
+  bus_cfg.max_batch = 64;
+  EventBus bus(bus_cfg);
+  std::vector<Event> seen;
+  microsim.attach_stream(&bus, [&seen](const std::vector<Event>& batch) {
+    seen.insert(seen.end(), batch.begin(), batch.end());
+  });
+  const auto metrics = microsim.run(live);
+
+  std::size_t trip_ends = 0, battery_reports = 0;
+  for (const Event& e : seen) {
+    if (e.kind == EventKind::kTripEnd) ++trip_ends;
+    if (e.kind == EventKind::kBatteryLevel) ++battery_reports;
+  }
+  // Every demand request publishes its tier-one signal; every completed
+  // ride reports the bike's residual battery.
+  EXPECT_EQ(trip_ends, metrics.demand);
+  EXPECT_EQ(battery_reports, metrics.served);
+  EXPECT_EQ(bus.pending_total(), 0u);
+  // Seqs arrive in merged publish order.
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1].seq, seen[i].seq);
+  }
+}
+
+}  // namespace
+}  // namespace esharing::stream

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "data/synthetic_city.h"
+#include "sim/simulation.h"
+#include "stream/event_bus.h"
+
+namespace esharing::sim {
+namespace {
+
+data::CityConfig small_city() {
+  data::CityConfig cfg;
+  cfg.num_days = 2;
+  cfg.trips_per_weekday = 250;
+  cfg.trips_per_weekend_day = 200;
+  cfg.num_bikes = 60;
+  cfg.num_users = 150;
+  return cfg;
+}
+
+SimConfig fast_sim() {
+  SimConfig cfg;
+  cfg.esharing.placer.ks_period = 0;
+  cfg.esharing.charging_operator.work_seconds = 8.0 * 3600.0;
+  return cfg;
+}
+
+void expect_identical_metrics(const SimMetrics& batch,
+                              const SimMetrics& streamed) {
+  EXPECT_EQ(batch.trips, streamed.trips);
+  EXPECT_DOUBLE_EQ(batch.walking_cost_m, streamed.walking_cost_m);
+  EXPECT_EQ(batch.stations_final, streamed.stations_final);
+  EXPECT_EQ(batch.stations_online_opened, streamed.stations_online_opened);
+  EXPECT_EQ(batch.stations_removed, streamed.stations_removed);
+  EXPECT_DOUBLE_EQ(batch.incentives_paid, streamed.incentives_paid);
+  EXPECT_EQ(batch.offers_made, streamed.offers_made);
+  EXPECT_EQ(batch.relocations, streamed.relocations);
+  ASSERT_EQ(batch.charging_rounds.size(), streamed.charging_rounds.size());
+  for (std::size_t i = 0; i < batch.charging_rounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch.charging_rounds[i].total_cost(),
+                     streamed.charging_rounds[i].total_cost());
+    EXPECT_DOUBLE_EQ(batch.charging_rounds[i].moving_distance_m,
+                     streamed.charging_rounds[i].moving_distance_m);
+    EXPECT_EQ(batch.charging_rounds[i].bikes_charged,
+              streamed.charging_rounds[i].bikes_charged);
+  }
+}
+
+void expect_identical_systems(const Simulation& batch,
+                              const Simulation& streamed) {
+  const auto a = batch.system().placer().active_locations();
+  const auto b = streamed.system().placer().active_locations();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].x, b[i].x) << "station " << i;
+    EXPECT_DOUBLE_EQ(a[i].y, b[i].y) << "station " << i;
+  }
+  EXPECT_EQ(batch.system().placer().requests_seen(),
+            streamed.system().placer().requests_seen());
+  EXPECT_DOUBLE_EQ(batch.system().placer().total_connection_cost(),
+                   streamed.system().placer().total_connection_cost());
+}
+
+class StreamRegression : public ::testing::Test {
+ protected:
+  StreamRegression() : city_(small_city(), 31) {
+    history_ = city_.generate_trips();
+    live_ = city_.generate_trips();
+  }
+
+  SimMetrics run_batch(const SimConfig& cfg, Simulation** out = nullptr) {
+    static_sims_.push_back(std::make_unique<Simulation>(city_, cfg, 7));
+    Simulation& sim = *static_sims_.back();
+    sim.bootstrap(history_);
+    if (out != nullptr) *out = &sim;
+    return sim.run(live_);
+  }
+
+  SimMetrics run_streamed(const SimConfig& cfg,
+                          stream::BusStats* stats = nullptr,
+                          Simulation** out = nullptr) {
+    static_sims_.push_back(std::make_unique<Simulation>(city_, cfg, 7));
+    Simulation& sim = *static_sims_.back();
+    sim.bootstrap(history_);
+    if (out != nullptr) *out = &sim;
+    return sim.run_streamed(live_, stats);
+  }
+
+  data::SyntheticCity city_;
+  std::vector<data::TripRecord> history_;
+  std::vector<data::TripRecord> live_;
+  std::vector<std::unique_ptr<Simulation>> static_sims_;
+};
+
+TEST_F(StreamRegression, SingleShardMatchesBatchBitForBit) {
+  const SimConfig cfg = fast_sim();
+  Simulation* batch_sim = nullptr;
+  Simulation* stream_sim = nullptr;
+  const SimMetrics batch = run_batch(cfg, &batch_sim);
+
+  SimConfig streamed_cfg = cfg;
+  streamed_cfg.stream_shards = 1;
+  stream::BusStats stats;
+  const SimMetrics streamed = run_streamed(streamed_cfg, &stats, &stream_sim);
+
+  expect_identical_metrics(batch, streamed);
+  expect_identical_systems(*batch_sim, *stream_sim);
+  EXPECT_EQ(stats.published, live_.size());
+  EXPECT_EQ(stats.drained, live_.size());
+  EXPECT_EQ(stats.dropped_oldest, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST_F(StreamRegression, FourShardsMatchBatchBitForBit) {
+  const SimConfig cfg = fast_sim();
+  Simulation* batch_sim = nullptr;
+  Simulation* stream_sim = nullptr;
+  const SimMetrics batch = run_batch(cfg, &batch_sim);
+
+  SimConfig streamed_cfg = cfg;
+  streamed_cfg.stream_shards = 4;
+  streamed_cfg.stream_queue_capacity = 64;  // forces many mid-stream pumps
+  streamed_cfg.stream_batch = 16;
+  stream::BusStats stats;
+  const SimMetrics streamed = run_streamed(streamed_cfg, &stats, &stream_sim);
+
+  expect_identical_metrics(batch, streamed);
+  expect_identical_systems(*batch_sim, *stream_sim);
+  EXPECT_EQ(stats.published, live_.size());
+}
+
+TEST_F(StreamRegression, ShardCountDoesNotChangeTheStreamedRun) {
+  SimConfig one = fast_sim();
+  one.stream_shards = 1;
+  SimConfig eight = fast_sim();
+  eight.stream_shards = 8;
+  eight.stream_route_cell_m = 250.0;  // different routing must not matter
+
+  const SimMetrics a = run_streamed(one);
+  const SimMetrics b = run_streamed(eight);
+  expect_identical_metrics(a, b);
+}
+
+TEST_F(StreamRegression, KsSwitchingSurvivesTheStreamPath) {
+  // With the KS check enabled the placer consults its sliding window and
+  // RNG-backed regime state — the strongest determinism stressor we have.
+  SimConfig cfg = fast_sim();
+  cfg.esharing.placer.ks_period = 64;
+  cfg.esharing.placer.adaptive_type = true;
+
+  Simulation* batch_sim = nullptr;
+  Simulation* stream_sim = nullptr;
+  const SimMetrics batch = run_batch(cfg, &batch_sim);
+  SimConfig streamed_cfg = cfg;
+  streamed_cfg.stream_shards = 4;
+  const SimMetrics streamed = run_streamed(streamed_cfg, nullptr, &stream_sim);
+  expect_identical_metrics(batch, streamed);
+  expect_identical_systems(*batch_sim, *stream_sim);
+}
+
+TEST_F(StreamRegression, RepeatedStreamedRunsAdvanceTime) {
+  // run_streamed composes like run(): a second call continues the clock.
+  SimConfig cfg = fast_sim();
+  cfg.stream_shards = 2;
+  Simulation sim(city_, cfg, 7);
+  sim.bootstrap(history_);
+  const SimMetrics first = sim.run_streamed(live_);
+  const auto more = city_.generate_trips();
+  const SimMetrics second = sim.run_streamed(more);
+  EXPECT_EQ(first.trips, live_.size());
+  EXPECT_EQ(second.trips, more.size());
+  EXPECT_GE(second.charging_rounds.size(), 1u);
+}
+
+}  // namespace
+}  // namespace esharing::sim
