@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "data/sorted_view.h"
 #include "geo/geohash.h"
 
 namespace esharing::data {
@@ -105,13 +106,13 @@ std::vector<DemandSite> demand_sites_in_window(
         proj.to_local(geo::geohash_decode(trip.end_geohash).center);
     ++counts[grid.index_of(grid.clamped_cell_of(end))];
   }
+  // Demand sites seed plan_offline and the solver goldens — emit them in
+  // cell order, never hash order (see data/sorted_view.h).
   std::vector<DemandSite> sites;
   sites.reserve(counts.size());
-  for (const auto& [cell, n] : counts) {
+  for (const auto& [cell, n] : sorted_items(counts)) {
     sites.push_back({grid.centroid_of(grid.cell_at(cell)), n, cell});
   }
-  std::sort(sites.begin(), sites.end(),
-            [](const DemandSite& a, const DemandSite& b) { return a.cell < b.cell; });
   return sites;
 }
 

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file sorted_view.h
+/// Deterministic iteration over unordered containers. Hash-map iteration
+/// order depends on the implementation, the allocator and the insertion
+/// history, so a range-for over an `unordered_map` must never feed a
+/// serialized output path (checkpoints, JSONL events, golden snapshots) —
+/// the project lint (`tools/lint`, rule `unordered-iter`) enforces exactly
+/// that in the determinism-critical files. These helpers are the sanctioned
+/// replacement: copy the items out once, sort by key, iterate the vector.
+///
+///   for (const auto& [key, value] : data::sorted_items(cells_, by_cell)) ...
+///
+/// The copy is deliberate: snapshot/serialization paths are cold compared
+/// to the per-event hot paths, and a sorted vector is also the shape the
+/// wire format and the snapshot structs want downstream.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace esharing::data {
+
+/// Key-sorted copy of a map's (key, mapped) pairs. `less` compares keys;
+/// defaults to `operator<`. Keys are unique in a map, so the order is total
+/// and reproducible for any hasher, load factor or insertion history.
+template <typename Map, typename Less>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m, Less less) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  for (const auto& [key, value] : m) {  // lint-ok: unordered-iter sorted below
+    items.emplace_back(key, value);
+  }
+  std::sort(items.begin(), items.end(),
+            [&less](const auto& a, const auto& b) {
+              return less(a.first, b.first);
+            });
+  return items;
+}
+
+template <typename Map>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  return sorted_items(m, [](const auto& a, const auto& b) { return a < b; });
+}
+
+}  // namespace esharing::data

@@ -9,42 +9,43 @@
 namespace esharing::obs {
 
 void StreamEventSink::write(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   *out_ << line << '\n';
 }
 
 struct FileEventSink::Impl {
-  std::mutex mu;
-  std::ofstream out;
+  es::Mutex mu;
+  std::ofstream out ES_GUARDED_BY(mu);
 };
 
-FileEventSink::FileEventSink(const std::string& path) : impl_(new Impl) {
+FileEventSink::FileEventSink(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  const es::LockGuard lock(impl_->mu);
   impl_->out.open(path, std::ios::trunc);
   if (!impl_->out) {
-    delete impl_;
     throw std::runtime_error("FileEventSink: cannot open " + path);
   }
 }
 
-FileEventSink::~FileEventSink() { delete impl_; }
+FileEventSink::~FileEventSink() = default;
 
 void FileEventSink::write(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const es::LockGuard lock(impl_->mu);
   impl_->out << line << '\n';
 }
 
 void MemoryEventSink::write(const std::string& line) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   lines_.push_back(line);
 }
 
 std::vector<std::string> MemoryEventSink::lines() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   return lines_;
 }
 
 void MemoryEventSink::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   lines_.clear();
 }
 

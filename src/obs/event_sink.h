@@ -8,10 +8,13 @@
 /// instead of wall-clock timestamps so that seeded runs emit bit-identical
 /// logs — the same determinism contract as everything else in this repo.
 
-#include <mutex>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 
 namespace esharing::obs {
 
@@ -30,8 +33,10 @@ class StreamEventSink final : public EventSink {
   void write(const std::string& line) override;
 
  private:
-  std::mutex mu_;
-  std::ostream* out_;
+  es::Mutex mu_;
+  /// Set once at construction; the pointee (the stream) is what concurrent
+  /// writers contend on.
+  std::ostream* out_ ES_PT_GUARDED_BY(mu_);
 };
 
 /// Appends events to `path` (truncates on open).
@@ -44,7 +49,7 @@ class FileEventSink final : public EventSink {
 
  private:
   struct Impl;
-  Impl* impl_;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Buffers events in memory; the test sink.
@@ -55,8 +60,8 @@ class MemoryEventSink final : public EventSink {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable es::Mutex mu_;
+  std::vector<std::string> lines_ ES_GUARDED_BY(mu_);
 };
 
 /// JSON string escaping for event/field values (quotes, backslash,

@@ -24,7 +24,7 @@ void Registry::check_kind(std::string_view name, Kind kind) {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   check_kind(name, Kind::kCounter);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -35,7 +35,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   check_kind(name, Kind::kGauge);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
@@ -46,7 +46,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> upper_bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   check_kind(name, Kind::kHistogram);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
@@ -64,7 +64,7 @@ void Registry::emit(std::string_view event,
   if (!enabled()) return;
   std::shared_ptr<EventSink> sink;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const es::LockGuard lock(mu_);
     sink = sink_;
   }
   if (!sink) return;
@@ -90,17 +90,17 @@ void Registry::emit(std::string_view event,
 }
 
 void Registry::set_event_sink(std::shared_ptr<EventSink> sink) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   sink_ = std::move(sink);
 }
 
 std::shared_ptr<EventSink> Registry::event_sink() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   return sink_;
 }
 
 Snapshot Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {
@@ -119,7 +119,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

@@ -16,15 +16,17 @@
 /// gauges in `_paid`/`_cost`. Names are part of the public surface — the
 /// golden-snapshot test freezes them.
 
+#include <atomic>
 #include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "obs/event_sink.h"
 #include "obs/metrics.h"
 
@@ -107,14 +109,18 @@ class Registry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
-  void check_kind(std::string_view name, Kind kind);
+  void check_kind(std::string_view name, Kind kind) ES_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Kind, std::less<>> kinds_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::shared_ptr<EventSink> sink_;
+  mutable es::Mutex mu_;
+  std::map<std::string, Kind, std::less<>> kinds_ ES_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      ES_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      ES_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      ES_GUARDED_BY(mu_);
+  std::shared_ptr<EventSink> sink_ ES_GUARDED_BY(mu_);
+  /// Atomic rather than guarded: emit() stamps it outside the lock.
   std::atomic<std::uint64_t> event_seq_{0};
 };
 

@@ -59,7 +59,9 @@ FlSolution jv_primal_dual(const FlInstance& instance) {
   // Number of unfrozen tight clients of facility i (the payment rate).
   auto rate_of = [&](std::size_t i) {
     std::size_t r = 0;
-    for (std::size_t j : tight[i]) r += frozen[j] ? 0 : 1;
+    for (std::size_t j : tight[i]) {
+      if (!frozen[j]) ++r;
+    }
     return r;
   };
 
@@ -99,7 +101,7 @@ FlSolution jv_primal_dual(const FlInstance& instance) {
       for (std::size_t j : tight[i]) {
         const double a = frozen[j] ? alpha[j] : now;
         p += std::max(0.0, a - cost(i, j));
-        rate += frozen[j] ? 0 : 1;
+        if (!frozen[j]) ++rate;
       }
       if (rate == 0) continue;
       const double t = now + (instance.facilities[i].opening_cost - p) /

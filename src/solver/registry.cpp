@@ -103,7 +103,7 @@ void SolverRegistry::register_solver(std::string name, SolverFn fn) {
     throw std::invalid_argument("SolverRegistry: null solver fn for '" +
                                 name + "'");
   }
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   if (!solvers_.emplace(std::move(name), std::move(fn)).second) {
     throw std::invalid_argument(
         "SolverRegistry: solver already registered under that name");
@@ -111,12 +111,12 @@ void SolverRegistry::register_solver(std::string name, SolverFn fn) {
 }
 
 bool SolverRegistry::contains(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   return solvers_.find(name) != solvers_.end();
 }
 
 std::vector<std::string> SolverRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const es::LockGuard lock(mu_);
   std::vector<std::string> out;
   out.reserve(solvers_.size());
   for (const auto& [name, fn] : solvers_) out.push_back(name);
@@ -128,7 +128,7 @@ FlSolution SolverRegistry::solve(std::string_view name,
                                  const SolveOptions& options) const {
   SolverFn fn;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const es::LockGuard lock(mu_);
     const auto it = solvers_.find(name);
     if (it == solvers_.end()) {
       std::string known;

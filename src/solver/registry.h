@@ -24,11 +24,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "solver/facility_location.h"
 
 namespace esharing::solver {
@@ -80,8 +81,8 @@ class SolverRegistry {
  private:
   SolverRegistry();  ///< registers the built-ins
 
-  mutable std::mutex mu_;
-  std::map<std::string, SolverFn, std::less<>> solvers_;
+  mutable es::Mutex mu_;
+  std::map<std::string, SolverFn, std::less<>> solvers_ ES_GUARDED_BY(mu_);
 };
 
 /// Convenience forwarding to SolverRegistry::global().

@@ -41,6 +41,14 @@ void save_checkpoint(std::ostream& os, const EventBus& bus,
   placer_driver.system().save_placer(os);
   placer_driver.save(os);
   incentive_driver.save(os);
+  // ostream insertion fails silently (badbit is sticky but unchecked);
+  // surface a short write here rather than handing back a truncated
+  // checkpoint that only fails at restore time.
+  if (!os) {
+    throw std::runtime_error(
+        "save_checkpoint: stream write failed mid-checkpoint — the output "
+        "is truncated and must be discarded");
+  }
 }
 
 CheckpointInfo restore_checkpoint(std::istream& is, EventBus& bus,

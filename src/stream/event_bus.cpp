@@ -86,9 +86,7 @@ EventBus::EventBus(EventBusConfig config) : config_(config) {
   config_.validate();
   shards_.reserve(config_.shard_count);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
-    auto shard = std::make_unique<Shard>();
-    shard->ring.resize(config_.queue_capacity);
-    shards_.push_back(std::move(shard));
+    shards_.push_back(std::make_unique<Shard>(config_.queue_capacity));
   }
 }
 
@@ -109,14 +107,16 @@ bool EventBus::publish(Event e) {
   e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   Shard& shard = *shards_[shard_of(e.where)];
 
-  std::unique_lock<std::mutex> lock(shard.mu);
+  es::UniqueLock lock(shard.mu);
   if (shard.count == config_.queue_capacity) {
     switch (config_.policy) {
       case BackpressurePolicy::kBlock:
         ++shard.blocked;
         if (obs::enabled()) BusObsMetrics::get().blocked.add();
-        shard.space.wait(lock,
-                         [&] { return shard.count < config_.queue_capacity; });
+        // Explicit recheck loop (not the predicate overload): the guarded
+        // reads stay in this annotated scope where the analysis can see
+        // the capability is held across the wait.
+        while (shard.count == config_.queue_capacity) shard.space.wait(lock);
         break;
       case BackpressurePolicy::kDropOldest:
         shard.head = (shard.head + 1) % config_.queue_capacity;
@@ -154,7 +154,7 @@ std::size_t EventBus::drain(std::size_t shard_index, std::vector<Event>& out) {
   Shard& shard = *shards_[shard_index];
   std::size_t n = 0;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const es::LockGuard lock(shard.mu);
     n = std::min(shard.count, config_.max_batch);
     for (std::size_t i = 0; i < n; ++i) {
       out.push_back(shard.ring[(shard.head + i) % config_.queue_capacity]);
@@ -192,7 +192,7 @@ std::size_t EventBus::pending(std::size_t shard) const {
                             std::to_string(shard) + " of " +
                             std::to_string(shards_.size()));
   }
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  const es::LockGuard lock(shards_[shard]->mu);
   return shards_[shard]->count;
 }
 
@@ -206,7 +206,7 @@ BusStats EventBus::stats() const {
   BusStats st;
   st.published = published_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    const es::LockGuard lock(shard->mu);
     st.dropped_oldest += shard->dropped;
     st.rejected += shard->rejected;
     st.blocked_publishes += shard->blocked;

@@ -24,13 +24,13 @@
 /// (`stream.event_bus.*`).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "geo/grid.h"
 #include "stream/event.h"
 
@@ -117,15 +117,17 @@ class EventBus {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable space;  ///< producers wait here under kBlock
-    std::vector<Event> ring;
-    std::size_t head{0};  ///< oldest undrained slot
-    std::size_t count{0};
-    std::uint64_t dropped{0};
-    std::uint64_t rejected{0};
-    std::uint64_t blocked{0};
-    std::uint64_t drained{0};
+    explicit Shard(std::size_t capacity) : ring(capacity) {}
+
+    mutable es::Mutex mu;
+    es::CondVar space;  ///< producers wait here under kBlock
+    std::vector<Event> ring ES_GUARDED_BY(mu);
+    std::size_t head ES_GUARDED_BY(mu){0};  ///< oldest undrained slot
+    std::size_t count ES_GUARDED_BY(mu){0};
+    std::uint64_t dropped ES_GUARDED_BY(mu){0};
+    std::uint64_t rejected ES_GUARDED_BY(mu){0};
+    std::uint64_t blocked ES_GUARDED_BY(mu){0};
+    std::uint64_t drained ES_GUARDED_BY(mu){0};
   };
 
   EventBusConfig config_;

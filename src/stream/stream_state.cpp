@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "data/sorted_view.h"
 #include "data/wire.h"
 #include "obs/registry.h"
 
@@ -160,7 +161,7 @@ StateSnapshot StreamState::snapshot(data::Seconds as_of) const {
     snap.window.push_back({w.seq, w.where});
   }
   snap.cells.reserve(cells_.size());
-  for (const auto& [key, cell] : cells_) {
+  for (const auto& [key, cell] : data::sorted_items(cells_, cell_key_less)) {
     const auto it = live.find(key);
     snap.cells.push_back({key.cx, key.cy,
                           it == live.end() ? 0 : it->second,
@@ -168,17 +169,10 @@ StateSnapshot StreamState::snapshot(data::Seconds as_of) const {
                                         static_cast<double>(key.cy) * config_.cell_m},
                                        now)});
   }
-  std::sort(snap.cells.begin(), snap.cells.end(),
-            [](const StateSnapshot::CellCount& a,
-               const StateSnapshot::CellCount& b) {
-              return a.cx != b.cx ? a.cx < b.cx : a.cy < b.cy;
-            });
   snap.watchlist.reserve(watch_.size());
-  for (const auto& [bike, entry] : watch_) snap.watchlist.push_back(entry);
-  std::sort(snap.watchlist.begin(), snap.watchlist.end(),
-            [](const WatchEntry& a, const WatchEntry& b) {
-              return a.bike_id < b.bike_id;
-            });
+  for (const auto& [bike, entry] : data::sorted_items(watch_)) {
+    snap.watchlist.push_back(entry);
+  }
   return snap;
 }
 
@@ -229,13 +223,7 @@ void StreamState::save(std::ostream& os) const {
   }
 
   // Cells are persisted sorted so identical states write identical bytes.
-  std::vector<std::pair<CellKey, CellState>> cells(cells_.begin(),
-                                                   cells_.end());
-  std::sort(cells.begin(), cells.end(),
-            [](const auto& a, const auto& b) {
-              return a.first.cx != b.first.cx ? a.first.cx < b.first.cx
-                                              : a.first.cy < b.first.cy;
-            });
+  const auto cells = data::sorted_items(cells_, cell_key_less);
   wire::write_u64(os, cells.size());
   for (const auto& [key, cell] : cells) {
     wire::write_i64(os, key.cx);
@@ -245,15 +233,9 @@ void StreamState::save(std::ostream& os) const {
     wire::write_i64(os, cell.rate_updated);
   }
 
-  std::vector<WatchEntry> watch;
-  watch.reserve(watch_.size());
-  for (const auto& [bike, entry] : watch_) watch.push_back(entry);
-  std::sort(watch.begin(), watch.end(),
-            [](const WatchEntry& a, const WatchEntry& b) {
-              return a.bike_id < b.bike_id;
-            });
+  const auto watch = data::sorted_items(watch_);
   wire::write_u64(os, watch.size());
-  for (const auto& w : watch) {
+  for (const auto& [bike, w] : watch) {
     wire::write_i64(os, w.bike_id);
     wire::write_f64(os, w.where.x);
     wire::write_f64(os, w.where.y);
@@ -320,6 +302,7 @@ bool StreamState::equals(const StreamState& other) const {
       return false;
     }
   }
+  // lint-ok: unordered-iter order-independent membership comparison
   for (const auto& [key, cell] : cells_) {
     const auto it = other.cells_.find(key);
     if (it == other.cells_.end() || it->second.in_window != cell.in_window ||
@@ -328,6 +311,7 @@ bool StreamState::equals(const StreamState& other) const {
       return false;
     }
   }
+  // lint-ok: unordered-iter order-independent membership comparison
   for (const auto& [bike, entry] : watch_) {
     const auto it = other.watch_.find(bike);
     if (it == other.watch_.end() || it->second.soc != entry.soc ||

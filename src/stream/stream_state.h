@@ -134,6 +134,10 @@ class StreamState {
       return a.cx == b.cx && a.cy == b.cy;
     }
   };
+  /// Deterministic key order for snapshots and checkpoints (sorted_view).
+  static bool cell_key_less(CellKey a, CellKey b) {
+    return a.cx != b.cx ? a.cx < b.cx : a.cy < b.cy;
+  }
   struct CellKeyHash {
     std::size_t operator()(CellKey k) const {
       std::uint64_t h = static_cast<std::uint64_t>(k.cx) * 0x9E3779B97F4A7C15ULL;

@@ -1,0 +1,15 @@
+// Fixture: every ambient randomness source the rule must catch.
+#include <cstdlib>
+#include <random>
+
+int bad_c_rand() {
+  srand(42);
+  return rand();
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;
+  return rd();
+}
+
+long bad_rand48() { return lrand48(); }

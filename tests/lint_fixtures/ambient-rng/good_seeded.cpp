@@ -1,0 +1,26 @@
+// Fixture: seeded randomness plus mentions the rule must NOT flag.
+// A doc comment may talk about rand() or std::random_device freely.
+#include <cstdint>
+#include <string>
+
+struct FakeRng {
+  explicit FakeRng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t state;
+};
+
+double draw(FakeRng& rng) {
+  rng.state = rng.state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return static_cast<double>(rng.state >> 11) / 9007199254740992.0;
+}
+
+// String literals are not code either:
+const std::string kDoc = "never call rand() or srand() here";
+
+// Identifiers merely containing the token are fine:
+int random_device_count = 0;
+int strand_id() { return 7; }
+
+// And a justified waiver silences a real hit:
+int waived() {
+  return rand();  // lint-ok: ambient-rng fixture demonstrating the waiver
+}

@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: <iostream> in a header drags the static ios_base initializer
+// into every translation unit that includes it.
+#include <iostream>
+
+inline void debug_print(int v) { std::cout << v << '\n'; }

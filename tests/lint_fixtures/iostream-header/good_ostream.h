@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: <ostream>/<iosfwd> are the right includes for headers that
+// format output; mentioning <iostream> in a comment is fine.
+#include <iosfwd>
+#include <ostream>
+
+inline void debug_print(std::ostream& os, int v) { os << v << '\n'; }

@@ -1,0 +1,8 @@
+// Fixture: references only part of the registry, so the unreferenced
+// entries (fixture.gauge.level and the fixture.events. prefix) must be
+// reported as stale.
+#include "fixture_obs.h"
+
+void instrument(Registry& reg) {
+  reg.counter("fixture.counter.hits").add(1);
+}

@@ -1,0 +1,10 @@
+// Fixture: metric names missing from the frozen registry.
+#include "fixture_obs.h"
+
+void instrument(Registry& reg) {
+  reg.counter("fixture.counter.hits").add(1);   // known — fine
+  reg.counter("fixture.counter.typo").add(1);   // NOT in the registry
+  reg.gauge("fixture.gauge.level").set(3.0);    // known — fine
+  reg.emit("fixture.unregistered_event", "{}");  // NOT in the registry
+  reg.emit("fixture.events.dyn_suffix", "{}");   // prefix match — fine
+}

@@ -1,0 +1,10 @@
+// Fixture: every name is registered and every registry entry referenced.
+#include "fixture_obs.h"
+
+void instrument(Registry& reg) {
+  reg.counter("fixture.counter.hits").add(1);
+  reg.gauge("fixture.gauge.level").set(3.0);
+  reg.emit("fixture.events.opened", "{}");
+  // Non-obs string literals and calls are ignored:
+  reg.describe("not.a.metric.name");
+}

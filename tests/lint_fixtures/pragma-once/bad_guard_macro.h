@@ -1,0 +1,7 @@
+// Fixture: classic include guard instead of #pragma once.
+#ifndef ESHARING_FIXTURE_BAD_GUARD_MACRO_H_
+#define ESHARING_FIXTURE_BAD_GUARD_MACRO_H_
+
+inline int fixture_value() { return 1; }
+
+#endif  // ESHARING_FIXTURE_BAD_GUARD_MACRO_H_

@@ -1,0 +1,5 @@
+// Fixture: a leading comment block is fine; the first non-comment line
+// must be #pragma once.
+#pragma once
+
+inline int fixture_value() { return 1; }

@@ -1,0 +1,22 @@
+// Fixture: range-for over unordered containers on a serialized-output path.
+#include <cstddef>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+void bad_local_map(std::ostream& os) {
+  std::unordered_map<std::size_t, double> counts;
+  counts[3] = 1.0;
+  for (const auto& [cell, n] : counts) {
+    os << cell << ' ' << n << '\n';
+  }
+}
+
+struct BadState {
+  std::unordered_set<int> watch_;
+  void save(std::ostream& os) const {
+    for (int bike : watch_) {
+      os << bike << '\n';
+    }
+  }
+};

@@ -1,0 +1,42 @@
+// Fixture: sorted views and non-serializing iteration the rule must NOT flag.
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace {
+std::vector<std::pair<std::size_t, double>> sorted_items_of(
+    const std::unordered_map<std::size_t, double>& m) {
+  std::vector<std::pair<std::size_t, double>> out(m.begin(), m.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+}  // namespace
+
+void good_sorted_view(std::ostream& os) {
+  std::unordered_map<std::size_t, double> counts;
+  counts[3] = 1.0;
+  // A call expression as the range is treated as an explicit sorted view.
+  for (const auto& [cell, n] : sorted_items_of(counts)) {
+    os << cell << ' ' << n << '\n';
+  }
+}
+
+double good_waived_accumulate(
+    const std::unordered_map<std::size_t, double>& counts) {
+  double total = 0.0;
+  // lint-ok: unordered-iter order-independent reduction, nothing serialized
+  for (const auto& [cell, n] : counts) {
+    total += n + static_cast<double>(cell) * 0.0;
+  }
+  return total;
+}
+
+void good_vector_iter(std::ostream& os) {
+  std::vector<int> bikes{1, 2, 3};
+  for (int bike : bikes) {
+    os << bike << '\n';
+  }
+}

@@ -1,0 +1,25 @@
+// Fixture: wall-clock reads the rule must catch.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_hrc() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+long bad_time() { return time(nullptr); }
+
+long bad_gettimeofday() {
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  return tv.tv_sec;
+}
+
+long bad_calendar() {
+  time_t t = time(nullptr);
+  return localtime(&t)->tm_hour;
+}

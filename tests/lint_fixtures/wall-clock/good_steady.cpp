@@ -1,0 +1,20 @@
+// Fixture: monotonic timing and innocuous mentions the rule must NOT flag.
+// Comments may discuss wall-clock time, system_clock, or time() freely.
+#include <chrono>
+
+// steady_clock is monotonic — durations only, never timestamps — and allowed.
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  const auto dt = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(dt).count();
+}
+
+// `time` as part of a longer identifier is not the C time() call:
+double start_time(double t) { return t; }
+double event_time_of(double base) { return base + 1.0; }
+
+// A justified waiver silences a real hit:
+long waived() {
+  return std::chrono::system_clock::now()  // lint-ok: wall-clock fixture demonstrating the waiver
+      .time_since_epoch()
+      .count();
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Tests for tools/lint/lint.py.
+
+Two suites, selectable by class name (this is how CTest invokes them):
+
+  python3 test_lint.py LintFixtures        per-rule pass/fail fixtures
+  python3 test_lint.py LintProductionTree  the real src/ tree lints clean
+
+LintFixtures walks tests/lint_fixtures/<rule-id>/: every `bad_*` file must
+be flagged by its rule (exit 1, the file named in the output) and every
+`good_*` file must come back clean (exit 0, no output). The fixture set is
+the executable spec of each rule — counterexamples live next to the
+positives so a lint regression in either direction fails here first.
+"""
+
+import subprocess
+import sys
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+LINT = REPO_ROOT / "tools" / "lint" / "lint.py"
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+FIXTURE_METRIC_NAMES = FIXTURES / "metric-name-freeze" / "names.txt"
+
+
+def run_lint(args):
+    return subprocess.run(
+        [sys.executable, str(LINT), *args],
+        capture_output=True, text=True, check=False)
+
+
+def rule_args(rule_id, path):
+    args = ["--rule", rule_id]
+    if rule_id == "metric-name-freeze":
+        args += ["--metric-names", str(FIXTURE_METRIC_NAMES)]
+    return args + [str(path)]
+
+
+class LintFixtures(unittest.TestCase):
+    def fixture_files(self, prefix):
+        out = []
+        for rule_dir in sorted(FIXTURES.iterdir()):
+            if not rule_dir.is_dir():
+                continue
+            for path in sorted(rule_dir.glob(f"{prefix}_*")):
+                if path.suffix in (".h", ".cpp"):
+                    out.append((rule_dir.name, path))
+        return out
+
+    def test_fixture_tree_is_complete(self):
+        """Every rule has at least one bad and one good fixture."""
+        listed = run_lint(["--list-rules"])
+        self.assertEqual(listed.returncode, 0, listed.stderr)
+        rules = {line.split()[0] for line in listed.stdout.splitlines()}
+        self.assertTrue(rules, "lint.py --list-rules printed nothing")
+        bad_rules = {rule for rule, _ in self.fixture_files("bad")}
+        good_rules = {rule for rule, _ in self.fixture_files("good")}
+        self.assertEqual(rules, bad_rules,
+                         "each rule needs a bad_* fixture (and each fixture "
+                         "dir a matching rule)")
+        self.assertEqual(rules, good_rules,
+                         "each rule needs a good_* fixture (and each fixture "
+                         "dir a matching rule)")
+
+    def test_bad_fixtures_are_flagged(self):
+        for rule_id, path in self.fixture_files("bad"):
+            with self.subTest(rule=rule_id, fixture=path.name):
+                result = run_lint(rule_args(rule_id, path))
+                self.assertEqual(
+                    result.returncode, 1,
+                    f"{path.name} should be flagged by {rule_id}; "
+                    f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}")
+                self.assertIn(f"[{rule_id}]", result.stdout)
+
+    def test_bad_fixtures_name_the_offending_file(self):
+        for rule_id, path in self.fixture_files("bad"):
+            # The stale-registry direction reports against the registry
+            # file, not the source file, so exempt it from this check.
+            if path.name == "bad_stale_registry.cpp":
+                continue
+            with self.subTest(rule=rule_id, fixture=path.name):
+                result = run_lint(rule_args(rule_id, path))
+                self.assertIn(path.name, result.stdout)
+
+    def test_stale_registry_names_the_registry(self):
+        path = FIXTURES / "metric-name-freeze" / "bad_stale_registry.cpp"
+        result = run_lint(rule_args("metric-name-freeze", path))
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("names.txt", result.stdout)
+        self.assertIn("fixture.gauge.level", result.stdout)
+        self.assertIn("fixture.events.", result.stdout)
+
+    def test_good_fixtures_are_clean(self):
+        for rule_id, path in self.fixture_files("good"):
+            with self.subTest(rule=rule_id, fixture=path.name):
+                result = run_lint(rule_args(rule_id, path))
+                self.assertEqual(
+                    result.returncode, 0,
+                    f"{path.name} should be clean under {rule_id}; "
+                    f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}")
+                self.assertEqual(result.stdout, "")
+
+    def test_every_finding_is_parseable(self):
+        """Findings follow `path:line: [rule-id] message` so editors and CI
+        annotations can consume them."""
+        for rule_id, path in self.fixture_files("bad"):
+            result = run_lint(rule_args(rule_id, path))
+            for line in result.stdout.splitlines():
+                with self.subTest(rule=rule_id, line=line):
+                    head, _, rest = line.partition(f" [{rule_id}] ")
+                    self.assertTrue(rest, f"unparseable finding: {line}")
+                    fname, _, lineno = head.rstrip(":").rpartition(":")
+                    self.assertTrue(fname)
+                    self.assertTrue(lineno.isdigit())
+
+
+class LintProductionTree(unittest.TestCase):
+    def test_src_tree_is_clean(self):
+        result = run_lint(["--root", str(REPO_ROOT)])
+        self.assertEqual(
+            result.returncode, 0,
+            "production tree must lint clean; findings:\n"
+            f"{result.stdout}\n{result.stderr}")
+        self.assertEqual(result.stdout, "")
+
+
+if __name__ == "__main__":
+    unittest.main()

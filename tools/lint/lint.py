@@ -1,0 +1,517 @@
+#!/usr/bin/env python3
+"""Project lint: compile-time determinism & hygiene rules for esharing.
+
+Dependency-free (stdlib only). Driven by the RULES table below; each rule
+guards one determinism or hygiene contract that the runtime test suite can
+only check probabilistically (see DESIGN.md "Static analysis & determinism
+contracts"):
+
+  ambient-rng        no ambient randomness outside src/stats/rng.h —
+                     seeded stats::Rng is the only randomness source, so
+                     every run is replayable from its seed.
+  wall-clock         no wall-clock reads in library code — outputs must be
+                     functions of (input, seed), never of the current time.
+                     Monotonic steady_clock is allowed (obs timers measure
+                     durations, never timestamps).
+  unordered-iter     no range-for over unordered containers in files that
+                     feed checkpoints, JSONL sinks or golden outputs; use
+                     data/sorted_view.h (hash order is not part of any
+                     contract and varies across libstdc++ versions).
+  pragma-once        every header starts with #pragma once.
+  iostream-header    headers never include <iostream> (it injects the
+                     static ios_base initializer into every TU; use
+                     <iosfwd>/<ostream>/<istream>).
+  metric-name-freeze every obs metric/event name literal in src/ appears in
+                     tools/lint/frozen_metric_names.txt and vice versa, so
+                     the golden name-freeze test, the registry file and the
+                     call sites cannot drift apart.
+
+Waivers: a finding line (or the line directly above it) may carry
+`lint-ok: <rule-id> <justification>`; the justification is mandatory.
+
+Usage:
+  lint.py [--root DIR]                       lint the production tree (src/)
+  lint.py --rule ID [--metric-names F] FILE  apply one rule to given files
+  lint.py --list-rules                       print the rules table
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Shared helpers
+
+
+def strip_comments(text: str, strip_strings: bool) -> str:
+    """Blank out comments (and optionally string/char literals), preserving
+    line structure so finding line numbers stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"' if not strip_strings else " ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'" if not strip_strings else " ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("\\" + nxt if not strip_strings else "  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote if not strip_strings else " ")
+            else:
+                out.append(c if not strip_strings else " ")
+        i += 1
+    return "".join(out)
+
+
+WAIVER_RE = re.compile(r"lint-ok:\s*([\w-]+)(\s+\S.*)?")
+
+
+def waived(raw_lines: list[str], lineno: int, rule_id: str) -> bool:
+    """True if line `lineno` (1-based) or the line above carries a
+    `lint-ok: <rule-id> <justification>` waiver with a justification."""
+    for ln in (lineno, lineno - 1):
+        if 1 <= ln <= len(raw_lines):
+            m = WAIVER_RE.search(raw_lines[ln - 1])
+            if m and m.group(1) == rule_id and m.group(2):
+                return True
+    return False
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule_id: str, message: str):
+        self.path, self.line, self.rule_id, self.message = (
+            path, line, rule_id, message)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+
+def line_of(text: str, index: int) -> int:
+    return text.count("\n", 0, index) + 1
+
+
+# --------------------------------------------------------------------------
+# Pattern-table rules (ambient-rng, wall-clock)
+
+AMBIENT_RNG_PATTERNS = [
+    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brand_r\s*\("), "rand_r()"),
+    (re.compile(r"\b[dlm]rand48\s*\("), "*rand48()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+]
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bsystem_clock\b"), "std::chrono::system_clock"),
+    (re.compile(r"\bhigh_resolution_clock\b"),
+     "high_resolution_clock (wall clock on libstdc++)"),
+    (re.compile(r"\btime\s*\(\s*(?:nullptr|NULL|0)?\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\b(?:localtime|gmtime|strftime|ctime)\s*\("),
+     "calendar-time call"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+]
+
+
+def check_patterns(patterns, rule_id, hint):
+    def run(path: Path, text: str, ctx: "Context") -> list[Finding]:
+        findings = []
+        code = strip_comments(text, strip_strings=True)
+        raw_lines = text.splitlines()
+        for line_no, line in enumerate(code.splitlines(), start=1):
+            for pat, what in patterns:
+                if pat.search(line) and not waived(raw_lines, line_no, rule_id):
+                    findings.append(Finding(
+                        path, line_no, rule_id, f"{what} is banned: {hint}"))
+        return findings
+    return run
+
+
+# --------------------------------------------------------------------------
+# unordered-iter
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+IDENT_AFTER_RE = re.compile(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:;|=|\{|\(|\)|,)")
+
+
+def match_angle(text: str, open_idx: int) -> int:
+    """Index just past the `>` matching the `<` at open_idx, or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def unordered_decl_names(code: str) -> set:
+    """Identifiers declared with an unordered_map/unordered_set type."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(code):
+        close = match_angle(code, m.end() - 1)
+        if close < 0:
+            continue
+        ident = IDENT_AFTER_RE.match(code, close)
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+FOR_RE = re.compile(r"\bfor\s*\(")
+ID_EXPR_RE = re.compile(
+    r"^\s*(?:\(\s*)?[A-Za-z_][\w]*(?:\s*(?:\.|->)\s*[A-Za-z_][\w]*)*(?:\s*\))?\s*$")
+
+
+def split_range_for(header: str):
+    """For a range-for header, return the range expression, else None."""
+    depth = 0
+    for i, c in enumerate(header):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i > 0 and header[i - 1] == ":":
+                continue
+            if i + 1 < len(header) and header[i + 1] == ":":
+                continue
+            return header[i + 1:]
+    return None
+
+
+def check_unordered_iter(path: Path, text: str, ctx: "Context"):
+    rule_id = "unordered-iter"
+    code = strip_comments(text, strip_strings=True)
+    raw_lines = text.splitlines()
+    names = unordered_decl_names(code)
+    # Members declared in the paired header count too (foo.cpp <-> foo.h).
+    if path.suffix == ".cpp":
+        header = path.with_suffix(".h")
+        if header.exists():
+            names |= unordered_decl_names(
+                strip_comments(header.read_text(), strip_strings=True))
+    if not names:
+        return []
+    findings = []
+    for m in FOR_RE.finditer(code):
+        open_idx = m.end() - 1
+        depth, close_idx = 0, -1
+        for i in range(open_idx, len(code)):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    close_idx = i
+                    break
+        if close_idx < 0:
+            continue
+        range_expr = split_range_for(code[open_idx + 1:close_idx])
+        if range_expr is None or not ID_EXPR_RE.match(range_expr):
+            continue  # not a range-for, or not a plain id-expression
+        last_ident = re.split(r"\.|->", range_expr)[-1].strip(" ()\t\n")
+        if last_ident in names:
+            line_no = line_of(code, m.start())
+            if not waived(raw_lines, line_no, rule_id):
+                findings.append(Finding(
+                    path, line_no, rule_id,
+                    f"range-for over unordered container '{last_ident}' in a "
+                    "determinism-critical file; iterate "
+                    "data::sorted_items(...) instead (hash order is not "
+                    "stable across platforms)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Header hygiene
+
+def check_pragma_once(path: Path, text: str, ctx: "Context"):
+    rule_id = "pragma-once"
+    code = strip_comments(text, strip_strings=True)
+    for line_no, line in enumerate(code.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped == "#pragma once":
+            return []
+        return [Finding(path, line_no, rule_id,
+                        "header must start with #pragma once "
+                        "(first non-comment line)")]
+    return [Finding(path, 1, rule_id, "empty header lacks #pragma once")]
+
+
+IOSTREAM_RE = re.compile(r'#\s*include\s*<iostream>')
+
+
+def check_iostream_header(path: Path, text: str, ctx: "Context"):
+    rule_id = "iostream-header"
+    findings = []
+    raw_lines = text.splitlines()
+    code = strip_comments(text, strip_strings=False)
+    for line_no, line in enumerate(code.splitlines(), start=1):
+        if IOSTREAM_RE.search(line) and not waived(raw_lines, line_no, rule_id):
+            findings.append(Finding(
+                path, line_no, rule_id,
+                "<iostream> in a header drags the static ios_base "
+                "initializer into every includer; use <iosfwd>, <ostream> "
+                "or <istream>"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# metric-name-freeze
+
+METRIC_CALL_RE = re.compile(
+    r"\b(counter|gauge|histogram|emit)\s*\(\s*\"([^\"]+)\"", re.S)
+
+
+def load_metric_names(path: Path):
+    exact, prefixes = set(), set()
+    for raw in path.read_text().splitlines():
+        entry = raw.split("#", 1)[0].strip()
+        if not entry:
+            continue
+        (prefixes if entry.endswith(".") else exact).add(entry)
+    return exact, prefixes
+
+
+def frozen_name_ok(name: str, exact: set, prefixes: set) -> bool:
+    return name in exact or any(name.startswith(p) or name == p.rstrip(".")
+                                for p in prefixes)
+
+
+def check_metric_name_freeze(path: Path, text: str, ctx: "Context"):
+    rule_id = "metric-name-freeze"
+    findings = []
+    raw_lines = text.splitlines()
+    code = strip_comments(text, strip_strings=False)
+    for m in METRIC_CALL_RE.finditer(code):
+        name = m.group(2)
+        ctx.metric_names_seen.add(name)
+        if not frozen_name_ok(name, ctx.frozen_exact, ctx.frozen_prefixes):
+            line_no = line_of(code, m.start())
+            if not waived(raw_lines, line_no, rule_id):
+                findings.append(Finding(
+                    path, line_no, rule_id,
+                    f"obs {m.group(1)} name '{name}' is not in the frozen "
+                    f"registry ({ctx.metric_names_path}); add it there and "
+                    "to the ObsGolden name-freeze test, or fix the typo"))
+    return findings
+
+
+def check_stale_registry_entries(ctx: "Context"):
+    """Tree mode only: registry entries no call site references any more."""
+    rule_id = "metric-name-freeze"
+    findings = []
+    seen = ctx.metric_names_seen
+    for entry in sorted(ctx.frozen_exact):
+        if entry not in seen:
+            findings.append(Finding(
+                ctx.metric_names_path, 0, rule_id,
+                f"frozen name '{entry}' is no longer referenced from src/; "
+                "remove it here and from the golden test, or restore the "
+                "call site"))
+    for prefix in sorted(ctx.frozen_prefixes):
+        if not any(s == prefix or s.startswith(prefix) for s in seen):
+            findings.append(Finding(
+                ctx.metric_names_path, 0, rule_id,
+                f"frozen prefix '{prefix}' is no longer referenced from "
+                "src/"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rules table
+
+HEADER_GLOBS = ("src/**/*.h",)
+ALL_GLOBS = ("src/**/*.h", "src/**/*.cpp")
+
+# Files on a serialized-output path: checkpoints (wire format), JSONL event
+# sinks, or golden snapshot/regression artifacts. Iteration order anywhere
+# here becomes bytes somewhere downstream.
+DETERMINISM_CRITICAL_GLOBS = (
+    "src/stream/*.cpp", "src/stream/*.h",
+    "src/obs/*.cpp", "src/obs/*.h",
+    "src/core/esharing.cpp", "src/core/deviation_placer.cpp",
+    "src/core/incentive.cpp",
+    "src/data/binning.cpp", "src/data/statistics.cpp",
+    "src/sim/simulation.cpp",
+)
+
+RULES = {
+    "ambient-rng": {
+        "globs": ALL_GLOBS,
+        "exempt": ("src/stats/rng.h",),
+        "check": check_patterns(
+            AMBIENT_RNG_PATTERNS, "ambient-rng",
+            "all randomness flows through seeded stats::Rng "
+            "(src/stats/rng.h) so runs are replayable"),
+        "doc": "ambient randomness outside src/stats/rng.h",
+    },
+    "wall-clock": {
+        "globs": ALL_GLOBS,
+        "exempt": ("src/stats/rng.h",),
+        "check": check_patterns(
+            WALL_CLOCK_PATTERNS, "wall-clock",
+            "library outputs are functions of (input, seed), never of the "
+            "current time; use event time or steady_clock durations"),
+        "doc": "wall-clock reads in library code",
+    },
+    "unordered-iter": {
+        "globs": DETERMINISM_CRITICAL_GLOBS,
+        "exempt": (),
+        "check": check_unordered_iter,
+        "doc": "unordered-container iteration on serialized-output paths",
+    },
+    "pragma-once": {
+        "globs": HEADER_GLOBS,
+        "exempt": (),
+        "check": check_pragma_once,
+        "doc": "headers must start with #pragma once",
+    },
+    "iostream-header": {
+        "globs": HEADER_GLOBS,
+        "exempt": (),
+        "check": check_iostream_header,
+        "doc": "no <iostream> in headers",
+    },
+    "metric-name-freeze": {
+        "globs": ALL_GLOBS,
+        "exempt": (),
+        "check": check_metric_name_freeze,
+        "doc": "obs metric/event names match the frozen registry",
+    },
+}
+
+
+class Context:
+    def __init__(self, metric_names_path: Path):
+        self.metric_names_path = metric_names_path
+        self.frozen_exact, self.frozen_prefixes = (
+            load_metric_names(metric_names_path)
+            if metric_names_path.exists() else (set(), set()))
+        self.metric_names_seen = set()
+
+
+def rel_match(rel: str, globs) -> bool:
+    return any(fnmatch.fnmatch(rel, g) for g in globs)
+
+
+def lint_tree(root: Path, ctx: Context) -> list:
+    findings = []
+    files = sorted(p for p in (root / "src").rglob("*")
+                   if p.suffix in (".h", ".cpp"))
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        text = path.read_text()
+        for rule_id, rule in RULES.items():
+            if not rel_match(rel, rule["globs"]) or rel in rule["exempt"]:
+                continue
+            findings.extend(rule["check"](path, text, ctx))
+    findings.extend(check_stale_registry_entries(ctx))
+    return findings
+
+
+def lint_files(paths, rule_id: str, ctx: Context) -> list:
+    rule = RULES[rule_id]
+    findings = []
+    for path in paths:
+        findings.extend(rule["check"](path, path.read_text(), ctx))
+    if rule_id == "metric-name-freeze" and len(ctx.frozen_exact) > 0:
+        # Fixture registries are scoped to the fixture files passed in, so
+        # the staleness direction is meaningful there too.
+        findings.extend(check_stale_registry_entries(ctx))
+    return findings
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: two levels above this file)")
+    parser.add_argument("--rule", choices=sorted(RULES),
+                        help="apply one rule to the given files")
+    parser.add_argument("--metric-names", type=Path, default=None,
+                        help="override the frozen metric-name registry file")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("files", nargs="*", type=Path)
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in RULES.items():
+            print(f"{rule_id:20s} {rule['doc']}")
+        return 0
+
+    root = args.root or Path(__file__).resolve().parents[2]
+    metric_names = args.metric_names or (
+        root / "tools" / "lint" / "frozen_metric_names.txt")
+    ctx = Context(metric_names)
+
+    if args.rule:
+        if not args.files:
+            print("lint.py: --rule needs explicit files", file=sys.stderr)
+            return 2
+        findings = lint_files(args.files, args.rule, ctx)
+    else:
+        if args.files:
+            print("lint.py: pass --rule with explicit files", file=sys.stderr)
+            return 2
+        findings = lint_tree(root, ctx)
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
