@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file sync.h
+/// Annotated synchronization primitives: thin std::mutex /
+/// std::condition_variable wrappers carrying the Clang Thread Safety
+/// Analysis attributes from core/thread_annotations.h. All lock-protected
+/// state in this repo uses these instead of the raw std types so the
+/// `ESHARING_THREAD_SAFETY` build can prove, at compile time, that every
+/// ES_GUARDED_BY member is only touched with its mutex held. The wrappers
+/// compile to exactly the std types on every compiler — zero runtime cost.
+///
+/// Usage is the std idiom, one-for-one:
+///
+///   mutable es::Mutex mu_;
+///   std::vector<int> items_ ES_GUARDED_BY(mu_);
+///
+///   void push(int v) {
+///     const es::LockGuard lock(mu_);
+///     items_.push_back(v);                 // provably protected
+///   }
+///
+/// Condition waits pair es::UniqueLock with es::CondVar and an explicit
+/// while loop, which keeps the guarded reads in the annotated caller scope
+/// where the analysis can see the capability is held:
+///
+///   es::UniqueLock lock(mu_);
+///   while (items_.empty()) not_empty_.wait(lock);
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+namespace esharing::sync {
+
+/// std::mutex carrying the ES_CAPABILITY attribute so members can be
+/// declared ES_GUARDED_BY an instance of it.
+class ES_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ES_ACQUIRE() { mu_.lock(); }
+  void unlock() ES_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped std::mutex, for interop with std lock machinery
+  /// (es::UniqueLock, es::CondVar). Bypasses the analysis — use the
+  /// wrappers rather than locking through it directly.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over es::Mutex: scope-held exclusive lock.
+class ES_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) ES_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() ES_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock over es::Mutex — the lock type condition waits need.
+/// Intentionally minimal: always locked for its full scope (no deferred /
+/// early-unlock states, which the static analysis cannot track).
+class ES_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) ES_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueLock() ES_RELEASE() {}  // member unique_lock releases
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  /// The wrapped std::unique_lock, for std::condition_variable interop.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable paired with es::UniqueLock. wait() releases and
+/// reacquires the lock internally; from the analysis' point of view the
+/// capability is held across the call, which is exactly the guarantee the
+/// caller's while-loop recheck relies on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace esharing::sync
+
+/// Short alias used at declaration sites: `es::Mutex mu_;`.
+namespace es = esharing::sync;

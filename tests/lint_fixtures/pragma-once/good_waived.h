@@ -1,0 +1,4 @@
+// lint-ok: pragma-once generated shim meant to be includable multiple times
+struct fixture_waived_shim {
+  int value = 0;
+};

@@ -275,6 +275,7 @@ def check_unordered_iter(path: Path, text: str, ctx: "Context"):
 
 def check_pragma_once(path: Path, text: str, ctx: "Context"):
     rule_id = "pragma-once"
+    raw_lines = text.splitlines()
     code = strip_comments(text, strip_strings=True)
     for line_no, line in enumerate(code.splitlines(), start=1):
         stripped = line.strip()
@@ -282,9 +283,13 @@ def check_pragma_once(path: Path, text: str, ctx: "Context"):
             continue
         if stripped == "#pragma once":
             return []
+        if waived(raw_lines, line_no, rule_id):
+            return []
         return [Finding(path, line_no, rule_id,
                         "header must start with #pragma once "
                         "(first non-comment line)")]
+    if waived(raw_lines, 1, rule_id):
+        return []
     return [Finding(path, 1, rule_id, "empty header lacks #pragma once")]
 
 
@@ -371,8 +376,12 @@ def check_stale_registry_entries(ctx: "Context"):
 # --------------------------------------------------------------------------
 # Rules table
 
-HEADER_GLOBS = ("src/**/*.h",)
-ALL_GLOBS = ("src/**/*.h", "src/**/*.cpp")
+# fnmatch has no recursive '**' semantics: "src/**/*.h" needs two path
+# separators and would skip a header sitting directly at src/foo.h.  Its '*'
+# does match '/', so the "src/*.h" spellings cover every depth including the
+# top level; the "**" forms are kept for readability.
+HEADER_GLOBS = ("src/*.h", "src/**/*.h")
+ALL_GLOBS = ("src/*.h", "src/**/*.h", "src/*.cpp", "src/**/*.cpp")
 
 # Files on a serialized-output path: checkpoints (wire format), JSONL event
 # sinks, or golden snapshot/regression artifacts. Iteration order anywhere
@@ -460,14 +469,17 @@ def lint_tree(root: Path, ctx: Context) -> list:
     return findings
 
 
-def lint_files(paths, rule_id: str, ctx: Context) -> list:
+def lint_files(paths, rule_id: str, ctx: Context,
+               check_stale: bool = False) -> list:
     rule = RULES[rule_id]
     findings = []
     for path in paths:
         findings.extend(rule["check"](path, path.read_text(), ctx))
-    if rule_id == "metric-name-freeze" and len(ctx.frozen_exact) > 0:
-        # Fixture registries are scoped to the fixture files passed in, so
-        # the staleness direction is meaningful there too.
+    if rule_id == "metric-name-freeze" and check_stale:
+        # The staleness direction only makes sense when the registry is
+        # scoped to the files passed in (an explicit --metric-names, as the
+        # fixtures use); against the production registry it would flag every
+        # entry the given files happen not to reference.
         findings.extend(check_stale_registry_entries(ctx))
     return findings
 
@@ -498,7 +510,8 @@ def main(argv) -> int:
         if not args.files:
             print("lint.py: --rule needs explicit files", file=sys.stderr)
             return 2
-        findings = lint_files(args.files, args.rule, ctx)
+        findings = lint_files(args.files, args.rule, ctx,
+                              check_stale=args.metric_names is not None)
     else:
         if args.files:
             print("lint.py: pass --rule with explicit files", file=sys.stderr)
