@@ -1,0 +1,155 @@
+/// Thread-scaling bench for the shared execution runtime (src/exec): the
+/// JMS greedy star scan, CostOracle batch row materialization and
+/// SpatialIndex batch nearest queries at pool widths 1/2/4/8. Each kernel
+/// is bit-identity checked against its single-thread run, so the table
+/// doubles as a determinism smoke test: speedup may vary with the host,
+/// results may not.
+///
+/// Numbers are only meaningful relative to the reported hardware
+/// concurrency — on a single-core container every width degenerates to
+/// ~1x and the interesting signal is the (small) scheduling overhead.
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <thread>  // lint-ok: raw-thread hardware_concurrency query only, no spawning
+#include <vector>
+
+#include "bench/util.h"
+#include "exec/thread_pool.h"
+#include "geo/spatial_index.h"
+#include "solver/cost_oracle.h"
+#include "solver/jms_greedy.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+using namespace esharing;
+using geo::Point;
+
+namespace {
+
+constexpr std::size_t kJmsN = 240;         // facilities == clients (n >= 200)
+constexpr std::size_t kOracleN = 1200;     // oracle rows x clients
+constexpr std::size_t kIndexPoints = 40000;
+constexpr std::size_t kQueries = 20000;
+constexpr int kReps = 3;                   // best-of reps per cell
+
+std::vector<Point> points(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  return stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n);
+}
+
+solver::FlInstance colocated(std::size_t n, std::uint64_t seed) {
+  std::vector<solver::FlClient> clients;
+  std::vector<double> costs;
+  for (Point p : points(n, seed)) {
+    clients.push_back({p, 1.0});
+    costs.push_back(10000.0);
+  }
+  return solver::colocated_instance(std::move(clients), std::move(costs));
+}
+
+/// Best-of-kReps wall time of `fn` in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bench::MetricsSession metrics("bench_exec_scaling");
+  bench::print_title("exec runtime scaling: JMS / oracle rows / nearest_batch");
+  std::cout << "hardware_concurrency: " << std::thread::hardware_concurrency()
+            << "  (speedups are bounded by physical cores; outputs are\n"
+            << "   checked bit-identical across widths regardless)\n\n";
+
+  const auto jms_inst = colocated(kJmsN, 1);
+  const auto oracle_inst = colocated(kOracleN, 2);
+  const auto pts = points(kIndexPoints, 3);
+  const auto queries = points(kQueries, 4);
+  const geo::SpatialIndex index(pts);
+
+  // Single-thread reference outputs for the bit-identity check.
+  const auto ref_solution = solver::jms_greedy(jms_inst, {.num_threads = 1});
+  const auto ref_nearest = index.nearest_batch(queries, /*width=*/1);
+  const solver::CostOracle ref_oracle(oracle_inst);
+  ref_oracle.ensure_all_rows(/*width=*/1);
+
+  std::cout << bench::cell("threads", 8) << bench::cell("jms ms", 12)
+            << bench::cell("speedup", 9) << bench::cell("oracle ms", 12)
+            << bench::cell("speedup", 9) << bench::cell("nearest ms", 12)
+            << bench::cell("speedup", 9) << bench::cell("identical", 11)
+            << '\n';
+  bench::print_rule();
+
+  double jms1 = 0.0;
+  double oracle1 = 0.0;
+  double nearest1 = 0.0;
+  bool all_identical = true;
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    exec::set_global_threads(t);
+
+    solver::FlSolution solution;
+    const double jms_ms = time_ms(
+        [&] { solution = solver::jms_greedy(jms_inst, {.num_threads = 0}); });
+
+    double oracle_ms = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      // Fresh oracle per rep: ensure_all_rows is a one-shot materialization,
+      // so best-of must time first touches, not warm no-ops.
+      const solver::CostOracle oracle(oracle_inst);
+      const auto t0 = std::chrono::steady_clock::now();
+      oracle.ensure_all_rows();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (r == 0 || ms < oracle_ms) oracle_ms = ms;
+      if (r == 0) {
+        for (std::size_t f = 0; all_identical && f < kOracleN; ++f) {
+          all_identical = oracle.row(f) == ref_oracle.row(f);
+        }
+      }
+    }
+
+    std::vector<std::size_t> nearest;
+    const double nearest_ms =
+        time_ms([&] { nearest = index.nearest_batch(queries); });
+
+    const bool identical = all_identical &&
+                           solution.open == ref_solution.open &&
+                           solution.assignment == ref_solution.assignment &&
+                           solution.connection_cost == ref_solution.connection_cost &&
+                           solution.opening_cost == ref_solution.opening_cost &&
+                           nearest == ref_nearest;
+    all_identical = all_identical && identical;
+    if (t == 1) {
+      jms1 = jms_ms;
+      oracle1 = oracle_ms;
+      nearest1 = nearest_ms;
+    }
+    std::cout << bench::cell(std::to_string(t), 8)
+              << bench::cell(jms_ms, 12, 2) << bench::cell(jms1 / jms_ms, 9, 2)
+              << bench::cell(oracle_ms, 12, 2)
+              << bench::cell(oracle1 / oracle_ms, 9, 2)
+              << bench::cell(nearest_ms, 12, 2)
+              << bench::cell(nearest1 / nearest_ms, 9, 2)
+              << bench::cell(identical ? "yes" : "NO", 11) << '\n';
+  }
+  bench::print_rule();
+  std::cout << (all_identical
+                    ? "bit-identity: all widths matched the single-thread run\n"
+                    : "bit-identity: MISMATCH (determinism contract violated)\n");
+  return all_identical ? 0 : 1;
+}

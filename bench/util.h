@@ -6,10 +6,12 @@
 /// paper-shaped layout; these helpers keep the output consistent.
 
 #include <cstdlib>
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <system_error>
 
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -17,9 +19,11 @@
 namespace esharing::bench {
 
 /// RAII metrics scope for a bench main: enables the obs layer on entry and
-/// writes `<name>.metrics.json` next to the bench's stdout output on exit.
-/// Setting ESHARING_METRICS=0 in the environment keeps metrics disabled
-/// (used for overhead A/B measurement; no snapshot is written then).
+/// writes `<name>.metrics.json` into the metrics directory on exit. The
+/// directory defaults to `./metrics/` (created on demand) and can be
+/// redirected with ESHARING_METRICS_DIR. Setting ESHARING_METRICS=0 in the
+/// environment keeps metrics disabled (used for overhead A/B measurement;
+/// no snapshot is written then).
 class MetricsSession {
  public:
   explicit MetricsSession(std::string name) : name_(std::move(name)) {
@@ -34,8 +38,13 @@ class MetricsSession {
   ~MetricsSession() {
     if (!enabled_) return;
     obs::set_enabled(false);
-    const std::string path = name_ + ".metrics.json";
-    if (obs::write_snapshot_json(obs::Registry::global(), path)) {
+    const char* dir_env = std::getenv("ESHARING_METRICS_DIR");
+    const std::filesystem::path dir =
+        dir_env != nullptr && *dir_env != '\0' ? dir_env : "metrics";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = (dir / (name_ + ".metrics.json")).string();
+    if (!ec && obs::write_snapshot_json(obs::Registry::global(), path)) {
       std::cout << "\nmetrics snapshot: " << path << '\n';
     }
   }

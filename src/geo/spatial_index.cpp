@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/thread_pool.h"
 #include "obs/registry.h"
 
 namespace esharing::geo {
@@ -78,6 +79,8 @@ SpatialIndex::CellKey SpatialIndex::cell_of(Point p) const {
 std::size_t SpatialIndex::insert(Point p) {
   const std::size_t id = points_.size();
   points_.push_back(p);
+  xs_.push_back(p.x);
+  ys_.push_back(p.y);
   active_.push_back(1);
   ++active_count_;
   bounds_ = id == 0 ? BoundingBox{p, p} : bounds_.expanded_to(p);
@@ -143,7 +146,10 @@ void SpatialIndex::scan_cell(CellKey key, Point q, std::size_t exclude,
   for (const std::uint32_t raw : it->second) {
     const auto id = static_cast<std::size_t>(raw);
     if (!active_[id] || id == exclude) continue;
-    const double d2 = distance2(points_[id], q);
+    // SoA plane read; dx*dx + dy*dy is exactly distance2(points_[id], q).
+    const double dx = xs_[id] - q.x;
+    const double dy = ys_[id] - q.y;
+    const double d2 = dx * dx + dy * dy;
     if (d2 < best_d2 || (d2 == best_d2 && id < best_id)) {
       best_d2 = d2;
       best_id = id;
@@ -156,7 +162,9 @@ std::size_t SpatialIndex::nearest_direct(Point q, std::size_t exclude,
                                          std::size_t best_id) const {
   for (std::size_t id = 0; id < points_.size(); ++id) {
     if (!active_[id] || id == exclude) continue;
-    const double d2 = distance2(points_[id], q);
+    const double dx = xs_[id] - q.x;
+    const double dy = ys_[id] - q.y;
+    const double d2 = dx * dx + dy * dy;
     if (d2 < best_d2 || (d2 == best_d2 && id < best_id)) {
       best_d2 = d2;
       best_id = id;
@@ -268,7 +276,10 @@ std::vector<std::size_t> SpatialIndex::within_radius(Point q,
   auto scan_bucket = [&](const std::vector<std::uint32_t>& members) {
     for (const std::uint32_t raw : members) {
       const auto id = static_cast<std::size_t>(raw);
-      if (active_[id] && distance2(points_[id], q) <= r2) out.push_back(id);
+      if (!active_[id]) continue;
+      const double dx = xs_[id] - q.x;
+      const double dy = ys_[id] - q.y;
+      if (dx * dx + dy * dy <= r2) out.push_back(id);
     }
   };
   if (rect_too_big) {
@@ -285,6 +296,35 @@ std::vector<std::size_t> SpatialIndex::within_radius(Point q,
     }
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::size_t> SpatialIndex::nearest_batch(
+    const std::vector<Point>& queries, std::size_t width) const {
+  std::vector<std::size_t> out(queries.size(), npos);
+  // Per-index writes; each nearest() is independent, so any chunking and
+  // width produce the same vector. Individual queries are microseconds, so
+  // the grain amortizes chunk claiming over a block of them.
+  exec::parallel_for(
+      queries.size(), /*grain=*/64,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t k = b; k < e; ++k) out[k] = nearest(queries[k]);
+      },
+      width);
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> SpatialIndex::within_radius_batch(
+    const std::vector<Point>& queries, double radius, std::size_t width) const {
+  std::vector<std::vector<std::size_t>> out(queries.size());
+  exec::parallel_for(
+      queries.size(), /*grain=*/64,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t k = b; k < e; ++k) {
+          out[k] = within_radius(queries[k], radius);
+        }
+      },
+      width);
   return out;
 }
 

@@ -82,6 +82,19 @@ class SpatialIndex {
   [[nodiscard]] std::vector<std::size_t> within_radius(Point q,
                                                        double radius) const;
 
+  /// nearest() for every query point, evaluated in parallel on the exec
+  /// pool (`width` lanes, 0 = pool width). out[k] == nearest(queries[k]);
+  /// bit-identical to the sequential loop at any width. Requires no
+  /// concurrent mutation (same rule as single const queries).
+  [[nodiscard]] std::vector<std::size_t> nearest_batch(
+      const std::vector<Point>& queries, std::size_t width = 0) const;
+
+  /// within_radius() for every query point, in parallel on the exec pool.
+  /// out[k] == within_radius(queries[k], radius).
+  [[nodiscard]] std::vector<std::vector<std::size_t>> within_radius_batch(
+      const std::vector<Point>& queries, double radius,
+      std::size_t width = 0) const;
+
  private:
   struct CellKey {
     std::int64_t cx{0};
@@ -117,6 +130,12 @@ class SpatialIndex {
   bool auto_cell_{true};
   double cell_{1.0};
   std::vector<Point> points_;
+  /// Structure-of-arrays coordinate planes mirroring points_: bucket and
+  /// direct scans read these contiguous lanes instead of striding through
+  /// Point pairs — same doubles, so identical distances (SoA-vs-scalar
+  /// bit-identity is regression-tested).
+  std::vector<double> xs_;
+  std::vector<double> ys_;
   std::vector<char> active_;  ///< char, not bool: per-slot writes stay independent
   std::size_t active_count_{0};
   std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> buckets_;

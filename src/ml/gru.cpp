@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/linalg.h"
 #include "stats/rng.h"
 
 namespace esharing::ml {
@@ -114,28 +115,21 @@ GruForecaster::Forward GruForecaster::run_forward(
                       : fw.steps[static_cast<std::size_t>(l - 1)][t].h;
       st.z.resize(h); st.r.resize(h); st.n.resize(h);
       st.q.resize(h); st.h.resize(h);
+      // Pre-activations for the 3h rows [z | r | n] via the row-parallel
+      // linalg kernels. Each accumulator's per-row ascending-k addition
+      // order matches the old interleaved loops exactly: a[0..2h) gets
+      // b + Wx·x + Wh·h_prev, a[2h..3h) only b + Wx·x, and q is the bare
+      // Wh_n·h_prev product (bit-identical; see linalg.h).
+      std::vector<double> a(3 * h);
+      std::vector<double> qv(h);
+      matvec_bias(wx, 3 * h, in, st.x.data(), b, a.data());
+      matvec_acc(wh, 2 * h, h, h_prev.data(), a.data());
+      matvec_bias(wh + 2 * h * h, h, h, h_prev.data(), nullptr, qv.data());
       for (std::size_t u = 0; u < h; ++u) {
-        double az = b[u], ar = b[h + u], an = b[2 * h + u], q = 0.0;
-        const double* wxz = wx + u * in;
-        const double* wxr = wx + (h + u) * in;
-        const double* wxn = wx + (2 * h + u) * in;
-        for (std::size_t k = 0; k < in; ++k) {
-          az += wxz[k] * st.x[k];
-          ar += wxr[k] * st.x[k];
-          an += wxn[k] * st.x[k];
-        }
-        const double* whz = wh + u * h;
-        const double* whr = wh + (h + u) * h;
-        const double* whn = wh + (2 * h + u) * h;
-        for (std::size_t k = 0; k < h; ++k) {
-          az += whz[k] * h_prev[k];
-          ar += whr[k] * h_prev[k];
-          q += whn[k] * h_prev[k];
-        }
-        st.z[u] = sigmoid(az);
-        st.r[u] = sigmoid(ar);
-        st.q[u] = q;
-        st.n[u] = std::tanh(an + st.r[u] * q);
+        st.z[u] = sigmoid(a[u]);
+        st.r[u] = sigmoid(a[h + u]);
+        st.q[u] = qv[u];
+        st.n[u] = std::tanh(a[2 * h + u] + st.r[u] * qv[u]);
         st.h[u] = (1.0 - st.z[u]) * st.n[u] + st.z[u] * h_prev[u];
       }
       h_prev = st.h;

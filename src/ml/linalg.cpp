@@ -3,7 +3,53 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/thread_pool.h"
+
 namespace esharing::ml {
+
+namespace {
+
+/// Below this many multiply-adds a parallel region costs more than it
+/// saves (forecaster defaults are tiny); the cutoff only picks the lane
+/// count, never the arithmetic, so results are identical either way.
+constexpr std::size_t kSerialFlops = 1 << 14;
+
+/// Rows per chunk for row-parallel kernels.
+constexpr std::size_t kRowGrain = 8;
+
+}  // namespace
+
+void matvec_bias(const double* w, std::size_t rows, std::size_t cols,
+                 const double* x, const double* bias, double* y) {
+  const std::size_t width = rows * cols < kSerialFlops ? 1 : 0;
+  exec::parallel_for(
+      rows, kRowGrain,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t r = b; r < e; ++r) {
+          double acc = bias != nullptr ? bias[r] : 0.0;
+          const double* wr = w + r * cols;
+          for (std::size_t k = 0; k < cols; ++k) acc += wr[k] * x[k];
+          y[r] = acc;
+        }
+      },
+      width);
+}
+
+void matvec_acc(const double* w, std::size_t rows, std::size_t cols,
+                const double* x, double* y) {
+  const std::size_t width = rows * cols < kSerialFlops ? 1 : 0;
+  exec::parallel_for(
+      rows, kRowGrain,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t r = b; r < e; ++r) {
+          double acc = y[r];
+          const double* wr = w + r * cols;
+          for (std::size_t k = 0; k < cols; ++k) acc += wr[k] * x[k];
+          y[r] = acc;
+        }
+      },
+      width);
+}
 
 Mat::Mat(std::size_t rows, std::size_t cols)
     : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
@@ -62,16 +108,33 @@ std::vector<double> least_squares(const Mat& x, const std::vector<double>& y,
     throw std::invalid_argument("least_squares: shape mismatch");
   }
   const std::size_t p = x.cols();
+  const std::size_t n = x.rows();
   Mat xtx(p, p);
   std::vector<double> xty(p, 0.0);
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    for (std::size_t i = 0; i < p; ++i) {
-      xty[i] += x.at(r, i) * y[r];
-      for (std::size_t j = i; j < p; ++j) {
-        xtx.at(i, j) += x.at(r, i) * x.at(r, j);
-      }
-    }
-  }
+  // Blocked X'X / X'y: lanes own disjoint i-columns, and every element
+  // still accumulates its products in ascending r — the identical
+  // per-element addition sequence the old r-outer loop produced, just
+  // reordered across independent accumulators (bit-identity-tested).
+  const double* xd = x.data().data();
+  double* xtxd = xtx.data().data();
+  const std::size_t width = n * p * p < kSerialFlops ? 1 : 0;
+  exec::parallel_for(
+      p, /*grain=*/1,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          double acc_y = 0.0;
+          for (std::size_t r = 0; r < n; ++r) acc_y += xd[r * p + i] * y[r];
+          xty[i] = acc_y;
+          for (std::size_t j = i; j < p; ++j) {
+            double acc = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+              acc += xd[r * p + i] * xd[r * p + j];
+            }
+            xtxd[i * p + j] = acc;
+          }
+        }
+      },
+      width);
   for (std::size_t i = 0; i < p; ++i) {
     xtx.at(i, i) += ridge;
     for (std::size_t j = 0; j < i; ++j) xtx.at(i, j) = xtx.at(j, i);

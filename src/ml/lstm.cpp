@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/linalg.h"
 #include "stats/rng.h"
 
 namespace esharing::ml {
@@ -116,22 +117,18 @@ LstmForecaster::Forward LstmForecaster::run_forward(
                       : fw.steps[static_cast<std::size_t>(l - 1)][t].h;
       st.i.resize(h); st.f.resize(h); st.g.resize(h); st.o.resize(h);
       st.c.resize(h); st.tanh_c.resize(h); st.h.resize(h);
+      // Gate pre-activations for all 4h rows [i | f | g | o] as two
+      // row-parallel matvecs: z[row] = b[row] + Wx[row]·x + Wh[row]·h_prev
+      // with the same per-row ascending-k addition order as the old
+      // inline loops (bit-identical; see linalg.h).
+      std::vector<double> z(4 * h);
+      matvec_bias(wx, 4 * h, in, st.x.data(), b, z.data());
+      matvec_acc(wh, 4 * h, h, h_prev.data(), z.data());
       for (std::size_t u = 0; u < h; ++u) {
-        // z for the four gates of unit u: rows u, h+u, 2h+u, 3h+u.
-        double z[4];
-        for (int gidx = 0; gidx < 4; ++gidx) {
-          const std::size_t row = static_cast<std::size_t>(gidx) * h + u;
-          double acc = b[row];
-          const double* wx_row = wx + row * in;
-          for (std::size_t k = 0; k < in; ++k) acc += wx_row[k] * st.x[k];
-          const double* wh_row = wh + row * h;
-          for (std::size_t k = 0; k < h; ++k) acc += wh_row[k] * h_prev[k];
-          z[gidx] = acc;
-        }
-        st.i[u] = sigmoid(z[0]);
-        st.f[u] = sigmoid(z[1]);
-        st.g[u] = std::tanh(z[2]);
-        st.o[u] = sigmoid(z[3]);
+        st.i[u] = sigmoid(z[u]);
+        st.f[u] = sigmoid(z[h + u]);
+        st.g[u] = std::tanh(z[2 * h + u]);
+        st.o[u] = sigmoid(z[3 * h + u]);
         st.c[u] = st.f[u] * c_prev[u] + st.i[u] * st.g[u];
         st.tanh_c[u] = std::tanh(st.c[u]);
         st.h[u] = st.o[u] * st.tanh_c[u];

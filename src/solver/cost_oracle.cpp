@@ -1,9 +1,12 @@
 #include "solver/cost_oracle.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <thread>  // lint-ok: raw-thread std::this_thread::yield only, no spawning
 
+#include "exec/thread_pool.h"
 #include "obs/registry.h"
 
 namespace esharing::solver {
@@ -29,33 +32,74 @@ struct OracleMetrics {
   }
 };
 
+/// One facility row per chunk in batch materialization: a row is O(clients)
+/// hypots, heavy enough that finer grain buys load balance, not overhead.
+constexpr std::size_t kRowGrain = 1;
+
 }  // namespace
 
 CostOracle::CostOracle(const FlInstance& instance)
     : instance_(&instance),
       rows_(instance.facilities.size()),
-      row_ready_(instance.facilities.size(), 0),
+      row_state_(new std::atomic<std::uint8_t>[instance.facilities.size()]),
       sorted_rows_(instance.facilities.size()),
-      sorted_ready_(instance.facilities.size(), 0) {}
+      sorted_state_(new std::atomic<std::uint8_t>[instance.facilities.size()]) {
+  const std::size_t nc = instance.clients.size();
+  client_x_.reserve(nc);
+  client_y_.reserve(nc);
+  client_w_.reserve(nc);
+  for (const FlClient& c : instance.clients) {
+    client_x_.push_back(c.location.x);
+    client_y_.push_back(c.location.y);
+    client_w_.push_back(c.weight);
+  }
+  for (std::size_t i = 0; i < instance.facilities.size(); ++i) {
+    row_state_[i].store(kEmpty, std::memory_order_relaxed);
+    sorted_state_[i].store(kEmpty, std::memory_order_relaxed);
+  }
+}
+
+void CostOracle::materialize_row(std::size_t facility,
+                                 std::atomic<std::uint8_t>& state) const {
+  if (obs::enabled()) OracleMetrics::get().row_materializations.add();
+  const std::size_t nc = client_x_.size();
+  const double fx = instance_->facilities[facility].location.x;
+  const double fy = instance_->facilities[facility].location.y;
+  std::vector<double> r(nc);
+  // SoA kernel: the exact FlInstance::connection_cost expression
+  // a_j * hypot(fx - cx, fy - cy), streamed over contiguous planes.
+  for (std::size_t j = 0; j < nc; ++j) {
+    r[j] = client_w_[j] * std::hypot(fx - client_x_[j], fy - client_y_[j]);
+  }
+  rows_[facility] = std::move(r);
+  state.store(kReady, std::memory_order_release);
+}
 
 const std::vector<double>& CostOracle::row(std::size_t facility) const {
   if (facility >= rows_.size()) {
     throw std::out_of_range("CostOracle::row: facility index out of range");
   }
-  if (!row_ready_[facility]) {
-    if (obs::enabled()) OracleMetrics::get().row_materializations.add();
-    const std::size_t nc = instance_->clients.size();
-    std::vector<double> r(nc);
-    for (std::size_t j = 0; j < nc; ++j) {
-      r[j] = instance_->connection_cost(facility, j);
+  std::atomic<std::uint8_t>& state = row_state_[facility];
+  if (state.load(std::memory_order_acquire) == kReady) {
+    if (obs::enabled()) {
+      // Hit counting sits in the solvers' innermost loops (millions of
+      // accesses per solve) — batch per thread instead of one RMW per hit.
+      thread_local obs::CounterShard hits(OracleMetrics::get().row_hits);
+      hits.add();
     }
-    rows_[facility] = std::move(r);
-    row_ready_[facility] = 1;
-  } else if (obs::enabled()) {
-    // Hit counting sits in the solvers' innermost loops (millions of
-    // accesses per solve) — batch per thread instead of one RMW per hit.
-    thread_local obs::CounterShard hits(OracleMetrics::get().row_hits);
-    hits.add();
+    return rows_[facility];
+  }
+  std::uint8_t expected = kEmpty;
+  if (state.compare_exchange_strong(expected, kBuilding,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    materialize_row(facility, state);
+  } else {
+    // Another thread won the slot; its kReady release-store makes the row
+    // contents visible to this acquire spin.
+    while (state.load(std::memory_order_acquire) != kReady) {
+      std::this_thread::yield();
+    }
   }
   return rows_[facility];
 }
@@ -65,7 +109,18 @@ const std::vector<std::pair<double, std::size_t>>& CostOracle::sorted_row(
   if (facility >= sorted_rows_.size()) {
     throw std::out_of_range("CostOracle::sorted_row: facility index out of range");
   }
-  if (!sorted_ready_[facility]) {
+  std::atomic<std::uint8_t>& state = sorted_state_[facility];
+  if (state.load(std::memory_order_acquire) == kReady) {
+    if (obs::enabled()) {
+      thread_local obs::CounterShard hits(OracleMetrics::get().sorted_hits);
+      hits.add();
+    }
+    return sorted_rows_[facility];
+  }
+  std::uint8_t expected = kEmpty;
+  if (state.compare_exchange_strong(expected, kBuilding,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
     if (obs::enabled()) OracleMetrics::get().sorted_materializations.add();
     const std::vector<double>& r = row(facility);
     std::vector<std::pair<double, std::size_t>> sorted;
@@ -73,12 +128,32 @@ const std::vector<std::pair<double, std::size_t>>& CostOracle::sorted_row(
     for (std::size_t j = 0; j < r.size(); ++j) sorted.emplace_back(r[j], j);
     std::sort(sorted.begin(), sorted.end());
     sorted_rows_[facility] = std::move(sorted);
-    sorted_ready_[facility] = 1;
-  } else if (obs::enabled()) {
-    thread_local obs::CounterShard hits(OracleMetrics::get().sorted_hits);
-    hits.add();
+    state.store(kReady, std::memory_order_release);
+  } else {
+    while (state.load(std::memory_order_acquire) != kReady) {
+      std::this_thread::yield();
+    }
   }
   return sorted_rows_[facility];
+}
+
+void CostOracle::ensure_rows(std::size_t begin, std::size_t end,
+                             std::size_t width) const {
+  if (end > rows_.size() || begin > end) {
+    throw std::out_of_range("CostOracle::ensure_rows: bad facility range");
+  }
+  exec::parallel_for(
+      end - begin, kRowGrain,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = begin + b; i < begin + e; ++i) {
+          static_cast<void>(row(i));
+        }
+      },
+      width);
+}
+
+void CostOracle::ensure_all_rows(std::size_t width) const {
+  ensure_rows(0, rows_.size(), width);
 }
 
 FlSolution assign_to_open(const CostOracle& oracle,

@@ -9,16 +9,26 @@
 /// (cost, client index).
 ///
 /// Exactness contract: `row(i)[j]` is the very expression
-/// `instance.connection_cost(i, j)` evaluated once — the same double — so
-/// solvers threaded through the oracle produce bit-identical open sets,
-/// assignments and costs to their pre-oracle versions (regression-tested).
+/// `instance.connection_cost(i, j)` evaluated once — the same double. The
+/// row kernel reads client coordinates/weights from contiguous
+/// structure-of-arrays planes packed at construction (not through the
+/// per-client Point structs), but computes the identical
+/// `a_j * hypot(fx - cx, fy - cy)` expression, so solvers threaded through
+/// the oracle stay bit-identical to their pre-oracle versions
+/// (regression-tested, including SoA-vs-scalar).
 ///
-/// Concurrency contract: rows are cached in preallocated per-facility
-/// slots. Concurrent const access is safe as long as no two threads touch
-/// the SAME not-yet-materialized facility row; the deterministic threaded
-/// solvers partition facilities across workers, which satisfies this.
+/// Concurrency contract: each row slot carries an atomic state
+/// (empty -> building -> ready). The first thread to CAS empty->building
+/// materializes the row and release-publishes ready; concurrent callers of
+/// the SAME row spin-yield until it is ready. Any mix of threads may
+/// therefore call row()/sorted_row()/cost() on any facilities concurrently
+/// — the old "no two threads touch the same not-yet-materialized row"
+/// restriction is gone (TSan-covered).
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -30,6 +40,9 @@ class CostOracle {
  public:
   /// The instance must outlive the oracle (no copy is taken).
   explicit CostOracle(const FlInstance& instance);
+
+  CostOracle(const CostOracle&) = delete;
+  CostOracle& operator=(const CostOracle&) = delete;
 
   [[nodiscard]] const FlInstance& instance() const { return *instance_; }
   [[nodiscard]] std::size_t num_facilities() const { return rows_.size(); }
@@ -51,12 +64,36 @@ class CostOracle {
   [[nodiscard]] const std::vector<std::pair<double, std::size_t>>& sorted_row(
       std::size_t facility) const;
 
+  /// Materialize rows [begin, end) in parallel on the exec pool,
+  /// facility-partitioned (`width` lanes, 0 = pool width). Values are
+  /// bit-identical to lazy materialization at any width.
+  void ensure_rows(std::size_t begin, std::size_t end,
+                   std::size_t width = 0) const;
+
+  /// ensure_rows over every facility.
+  void ensure_all_rows(std::size_t width = 0) const;
+
  private:
+  /// Row-slot lifecycle for the atomic publication protocol.
+  enum : std::uint8_t { kEmpty = 0, kBuilding = 1, kReady = 2 };
+
+  /// Compute facility i's row into rows_[i] from the SoA planes and
+  /// release-publish its state. Caller must have won the empty->building
+  /// CAS on state.
+  void materialize_row(std::size_t facility,
+                       std::atomic<std::uint8_t>& state) const;
+
   const FlInstance* instance_;
+  /// Structure-of-arrays client planes (immutable after construction):
+  /// contiguous x/y/weight so the row kernel is a tight streaming loop
+  /// instead of striding through FlClient structs.
+  std::vector<double> client_x_;
+  std::vector<double> client_y_;
+  std::vector<double> client_w_;
   mutable std::vector<std::vector<double>> rows_;
-  mutable std::vector<char> row_ready_;
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> row_state_;
   mutable std::vector<std::vector<std::pair<double, std::size_t>>> sorted_rows_;
-  mutable std::vector<char> sorted_ready_;
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> sorted_state_;
 };
 
 /// Oracle-backed twin of assign_to_open(instance, open): identical result,

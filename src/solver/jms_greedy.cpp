@@ -1,12 +1,13 @@
 #include "solver/jms_greedy.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
-#include "solver/parallel.h"
 
 namespace esharing::solver {
 
@@ -47,6 +48,12 @@ bool better(const Star& a, const Star& b) {
   if (a.facility != b.facility) return a.facility < b.facility;
   return a.take < b.take;
 }
+
+/// Facilities per parallel chunk. Each facility costs O(clients) row work,
+/// so a small grain buys load balance without claim overhead. The grain is
+/// a fixed constant — chunk boundaries (and thus the reduction) never
+/// depend on the thread count.
+constexpr std::size_t kFacilityGrain = 8;
 
 /// Best star among facilities [begin, end) given the current assignment.
 Star best_star_in_range(const CostOracle& oracle, std::size_t begin,
@@ -95,7 +102,9 @@ FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
   instance.validate();
   const std::size_t nf = instance.facilities.size();
   const std::size_t nc = instance.clients.size();
-  const std::size_t threads = std::max<std::size_t>(options.num_threads, 1);
+  // num_threads now names a pool width: 0 = the process-wide exec pool
+  // width (ESHARING_THREADS), 1 = sequential, n = n lanes.
+  const std::size_t threads = exec::resolve_width(options.num_threads);
 
   const obs::ScopedTimer timer(JmsMetrics::get().solve_seconds);
   if (obs::enabled()) {
@@ -110,23 +119,21 @@ FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
 
   while (unconnected > 0) {
     if (obs::enabled()) JmsMetrics::get().iterations.add();
-    Star best;
-    if (threads <= 1) {
-      best = best_star_in_range(oracle, 0, nf, open, assigned, current_cost);
-    } else {
-      // Workers own disjoint facility ranges (so lazy row materialization
-      // never races); the chunk-ordered reduction keeps the result
-      // identical to the sequential scan.
-      std::vector<Star> local(std::min(threads, nf));
-      detail::for_each_chunk(nf, threads,
-                             [&](std::size_t b, std::size_t e, std::size_t c) {
-                               local[c] = best_star_in_range(
-                                   oracle, b, e, open, assigned, current_cost);
-                             });
-      for (const Star& s : local) {
-        if (s.take != 0 && (best.take == 0 || better(s, best))) best = s;
-      }
-    }
+    // Chunk-ordered reduction over disjoint facility ranges on the exec
+    // pool. `better` is a strict total order and each Star is computed
+    // from its own facility alone, so the folded minimum is bit-identical
+    // to the sequential scan at every width (and every grain).
+    Star best = exec::parallel_reduce<Star>(
+        nf, kFacilityGrain, Star{},
+        [&](std::size_t b, std::size_t e) {
+          return best_star_in_range(oracle, b, e, open, assigned,
+                                    current_cost);
+        },
+        [](Star acc, Star s) {
+          if (s.take != 0 && (acc.take == 0 || better(s, acc))) return s;
+          return acc;
+        },
+        threads);
 
     if (best.take == 0) {
       // Cannot happen on a valid instance (every facility can always take

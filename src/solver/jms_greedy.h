@@ -32,8 +32,9 @@
 namespace esharing::solver {
 
 struct JmsOptions {
-  /// Worker threads for the per-facility star scan. 1 = fully sequential
-  /// (no threads spawned). Outputs are identical for any value.
+  /// Lanes on the exec pool for the per-facility star scan: 0 = the
+  /// process-wide pool width (ESHARING_THREADS), 1 = fully sequential on
+  /// the caller, n = n lanes. Outputs are identical for any value.
   std::size_t num_threads{1};
 };
 

@@ -4,9 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
-#include "solver/parallel.h"
 
 namespace esharing::solver {
 
@@ -74,20 +74,16 @@ FlSolution local_search(const CostOracle& oracle, const FlSolution& initial,
     throw std::invalid_argument("local_search: empty initial open set");
   }
   const std::size_t nf = instance.facilities.size();
-  const std::size_t threads = std::max<std::size_t>(options.num_threads, 1);
+  // num_threads = pool width request: 0 = process-wide exec pool width.
+  const std::size_t threads = exec::resolve_width(options.num_threads);
 
   const obs::ScopedTimer timer(LocalSearchMetrics::get().solve_seconds);
   if (obs::enabled()) LocalSearchMetrics::get().solves.add();
 
-  // Materialize every row up front: move evaluations overlap on rows, and
-  // the lazy-materialization contract requires disjoint facilities per
-  // thread — which this facility-partitioned warm-up satisfies.
-  detail::for_each_chunk(nf, threads,
-                         [&](std::size_t b, std::size_t e, std::size_t) {
-                           for (std::size_t i = b; i < e; ++i) {
-                             static_cast<void>(oracle.row(i));
-                           }
-                         });
+  // Materialize every row up front so move evaluations only read: batch
+  // materialization on the exec pool (row slots publish atomically, so
+  // overlapping access would be safe regardless — this is for throughput).
+  oracle.ensure_all_rows(threads);
 
   std::vector<bool> open(nf, false);
   for (std::size_t i : initial.open) {
@@ -126,15 +122,20 @@ FlSolution local_search(const CostOracle& oracle, const FlSolution& initial,
       LocalSearchMetrics::get().iterations.add();
       LocalSearchMetrics::get().moves_evaluated.add(moves.size());
     }
+    // Per-index writes into move_cost: safe for any chunking, and the
+    // sequential selection below reads them in canonical move order, so
+    // the result never depends on the width. The grain is a fixed
+    // constant; each move evaluation is O(open * clients).
     move_cost.assign(moves.size(), kInf);
-    detail::for_each_chunk(moves.size(), threads,
-                           [&](std::size_t b, std::size_t e, std::size_t) {
-                             for (std::size_t m = b; m < e; ++m) {
-                               move_cost[m] = evaluate(oracle, open,
-                                                       moves[m].force_open,
-                                                       moves[m].force_close);
-                             }
-                           });
+    exec::parallel_for(
+        moves.size(), /*grain=*/4,
+        [&](std::size_t b, std::size_t e, std::size_t) {
+          for (std::size_t m = b; m < e; ++m) {
+            move_cost[m] = evaluate(oracle, open, moves[m].force_open,
+                                    moves[m].force_close);
+          }
+        },
+        threads);
     double best = current;
     std::size_t best_open = nf, best_close = nf;
     for (std::size_t m = 0; m < moves.size(); ++m) {

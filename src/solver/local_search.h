@@ -25,8 +25,9 @@ struct LocalSearchOptions {
   std::size_t max_iterations{1000};  ///< safety cap on improving moves
   double min_improvement{1e-9};      ///< ignore smaller-than-noise gains
   bool allow_swaps{true};            ///< include swap moves (costlier scan)
-  /// Worker threads for candidate-move evaluation. 1 = fully sequential
-  /// (no threads spawned). Outputs are identical for any value.
+  /// Lanes on the exec pool for candidate-move evaluation: 0 = the
+  /// process-wide pool width (ESHARING_THREADS), 1 = fully sequential on
+  /// the caller. Outputs are identical for any value.
   std::size_t num_threads{1};
 };
 

@@ -37,8 +37,9 @@ namespace esharing::solver {
 /// Superset of the per-solver knobs; each solver reads only the fields it
 /// understands and ignores the rest.
 struct SolveOptions {
-  /// Worker threads ("jms", "local_search"). Outputs are identical for any
-  /// value.
+  /// Lanes on the exec pool ("jms", "local_search"): 0 = the process-wide
+  /// pool width (ESHARING_THREADS), 1 = sequential. Outputs are identical
+  /// for any value.
   std::size_t num_threads{1};
   /// Station budget, "k_median" only (that solver throws when left 0).
   std::size_t k{0};

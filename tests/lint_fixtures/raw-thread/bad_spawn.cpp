@@ -1,0 +1,10 @@
+// Fixture: raw thread spawning outside src/exec/ must be flagged.
+#include <thread>
+#include <vector>
+
+void fan_out() {
+  std::vector<std::thread> workers;
+  workers.emplace_back([] {});
+  std::jthread j([] {});
+  for (auto& w : workers) w.join();
+}

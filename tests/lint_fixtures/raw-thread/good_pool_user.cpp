@@ -1,0 +1,9 @@
+// Fixture: parallelism through the exec pool is the sanctioned spelling.
+#include "exec/thread_pool.h"
+
+void fan_out(std::vector<double>& out) {
+  esharing::exec::parallel_for(out.size(), 64,
+                               [&](std::size_t b, std::size_t e, std::size_t) {
+                                 for (std::size_t i = b; i < e; ++i) out[i] = 0;
+                               });
+}

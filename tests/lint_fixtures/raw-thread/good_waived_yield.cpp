@@ -1,0 +1,5 @@
+// Fixture: <thread> for std::this_thread::yield is allowed with a waiver;
+// std::this_thread usage itself is never a finding.
+#include <thread>  // lint-ok: raw-thread yield-only spin wait, no spawning
+
+void spin() { std::this_thread::yield(); }

@@ -1,0 +1,172 @@
+/// Bit-identity regression suite for every parallelized hot path: solver
+/// outputs, oracle rows and spatial batch queries must be byte-equal for
+/// num_threads in {1, 2, 4, hardware} and for the SoA kernels vs their
+/// scalar definitions. This is the executable form of the exec runtime's
+/// determinism contract (DESIGN.md "Execution runtime"). Suite names
+/// contain "Exec" so the CI TSan job picks them up; the concurrent
+/// same-row oracle test is the TSan target for the atomic row-publication
+/// protocol.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "geo/spatial_index.h"
+#include "solver/cost_oracle.h"
+#include "solver/jms_greedy.h"
+#include "solver/local_search.h"
+#include "stats/rng.h"
+#include "stats/spatial.h"
+
+namespace {
+
+using esharing::geo::Point;
+using esharing::geo::SpatialIndex;
+using esharing::solver::CostOracle;
+using esharing::solver::FlClient;
+using esharing::solver::FlInstance;
+using esharing::solver::FlSolution;
+
+std::vector<Point> points(std::size_t n, std::uint64_t seed) {
+  esharing::stats::Rng rng(seed);
+  return esharing::stats::uniform_points(rng, {{0, 0}, {2000, 2000}}, n);
+}
+
+FlInstance instance(std::size_t n, std::uint64_t seed) {
+  std::vector<FlClient> clients;
+  std::vector<double> costs;
+  std::size_t i = 0;
+  for (Point p : points(n, seed)) {
+    clients.push_back({p, 1.0 + static_cast<double>(i++ % 5)});
+    costs.push_back(5000.0);
+  }
+  return esharing::solver::colocated_instance(std::move(clients),
+                                              std::move(costs));
+}
+
+std::vector<std::size_t> widths() {
+  return {1, 2, 4,
+          std::max<std::size_t>(1, std::thread::hardware_concurrency())};
+}
+
+void expect_same_solution(const FlSolution& a, const FlSolution& b,
+                          std::size_t width) {
+  EXPECT_EQ(a.open, b.open) << "width " << width;
+  EXPECT_EQ(a.assignment, b.assignment) << "width " << width;
+  EXPECT_EQ(a.connection_cost, b.connection_cost) << "width " << width;
+  EXPECT_EQ(a.opening_cost, b.opening_cost) << "width " << width;
+}
+
+TEST(ExecBitIdentity, JmsGreedyAcrossThreadCounts) {
+  const auto inst = instance(90, 11);
+  const auto ref = esharing::solver::jms_greedy(inst, {.num_threads = 1});
+  for (const std::size_t w : widths()) {
+    expect_same_solution(esharing::solver::jms_greedy(inst, {.num_threads = w}),
+                         ref, w);
+  }
+}
+
+TEST(ExecBitIdentity, LocalSearchAcrossThreadCounts) {
+  const auto inst = instance(60, 12);
+  esharing::solver::LocalSearchOptions opts;
+  opts.num_threads = 1;
+  const auto ref = esharing::solver::local_search_from_scratch(inst, opts);
+  for (const std::size_t w : widths()) {
+    opts.num_threads = w;
+    expect_same_solution(
+        esharing::solver::local_search_from_scratch(inst, opts), ref, w);
+  }
+}
+
+TEST(ExecBitIdentity, OracleRowsAcrossThreadCounts) {
+  const auto inst = instance(80, 13);
+  const CostOracle lazy(inst);  // sequential lazy materialization
+  for (std::size_t f = 0; f < lazy.num_facilities(); ++f) {
+    ASSERT_FALSE(lazy.row(f).empty());
+  }
+  for (const std::size_t w : widths()) {
+    const CostOracle batch(inst);
+    batch.ensure_all_rows(w);
+    for (std::size_t f = 0; f < lazy.num_facilities(); ++f) {
+      EXPECT_EQ(batch.row(f), lazy.row(f)) << "width " << w << " row " << f;
+    }
+  }
+}
+
+TEST(ExecBitIdentity, OracleRowsMatchScalarConnectionCost) {
+  // SoA-vs-scalar: the packed-plane row kernel must reproduce the very
+  // double FlInstance::connection_cost computes from the Point structs.
+  const auto inst = instance(70, 14);
+  const CostOracle oracle(inst);
+  oracle.ensure_all_rows();
+  for (std::size_t f = 0; f < oracle.num_facilities(); ++f) {
+    const auto& row = oracle.row(f);
+    for (std::size_t c = 0; c < oracle.num_clients(); ++c) {
+      EXPECT_EQ(row[c], inst.connection_cost(f, c)) << f << "," << c;
+    }
+  }
+}
+
+TEST(ExecBitIdentity, NearestBatchAcrossThreadCounts) {
+  const auto pts = points(3000, 15);
+  const auto queries = points(500, 16);
+  const SpatialIndex index(pts);
+  std::vector<std::size_t> ref(queries.size());
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    ref[k] = index.nearest(queries[k]);  // scalar definition
+  }
+  for (const std::size_t w : widths()) {
+    EXPECT_EQ(index.nearest_batch(queries, w), ref) << "width " << w;
+  }
+}
+
+TEST(ExecBitIdentity, WithinRadiusBatchAcrossThreadCounts) {
+  const auto pts = points(2000, 17);
+  const auto queries = points(200, 18);
+  const SpatialIndex index(pts);
+  std::vector<std::vector<std::size_t>> ref(queries.size());
+  for (std::size_t k = 0; k < queries.size(); ++k) {
+    ref[k] = index.within_radius(queries[k], 150.0);
+  }
+  for (const std::size_t w : widths()) {
+    EXPECT_EQ(index.within_radius_batch(queries, 150.0, w), ref)
+        << "width " << w;
+  }
+}
+
+TEST(ExecBitIdentity, ConcurrentSameRowMaterialization) {
+  // TSan target: many pool lanes race to materialize the SAME rows. The
+  // empty->building->ready protocol must hand every caller the one
+  // published vector (no torn reads, no double builds).
+  const auto inst = instance(16, 19);
+  for (int round = 0; round < 8; ++round) {
+    const CostOracle oracle(inst);
+    esharing::exec::ThreadPool pool(4);
+    std::vector<const std::vector<double>*> seen(64);
+    pool.parallel_for(seen.size(), 1,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        for (std::size_t i = b; i < e; ++i) {
+                          // All lanes hammer row (i % 4): heavy same-row
+                          // contention on a handful of slots.
+                          seen[i] = &oracle.row(i % 4);
+                          ASSERT_EQ(seen[i]->size(), oracle.num_clients());
+                        }
+                      });
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      EXPECT_EQ(seen[i], &oracle.row(i % 4));  // one published row object
+      EXPECT_EQ(*seen[i], oracle.row(i % 4));
+    }
+    // Sorted rows run the same protocol on their own state array.
+    pool.parallel_for(32, 1, [&](std::size_t b, std::size_t e, std::size_t) {
+      for (std::size_t i = b; i < e; ++i) {
+        ASSERT_EQ(oracle.sorted_row(i % 4).size(), oracle.num_clients());
+      }
+    });
+  }
+}
+
+}  // namespace

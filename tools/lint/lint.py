@@ -13,6 +13,11 @@ contracts"):
                      functions of (input, seed), never of the current time.
                      Monotonic steady_clock is allowed (obs timers measure
                      durations, never timestamps).
+  raw-thread         no raw thread spawning (std::thread/std::jthread,
+                     pthread_create, or even #include <thread>) outside
+                     src/exec/ — all parallelism flows through the
+                     persistent exec::ThreadPool so thread counts, shutdown
+                     and instrumentation stay centralized.
   unordered-iter     no range-for over unordered containers in files that
                      feed checkpoints, JSONL sinks or golden outputs; use
                      data/sorted_view.h (hash order is not part of any
@@ -154,6 +159,14 @@ WALL_CLOCK_PATTERNS = [
     (re.compile(r"\b(?:localtime|gmtime|strftime|ctime)\s*\("),
      "calendar-time call"),
     (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+]
+
+
+RAW_THREAD_PATTERNS = [
+    # `j?thread` cannot match std::this_thread:: (yield/sleep are fine).
+    (re.compile(r"\bstd\s*::\s*j?thread\b"), "std::thread/std::jthread"),
+    (re.compile(r"\bpthread_create\b"), "pthread_create()"),
+    (re.compile(r"#\s*include\s*<thread>"), "#include <thread>"),
 ]
 
 
@@ -413,6 +426,17 @@ RULES = {
             "library outputs are functions of (input, seed), never of the "
             "current time; use event time or steady_clock durations"),
         "doc": "wall-clock reads in library code",
+    },
+    "raw-thread": {
+        "globs": ALL_GLOBS,
+        "exempt": ("src/exec/thread_pool.h", "src/exec/thread_pool.cpp"),
+        "check": check_patterns(
+            RAW_THREAD_PATTERNS, "raw-thread",
+            "spawn work on the persistent exec::ThreadPool "
+            "(src/exec/thread_pool.h) instead of raw threads; "
+            "std::this_thread::yield needs <thread> — waive the include "
+            "with a justification"),
+        "doc": "raw thread spawning outside src/exec/",
     },
     "unordered-iter": {
         "globs": DETERMINISM_CRITICAL_GLOBS,
