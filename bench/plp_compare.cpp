@@ -135,7 +135,11 @@ MethodResult run_offline_solver(const PlpScenario& s,
                                 const std::string& solver_name,
                                 std::uint64_t seed) {
   solver::SolveOptions options;
-  options.seed = seed;
+  // Only the randomized solvers consume a seed; validate(name) rejects a
+  // non-default seed for the deterministic ones.
+  if (solver_name == "k_median" || solver_name == "meyerson") {
+    options.seed = seed;
+  }
   const auto sol = solver::solve(
       solver_name, scenario_instance(s.live_sites, s.opening_cost), options);
   const auto open = open_locations(s.live_sites, sol);

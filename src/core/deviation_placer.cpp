@@ -22,6 +22,7 @@ struct PlacerMetrics {
   obs::Counter& ks_tests;
   obs::Counter& penalty_switches;
   obs::Counter& cost_doublings;
+  obs::Counter& reanchors;
   obs::Gauge& cost_scale;
   obs::Gauge& last_similarity;
 
@@ -33,6 +34,7 @@ struct PlacerMetrics {
         obs::Registry::global().counter("core.placer.ks_tests"),
         obs::Registry::global().counter("core.placer.penalty_switches"),
         obs::Registry::global().counter("core.placer.cost_doublings"),
+        obs::Registry::global().counter("core.placer.reanchors"),
         obs::Registry::global().gauge("core.placer.cost_scale"),
         obs::Registry::global().gauge("core.placer.last_similarity"),
     };
@@ -202,7 +204,11 @@ namespace wire = data::wire;
 // Placer checkpoint blob: magic + layout version. Bump the version on any
 // field change; restore() rejects unknown versions instead of misreading.
 constexpr std::uint64_t kPlacerMagic = 0x45504c4143455231ULL;  // "EPLACER1"
-constexpr std::uint64_t kPlacerVersion = 1;
+// v2: the landmark set is serialized explicitly (+ the reanchor counter).
+// v1 recovered it as "the first k stations", which reanchor() breaks — a
+// re-anchored landmark can be any station, or share a location with a
+// removed one.
+constexpr std::uint64_t kPlacerVersion = 2;
 }  // namespace
 
 void DeviationPenaltyPlacer::save(std::ostream& os) const {
@@ -215,6 +221,10 @@ void DeviationPenaltyPlacer::save(std::ostream& os) const {
   wire::write_u64(os, config_.window_capacity);
 
   wire::write_u64(os, k_);
+  for (Point p : landmarks_) {
+    wire::write_f64(os, p.x);
+    wire::write_f64(os, p.y);
+  }
   wire::write_u64(os, stations_.size());
   for (const Station& s : stations_) {
     wire::write_f64(os, s.location.x);
@@ -239,6 +249,7 @@ void DeviationPenaltyPlacer::save(std::ostream& os) const {
   wire::write_f64(os, connection_cost_);
   wire::write_f64(os, last_similarity_);
   wire::write_u64(os, requests_seen_);
+  wire::write_u64(os, reanchors_);
   // mt19937_64 state round-trips exactly through its text representation.
   std::ostringstream engine_text;
   engine_text << rng_.engine();
@@ -275,14 +286,22 @@ DeviationPenaltyPlacer DeviationPenaltyPlacer::restore(
         std::to_string(ks_period) + "/" + std::to_string(window_capacity));
   }
 
-  const std::uint64_t k = wire::read_u64(is);
-  const std::uint64_t n_stations = wire::read_count(is, kSaneMax);
-  if (k == 0 || k > n_stations) {
+  const std::uint64_t k = wire::read_count(is, kSaneMax);
+  if (k == 0) {
     throw std::runtime_error(
-        "DeviationPenaltyPlacer::restore: corrupt landmark count " +
-        std::to_string(k) + " of " + std::to_string(n_stations) +
-        " stations");
+        "DeviationPenaltyPlacer::restore: corrupt landmark count 0");
   }
+  // v2 carries the landmark set explicitly — after a reanchor() the
+  // landmarks are not "the first k stations" any more.
+  std::vector<Point> landmarks;
+  landmarks.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    Point p;
+    p.x = wire::read_f64(is);
+    p.y = wire::read_f64(is);
+    landmarks.push_back(p);
+  }
+  const std::uint64_t n_stations = wire::read_count(is, kSaneMax);
   std::vector<Station> stations;
   stations.reserve(n_stations);
   for (std::uint64_t i = 0; i < n_stations; ++i) {
@@ -294,12 +313,8 @@ DeviationPenaltyPlacer DeviationPenaltyPlacer::restore(
     stations.push_back(s);
   }
 
-  // The first k stations are the immutable offline landmark set; rebuild
-  // through the normal constructor (validation + landmark index), then
-  // overwrite the mutable state.
-  std::vector<Point> landmarks;
-  landmarks.reserve(k);
-  for (std::uint64_t i = 0; i < k; ++i) landmarks.push_back(stations[i].location);
+  // Rebuild through the normal constructor (validation + landmark index),
+  // then overwrite the mutable state.
   DeviationPenaltyPlacer placer(landmarks, {}, std::move(opening_cost_fn),
                                 config, /*seed=*/0);
 
@@ -348,6 +363,7 @@ DeviationPenaltyPlacer DeviationPenaltyPlacer::restore(
   placer.connection_cost_ = wire::read_f64(is);
   placer.last_similarity_ = wire::read_f64(is);
   placer.requests_seen_ = wire::read_u64(is);
+  placer.reanchors_ = wire::read_u64(is);
   std::istringstream engine_text(wire::read_string(is));
   engine_text >> placer.rng_.engine();
   if (engine_text.fail()) {
@@ -355,6 +371,45 @@ DeviationPenaltyPlacer DeviationPenaltyPlacer::restore(
         "DeviationPenaltyPlacer::restore: corrupt RNG engine state");
   }
   return placer;
+}
+
+void DeviationPenaltyPlacer::reanchor(const std::vector<Point>& new_landmarks) {
+  // Unlike construction, no >= 2 restriction: w* only seeds the initial
+  // opening scale, and the scale carries over a re-anchor — a warm
+  // re-solve that collapses to a single landmark is a valid plan.
+  if (new_landmarks.empty()) {
+    throw std::invalid_argument(
+        "DeviationPenaltyPlacer::reanchor: empty landmark set");
+  }
+  // Establish stations for landmarks the network does not serve yet
+  // (exact-location match against active stations; station count stays
+  // small, so the quadratic scan is cheap next to the re-solve that
+  // produced the landmarks).
+  for (Point p : new_landmarks) {
+    bool present = false;
+    for (const Station& s : stations_) {
+      if (s.active && s.location.x == p.x && s.location.y == p.y) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      stations_.push_back({p, /*online_opened=*/false, /*active=*/true});
+      station_index_.insert(p);
+      if (obs::enabled()) PlacerMetrics::get().stations_opened.add();
+    }
+  }
+  landmark_index_ = geo::SpatialIndex(new_landmarks);
+  landmarks_ = new_landmarks;
+  k_ = landmarks_.size();
+  // Landmark-derived base cost follows the new set; the adapted opening
+  // scale and the doubling counter deliberately carry over (see header).
+  reference_f_ = 0.0;
+  for (Point p : landmarks_) reference_f_ += opening_cost_fn_(p);
+  reference_f_ /= static_cast<double>(k_);
+  if (!(reference_f_ > 0.0)) reference_f_ = 1.0;
+  ++reanchors_;
+  if (obs::enabled()) PlacerMetrics::get().reanchors.add();
 }
 
 void DeviationPenaltyPlacer::remove_station(std::size_t index) {

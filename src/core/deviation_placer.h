@@ -18,7 +18,9 @@
 ///     set (rather than to whatever opened most recently) is what makes the
 ///     three penalty shapes behave as Fig. 5/Table III describe: Type II
 ///     confines new parkings to within L of the prediction, Type III
-///     tolerates a mid-range band, Type I keeps a long tail;
+///     tolerates a mid-range band, Type I keeps a long tail. The landmark
+///     set only ever changes wholesale, when reanchor() installs a freshly
+///     re-optimized plan;
 ///   * the effective opening cost starts small and doubles every time
 ///     beta*k parkings have been opened since the last doubling, so late
 ///     over-building becomes prohibitive. Following the online k-means
@@ -115,6 +117,23 @@ class DeviationPenaltyPlacer {
   ///         std::logic_error when removing the last active station.
   void remove_station(std::size_t index);
 
+  /// Replace the offline landmark set P with a re-optimized one (the
+  /// hourly re-anchor cadence of the incremental re-optimization engine;
+  /// see solver::ReoptimizationSession). Deviation penalties and the KS
+  /// regime machinery key to the NEW landmarks from the next request on;
+  /// new landmark locations that are not yet active stations are
+  /// established (online_opened = false), while existing stations persist
+  /// — a physical parking does not vanish because the plan moved. The
+  /// adapted opening scale and doubling counter carry over: resetting them
+  /// would replay the aggressive early-opening phase after every
+  /// re-anchor.
+  /// A single landmark is allowed (unlike construction): w* only seeds the
+  /// initial scale, which a re-anchor carries over.
+  /// \throws std::invalid_argument on an empty landmark set.
+  void reanchor(const std::vector<geo::Point>& new_landmarks);
+
+  [[nodiscard]] std::uint64_t reanchors() const { return reanchors_; }
+
   // --- observers ---------------------------------------------------------
   [[nodiscard]] const std::vector<Station>& stations() const { return stations_; }
   /// Index of the active station nearest to `p` (ties: smallest index), or
@@ -168,7 +187,7 @@ class DeviationPenaltyPlacer {
   std::vector<Station> stations_;
   /// Bucketed mirror of stations_ (same ids; deactivated on removal).
   geo::SpatialIndex station_index_;
-  std::vector<geo::Point> landmarks_;  ///< immutable offline set P
+  std::vector<geo::Point> landmarks_;  ///< offline set P (replaced by reanchor)
   geo::SpatialIndex landmark_index_;   ///< bucketed mirror of landmarks_
   std::size_t k_;              ///< offline parking count |P|
   double reference_f_;         ///< mean base opening cost over landmarks
@@ -180,6 +199,7 @@ class DeviationPenaltyPlacer {
   double connection_cost_{0.0};
   double last_similarity_{100.0};
   std::size_t requests_seen_{0};
+  std::uint64_t reanchors_{0};
 };
 
 }  // namespace esharing::core

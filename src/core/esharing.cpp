@@ -129,19 +129,57 @@ const solver::FlSolution& ESharing::plan_offline(
     clients.push_back({site.location, site.arrivals});
     costs.push_back(opening_cost_fn_(site.location));
   }
-  const auto instance = solver::colocated_instance(std::move(clients),
-                                                   std::move(costs));
+  auto instance = solver::colocated_instance(std::move(clients),
+                                             std::move(costs));
   {
     const obs::ScopedTimer timer(
         obs::Registry::global().histogram("core.esharing.plan_offline_seconds"));
-    offline_ = solver::jms_greedy(instance);
+    // The session's construction cold solve IS the plan (bit-identical to
+    // the former direct jms_greedy call); it stays alive so reanchor() can
+    // warm re-solve against demand drift.
+    reopt_ = std::make_unique<solver::ReoptimizationSession>(
+        std::move(instance), solver::ReoptOptions{}, opening_cost_fn_);
+    offline_ = reopt_->solution();
   }
   offline_locations_.clear();
   for (std::size_t f : offline_->open) {
-    offline_locations_.push_back(instance.facilities[f].location);
+    offline_locations_.push_back(reopt_->instance().facilities[f].location);
   }
   placer_.reset();  // a new plan invalidates any running online phase
   return *offline_;
+}
+
+const solver::FlSolution& ESharing::reanchor(
+    const std::vector<data::DemandSite>& sites) {
+  if (reopt_ == nullptr) {
+    throw std::logic_error("ESharing::reanchor: plan_offline first");
+  }
+  if (sites.empty()) {
+    throw std::invalid_argument("ESharing::reanchor: no demand sites");
+  }
+  std::vector<solver::FlClient> target;
+  target.reserve(sites.size());
+  for (const auto& site : sites) {
+    target.push_back({site.location, site.arrivals});
+  }
+  {
+    const obs::ScopedTimer timer(
+        obs::Registry::global().histogram("core.esharing.reanchor_seconds"));
+    offline_ = reopt_->reoptimize_to(target);
+  }
+  offline_locations_.clear();
+  for (std::size_t f : offline_->open) {
+    offline_locations_.push_back(reopt_->instance().facilities[f].location);
+  }
+  if (placer_.has_value()) placer_->reanchor(offline_locations_);
+  return *offline_;
+}
+
+const solver::ReoptimizationSession& ESharing::reopt_session() const {
+  if (reopt_ == nullptr) {
+    throw std::logic_error("ESharing::reopt_session: plan_offline first");
+  }
+  return *reopt_;
 }
 
 void ESharing::start_online(std::vector<Point> historical_sample) {

@@ -29,6 +29,7 @@
 #include "data/binning.h"
 #include "energy/battery.h"
 #include "solver/facility_location.h"
+#include "solver/reopt.h"
 
 namespace esharing::core {
 
@@ -57,6 +58,23 @@ class ESharing {
   const solver::FlSolution& plan_offline(
       const std::vector<data::DemandSite>& sites,
       std::function<double(geo::Point)> opening_cost_fn);
+
+  /// Incrementally re-optimize the offline plan against a fresh demand
+  /// snapshot (the hourly landmark re-anchor of ROADMAP item 4): the
+  /// retained ReoptimizationSession diffs the new sites against its
+  /// versioned instance, patches the cost oracle and warm re-solves from
+  /// the previous plan (never costlier than carrying it over; a snapshot
+  /// identical to the current instance returns the cached solution
+  /// bit-identically). The offline solution is updated, and when the
+  /// online phase is running the placer's landmarks are re-anchored to
+  /// the new plan (existing stations persist).
+  /// \throws std::logic_error before plan_offline,
+  ///         std::invalid_argument on empty sites.
+  const solver::FlSolution& reanchor(const std::vector<data::DemandSite>& sites);
+
+  /// The incremental re-optimization session behind plan_offline/reanchor.
+  /// \throws std::logic_error before plan_offline.
+  [[nodiscard]] const solver::ReoptimizationSession& reopt_session() const;
 
   /// Begin the online phase guided by the offline plan. `historical_sample`
   /// is the destination sample H(x, y) used by the KS test.
@@ -106,6 +124,9 @@ class ESharing {
   ESharingConfig config_;
   std::uint64_t seed_;
   std::function<double(geo::Point)> opening_cost_fn_;
+  /// Owns {versioned instance, delta-aware oracle, last solution}; behind
+  /// unique_ptr because the session is immovable (oracle points into it).
+  std::unique_ptr<solver::ReoptimizationSession> reopt_;
   std::optional<solver::FlSolution> offline_;
   std::vector<geo::Point> offline_locations_;
   std::optional<DeviationPenaltyPlacer> placer_;

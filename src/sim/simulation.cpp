@@ -17,12 +17,14 @@ namespace {
 struct SimObsMetrics {
   obs::Counter& trips;
   obs::Counter& charging_rounds;
+  obs::Counter& reanchors;
   obs::Histogram& charging_round_cost;
 
   static SimObsMetrics& get() {
     static SimObsMetrics m{
         obs::Registry::global().counter("sim.simulation.trips"),
         obs::Registry::global().counter("sim.simulation.charging_rounds"),
+        obs::Registry::global().counter("sim.simulation.reanchors"),
         obs::Registry::global().histogram(
             "sim.simulation.charging_round_cost",
             {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6}),
@@ -100,6 +102,19 @@ void SimConfig::validate() const {
     fail("stream_route_cell_m", stream_route_cell_m,
          "shard routing divides space into cells, so the cell edge must be "
          "positive");
+  }
+  if (reanchor_period < 0) {
+    fail("reanchor_period", static_cast<double>(reanchor_period),
+         "the landmark re-anchor cadence is a duration in seconds; use 0 "
+         "to disable re-anchoring");
+  }
+  if (reanchor_period > 0) {
+    reanchor_state.validate();
+    if (reanchor_min_cells == 0) {
+      fail("reanchor_min_cells", 0.0,
+           "a re-anchor needs at least one demand cell to build an "
+           "instance from (set reanchor_period = 0 to disable instead)");
+    }
   }
 }
 
@@ -188,6 +203,10 @@ void Simulation::bootstrap(const std::vector<TripRecord>& history) {
 
   open_incentive_session();
   next_round_at_ = hi + 1 + config_.charging_period;
+  if (config_.reanchor_period > 0) {
+    demand_state_.emplace(config_.reanchor_state);
+    next_reanchor_at_ = hi + 1 + config_.reanchor_period;
+  }
   bootstrapped_ = true;
 }
 
@@ -239,13 +258,46 @@ void Simulation::close_charging_period(SimMetrics& metrics) {
   open_incentive_session();
 }
 
+void Simulation::maybe_reanchor(Seconds as_of) {
+  const auto snap = demand_state_->snapshot(as_of);
+  if (snap.cells.size() < config_.reanchor_min_cells) return;
+  const double cell = config_.reanchor_state.cell_m;
+  std::vector<data::DemandSite> sites;
+  sites.reserve(snap.cells.size());
+  for (const auto& c : snap.cells) {
+    data::DemandSite site;
+    site.location = {(static_cast<double>(c.cx) + 0.5) * cell,
+                     (static_cast<double>(c.cy) + 0.5) * cell};
+    site.arrivals = static_cast<double>(c.count);
+    sites.push_back(site);
+  }
+  system_.reanchor(sites);
+  // A re-anchor can establish stations; keep the inventory vector parallel.
+  station_bikes_.resize(system_.placer().stations().size(), 0);
+  ++reanchors_;
+  if (obs::enabled()) SimObsMetrics::get().reanchors.add();
+}
+
 void Simulation::process_trip(const TripRecord& trip, SimMetrics& metrics) {
   while (trip.start_time >= next_round_at_) {
     close_charging_period(metrics);
     next_round_at_ += config_.charging_period;
   }
+  if (config_.reanchor_period > 0) {
+    while (trip.start_time >= next_reanchor_at_) {
+      maybe_reanchor(next_reanchor_at_);
+      next_reanchor_at_ += config_.reanchor_period;
+    }
+  }
 
   const Point dest = city_.end_point(trip);
+  if (demand_state_.has_value()) {
+    stream::Event demand;
+    demand.kind = stream::EventKind::kTripEnd;
+    demand.time = trip.start_time;
+    demand.where = dest;
+    demand_state_->ingest(demand);
+  }
   const auto decision = system_.handle_request(dest);
   const Point assigned =
       system_.placer().stations()[decision.facility].location;
@@ -313,6 +365,7 @@ void Simulation::finalize(SimMetrics& metrics) {
   metrics.stations_final = system_.placer().num_active();
   metrics.stations_online_opened = system_.placer().num_online_opened();
   metrics.stations_removed = stations_removed_;
+  metrics.reanchors = reanchors_;
 }
 
 SimMetrics Simulation::run(const std::vector<TripRecord>& live) {

@@ -20,6 +20,7 @@
 #include "geo/spatial_index.h"
 #include "stats/rng.h"
 #include "stream/event_bus.h"
+#include "stream/stream_state.h"
 
 namespace esharing::sim {
 
@@ -45,6 +46,17 @@ struct SimConfig {
   std::size_t stream_queue_capacity{1024};///< per-shard ring capacity
   std::size_t stream_batch{256};          ///< drain batch cap (<= capacity)
   double stream_route_cell_m{100.0};      ///< shard-routing cell edge (m)
+  /// Landmark re-anchor cadence (incremental re-optimization engine):
+  /// every this many seconds of sim time, the recent demand window is
+  /// snapshotted into demand sites and ESharing::reanchor warm re-solves
+  /// the offline plan, re-anchoring the online placer's landmarks
+  /// (0 disables). Runs in the shared per-trip path, so run() and
+  /// run_streamed() stay bit-identical at any shard count.
+  data::Seconds reanchor_period{0};
+  /// Sliding demand window feeding scheduled re-anchors.
+  stream::StreamStateConfig reanchor_state;
+  /// Skip a scheduled re-anchor while the window has fewer demand cells.
+  std::size_t reanchor_min_cells{2};
 
   /// Fail fast on inconsistent parameters (including the nested
   /// ESharingConfig). Called by the Simulation constructor.
@@ -58,6 +70,7 @@ struct SimMetrics {
   std::size_t stations_final{0};
   std::size_t stations_online_opened{0};
   std::size_t stations_removed{0};  ///< footnote-2 removals (emptied)
+  std::size_t reanchors{0};         ///< landmark re-anchors executed
   double incentives_paid{0.0};
   std::size_t offers_made{0};
   std::size_t relocations{0};
@@ -107,6 +120,10 @@ class Simulation {
  private:
   void open_incentive_session();
   void close_charging_period(SimMetrics& metrics);
+  /// Scheduled landmark re-anchor at period boundary `as_of`: snapshot the
+  /// demand window, warm re-solve, re-anchor the placer (skipped while the
+  /// window holds fewer than reanchor_min_cells cells).
+  void maybe_reanchor(data::Seconds as_of);
   /// The shared per-trip logic of run() and run_streamed(): charging-period
   /// rollover, tier-one request, footnote-2 removal, tier-two offer, bike
   /// movement and metric accrual.
@@ -131,6 +148,11 @@ class Simulation {
   geo::SpatialIndex session_index_;
   std::optional<core::IncentiveMechanism> session_;
   data::Seconds next_round_at_{0};
+  /// Demand window behind scheduled re-anchors (engaged when
+  /// reanchor_period > 0).
+  std::optional<stream::StreamState> demand_state_;
+  data::Seconds next_reanchor_at_{0};
+  std::size_t reanchors_{0};
   bool bootstrapped_{false};
 };
 

@@ -8,6 +8,7 @@
 
 #include "exec/thread_pool.h"
 #include "obs/registry.h"
+#include "solver/instance_delta.h"
 
 namespace esharing::solver {
 
@@ -18,6 +19,9 @@ struct OracleMetrics {
   obs::Counter& row_hits;
   obs::Counter& sorted_materializations;
   obs::Counter& sorted_hits;
+  obs::Counter& rows_reused;
+  obs::Counter& rows_invalidated;
+  obs::Counter& sorted_invalidated;
 
   static OracleMetrics& get() {
     static OracleMetrics m{
@@ -27,6 +31,10 @@ struct OracleMetrics {
         obs::Registry::global().counter(
             "solver.cost_oracle.sorted_materializations"),
         obs::Registry::global().counter("solver.cost_oracle.sorted_hits"),
+        obs::Registry::global().counter("solver.cost_oracle.rows_reused"),
+        obs::Registry::global().counter("solver.cost_oracle.rows_invalidated"),
+        obs::Registry::global().counter(
+            "solver.cost_oracle.sorted_invalidated"),
     };
     return m;
   }
@@ -154,6 +162,155 @@ void CostOracle::ensure_rows(std::size_t begin, std::size_t end,
 
 void CostOracle::ensure_all_rows(std::size_t width) const {
   ensure_rows(0, rows_.size(), width);
+}
+
+void CostOracle::apply_delta(const InstanceDelta& delta) {
+  const std::size_t nc_old = client_x_.size();
+  const std::size_t nf_old = rows_.size();
+  const std::size_t nc_new = instance_->clients.size();
+  const std::size_t nf_new = instance_->facilities.size();
+  if (delta.remove_clients.size() > nc_old ||
+      delta.remove_facilities.size() > nf_old ||
+      nc_old - delta.remove_clients.size() + delta.add_clients.size() !=
+          nc_new ||
+      nf_old - delta.remove_facilities.size() + delta.add_facilities.size() !=
+          nf_new) {
+    throw std::logic_error(
+        "CostOracle::apply_delta: instance size does not match the oracle's "
+        "pre-delta view plus this delta — apply_delta(instance, delta) must "
+        "run first, with the same delta");
+  }
+  for (const WeightUpdate& u : delta.weight_updates) {
+    if (u.client >= nc_old) {
+      throw std::logic_error(
+          "CostOracle::apply_delta: weight update names a client beyond the "
+          "pre-delta instance");
+    }
+  }
+  for (std::size_t j : delta.remove_clients) {
+    if (j >= nc_old) {
+      throw std::logic_error(
+          "CostOracle::apply_delta: client removal beyond the pre-delta "
+          "instance");
+    }
+  }
+  for (std::size_t i : delta.remove_facilities) {
+    if (i >= nf_old) {
+      throw std::logic_error(
+          "CostOracle::apply_delta: facility removal beyond the pre-delta "
+          "instance");
+    }
+  }
+
+  const bool clients_changed = !delta.weight_updates.empty() ||
+                               !delta.remove_clients.empty() ||
+                               !delta.add_clients.empty();
+
+  std::vector<std::size_t> removed_f = delta.remove_facilities;
+  std::sort(removed_f.begin(), removed_f.end());
+  // Descending so per-row erasures keep later indices valid.
+  std::vector<std::size_t> removed_c = delta.remove_clients;
+  std::sort(removed_c.begin(), removed_c.end(), std::greater<>());
+
+  std::uint64_t reused = 0;
+  std::uint64_t invalidated = 0;
+  std::uint64_t sorted_dropped = 0;
+
+  std::vector<std::vector<double>> new_rows;
+  std::vector<std::vector<std::pair<double, std::size_t>>> new_sorted;
+  new_rows.reserve(nf_new);
+  new_sorted.reserve(nf_new);
+  std::unique_ptr<std::atomic<std::uint8_t>[]> new_row_state(
+      new std::atomic<std::uint8_t>[nf_new]);
+  std::unique_ptr<std::atomic<std::uint8_t>[]> new_sorted_state(
+      new std::atomic<std::uint8_t>[nf_new]);
+
+  std::size_t next_removed = 0;
+  for (std::size_t i = 0; i < nf_old; ++i) {
+    if (next_removed < removed_f.size() && removed_f[next_removed] == i) {
+      ++next_removed;
+      if (row_state_[i].load(std::memory_order_relaxed) == kReady) {
+        ++invalidated;
+      }
+      if (sorted_state_[i].load(std::memory_order_relaxed) == kReady) {
+        ++sorted_dropped;
+      }
+      continue;
+    }
+    const std::size_t ni = new_rows.size();
+    const std::uint8_t rstate = row_state_[i].load(std::memory_order_relaxed);
+    if (rstate == kReady) {
+      std::vector<double>& r = rows_[i];
+      if (clients_changed) {
+        // Patch in place against the PRE-delta SoA planes (a re-weighted
+        // client keeps its coordinates); every touched entry is recomputed
+        // with the exact fresh-oracle kernel expression, so the patched
+        // row is bit-identical to a cold materialization.
+        const double fx = instance_->facilities[ni].location.x;
+        const double fy = instance_->facilities[ni].location.y;
+        for (const WeightUpdate& u : delta.weight_updates) {
+          if (client_w_[u.client] == u.weight) continue;
+          r[u.client] = u.weight * std::hypot(fx - client_x_[u.client],
+                                              fy - client_y_[u.client]);
+        }
+        for (std::size_t j : removed_c) {
+          r.erase(r.begin() + static_cast<std::ptrdiff_t>(j));
+        }
+        for (const FlClient& c : delta.add_clients) {
+          r.push_back(c.weight *
+                      std::hypot(fx - c.location.x, fy - c.location.y));
+        }
+      }
+      ++reused;
+    }
+    new_rows.push_back(std::move(rows_[i]));
+    new_row_state[ni].store(rstate, std::memory_order_relaxed);
+    const std::uint8_t sstate =
+        sorted_state_[i].load(std::memory_order_relaxed);
+    if (clients_changed) {
+      // Any client change can reorder the row; force a fresh sort.
+      if (sstate == kReady) ++sorted_dropped;
+      new_sorted.emplace_back();
+      new_sorted_state[ni].store(kEmpty, std::memory_order_relaxed);
+    } else {
+      new_sorted.push_back(std::move(sorted_rows_[i]));
+      new_sorted_state[ni].store(sstate, std::memory_order_relaxed);
+    }
+  }
+  for (std::size_t i = new_rows.size(); i < nf_new; ++i) {
+    new_rows.emplace_back();
+    new_sorted.emplace_back();
+    new_row_state[i].store(kEmpty, std::memory_order_relaxed);
+    new_sorted_state[i].store(kEmpty, std::memory_order_relaxed);
+  }
+
+  // Only now mutate the SoA planes (row patching above read the old ones).
+  for (const WeightUpdate& u : delta.weight_updates) {
+    client_w_[u.client] = u.weight;
+  }
+  for (std::size_t j : removed_c) {
+    client_x_.erase(client_x_.begin() + static_cast<std::ptrdiff_t>(j));
+    client_y_.erase(client_y_.begin() + static_cast<std::ptrdiff_t>(j));
+    client_w_.erase(client_w_.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  for (const FlClient& c : delta.add_clients) {
+    client_x_.push_back(c.location.x);
+    client_y_.push_back(c.location.y);
+    client_w_.push_back(c.weight);
+  }
+
+  rows_ = std::move(new_rows);
+  sorted_rows_ = std::move(new_sorted);
+  row_state_ = std::move(new_row_state);
+  sorted_state_ = std::move(new_sorted_state);
+  ++revision_;
+
+  if (obs::enabled()) {
+    OracleMetrics& m = OracleMetrics::get();
+    m.rows_reused.add(reused);
+    m.rows_invalidated.add(invalidated);
+    m.sorted_invalidated.add(sorted_dropped);
+  }
 }
 
 FlSolution assign_to_open(const CostOracle& oracle,

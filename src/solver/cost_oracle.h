@@ -24,6 +24,23 @@
 /// therefore call row()/sorted_row()/cost() on any facilities concurrently
 /// — the old "no two threads touch the same not-yet-materialized row"
 /// restriction is gone (TSan-covered).
+///
+/// Delta contract (incremental re-optimization): apply_delta(delta)
+/// re-synchronizes the oracle after the SAME delta was applied to the
+/// underlying instance (apply_delta(FlInstance&, delta) from
+/// instance_delta.h — the ReoptimizationSession drives both in order).
+/// Materialized state is carried across the delta instead of being thrown
+/// away: rows of removed facilities are dropped, surviving ready rows are
+/// patched in place (changed-weight entries recomputed with the exact
+/// kernel expression, removed entries erased, appended clients computed
+/// fresh) and untouched rows plus — when no client changed — their sorted
+/// orderings are reused verbatim. Every surviving ready row is therefore
+/// bit-identical to the row a fresh oracle on the post-delta instance
+/// would materialize (regression-tested). `rows_reused` / `rows_invalidated`
+/// / `sorted_invalidated` count carried, dropped and re-sort-forced caches
+/// per delta (obs counters solver.cost_oracle.*). apply_delta requires
+/// exclusive access: it is NOT safe concurrently with any reader — it is
+/// the epoch boundary between solves, not a hot-path operation.
 
 #include <atomic>
 #include <cstddef>
@@ -35,6 +52,8 @@
 #include "solver/facility_location.h"
 
 namespace esharing::solver {
+
+struct InstanceDelta;
 
 class CostOracle {
  public:
@@ -73,6 +92,17 @@ class CostOracle {
   /// ensure_rows over every facility.
   void ensure_all_rows(std::size_t width = 0) const;
 
+  /// Re-synchronize with the underlying instance after `delta` was applied
+  /// to it (see the delta contract in the file comment). Requires
+  /// exclusive access; bumps revision().
+  /// \throws std::logic_error if the oracle and the instance disagree on
+  ///         the post-delta sizes (the delta was not applied, or a
+  ///         different one was).
+  void apply_delta(const InstanceDelta& delta);
+
+  /// Number of apply_delta calls absorbed so far.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
  private:
   /// Row-slot lifecycle for the atomic publication protocol.
   enum : std::uint8_t { kEmpty = 0, kBuilding = 1, kReady = 2 };
@@ -94,6 +124,7 @@ class CostOracle {
   mutable std::unique_ptr<std::atomic<std::uint8_t>[]> row_state_;
   mutable std::vector<std::vector<std::pair<double, std::size_t>>> sorted_rows_;
   mutable std::unique_ptr<std::atomic<std::uint8_t>[]> sorted_state_;
+  std::uint64_t revision_{0};
 };
 
 /// Oracle-backed twin of assign_to_open(instance, open): identical result,

@@ -1,0 +1,205 @@
+#include "solver/instance_delta.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace esharing::solver {
+
+namespace {
+
+/// Sorted copy of `indices`; throws naming `what` on out-of-range or
+/// duplicate entries.
+std::vector<std::size_t> checked_sorted_removals(
+    const std::vector<std::size_t>& indices, std::size_t bound,
+    const char* what) {
+  std::vector<std::size_t> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] >= bound) {
+      throw std::invalid_argument(
+          std::string("InstanceDelta: ") + what + " index " +
+          std::to_string(sorted[i]) + " out of range (instance has " +
+          std::to_string(bound) + ")");
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      throw std::invalid_argument(std::string("InstanceDelta: duplicate ") +
+                                  what + " removal " +
+                                  std::to_string(sorted[i]));
+    }
+  }
+  return sorted;
+}
+
+}  // namespace
+
+void InstanceDelta::validate(const FlInstance& instance) const {
+  const std::size_t nc = instance.clients.size();
+  const std::size_t nf = instance.facilities.size();
+  const auto removed_clients =
+      checked_sorted_removals(remove_clients, nc, "client");
+  static_cast<void>(checked_sorted_removals(remove_facilities, nf, "facility"));
+
+  std::vector<bool> updated(nc, false);
+  for (const WeightUpdate& u : weight_updates) {
+    if (u.client >= nc) {
+      throw std::invalid_argument(
+          "InstanceDelta: weight update names client " +
+          std::to_string(u.client) + ", instance has " + std::to_string(nc));
+    }
+    if (updated[u.client]) {
+      throw std::invalid_argument(
+          "InstanceDelta: client " + std::to_string(u.client) +
+          " has two weight updates (ambiguous)");
+    }
+    updated[u.client] = true;
+    if (std::binary_search(removed_clients.begin(), removed_clients.end(),
+                           u.client)) {
+      throw std::invalid_argument(
+          "InstanceDelta: client " + std::to_string(u.client) +
+          " is both re-weighted and removed (contradictory)");
+    }
+    if (!(u.weight >= 0.0)) {
+      throw std::invalid_argument(
+          "InstanceDelta: negative weight for client " +
+          std::to_string(u.client));
+    }
+  }
+  for (const FlClient& c : add_clients) {
+    if (!(c.weight >= 0.0)) {
+      throw std::invalid_argument("InstanceDelta: negative added-client weight");
+    }
+  }
+  for (const FlFacility& f : add_facilities) {
+    if (!(f.opening_cost >= 0.0)) {
+      throw std::invalid_argument(
+          "InstanceDelta: negative added-facility opening cost");
+    }
+  }
+  if (nc - remove_clients.size() + add_clients.size() == 0) {
+    throw std::invalid_argument(
+        "InstanceDelta: the delta removes every client — a solvable "
+        "instance needs at least one");
+  }
+  if (nf - remove_facilities.size() + add_facilities.size() == 0) {
+    throw std::invalid_argument(
+        "InstanceDelta: the delta removes every facility — a solvable "
+        "instance needs at least one");
+  }
+}
+
+void apply_delta(FlInstance& instance, const InstanceDelta& delta) {
+  delta.validate(instance);
+  for (const WeightUpdate& u : delta.weight_updates) {
+    instance.clients[u.client].weight = u.weight;
+  }
+  std::vector<std::size_t> removals = delta.remove_clients;
+  std::sort(removals.begin(), removals.end(), std::greater<>());
+  for (std::size_t j : removals) {
+    instance.clients.erase(instance.clients.begin() +
+                           static_cast<std::ptrdiff_t>(j));
+  }
+  removals = delta.remove_facilities;
+  std::sort(removals.begin(), removals.end(), std::greater<>());
+  for (std::size_t i : removals) {
+    instance.facilities.erase(instance.facilities.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+  }
+  instance.clients.insert(instance.clients.end(), delta.add_clients.begin(),
+                          delta.add_clients.end());
+  instance.facilities.insert(instance.facilities.end(),
+                             delta.add_facilities.begin(),
+                             delta.add_facilities.end());
+}
+
+std::size_t remap_facility(std::size_t facility, const InstanceDelta& delta) {
+  std::size_t shift = 0;
+  for (std::size_t removed : delta.remove_facilities) {
+    if (removed == facility) return kRemovedIndex;
+    if (removed < facility) ++shift;
+  }
+  return facility - shift;
+}
+
+std::vector<std::size_t> remap_open_set(const std::vector<std::size_t>& open,
+                                        const InstanceDelta& delta) {
+  std::vector<std::size_t> out;
+  out.reserve(open.size());
+  for (std::size_t f : open) {
+    const std::size_t mapped = remap_facility(f, delta);
+    if (mapped != kRemovedIndex) out.push_back(mapped);
+  }
+  return out;
+}
+
+InstanceDelta diff_colocated(
+    const FlInstance& instance, const std::vector<FlClient>& target,
+    const std::function<double(geo::Point)>& opening_cost) {
+  if (!opening_cost) {
+    throw std::invalid_argument("diff_colocated: null opening cost fn");
+  }
+  if (instance.clients.size() != instance.facilities.size()) {
+    throw std::invalid_argument(
+        "diff_colocated: not a colocated instance (client/facility count "
+        "mismatch)");
+  }
+  // Ordered map keyed by exact coordinates: deterministic iteration, exact
+  // matching (demand-cell centroids are computed identically across
+  // epochs, so location equality is bit-exact by construction).
+  using Key = std::pair<double, double>;
+  std::map<Key, std::size_t> by_location;
+  for (std::size_t j = 0; j < instance.clients.size(); ++j) {
+    const geo::Point cp = instance.clients[j].location;
+    const geo::Point fp = instance.facilities[j].location;
+    if (cp.x != fp.x || cp.y != fp.y) {
+      throw std::invalid_argument(
+          "diff_colocated: not a colocated instance (client " +
+          std::to_string(j) + " and its facility sit at different points)");
+    }
+    if (!by_location.emplace(Key{cp.x, cp.y}, j).second) {
+      throw std::invalid_argument(
+          "diff_colocated: two clients share one location — the diff "
+          "matches by exact location, so centroids must be unique");
+    }
+  }
+
+  // Coalesce duplicate target locations (two demand cells can only collide
+  // if the caller built them that way; summing weights keeps the diff
+  // well-defined) while preserving first-appearance order for appends.
+  std::map<Key, double> target_weight;
+  std::vector<geo::Point> target_order;
+  for (const FlClient& c : target) {
+    const Key k{c.location.x, c.location.y};
+    auto [it, inserted] = target_weight.emplace(k, c.weight);
+    if (inserted) {
+      target_order.push_back(c.location);
+    } else {
+      it->second += c.weight;
+    }
+  }
+
+  InstanceDelta delta;
+  for (const geo::Point p : target_order) {
+    const double w = target_weight.at(Key{p.x, p.y});
+    const auto it = by_location.find(Key{p.x, p.y});
+    if (it == by_location.end()) {
+      delta.add_clients.push_back({p, w});
+      delta.add_facilities.push_back({p, opening_cost(p)});
+    } else if (instance.clients[it->second].weight != w) {
+      delta.weight_updates.push_back({it->second, w});
+    }
+  }
+  for (const auto& [key, j] : by_location) {
+    if (target_weight.find(key) == target_weight.end()) {
+      delta.remove_clients.push_back(j);
+      delta.remove_facilities.push_back(j);
+    }
+  }
+  std::sort(delta.remove_clients.begin(), delta.remove_clients.end());
+  std::sort(delta.remove_facilities.begin(), delta.remove_facilities.end());
+  return delta;
+}
+
+}  // namespace esharing::solver

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file instance_delta.h
+/// The perturbation vocabulary of the incremental re-optimization engine:
+/// demand drifts between two planning epochs are expressed as an
+/// `InstanceDelta` against the previous `FlInstance` — client weight
+/// updates (arrival-rate drift), client add/remove (cells appearing in or
+/// vanishing from the demand window) and facility add/remove (candidate
+/// sites opening up or being withdrawn) — instead of rebuilding the
+/// instance from scratch. A delta is the unit the delta-aware CostOracle
+/// and the ReoptimizationSession (reopt.h) consume: only rows whose
+/// entries actually change are touched, and the previous solution warm
+/// starts the re-solve.
+///
+/// Canonical application order (apply_delta): weight updates first (they
+/// name pre-delta client indices), then removals (pre-delta indices,
+/// applied in descending order so every index stays valid), then appends.
+/// Index remapping across a delta (remap_facility / remap_open_set)
+/// follows the same convention, which is what lets a previous FlSolution's
+/// open set be carried across a structural delta.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "geo/point.h"
+#include "solver/facility_location.h"
+
+namespace esharing::solver {
+
+/// Re-weight one client: `client` is a pre-delta index, `weight` the new
+/// expected-arrivals value a_j.
+struct WeightUpdate {
+  std::size_t client{0};
+  double weight{0.0};
+};
+
+/// One epoch's demand drift against a concrete FlInstance.
+struct InstanceDelta {
+  std::vector<WeightUpdate> weight_updates;    ///< pre-delta client indices
+  std::vector<std::size_t> remove_clients;     ///< pre-delta client indices
+  std::vector<FlClient> add_clients;           ///< appended after removals
+  std::vector<std::size_t> remove_facilities;  ///< pre-delta facility indices
+  std::vector<FlFacility> add_facilities;      ///< appended after removals
+
+  /// True when applying the delta would be a no-op.
+  [[nodiscard]] bool empty() const {
+    return weight_updates.empty() && remove_clients.empty() &&
+           add_clients.empty() && remove_facilities.empty() &&
+           add_facilities.empty();
+  }
+
+  /// Check the delta against the instance it is about to be applied to:
+  /// every index in range, no duplicate removals, no weight update naming
+  /// a removed or duplicated client, non-negative weights/opening costs,
+  /// and a non-empty post-delta instance.
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate(const FlInstance& instance) const;
+};
+
+/// Sentinel returned by remap_facility for a removed facility.
+inline constexpr std::size_t kRemovedIndex = static_cast<std::size_t>(-1);
+
+/// Apply `delta` to `instance` in the canonical order (see file comment).
+/// \throws std::invalid_argument via InstanceDelta::validate.
+void apply_delta(FlInstance& instance, const InstanceDelta& delta);
+
+/// Post-delta index of a pre-delta facility, or kRemovedIndex when the
+/// delta removes it. Appended facilities never affect surviving indices.
+[[nodiscard]] std::size_t remap_facility(std::size_t facility,
+                                         const InstanceDelta& delta);
+
+/// Carry an open set across a delta: removed facilities drop out, the
+/// survivors shift down past the removals. The result preserves the input
+/// order (ascending inputs stay ascending) and may be empty when the delta
+/// removed every open facility.
+[[nodiscard]] std::vector<std::size_t> remap_open_set(
+    const std::vector<std::size_t>& open, const InstanceDelta& delta);
+
+/// Diff a colocated instance (every client is also the candidate facility
+/// at the same centroid, see colocated_instance) against a new demand
+/// snapshot: clients are matched by exact location; a matched client with
+/// a different weight becomes a WeightUpdate, an unmatched target becomes
+/// a client+facility append (opening cost from `opening_cost`), and a
+/// current client absent from the target is removed together with its
+/// facility — so applying the result keeps the instance colocated.
+/// Targets appearing twice at the same location have their weights summed.
+/// \throws std::invalid_argument if the instance is not colocated
+///         (clients[i].location != facilities[i].location or size
+///         mismatch) or `opening_cost` is null.
+[[nodiscard]] InstanceDelta diff_colocated(
+    const FlInstance& instance, const std::vector<FlClient>& target,
+    const std::function<double(geo::Point)>& opening_cost);
+
+}  // namespace esharing::solver

@@ -97,7 +97,13 @@ Star best_star_in_range(const CostOracle& oracle, std::size_t begin,
 
 }  // namespace
 
-FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
+namespace {
+
+/// Shared body of jms_greedy / jms_greedy_warm: `seed_open` facilities
+/// start open (empty for the cold solve).
+FlSolution jms_greedy_impl(const CostOracle& oracle,
+                           const std::vector<std::size_t>& seed_open,
+                           const JmsOptions& options) {
   const FlInstance& instance = oracle.instance();
   instance.validate();
   const std::size_t nf = instance.facilities.size();
@@ -113,6 +119,13 @@ FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
   }
 
   std::vector<bool> open(nf, false);
+  for (std::size_t f : seed_open) {
+    if (f >= nf) {
+      throw std::invalid_argument(
+          "jms_greedy_warm: seed facility index out of range");
+    }
+    open[f] = true;
+  }
   std::vector<std::size_t> assigned(nc, kUnassigned);
   std::vector<double> current_cost(nc, kInf);  // connection cost of assigned
   std::size_t unconnected = nc;
@@ -189,6 +202,18 @@ FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
   }
   sol.open = std::move(pruned);
   return sol;
+}
+
+}  // namespace
+
+FlSolution jms_greedy(const CostOracle& oracle, const JmsOptions& options) {
+  return jms_greedy_impl(oracle, {}, options);
+}
+
+FlSolution jms_greedy_warm(const CostOracle& oracle,
+                           const std::vector<std::size_t>& seed_open,
+                           const JmsOptions& options) {
+  return jms_greedy_impl(oracle, seed_open, options);
 }
 
 FlSolution jms_greedy(const FlInstance& instance, const JmsOptions& options) {

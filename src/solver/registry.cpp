@@ -62,11 +62,81 @@ FlSolution solve_k_median(const FlInstance& instance,
   return k_median(instance, options.k, options.seed);
 }
 
+/// Which SolveOptions fields each built-in consumes (see
+/// SolveOptions::validate). A field marked false with a non-default value
+/// is a contradiction, not a preference — reject it loudly.
+struct ConsumedFields {
+  bool num_threads{false};
+  bool k{false};
+  bool seed{false};
+  bool local_search_knobs{false};  ///< max_iterations/allow_swaps/min_improvement
+  bool exact_max_facilities{false};
+  bool warm_start{false};
+};
+
+const std::map<std::string_view, ConsumedFields, std::less<>>& builtin_fields() {
+  static const std::map<std::string_view, ConsumedFields, std::less<>> m = {
+      {"jms", {.num_threads = true, .warm_start = true}},
+      {"jv", {}},
+      {"local_search",
+       {.num_threads = true, .local_search_knobs = true, .warm_start = true}},
+      {"k_median", {.k = true, .seed = true}},
+      {"meyerson", {.seed = true}},
+      {"exact", {.exact_max_facilities = true}},
+  };
+  return m;
+}
+
 }  // namespace
+
+void SolveOptions::validate(std::string_view name) const {
+  const auto it = builtin_fields().find(name);
+  if (it == builtin_fields().end()) return;  // custom solver: own contract
+  const ConsumedFields& c = it->second;
+  const SolveOptions defaults;
+  const auto reject = [&](const char* field, const std::string& why) {
+    throw std::invalid_argument("solve(\"" + std::string(name) +
+                                "\"): option " + field + " " + why);
+  };
+  const auto unread = [&](const char* field, bool consumed, bool changed) {
+    if (!consumed && changed) {
+      reject(field,
+             "is not consumed by this solver — it would be silently "
+             "ignored, not applied");
+    }
+  };
+  unread("num_threads", c.num_threads, num_threads != defaults.num_threads);
+  unread("k", c.k, k != defaults.k);
+  unread("seed", c.seed, seed != defaults.seed);
+  unread("max_iterations", c.local_search_knobs,
+         max_iterations != defaults.max_iterations);
+  unread("allow_swaps", c.local_search_knobs,
+         allow_swaps != defaults.allow_swaps);
+  unread("min_improvement", c.local_search_knobs,
+         min_improvement != defaults.min_improvement);
+  unread("exact_max_facilities", c.exact_max_facilities,
+         exact_max_facilities != defaults.exact_max_facilities);
+  unread("warm_start", c.warm_start, warm_start != nullptr);
+  if (c.k && k == 0) {
+    reject("k",
+           "= 0 is invalid: the k-median formulation opens exactly k "
+           "stations, set the station budget (1 <= k <= #facilities)");
+  }
+  if (c.local_search_knobs && max_iterations == 0) {
+    reject("max_iterations",
+           "= 0 is contradictory: the solver could never apply a single "
+           "improving move");
+  }
+}
 
 SolverRegistry::SolverRegistry() {
   solvers_.emplace("jms",
                    [](const FlInstance& inst, const SolveOptions& opt) {
+                     if (opt.warm_start != nullptr) {
+                       const CostOracle oracle(inst);
+                       return jms_greedy_warm(oracle, opt.warm_start->open,
+                                              JmsOptions{opt.num_threads});
+                     }
                      return jms_greedy(inst, JmsOptions{opt.num_threads});
                    });
   solvers_.emplace("jv", [](const FlInstance& inst, const SolveOptions&) {
@@ -79,6 +149,9 @@ SolverRegistry::SolverRegistry() {
                      ls.min_improvement = opt.min_improvement;
                      ls.allow_swaps = opt.allow_swaps;
                      ls.num_threads = opt.num_threads;
+                     if (opt.warm_start != nullptr) {
+                       return local_search(inst, *opt.warm_start, ls);
+                     }
                      return local_search_from_scratch(inst, ls);
                    });
   solvers_.emplace("k_median", solve_k_median);
@@ -142,6 +215,7 @@ FlSolution SolverRegistry::solve(std::string_view name,
     }
     fn = it->second;
   }
+  options.validate(name);
   if (obs::enabled()) {
     obs::Registry::global()
         .counter("solver.registry.solves." + std::string(name))

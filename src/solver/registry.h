@@ -34,8 +34,10 @@
 
 namespace esharing::solver {
 
-/// Superset of the per-solver knobs; each solver reads only the fields it
-/// understands and ignores the rest.
+/// Superset of the per-solver knobs. Which solver consumes which field is
+/// part of the contract: validate(name) rejects an option set with a
+/// non-default value for a field the named built-in ignores (formerly a
+/// silent no-op), and solve() validates before dispatching.
 struct SolveOptions {
   /// Lanes on the exec pool ("jms", "local_search"): 0 = the process-wide
   /// pool width (ESHARING_THREADS), 1 = sequential. Outputs are identical
@@ -51,6 +53,22 @@ struct SolveOptions {
   double min_improvement{1e-9};
   /// "exact" safety cap on candidate facilities.
   std::size_t exact_max_facilities{22};
+  /// Previous epoch's solution on the SAME instance ("jms",
+  /// "local_search"): jms seeds its greedy from the prior open set
+  /// (jms_greedy_warm), local_search resumes from the prior solution
+  /// instead of the from-scratch start. Borrowed — must outlive the solve
+  /// call; nullptr = cold solve.
+  const FlSolution* warm_start{nullptr};
+
+  /// Check this option set against the named built-in solver: rejects a
+  /// non-default value for a field that solver ignores (e.g. `k` for
+  /// "jms"), a missing `k` for "k_median", `max_iterations = 0` for
+  /// "local_search" (it could never improve), and `warm_start` for solvers
+  /// with no warm path. Unknown (user-registered) names pass — the
+  /// registry cannot know their contract.
+  /// \throws std::invalid_argument naming the solver and the offending
+  ///         field.
+  void validate(std::string_view name) const;
 };
 
 using SolverFn =

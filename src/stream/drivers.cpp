@@ -16,12 +16,14 @@ namespace {
 
 namespace wire = data::wire;
 constexpr std::uint64_t kDriverMagic = 0x4553545244525631ULL;  // "ESTRDRV1"
-constexpr std::uint64_t kDriverVersion = 1;
+// v2: + trip_ends_total/reanchors (the landmark re-anchor cadence state).
+constexpr std::uint64_t kDriverVersion = 2;
 
 struct DriverObsMetrics {
   obs::Counter& events;
   obs::Counter& trip_ends;
   obs::Counter& regime_checks;
+  obs::Counter& reanchors;
   obs::Gauge& regime_similarity;
   obs::Counter& sessions_opened;
   obs::Counter& watchlist_assigned;
@@ -31,6 +33,7 @@ struct DriverObsMetrics {
         obs::Registry::global().counter("stream.placer_driver.events"),
         obs::Registry::global().counter("stream.placer_driver.trip_ends"),
         obs::Registry::global().counter("stream.placer_driver.regime_checks"),
+        obs::Registry::global().counter("stream.placer_driver.reanchors"),
         obs::Registry::global().gauge("stream.placer_driver.regime_similarity"),
         obs::Registry::global().counter("stream.incentive_driver.sessions_opened"),
         obs::Registry::global().counter("stream.incentive_driver.watchlist_assigned"),
@@ -48,6 +51,12 @@ void PlacerDriverConfig::validate() const {
         "PlacerDriverConfig: regime_min_samples = 0 is invalid: the KS "
         "regime check needs at least one window sample (set "
         "regime_check_period = 0 to disable the check instead)");
+  }
+  if (reanchor_period > 0 && reanchor_min_cells == 0) {
+    throw std::invalid_argument(
+        "PlacerDriverConfig: reanchor_min_cells = 0 is invalid: a "
+        "re-anchor needs at least one demand cell to build an instance "
+        "from (set reanchor_period = 0 to disable re-anchoring instead)");
   }
 }
 
@@ -90,7 +99,34 @@ std::optional<solver::OnlineDecision> OnlinePlacerDriver::consume(
       regime.trip_ends % config_.regime_check_period == 0) {
     run_regime_check(shard);
   }
+  ++trip_ends_total_;
+  if (config_.reanchor_period > 0 &&
+      trip_ends_total_ % config_.reanchor_period == 0) {
+    run_reanchor();
+  }
   return decision;
+}
+
+void OnlinePlacerDriver::run_reanchor() {
+  // The merged snapshot is shard-count invariant and, because events are
+  // consumed in seq order, the global max clock equals this event's time
+  // at every shard count — so the demand instance (and the warm re-solve
+  // it feeds) is identical no matter how the stream was sharded.
+  const StateSnapshot snap = merged_snapshot();
+  if (snap.cells.size() < config_.reanchor_min_cells) return;
+  const double cell = config_.state.cell_m;
+  std::vector<data::DemandSite> sites;
+  sites.reserve(snap.cells.size());
+  for (const auto& c : snap.cells) {
+    // Cell centroid as the candidate location, window count as expected
+    // arrivals — both bit-deterministic functions of the merged snapshot.
+    sites.push_back({{(static_cast<double>(c.cx) + 0.5) * cell,
+                      (static_cast<double>(c.cy) + 0.5) * cell},
+                     static_cast<double>(c.count)});
+  }
+  system_->reanchor(sites);
+  ++reanchors_;
+  if (obs::enabled()) DriverObsMetrics::get().reanchors.add();
 }
 
 std::size_t OnlinePlacerDriver::pump(EventBus& bus) {
@@ -158,6 +194,8 @@ void OnlinePlacerDriver::save(std::ostream& os) const {
   wire::write_u64(os, states_.size());
   wire::write_u64(os, consumed_);
   wire::write_u64(os, last_seq_);
+  wire::write_u64(os, trip_ends_total_);
+  wire::write_u64(os, reanchors_);
   for (const auto& regime : regimes_) {
     wire::write_f64(os, regime.similarity);
     wire::write_u64(os, regime.checks);
@@ -188,6 +226,8 @@ void OnlinePlacerDriver::restore_from(std::istream& is) {
   }
   consumed_ = wire::read_u64(is);
   last_seq_ = wire::read_u64(is);
+  trip_ends_total_ = wire::read_u64(is);
+  reanchors_ = wire::read_u64(is);
   for (auto& regime : regimes_) {
     regime.similarity = wire::read_f64(is);
     regime.checks = wire::read_u64(is);

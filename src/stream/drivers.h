@@ -46,6 +46,17 @@ struct PlacerDriverConfig {
   std::size_t regime_check_period{512};
   /// Skip the check until the shard window has this many points.
   std::size_t regime_min_samples{16};
+  /// Re-anchor the offline landmarks every this many trip-end events
+  /// consumed across all shards (0 disables). Each re-anchor takes the
+  /// merged demand snapshot (shard-count invariant) and drives
+  /// ESharing::reanchor — a warm re-solve through the incremental
+  /// re-optimization engine. Because events are consumed in seq order and
+  /// the snapshot is taken at the global max clock, re-anchor points and
+  /// outputs are identical at every shard count.
+  std::size_t reanchor_period{0};
+  /// Skip a scheduled re-anchor while the merged snapshot has fewer
+  /// demand cells than this (too few cells make a degenerate instance).
+  std::size_t reanchor_min_cells{2};
 
   /// \throws std::invalid_argument on the first violated constraint.
   void validate() const;
@@ -88,6 +99,8 @@ class OnlinePlacerDriver {
   [[nodiscard]] std::size_t shard_count() const { return states_.size(); }
   [[nodiscard]] std::uint64_t events_consumed() const { return consumed_; }
   [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
+  /// Landmark re-anchors executed so far (reanchor_period cadence).
+  [[nodiscard]] std::uint64_t reanchors() const { return reanchors_; }
   [[nodiscard]] bool any_consumed() const { return consumed_ > 0; }
   /// Merged deterministic view across all shards.
   [[nodiscard]] StateSnapshot merged_snapshot() const;
@@ -100,6 +113,7 @@ class OnlinePlacerDriver {
 
  private:
   void run_regime_check(std::size_t shard);
+  void run_reanchor();
 
   core::ESharing* system_;
   const EventBus* bus_;  ///< router reference for shard-of mapping
@@ -109,6 +123,8 @@ class OnlinePlacerDriver {
   std::vector<std::vector<geo::Point>> shard_history_;
   std::uint64_t consumed_{0};
   std::uint64_t last_seq_{0};
+  std::uint64_t trip_ends_total_{0};
+  std::uint64_t reanchors_{0};
 };
 
 struct IncentiveDriverConfig {

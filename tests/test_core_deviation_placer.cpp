@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <stdexcept>
 
 #include "solver/meyerson.h"
@@ -253,6 +254,80 @@ TEST(DeviationPlacer, OpensFewerStationsThanMeyerson) {
     (void)meyerson.process(p);
   }
   EXPECT_LT(placer.num_active(), meyerson.num_open() + 4);
+}
+
+TEST(DeviationPlacer, ReanchorReplacesLandmarksAndKeepsStations) {
+  auto placer = make_placer();
+  stats::Rng rng(23);
+  for (const Point p :
+       stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 150)) {
+    (void)placer.process(p);
+  }
+  const std::size_t active_before = placer.num_active();
+  const double scale_before = placer.cost_scale();
+
+  // Two re-anchored landmarks coincide with existing stations, one is new.
+  const std::vector<Point> plan{{250, 250}, {750, 750}, {111, 888}};
+  placer.reanchor(plan);
+  EXPECT_EQ(placer.reanchors(), 1u);
+  // Existing stations persist; the one genuinely new landmark is
+  // established as an offline (not online-opened) station.
+  EXPECT_EQ(placer.num_active(), active_before + 1);
+  bool found_new = false;
+  for (const Station& s : placer.stations()) {
+    if (s.location.x == 111.0 && s.location.y == 888.0) {
+      found_new = true;
+      EXPECT_FALSE(s.online_opened);
+      EXPECT_TRUE(s.active);
+    }
+  }
+  EXPECT_TRUE(found_new);
+  // The adapted opening scale carries over — no replay of the aggressive
+  // early-opening phase.
+  EXPECT_DOUBLE_EQ(placer.cost_scale(), scale_before);
+  // A request exactly at a new landmark deviates by zero: never opens.
+  const auto before_active = placer.num_active();
+  (void)placer.process({111, 888});
+  EXPECT_EQ(placer.num_active(), before_active);
+}
+
+TEST(DeviationPlacer, ReanchorValidation) {
+  auto placer = make_placer();
+  EXPECT_THROW(placer.reanchor({}), std::invalid_argument);
+  // A single landmark is fine: w* only seeds the initial scale, and a
+  // re-anchor carries the adapted scale over.
+  EXPECT_NO_THROW(placer.reanchor({{500, 500}}));
+  EXPECT_EQ(placer.reanchors(), 1u);
+}
+
+TEST(DeviationPlacer, CheckpointRoundTripsReanchoredLandmarks) {
+  auto placer = make_placer();
+  stats::Rng rng(29);
+  const auto warmup =
+      stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 120);
+  for (const Point p : warmup) (void)placer.process(p);
+  placer.reanchor({{100, 100}, {900, 100}, {500, 900}});
+
+  std::stringstream blob;
+  placer.save(blob);
+  auto restored =
+      DeviationPenaltyPlacer::restore(blob, constant_f(5000.0), {});
+  EXPECT_EQ(restored.reanchors(), placer.reanchors());
+  ASSERT_EQ(restored.stations().size(), placer.stations().size());
+
+  // The restored placer continues the stream bit-identically — including
+  // penalties keyed to the RE-ANCHORED landmark set, which v1 blobs (first
+  // k stations as landmarks) could not represent.
+  const auto tail = stats::uniform_points(rng, {{0, 0}, {1000, 1000}}, 150);
+  for (const Point p : tail) {
+    const auto a = placer.process(p);
+    const auto b = restored.process(p);
+    EXPECT_EQ(a.opened, b.opened);
+    EXPECT_EQ(a.facility, b.facility);
+    EXPECT_EQ(a.connection_cost, b.connection_cost);
+  }
+  EXPECT_EQ(placer.num_active(), restored.num_active());
+  EXPECT_EQ(placer.total_connection_cost(), restored.total_connection_cost());
 }
 
 TEST(DeviationPlacer, DeterministicPerSeed) {

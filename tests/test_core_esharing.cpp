@@ -78,6 +78,51 @@ TEST(ESharing, OnlinePhaseServesRequests) {
   EXPECT_GE(sys.placer().requests_seen(), 1u);
 }
 
+TEST(ESharing, ReanchorRequiresPlanAndSites) {
+  ESharing sys(default_config(), 40);
+  EXPECT_THROW((void)sys.reanchor(two_cluster_sites()), std::logic_error);
+  EXPECT_THROW((void)sys.reopt_session(), std::logic_error);
+  (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));
+  EXPECT_THROW((void)sys.reanchor({}), std::invalid_argument);
+}
+
+TEST(ESharing, ReanchorWithIdenticalDemandIsZeroDelta) {
+  ESharing sys(default_config(), 41);
+  const auto sites = two_cluster_sites();
+  const auto before = sys.plan_offline(sites, constant_f(2000.0));
+  const auto& again = sys.reanchor(sites);
+  EXPECT_EQ(again.open, before.open);
+  EXPECT_EQ(again.connection_cost, before.connection_cost);
+  EXPECT_TRUE(sys.reopt_session().last_stats().zero_delta);
+  EXPECT_EQ(sys.reopt_session().revision(), 0u);
+}
+
+TEST(ESharing, ReanchorFollowsDemandDriftAndReanchorsPlacer) {
+  ESharing sys(default_config(), 42);
+  auto sites = two_cluster_sites();
+  (void)sys.plan_offline(sites, constant_f(2000.0));
+  stats::Rng rng(43);
+  sys.start_online(stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, 50));
+
+  // Demand drifts: the second cluster doubles, a third cluster appears.
+  for (auto& s : sites) {
+    if (s.location.x > 2000.0) s.arrivals *= 2.0;
+  }
+  std::size_t cell = 100;
+  for (double dx : {0.0, 100.0}) {
+    sites.push_back({{dx + 900.0, 2900.0}, 12.0, cell++});
+  }
+  const auto& sol = sys.reanchor(sites);
+  const auto& stats = sys.reopt_session().last_stats();
+  EXPECT_FALSE(stats.zero_delta);
+  EXPECT_LE(stats.final_cost, stats.baseline_cost);
+  EXPECT_EQ(stats.final_cost, sol.total_cost());
+  EXPECT_EQ(sys.reopt_session().revision(), 1u);
+  // The online placer was re-anchored onto the new plan.
+  EXPECT_EQ(sys.placer().reanchors(), 1u);
+  EXPECT_GE(sys.placer().num_active(), sol.num_open());
+}
+
 TEST(ESharing, ReplanInvalidatesOnlinePhase) {
   ESharing sys(default_config(), 6);
   (void)sys.plan_offline(two_cluster_sites(), constant_f(2000.0));

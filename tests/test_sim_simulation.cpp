@@ -161,6 +161,36 @@ TEST_F(SimulationFixture, RemovalCanBeDisabled) {
   EXPECT_EQ(metrics.stations_removed, 0u);
 }
 
+TEST_F(SimulationFixture, ReanchorCadenceRunsAndCountsEpochs) {
+  SimConfig cfg = fast_sim();
+  cfg.reanchor_period = 6 * 3600;
+  cfg.reanchor_state.window_length = 6 * 3600;
+  Simulation sim(city_, cfg, 13);
+  sim.bootstrap(history_);
+  const auto metrics = sim.run(live_);  // two days of trips
+  EXPECT_GT(metrics.reanchors, 0u);
+  EXPECT_EQ(metrics.trips, live_.size());
+  EXPECT_GE(metrics.stations_final, 1u);
+  // Disabled cadence: no re-anchors, field stays zero.
+  Simulation off(city_, fast_sim(), 13);
+  off.bootstrap(history_);
+  EXPECT_EQ(off.run(live_).reanchors, 0u);
+}
+
+TEST(SimConfigValidate, ReanchorKnobs) {
+  SimConfig cfg;
+  cfg.reanchor_period = -1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.reanchor_period = 3600;
+  cfg.reanchor_min_cells = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.reanchor_min_cells = 2;
+  cfg.reanchor_state.cell_m = 0.0;  // nested window config must validate
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.reanchor_state.cell_m = 100.0;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
 TEST(SimMetrics, EmptyMetricsEdgeCases) {
   const SimMetrics m;
   EXPECT_DOUBLE_EQ(m.avg_walk_m(), 0.0);

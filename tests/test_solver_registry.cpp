@@ -81,10 +81,17 @@ TEST(SolverRegistry, EveryBuiltinReturnsAValidSolution) {
   // Small enough for "exact" (branch-and-bound caps candidate facilities).
   const auto inst = small_instance(16, 8000.0, 13);
   for (const std::string& name : solver_names()) {
+    // validate(name) rejects non-default values for fields a solver
+    // ignores, so each solver only gets the knobs it consumes.
     SolveOptions opt;
-    opt.k = 4;          // k_median needs a budget
-    opt.seed = 99;      // randomized solvers
-    opt.max_iterations = 50;
+    if (name == "k_median") {
+      opt.k = 4;
+      opt.seed = 99;
+    } else if (name == "meyerson") {
+      opt.seed = 99;
+    } else if (name == "local_search") {
+      opt.max_iterations = 50;
+    }
     const FlSolution sol = solve(name, inst, opt);
     SCOPED_TRACE("solver: " + name);
     expect_valid(inst, sol);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -109,6 +110,53 @@ TEST(StreamPipeline, DriverConfigValidation) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.regime_check_period = 0;  // disabled check: min samples may be 0
   EXPECT_NO_THROW(cfg.validate());
+  cfg.reanchor_period = 64;
+  cfg.reanchor_min_cells = 0;  // a re-anchor needs at least one cell
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.reanchor_min_cells = 2;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(StreamPipeline, ReanchorCadenceIsShardCountInvariant) {
+  const auto log = request_log(55, 400);
+  PlacerDriverConfig cfg;
+  cfg.reanchor_period = 100;  // re-anchor every 100 trip ends
+
+  const auto run_with_shards = [&](std::size_t shards) {
+    OnlineSystem sys(19);
+    EventBusConfig bus_cfg;
+    bus_cfg.shard_count = shards;
+    bus_cfg.queue_capacity = 64;
+    bus_cfg.max_batch = 32;
+    EventBus bus(bus_cfg);
+    auto driver = std::make_unique<OnlinePlacerDriver>(
+        sys.system, bus, sys.sample, cfg);
+    const auto result = replay_log(bus, *driver, log);
+    struct Out {
+      std::uint64_t reanchors;
+      std::uint64_t placer_reanchors;
+      std::uint64_t revision;
+      std::vector<Point> stations;
+      std::vector<solver::OnlineDecision> decisions;
+    };
+    return Out{driver->reanchors(), sys.system.placer().reanchors(),
+               sys.system.reopt_session().revision(),
+               sys.system.placer().active_locations(), result.decisions};
+  };
+
+  const auto one = run_with_shards(1);
+  EXPECT_EQ(one.reanchors, 4u);  // 400 trip ends / period 100
+  EXPECT_EQ(one.placer_reanchors, one.reanchors);
+  // The re-anchored plan and every post-re-anchor decision are identical
+  // at any shard count: the cadence counts globally consumed trip ends and
+  // the snapshot is taken at the global max clock.
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    const auto many = run_with_shards(shards);
+    EXPECT_EQ(many.reanchors, one.reanchors) << shards << " shards";
+    EXPECT_EQ(many.revision, one.revision) << shards << " shards";
+    expect_same_stations(one.stations, many.stations);
+    expect_same_decisions(one.decisions, many.decisions);
+  }
 }
 
 TEST(StreamPipeline, StreamedDecisionsMatchBatchSingleShard) {

@@ -160,6 +160,31 @@ TEST_F(StreamRegression, KsSwitchingSurvivesTheStreamPath) {
   expect_identical_systems(*batch_sim, *stream_sim);
 }
 
+TEST_F(StreamRegression, ReanchoringSurvivesTheStreamPathBitForBit) {
+  // Scheduled landmark re-anchors run in the shared per-trip path, so
+  // run() and run_streamed() must keep producing identical results — the
+  // re-anchor mutates the placer's landmark set AND the station universe.
+  SimConfig cfg = fast_sim();
+  cfg.reanchor_period = 6 * 3600;  // every six sim hours
+  cfg.reanchor_state.window_length = 6 * 3600;
+
+  Simulation* batch_sim = nullptr;
+  Simulation* stream_sim = nullptr;
+  const SimMetrics batch = run_batch(cfg, &batch_sim);
+  EXPECT_GT(batch.reanchors, 0u);
+
+  SimConfig streamed_cfg = cfg;
+  streamed_cfg.stream_shards = 4;
+  streamed_cfg.stream_queue_capacity = 64;
+  streamed_cfg.stream_batch = 16;
+  const SimMetrics streamed = run_streamed(streamed_cfg, nullptr, &stream_sim);
+  EXPECT_EQ(streamed.reanchors, batch.reanchors);
+  expect_identical_metrics(batch, streamed);
+  expect_identical_systems(*batch_sim, *stream_sim);
+  EXPECT_EQ(batch_sim->system().reopt_session().revision(),
+            stream_sim->system().reopt_session().revision());
+}
+
 TEST_F(StreamRegression, RepeatedStreamedRunsAdvanceTime) {
   // run_streamed composes like run(): a second call continues the clock.
   SimConfig cfg = fast_sim();
