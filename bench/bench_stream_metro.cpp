@@ -1,0 +1,283 @@
+/// \file bench_stream_metro.cpp
+/// End-to-end metro-scale ingestion bench: a synthetic 40 km city emitting
+/// one trip-end per second (~86k trips/day scaled up by ESHARING_METRO_EVENTS)
+/// is replayed through the stream::Pipeline serving path at every point of a
+/// (shards × lanes) matrix, plus a transport-only row measuring the raw
+/// publish/drain/merge peak rate.
+///
+/// Printed per serving row: elapsed, events/s, speedup over the 1-shard
+/// baseline, KS regime checks, and the pipeline's own obs counters — lane
+/// occupancy, merge stalls and backpressure (blocked publishes).
+///
+/// Contracts (the process exits 1 when one fails):
+///   * every (shards, lanes) run produces the bit-identical decision trace;
+///   * 8 shards sustain >= 5x the single-shard event rate (lanes = 1, so
+///     the win is algorithmic — sharded KS windows — not parallelism);
+///   * 8 shards are not slower than 4 shards (the pre-fix exact-Peacock
+///     cliff made them ~2x slower; ks_peacock_limit now defaults to 0).
+///
+/// ESHARING_METRO_EVENTS overrides the event count (CI smoke uses 30000).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/util.h"
+#include "core/esharing.h"
+#include "data/binning.h"
+#include "solver/facility_location.h"
+#include "stats/rng.h"
+#include "stream/pipeline.h"
+
+namespace {
+
+using esharing::geo::Point;
+namespace stream = esharing::stream;
+
+constexpr double kAreaM = 40000.0;        // 40 km metro bounding box
+constexpr std::size_t kHotspots = 200;    // demand centres
+constexpr std::size_t kHistorySample = 2000;
+constexpr std::size_t kDefaultEvents = 150000;
+
+std::size_t event_count() {
+  const char* env = std::getenv("ESHARING_METRO_EVENTS");
+  if (env == nullptr || *env == '\0') return kDefaultEvents;
+  const long parsed = std::atol(env);
+  return parsed < 1000 ? 1000 : static_cast<std::size_t>(parsed);
+}
+
+std::vector<Point> hotspots(esharing::stats::Rng& rng) {
+  std::vector<Point> centres;
+  centres.reserve(kHotspots);
+  for (std::size_t i = 0; i < kHotspots; ++i) {
+    centres.push_back({rng.uniform(0.0, kAreaM), rng.uniform(0.0, kAreaM)});
+  }
+  return centres;
+}
+
+Point clamp_to_area(Point p) {
+  p.x = p.x < 0.0 ? 0.0 : (p.x > kAreaM ? kAreaM : p.x);
+  p.y = p.y < 0.0 ? 0.0 : (p.y > kAreaM ? kAreaM : p.y);
+  return p;
+}
+
+/// One trip-end per simulated second: 70% cluster around a hotspot
+/// (sigma 300 m), 30% background noise, sparse battery telemetry.
+std::vector<stream::Event> metro_log(const std::vector<Point>& centres,
+                                     std::size_t n) {
+  esharing::stats::Rng rng(7);
+  std::vector<stream::Event> log;
+  log.reserve(n + n / 50);
+  for (std::size_t i = 0; i < n; ++i) {
+    stream::Event e;
+    e.kind = stream::EventKind::kTripEnd;
+    e.time = static_cast<esharing::data::Seconds>(i);
+    if (rng.bernoulli(0.7)) {
+      const Point c = centres[rng.index(centres.size())];
+      e.where = clamp_to_area(
+          {c.x + rng.normal(0.0, 300.0), c.y + rng.normal(0.0, 300.0)});
+    } else {
+      e.where = {rng.uniform(0.0, kAreaM), rng.uniform(0.0, kAreaM)};
+    }
+    log.push_back(e);
+    if (i % 50 == 13) {
+      stream::Event b;
+      b.kind = stream::EventKind::kBatteryLevel;
+      b.time = e.time;
+      b.where = e.where;
+      b.bike_id = static_cast<std::int64_t>(i % 5000);
+      b.soc = rng.uniform(0.05, 0.95);
+      log.push_back(b);
+    }
+  }
+  return log;
+}
+
+std::vector<Point> history_sample(const std::vector<Point>& centres) {
+  esharing::stats::Rng rng(11);
+  std::vector<Point> sample;
+  sample.reserve(kHistorySample);
+  for (std::size_t i = 0; i < kHistorySample; ++i) {
+    const Point c = centres[rng.index(centres.size())];
+    sample.push_back(clamp_to_area(
+        {c.x + rng.normal(0.0, 300.0), c.y + rng.normal(0.0, 300.0)}));
+  }
+  return sample;
+}
+
+stream::PipelineConfig pipeline_config(std::size_t shards, std::size_t lanes) {
+  stream::PipelineConfig cfg;
+  cfg.bus.shard_count = shards;
+  cfg.bus.queue_capacity = 4096;
+  cfg.bus.max_batch = 256;
+  cfg.placer.state.window_length = 1800;  // 30 min sliding demand window
+  cfg.placer.regime_check_period = 512;
+  cfg.placer.regime_min_samples = 32;
+  cfg.lanes = lanes;
+  return cfg;
+}
+
+struct ServingRun {
+  double elapsed_ms{0.0};
+  double events_per_s{0.0};
+  std::uint64_t regime_checks{0};
+  std::size_t stations{0};
+  stream::PipelineStats stats;
+  std::vector<esharing::solver::OnlineDecision> decisions;
+};
+
+ServingRun run_serving(std::size_t shards, std::size_t lanes,
+                       const std::vector<stream::Event>& log,
+                       const std::vector<Point>& centres,
+                       const std::vector<Point>& history) {
+  esharing::core::ESharingConfig cfg;
+  cfg.placer.ks_period = 0;  // the stream-side sharded check replaces it
+  cfg.placer.adaptive_type = false;
+  esharing::core::ESharing system(cfg, 17);
+  esharing::stats::Rng rng(17);
+  std::vector<esharing::data::DemandSite> sites;
+  sites.reserve(centres.size());
+  for (std::size_t i = 0; i < centres.size(); ++i) {
+    sites.push_back({centres[i], rng.uniform(2.0, 15.0), i});
+  }
+  (void)system.plan_offline(sites, [](Point) { return 15000.0; });
+  system.start_online(history);
+
+  stream::Pipeline pipeline(system, history, pipeline_config(shards, lanes));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto replay = pipeline.replay(log);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ServingRun out;
+  out.elapsed_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  out.events_per_s =
+      static_cast<double>(replay.consumed) / (out.elapsed_ms / 1000.0);
+  const auto& driver = pipeline.placer_driver();
+  for (std::size_t s = 0; s < driver.shard_count(); ++s) {
+    out.regime_checks += driver.shard_regime(s).checks;
+  }
+  out.stations = system.placer().active_locations().size();
+  out.stats = pipeline.stats();
+  out.decisions = replay.decisions;
+  return out;
+}
+
+double run_transport(std::size_t shards, const std::vector<stream::Event>& log) {
+  stream::PipelineConfig cfg;
+  cfg.bus.shard_count = shards;
+  cfg.bus.queue_capacity = 4096;
+  cfg.bus.max_batch = 256;
+  stream::Pipeline pipeline(cfg);
+  std::size_t consumed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t i = 0;
+  while (i < log.size()) {
+    const std::size_t n = std::min<std::size_t>(4096, log.size() - i);
+    pipeline.publish_batch(
+        std::span<const stream::Event>(log).subspan(i, n));
+    consumed += pipeline.pump_into([](const stream::Event&) {});
+    i += n;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(consumed) / elapsed_s;
+}
+
+bool same_decisions(const std::vector<esharing::solver::OnlineDecision>& a,
+                    const std::vector<esharing::solver::OnlineDecision>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].opened != b[i].opened || a[i].facility != b[i].facility ||
+        a[i].connection_cost != b[i].connection_cost) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  esharing::bench::MetricsSession metrics("bench_stream_metro");
+  using esharing::bench::cell;
+  using esharing::bench::fmt;
+
+  esharing::stats::Rng rng(3);
+  const auto centres = hotspots(rng);
+  const std::size_t n_events = event_count();
+  const auto log = metro_log(centres, n_events);
+  const auto history = history_sample(centres);
+
+  esharing::bench::print_title(
+      "metro-scale parallel ingestion — " + std::to_string(log.size()) +
+      " events over a " + fmt(kAreaM / 1000.0, 0) + " km box (serving path)");
+  std::cout << cell("shards", 7) << cell("lanes", 7) << cell("elapsed ms", 12)
+            << cell("events/s", 11) << cell("speedup", 9)
+            << cell("KS checks", 11) << cell("occupancy", 11)
+            << cell("stalls", 8) << cell("blocked", 9) << '\n';
+  esharing::bench::print_rule(85);
+
+  bool ok = true;
+  double base_rate = 0.0;
+  double elapsed_4 = 0.0;
+  double elapsed_8 = 0.0;
+  double rate_8 = 0.0;
+  std::vector<esharing::solver::OnlineDecision> reference;
+  // lanes = 1 is the sequential reference; lanes = 0 drains on the full
+  // exec pool (ESHARING_THREADS). Both must produce the identical trace.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}}) {
+    for (const std::size_t lanes : {std::size_t{1}, std::size_t{0}}) {
+      const ServingRun r = run_serving(shards, lanes, log, centres, history);
+      if (shards == 1 && lanes == 1) {
+        base_rate = r.events_per_s;
+        reference = r.decisions;
+      } else if (!same_decisions(reference, r.decisions)) {
+        std::cerr << "CONTRACT FAILED: decision trace diverged at shards="
+                  << shards << " lanes=" << lanes << '\n';
+        ok = false;
+      }
+      if (lanes == 1 && shards == 4) elapsed_4 = r.elapsed_ms;
+      if (lanes == 1 && shards == 8) {
+        elapsed_8 = r.elapsed_ms;
+        rate_8 = r.events_per_s;
+      }
+      std::cout << cell(static_cast<double>(shards), 7, 0)
+                << cell(lanes == 0 ? "pool" : "1", 7)
+                << cell(r.elapsed_ms, 12, 1) << cell(r.events_per_s, 11, 0)
+                << cell(fmt(r.events_per_s / base_rate, 2) + "x", 9)
+                << cell(static_cast<double>(r.regime_checks), 11, 0)
+                << cell(fmt(100.0 * r.stats.lane_occupancy, 0) + "%", 11)
+                << cell(static_cast<double>(r.stats.merge_stalls), 8, 0)
+                << cell(static_cast<double>(r.stats.bus.blocked_publishes), 9,
+                        0)
+                << '\n';
+    }
+  }
+
+  esharing::bench::print_title("transport-only peak rate (no serving tier)");
+  std::cout << cell("shards", 7) << cell("events/s", 13) << '\n';
+  esharing::bench::print_rule(20);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    std::cout << cell(static_cast<double>(shards), 7, 0)
+              << cell(run_transport(shards, log), 13, 0) << '\n';
+  }
+
+  if (rate_8 < 5.0 * base_rate) {
+    std::cerr << "CONTRACT FAILED: 8-shard serving rate " << fmt(rate_8, 0)
+              << " events/s is below 5x the 1-shard rate "
+              << fmt(base_rate, 0) << '\n';
+    ok = false;
+  }
+  if (elapsed_8 > 1.25 * elapsed_4) {
+    std::cerr << "CONTRACT FAILED: 8 shards (" << fmt(elapsed_8, 1)
+              << " ms) slower than 4 shards (" << fmt(elapsed_4, 1)
+              << " ms) — the exact-Peacock cliff is back\n";
+    ok = false;
+  }
+  std::cout << (ok ? "\nall contracts held\n" : "\nCONTRACTS FAILED\n");
+  return ok ? 0 : 1;
+}

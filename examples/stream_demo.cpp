@@ -2,9 +2,11 @@
 ///
 /// 1. Generate synthetic-city history, plan parkings offline and start the
 ///    online placer (tier one).
-/// 2. Publish a live day of trip events onto a 2-shard EventBus and serve
-///    them incrementally through OnlinePlacerDriver — per-event placer
-///    decisions plus per-shard KS regime checks off the sliding windows.
+/// 2. Configure a stream::Pipeline (one validated config: bus + placer +
+///    incentive), publish a live day of trip events onto its 2-shard bus
+///    and serve them incrementally — parallel lane drains, merge-by-seq,
+///    per-event placer decisions plus per-shard KS regime checks off the
+///    sliding windows.
 /// 3. Open a tier-two incentive session from the telemetry-fed low-battery
 ///    watchlist and route pickups through it.
 /// 4. Checkpoint the drained pipeline to a file and restore it — the
@@ -21,10 +23,7 @@
 #include "data/synthetic_city.h"
 #include "obs/export.h"
 #include "obs/registry.h"
-#include "stream/checkpoint.h"
-#include "stream/drivers.h"
-#include "stream/event_bus.h"
-#include "stream/replay.h"
+#include "stream/pipeline.h"
 
 using namespace esharing;
 
@@ -52,18 +51,15 @@ int main() {
             << " offline parkings, " << ks_reference.size()
             << "-point KS reference\n";
 
-  // --- 2. live trips as a sharded event stream ----------------------------
-  stream::EventBusConfig bus_cfg;
-  bus_cfg.shard_count = 2;
-  bus_cfg.queue_capacity = 256;
-  bus_cfg.max_batch = 64;
-  stream::EventBus bus(bus_cfg);
-
-  stream::PlacerDriverConfig driver_cfg;
-  driver_cfg.state.window_length = 12 * 3600;  // half-day demand window
-  driver_cfg.regime_check_period = 100;
-  driver_cfg.regime_min_samples = 32;
-  stream::OnlinePlacerDriver driver(system, bus, ks_reference, driver_cfg);
+  // --- 2. live trips through the pipeline facade --------------------------
+  stream::PipelineConfig pipe_cfg;
+  pipe_cfg.bus.shard_count = 2;
+  pipe_cfg.bus.queue_capacity = 256;
+  pipe_cfg.bus.max_batch = 64;
+  pipe_cfg.placer.state.window_length = 12 * 3600;  // half-day demand window
+  pipe_cfg.placer.regime_check_period = 100;
+  pipe_cfg.placer.regime_min_samples = 32;
+  stream::Pipeline pipeline(system, ks_reference, pipe_cfg);
 
   const auto live = city.generate_trips();
   std::vector<stream::Event> log;
@@ -88,22 +84,28 @@ int main() {
       log.push_back(b);
     }
   }
-  const auto replay = stream::replay_log(bus, driver, log);
+  const auto replay = pipeline.replay(log);
   std::size_t opened = 0;
   for (const auto& d : replay.decisions) opened += d.opened ? 1 : 0;
   std::cout << "streamed " << replay.consumed << " events over "
-            << bus.shard_count() << " shards: " << opened
+            << pipeline.bus().shard_count() << " shards: " << opened
             << " stations opened online, "
             << system.placer().active_locations().size() << " active\n";
+  const auto& driver = pipeline.placer_driver();
   for (std::size_t s = 0; s < driver.shard_count(); ++s) {
     const auto& regime = driver.shard_regime(s);
     std::cout << "  shard " << s << ": " << driver.shard_state(s).window_size()
               << " window points, " << regime.checks
               << " KS checks, similarity " << regime.similarity << "%\n";
   }
+  const auto stats = pipeline.stats();
+  std::cout << "pump cycle: " << stats.pump_rounds << " rounds, "
+            << stats.lane_events << " lane events, " << stats.merge_stalls
+            << " merge stalls, last lane occupancy "
+            << 100.0 * stats.lane_occupancy << "%\n";
 
   // --- 3. tier two off the watchlist --------------------------------------
-  stream::IncentiveDriver incentives{stream::IncentiveDriverConfig{}};
+  auto& incentives = pipeline.incentive_driver();
   incentives.open_session(system.parking_locations(), driver.watchlist());
   const auto can_ride = [](std::size_t, double) { return true; };
   const auto stations = system.placer().active_locations();
@@ -118,9 +120,8 @@ int main() {
 
   // --- 4. checkpoint round-trip -------------------------------------------
   const char* path = "stream_demo.ckpt";
-  stream::save_checkpoint_file(path, bus, driver, incentives);
-  const auto info =
-      stream::restore_checkpoint_file(path, bus, system, driver, incentives);
+  pipeline.save_checkpoint_file(path);
+  const auto info = pipeline.restore_checkpoint_file(path);
   std::cout << "checkpoint v" << info.version << ": " << info.events_consumed
             << " events consumed, resumes at seq " << info.last_seq + 1
             << '\n';

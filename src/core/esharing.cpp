@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "data/wire.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
 #include "solver/jms_greedy.h"
@@ -235,6 +236,110 @@ void ESharing::restore_placer(std::istream& is) {
   }
   placer_ = DeviationPenaltyPlacer::restore(is, opening_cost_fn_,
                                             config_.placer);
+}
+
+namespace {
+namespace wire = data::wire;
+// Re-optimization session blob: the post-delta instance + last solution
+// (see ReoptimizationSession::from_state). Versioned like the placer blob.
+constexpr std::uint64_t kReoptMagic = 0x4552454f50545331ULL;  // "EREOPTS1"
+constexpr std::uint64_t kReoptVersion = 1;
+constexpr std::uint64_t kReoptSaneMax = 1ULL << 32;
+}  // namespace
+
+void ESharing::save_reopt(std::ostream& os) const {
+  if (reopt_ == nullptr) {
+    throw std::logic_error("ESharing::save_reopt: plan_offline first");
+  }
+  const solver::FlInstance& instance = reopt_->instance();
+  const solver::FlSolution& last = reopt_->solution();
+  wire::write_u64(os, kReoptMagic);
+  wire::write_u64(os, kReoptVersion);
+  wire::write_u64(os, instance.clients.size());
+  for (const solver::FlClient& c : instance.clients) {
+    wire::write_f64(os, c.location.x);
+    wire::write_f64(os, c.location.y);
+    wire::write_f64(os, c.weight);
+  }
+  wire::write_u64(os, instance.facilities.size());
+  for (const solver::FlFacility& f : instance.facilities) {
+    wire::write_f64(os, f.location.x);
+    wire::write_f64(os, f.location.y);
+    wire::write_f64(os, f.opening_cost);
+  }
+  wire::write_u64(os, last.open.size());
+  for (std::size_t f : last.open) wire::write_u64(os, f);
+  wire::write_u64(os, last.assignment.size());
+  for (std::size_t f : last.assignment) wire::write_u64(os, f);
+  wire::write_f64(os, last.connection_cost);
+  wire::write_f64(os, last.opening_cost);
+}
+
+void ESharing::restore_reopt(std::istream& is) {
+  if (reopt_ == nullptr) {
+    throw std::logic_error("ESharing::restore_reopt: plan_offline first");
+  }
+  if (wire::read_u64(is) != kReoptMagic) {
+    throw std::runtime_error(
+        "ESharing::restore_reopt: bad magic — not a reopt session blob");
+  }
+  const std::uint64_t version = wire::read_u64(is);
+  if (version != kReoptVersion) {
+    throw std::runtime_error(
+        "ESharing::restore_reopt: unsupported blob version " +
+        std::to_string(version) + " (this build reads " +
+        std::to_string(kReoptVersion) + ")");
+  }
+  solver::FlInstance instance;
+  const std::uint64_t n_clients = wire::read_count(is, kReoptSaneMax);
+  instance.clients.reserve(n_clients);
+  for (std::uint64_t i = 0; i < n_clients; ++i) {
+    solver::FlClient c;
+    c.location.x = wire::read_f64(is);
+    c.location.y = wire::read_f64(is);
+    c.weight = wire::read_f64(is);
+    instance.clients.push_back(c);
+  }
+  const std::uint64_t n_facilities = wire::read_count(is, kReoptSaneMax);
+  instance.facilities.reserve(n_facilities);
+  for (std::uint64_t i = 0; i < n_facilities; ++i) {
+    solver::FlFacility f;
+    f.location.x = wire::read_f64(is);
+    f.location.y = wire::read_f64(is);
+    f.opening_cost = wire::read_f64(is);
+    instance.facilities.push_back(f);
+  }
+  solver::FlSolution last;
+  const std::uint64_t n_open = wire::read_count(is, kReoptSaneMax);
+  last.open.reserve(n_open);
+  for (std::uint64_t i = 0; i < n_open; ++i) {
+    last.open.push_back(wire::read_u64(is));
+  }
+  const std::uint64_t n_assignment = wire::read_count(is, kReoptSaneMax);
+  last.assignment.reserve(n_assignment);
+  for (std::uint64_t i = 0; i < n_assignment; ++i) {
+    last.assignment.push_back(wire::read_u64(is));
+  }
+  last.connection_cost = wire::read_f64(is);
+  last.opening_cost = wire::read_f64(is);
+  if (!is) {
+    throw std::runtime_error(
+        "ESharing::restore_reopt: truncated reopt session blob");
+  }
+  try {
+    reopt_ = solver::ReoptimizationSession::from_state(
+        std::move(instance), std::move(last), solver::ReoptOptions{},
+        opening_cost_fn_);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("ESharing::restore_reopt: "
+                                         "inconsistent blob: ") +
+                             e.what());
+  }
+  offline_ = reopt_->solution();
+  offline_locations_.clear();
+  for (std::size_t f : offline_->open) {
+    offline_locations_.push_back(reopt_->instance().facilities[f].location);
+  }
 }
 
 IncentiveMechanism ESharing::make_incentive_session(

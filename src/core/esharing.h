@@ -118,6 +118,18 @@ class ESharing {
   /// plan_offline, std::runtime_error on corrupt input.
   void restore_placer(std::istream& is);
 
+  /// Checkpoint the incremental re-optimization session behind
+  /// plan_offline/reanchor: the current (post-delta) instance plus the
+  /// last solution — the warm-start state every future reanchor() builds
+  /// on, so a restored system re-anchors bit-identically to one that
+  /// lived through the original delta history. \throws std::logic_error
+  /// before plan_offline.
+  void save_reopt(std::ostream& os) const;
+  /// Replace the session (and the cached offline plan) with one restored
+  /// from a save_reopt blob. \throws std::logic_error before plan_offline,
+  /// std::runtime_error on corrupt input.
+  void restore_reopt(std::istream& is);
+
   [[nodiscard]] const ESharingConfig& config() const { return config_; }
 
  private:

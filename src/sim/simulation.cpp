@@ -85,24 +85,9 @@ void SimConfig::validate() const {
     fail("history_sample_cap", 0.0,
          "the KS reference needs at least one historical destination");
   }
-  if (stream_shards == 0) {
-    fail("stream_shards", 0.0,
-         "the streaming replay needs at least one EventBus shard");
-  }
-  if (stream_batch == 0) {
-    fail("stream_batch", 0.0,
-         "the drain batch must hold at least one event");
-  }
-  if (stream_queue_capacity < stream_batch) {
-    fail("stream_queue_capacity", static_cast<double>(stream_queue_capacity),
-         "per-shard rings must hold at least one drain batch (stream_batch "
-         "= " + std::to_string(stream_batch) + ")");
-  }
-  if (!(stream_route_cell_m > 0.0)) {
-    fail("stream_route_cell_m", stream_route_cell_m,
-         "shard routing divides space into cells, so the cell edge must be "
-         "positive");
-  }
+  // The nested pipeline config carries its own messages (EventBusConfig /
+  // PlacerDriverConfig / IncentiveDriverConfig name the offending field).
+  stream.validate();
   if (reanchor_period < 0) {
     fail("reanchor_period", static_cast<double>(reanchor_period),
          "the landmark re-anchor cadence is a duration in seconds; use 0 "
@@ -389,27 +374,23 @@ SimMetrics Simulation::run_streamed(const std::vector<TripRecord>& live,
   std::vector<TripRecord> trips = live;
   data::sort_by_start_time(trips);
 
-  stream::EventBusConfig bus_config;
-  bus_config.shard_count = config_.stream_shards;
-  bus_config.queue_capacity = config_.stream_queue_capacity;
-  bus_config.max_batch = config_.stream_batch;
-  bus_config.policy = stream::BackpressurePolicy::kBlock;
-  bus_config.route_cell_m = config_.stream_route_cell_m;
-  stream::EventBus bus(bus_config);
-
+  // Transport-mode pipeline: parallel shard drains + merge-by-seq, with
+  // this simulator's process_trip as the sequential consumer. Consuming in
+  // merged seq order reproduces the sorted trip order exactly, so the
+  // mutation sequence (placer, RNG, fleet) matches run() bit for bit at
+  // any shard count and lane count.
+  stream::Pipeline pipeline(config_.stream);
   SimMetrics metrics;
-  std::vector<stream::Event> batch;
-  // Consuming in merged seq order reproduces the sorted trip order exactly,
-  // so the mutation sequence (placer, RNG, fleet) matches run() bit for
-  // bit at any shard count.
-  const auto pump = [&] {
-    batch.clear();
-    bus.drain_all_ordered(batch);
-    for (const stream::Event& e : batch) {
-      process_trip(trips[static_cast<std::size_t>(e.ref)], metrics);
-    }
+  const auto consume = [&](const stream::Event& e) {
+    process_trip(trips[static_cast<std::size_t>(e.ref)], metrics);
   };
-  std::size_t since_pump = 0;
+
+  // Publish in batches bounded by the ring capacity and pump between
+  // them: the worst case routes a whole batch to one shard, so a kBlock
+  // bus can never deadlock this single-threaded replay.
+  const std::size_t capacity = config_.stream.bus.queue_capacity;
+  std::vector<stream::Event> chunk;
+  chunk.reserve(std::min(capacity, trips.size()));
   for (std::size_t i = 0; i < trips.size(); ++i) {
     const TripRecord& trip = trips[i];
     stream::Event e;
@@ -419,17 +400,17 @@ SimMetrics Simulation::run_streamed(const std::vector<TripRecord>& live,
     e.origin = city_.start_point(trip);
     e.bike_id = trip.bike_id;
     e.ref = static_cast<std::int64_t>(i);
-    bus.publish(e);
-    // Pump before any shard can fill: the worst case routes every trip to
-    // one shard, so the cadence is bounded by the ring capacity.
-    if (++since_pump >= config_.stream_queue_capacity) {
-      pump();
-      since_pump = 0;
+    chunk.push_back(e);
+    if (chunk.size() == capacity) {
+      pipeline.publish_batch(chunk);
+      pipeline.pump_into(consume);
+      chunk.clear();
     }
   }
-  pump();
+  pipeline.publish_batch(chunk);
+  pipeline.pump_into(consume);
   finalize(metrics);
-  if (bus_stats != nullptr) *bus_stats = bus.stats();
+  if (bus_stats != nullptr) *bus_stats = pipeline.stats().bus;
   return metrics;
 }
 

@@ -19,10 +19,19 @@
 #include "geo/point.h"
 #include "geo/spatial_index.h"
 #include "stats/rng.h"
-#include "stream/event_bus.h"
+#include "stream/pipeline.h"
 #include "stream/stream_state.h"
 
 namespace esharing::sim {
+
+/// SimConfig's streaming defaults: one shard, modest rings (1024 — the
+/// replay pumps at the ring cadence, so smaller rings mean more pump
+/// interleaving, which is what the regression tests exercise).
+[[nodiscard]] inline stream::PipelineConfig default_stream_config() {
+  stream::PipelineConfig config;
+  config.bus.queue_capacity = 1024;
+  return config;
+}
 
 struct SimConfig {
   core::ESharingConfig esharing;
@@ -39,13 +48,14 @@ struct SimConfig {
   /// up, the station is removed from P (the online algorithm may establish
   /// one there again later based on demand).
   bool remove_empty_stations{true};
-  /// Streaming-replay knobs (run_streamed): trips are published onto a
-  /// sharded stream::EventBus and consumed in merged publish order, which
-  /// is regression-tested to be bit-identical to run() at any shard count.
-  std::size_t stream_shards{1};           ///< EventBus shard count (>= 1)
-  std::size_t stream_queue_capacity{1024};///< per-shard ring capacity
-  std::size_t stream_batch{256};          ///< drain batch cap (<= capacity)
-  double stream_route_cell_m{100.0};      ///< shard-routing cell edge (m)
+  /// Streaming-replay config (run_streamed): trips are batch-published
+  /// onto a transport-mode stream::Pipeline and consumed in merged publish
+  /// order, which is regression-tested to be bit-identical to run() at any
+  /// (shard count, lane count). Only the transport knobs — `bus`, `lanes`,
+  /// `pump_every` — drive the replay; the serving sub-configs (placer,
+  /// incentive) ride along for validation because the simulator keeps its
+  /// own process_trip serving path.
+  stream::PipelineConfig stream = default_stream_config();
   /// Landmark re-anchor cadence (incremental re-optimization engine):
   /// every this many seconds of sim time, the recent demand window is
   /// snapshotted into demand sites and ESharing::reanchor warm re-solves

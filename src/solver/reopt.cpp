@@ -47,6 +47,51 @@ ReoptimizationSession::ReoptimizationSession(
   stats_.cold = true;
 }
 
+ReoptimizationSession::ReoptimizationSession(
+    FromStateTag, FlInstance instance, FlSolution last, ReoptOptions options,
+    std::function<double(geo::Point)> opening_cost)
+    : options_(options),
+      opening_cost_(std::move(opening_cost)),
+      instance_(std::move(instance)),
+      oracle_(instance_) {
+  instance_.validate();
+  last_ = std::move(last);
+  stats_.baseline_cost = last_.total_cost();
+  stats_.final_cost = last_.total_cost();
+}
+
+std::unique_ptr<ReoptimizationSession> ReoptimizationSession::from_state(
+    FlInstance instance, FlSolution last, ReoptOptions options,
+    std::function<double(geo::Point)> opening_cost) {
+  if (last.assignment.size() != instance.clients.size()) {
+    throw std::invalid_argument(
+        "ReoptimizationSession::from_state: solution assigns " +
+        std::to_string(last.assignment.size()) + " clients, the instance has " +
+        std::to_string(instance.clients.size()));
+  }
+  if (last.open.empty()) {
+    throw std::invalid_argument(
+        "ReoptimizationSession::from_state: solution opens no facility");
+  }
+  for (std::size_t f : last.open) {
+    if (f >= instance.facilities.size()) {
+      throw std::invalid_argument(
+          "ReoptimizationSession::from_state: open facility index " +
+          std::to_string(f) + " out of range");
+    }
+  }
+  for (std::size_t f : last.assignment) {
+    if (f >= instance.facilities.size()) {
+      throw std::invalid_argument(
+          "ReoptimizationSession::from_state: assignment index " +
+          std::to_string(f) + " out of range");
+    }
+  }
+  return std::unique_ptr<ReoptimizationSession>(new ReoptimizationSession(
+      FromStateTag{}, std::move(instance), std::move(last), options,
+      std::move(opening_cost)));
+}
+
 const FlSolution& ReoptimizationSession::reoptimize(const InstanceDelta& delta) {
   if (delta.empty()) {
     // Zero-delta contract: the cached solution, bit-identically, with no

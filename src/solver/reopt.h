@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "geo/point.h"
@@ -80,6 +81,18 @@ class ReoptimizationSession {
   ReoptimizationSession(const ReoptimizationSession&) = delete;
   ReoptimizationSession& operator=(const ReoptimizationSession&) = delete;
 
+  /// Rebuild a session from externally persisted state: the instance and
+  /// last solution of a previous session (see instance()/solution() — that
+  /// pair fully determines every future re-solve, so a restored session
+  /// continues bit-identically to the original no matter how many deltas
+  /// the original had absorbed). Skips the construction cold solve; oracle
+  /// caches rebuild lazily and the revision counter restarts at 0.
+  /// \throws std::invalid_argument on an invalid instance or a solution
+  ///         inconsistent with it.
+  [[nodiscard]] static std::unique_ptr<ReoptimizationSession> from_state(
+      FlInstance instance, FlSolution last, ReoptOptions options = {},
+      std::function<double(geo::Point)> opening_cost = nullptr);
+
   [[nodiscard]] const FlInstance& instance() const { return instance_; }
   [[nodiscard]] const CostOracle& oracle() const { return oracle_; }
   [[nodiscard]] const FlSolution& solution() const { return last_; }
@@ -101,6 +114,11 @@ class ReoptimizationSession {
   const FlSolution& reoptimize_to(const std::vector<FlClient>& target);
 
  private:
+  struct FromStateTag {};
+  ReoptimizationSession(FromStateTag, FlInstance instance, FlSolution last,
+                        ReoptOptions options,
+                        std::function<double(geo::Point)> opening_cost);
+
   ReoptOptions options_;
   std::function<double(geo::Point)> opening_cost_;
   FlInstance instance_;

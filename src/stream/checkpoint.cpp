@@ -12,7 +12,11 @@ namespace {
 
 namespace wire = data::wire;
 constexpr std::uint64_t kCheckpointMagic = 0x4553545243435031ULL;  // "ESTRCCP1"
-constexpr std::uint64_t kCheckpointVersion = 1;
+// v2: the re-optimization session state (ESharing::save_reopt) rides along
+// after the placer blob — without it a post-restore re-anchor warm-solves
+// from the bootstrap instance instead of the instance the original process
+// had drifted to, and the two landmark histories diverge.
+constexpr std::uint64_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -39,6 +43,7 @@ void save_checkpoint(std::ostream& os, const EventBus& bus,
   wire::write_u64(os, bus.config().queue_capacity);
   wire::write_u64(os, bus.next_seq());
   placer_driver.system().save_placer(os);
+  placer_driver.system().save_reopt(os);
   placer_driver.save(os);
   incentive_driver.save(os);
   // ostream insertion fails silently (badbit is sticky but unchecked);
@@ -92,6 +97,7 @@ CheckpointInfo restore_checkpoint(std::istream& is, EventBus& bus,
   (void)wire::read_u64(is);  // queue_capacity: likewise
   bus.resume_seq(wire::read_u64(is));
   system.restore_placer(is);
+  system.restore_reopt(is);
   placer_driver.restore_from(is);
   incentive_driver.restore_from(is);
   info.events_consumed = placer_driver.events_consumed();

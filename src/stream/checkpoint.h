@@ -16,8 +16,9 @@
 ///
 /// Layout (little-endian, see data/wire.h):
 ///   magic "ESTRCKP1" | version | bus fingerprint (shard_count,
-///   route_cell_m, policy, queue_capacity) | placer blob | placer-driver
-///   blob (regimes + per-shard states) | incentive-driver blob.
+///   route_cell_m, policy, queue_capacity) | placer blob | reopt-session
+///   blob (warm re-anchor state) | placer-driver blob (regimes + per-shard
+///   states) | incentive-driver blob.
 /// Restore validates magic, version, shard count and routing cell against
 /// the live bus and throws std::runtime_error with an actionable message on
 /// any mismatch.

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "data/wire.h"
+#include "exec/thread_pool.h"
 #include "obs/registry.h"
 #include "stats/ks2d.h"
 
@@ -24,6 +25,7 @@ struct DriverObsMetrics {
   obs::Counter& trip_ends;
   obs::Counter& regime_checks;
   obs::Counter& reanchors;
+  obs::Counter& batch_segments;
   obs::Gauge& regime_similarity;
   obs::Counter& sessions_opened;
   obs::Counter& watchlist_assigned;
@@ -34,6 +36,7 @@ struct DriverObsMetrics {
         obs::Registry::global().counter("stream.placer_driver.trip_ends"),
         obs::Registry::global().counter("stream.placer_driver.regime_checks"),
         obs::Registry::global().counter("stream.placer_driver.reanchors"),
+        obs::Registry::global().counter("stream.placer_driver.batch_segments"),
         obs::Registry::global().gauge("stream.placer_driver.regime_similarity"),
         obs::Registry::global().counter("stream.incentive_driver.sessions_opened"),
         obs::Registry::global().counter("stream.incentive_driver.watchlist_assigned"),
@@ -58,6 +61,27 @@ void PlacerDriverConfig::validate() const {
         "re-anchor needs at least one demand cell to build an instance "
         "from (set reanchor_period = 0 to disable re-anchoring instead)");
   }
+  if (ks_sample_budget > 0 && ks_sample_budget < 4) {
+    throw std::invalid_argument(
+        "PlacerDriverConfig: ks_sample_budget = " +
+        std::to_string(ks_sample_budget) +
+        " is invalid: a 2-D KS statistic over fewer than 4 points per side "
+        "is meaningless (set ks_sample_budget = 0 to disable subsampling "
+        "instead)");
+  }
+}
+
+std::vector<Point> ks_stratified_sample(const std::vector<Point>& points,
+                                        std::size_t budget) {
+  const std::size_t n = points.size();
+  if (budget == 0 || n <= budget) return points;
+  std::vector<Point> sample;
+  sample.reserve(budget);
+  for (std::size_t j = 0; j < budget; ++j) {
+    // Midpoint of stratum j of `budget` equal time slices.
+    sample.push_back(points[(2 * j + 1) * n / (2 * budget)]);
+  }
+  return sample;
 }
 
 OnlinePlacerDriver::OnlinePlacerDriver(core::ESharing& system,
@@ -84,27 +108,97 @@ OnlinePlacerDriver::OnlinePlacerDriver(core::ESharing& system,
 
 std::optional<solver::OnlineDecision> OnlinePlacerDriver::consume(
     const Event& e) {
-  const std::size_t shard = bus_->shard_of(e.where);
-  states_[shard].ingest(e);
+  ingest_shard(bus_->shard_of(e.where), &e, 1);
+  return decide(e);
+}
+
+void OnlinePlacerDriver::ingest_shard(std::size_t shard, const Event* events,
+                                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = events[i];
+    states_[shard].ingest(e);
+    if (obs::enabled()) DriverObsMetrics::get().events.add();
+    if (e.kind != EventKind::kTripEnd) continue;
+    ShardRegime& regime = regimes_[shard];
+    ++regime.trip_ends;
+    if (obs::enabled()) DriverObsMetrics::get().trip_ends.add();
+    if (config_.regime_check_period > 0 &&
+        regime.trip_ends % config_.regime_check_period == 0) {
+      run_regime_check(shard);
+    }
+  }
+}
+
+std::optional<solver::OnlineDecision> OnlinePlacerDriver::decide(
+    const Event& e) {
   ++consumed_;
   last_seq_ = e.seq;
-  if (obs::enabled()) DriverObsMetrics::get().events.add();
   if (e.kind != EventKind::kTripEnd) return std::nullopt;
-
   const auto decision = system_->handle_request(e.where, e.weight);
-  ShardRegime& regime = regimes_[shard];
-  ++regime.trip_ends;
-  if (obs::enabled()) DriverObsMetrics::get().trip_ends.add();
-  if (config_.regime_check_period > 0 &&
-      regime.trip_ends % config_.regime_check_period == 0) {
-    run_regime_check(shard);
-  }
   ++trip_ends_total_;
   if (config_.reanchor_period > 0 &&
       trip_ends_total_ % config_.reanchor_period == 0) {
     run_reanchor();
   }
   return decision;
+}
+
+std::size_t OnlinePlacerDriver::consume_batch(
+    std::span<const Event> events, std::size_t lanes,
+    std::vector<solver::OnlineDecision>* decisions_out) {
+  if (events.empty()) return 0;
+  const std::size_t num_shards = states_.size();
+  // Scratch reused across segments: each shard's FIFO subsequence of the
+  // current segment.
+  std::vector<std::vector<Event>> per_shard(num_shards);
+
+  std::size_t begin = 0;
+  while (begin < events.size()) {
+    // Cut the segment at the next re-anchor trigger: run_reanchor reads
+    // the merged snapshot of *all* shard states, so ingestion must not run
+    // ahead of a trigger. trip_ends_total_ only advances in decide(), so
+    // simulate the counter forward to find the cut.
+    std::size_t end = events.size();
+    if (config_.reanchor_period > 0) {
+      std::uint64_t trip_ends = trip_ends_total_;
+      for (std::size_t i = begin; i < events.size(); ++i) {
+        if (events[i].kind != EventKind::kTripEnd) continue;
+        if (++trip_ends % config_.reanchor_period == 0) {
+          end = i + 1;
+          break;
+        }
+      }
+    }
+
+    for (auto& bucket : per_shard) bucket.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      per_shard[bus_->shard_of(events[i].where)].push_back(events[i]);
+    }
+    // Shard stage: each lane folds whole shards; grain 1 keeps one shard
+    // per chunk. Bit-identical at any width because ingest_shard touches
+    // only its own shard's state and the fold order within a shard is its
+    // FIFO order either way.
+    exec::parallel_for(
+        num_shards, /*grain=*/1,
+        [&](std::size_t first, std::size_t last, std::size_t) {
+          for (std::size_t s = first; s < last; ++s) {
+            if (!per_shard[s].empty()) {
+              ingest_shard(s, per_shard[s].data(), per_shard[s].size());
+            }
+          }
+        },
+        lanes);
+    // Decision stage: sequential, in merged seq order.
+    for (std::size_t i = begin; i < end; ++i) {
+      auto decision = decide(events[i]);
+      if (decision.has_value() && decisions_out != nullptr) {
+        decisions_out->push_back(*decision);
+      }
+    }
+    if (obs::enabled()) DriverObsMetrics::get().batch_segments.add();
+    begin = end;
+  }
+  return events.size();
 }
 
 void OnlinePlacerDriver::run_reanchor() {
@@ -140,7 +234,21 @@ void OnlinePlacerDriver::run_regime_check(std::size_t shard) {
   const auto& history = shard_history_[shard];
   const auto window = states_[shard].window_points();
   if (history.empty() || window.size() < config_.regime_min_samples) return;
-  const auto result = stats::ks2d_test(history, window);
+  // Subsample only when over budget so the common case stays copy-free.
+  const std::size_t budget = config_.ks_sample_budget;
+  const std::vector<Point>* href = &history;
+  const std::vector<Point>* wref = &window;
+  std::vector<Point> hbuf;
+  std::vector<Point> wbuf;
+  if (budget > 0 && history.size() > budget) {
+    hbuf = ks_stratified_sample(history, budget);
+    href = &hbuf;
+  }
+  if (budget > 0 && window.size() > budget) {
+    wbuf = ks_stratified_sample(window, budget);
+    wref = &wbuf;
+  }
+  const auto result = stats::ks2d_test(*href, *wref, config_.ks_peacock_limit);
   ShardRegime& regime = regimes_[shard];
   regime.similarity = result.similarity;
   ++regime.checks;

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/esharing.h"
@@ -57,10 +58,33 @@ struct PlacerDriverConfig {
   /// Skip a scheduled re-anchor while the merged snapshot has fewer
   /// demand cells than this (too few cells make a degenerate instance).
   std::size_t reanchor_min_cells{2};
+  /// Forwarded to stats::ks2d_test: samples with n+m <= limit use the
+  /// exact O((n+m)^3) Peacock statistic. The stream default is 0 — never
+  /// exact — because sharding shrinks windows: at 8 shards a window that
+  /// sat comfortably above the batch-path default (400) falls below it and
+  /// every check pays the cubic path (the "8-shard cliff" documented in
+  /// EXPERIMENTS.md "Stream shard scaling").
+  std::size_t ks_peacock_limit{0};
+  /// Per-side stratified sample budget for the regime check (0 = off).
+  /// When a window or reference slice exceeds the budget, the check runs
+  /// on a deterministic midpoint-stride subsample of exactly `budget`
+  /// points (see ks_stratified_sample), bounding the quadratic
+  /// Fasano–Franceschini cost per check no matter how large windows grow.
+  std::size_t ks_sample_budget{0};
 
   /// \throws std::invalid_argument on the first violated constraint.
   void validate() const;
 };
+
+/// Deterministic stratified subsample behind `ks_sample_budget`: exactly
+/// min(points.size(), budget) points, stratum j of k taking the midpoint
+/// index floor((2j+1)*n / (2k)). Stream windows are in arrival order, so
+/// the strata are contiguous time slices and every phase of the window
+/// stays represented. A pure function of (points, budget) — identical
+/// across runs, shard counts, and thread widths. budget == 0 (off) or
+/// n <= budget returns the input unchanged.
+[[nodiscard]] std::vector<geo::Point> ks_stratified_sample(
+    const std::vector<geo::Point>& points, std::size_t budget);
 
 /// Regime signal of one shard: the stream-window KS similarity against the
 /// shard's slice of the historical sample.
@@ -89,6 +113,22 @@ class OnlinePlacerDriver {
   /// \returns the placer decision for trip-end events.
   std::optional<solver::OnlineDecision> consume(const Event& e);
 
+  /// Consume a merged, seq-ordered batch. The shard-local stage (window
+  /// ingestion, watchlist, per-shard KS regime checks) fans out across the
+  /// exec pool with up to `lanes` lanes (0 = pool width, 1 = inline); the
+  /// tier-one decision stage then runs sequentially in seq order. The
+  /// split is legal because the shard stage touches only that shard's
+  /// state and depends only on that shard's FIFO subsequence — so the
+  /// result is bit-identical to consuming the same events one at a time
+  /// via consume(), at every lane count and shard count. When re-anchoring
+  /// is enabled the batch is cut at each trigger trip-end, so the merged
+  /// snapshot a re-anchor reads never includes events past its trigger.
+  /// Trip-end decisions are appended to `decisions_out` when non-null.
+  /// \returns the number of events consumed (always events.size()).
+  std::size_t consume_batch(
+      std::span<const Event> events, std::size_t lanes = 1,
+      std::vector<solver::OnlineDecision>* decisions_out = nullptr);
+
   /// Drain every pending event from the bus in publish order and consume
   /// it. Returns the number of events processed.
   std::size_t pump(EventBus& bus);
@@ -112,6 +152,15 @@ class OnlinePlacerDriver {
   void restore_from(std::istream& is);
 
  private:
+  /// Shard-local half of consume(): fold one shard's FIFO subsequence into
+  /// its StreamState and regime counters, firing cadenced KS checks. Safe
+  /// to run concurrently for distinct shards — it reads and writes only
+  /// states_[shard] / regimes_[shard] / shard_history_[shard].
+  void ingest_shard(std::size_t shard, const Event* events, std::size_t n);
+  /// Global half: seq-order counters, the tier-one decision, and the
+  /// re-anchor cadence. Must run sequentially in merged seq order, after
+  /// the event's shard ingest.
+  std::optional<solver::OnlineDecision> decide(const Event& e);
   void run_regime_check(std::size_t shard);
   void run_reanchor();
 

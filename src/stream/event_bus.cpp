@@ -104,37 +104,87 @@ std::size_t EventBus::shard_of(geo::Point p) const {
 }
 
 bool EventBus::publish(Event e) {
-  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  Shard& shard = *shards_[shard_of(e.where)];
+  return publish_batch(std::span<const Event>(&e, 1)) == 1;
+}
 
-  es::UniqueLock lock(shard.mu);
-  if (shard.count == config_.queue_capacity) {
-    switch (config_.policy) {
-      case BackpressurePolicy::kBlock:
-        ++shard.blocked;
-        if (obs::enabled()) BusObsMetrics::get().blocked.add();
-        // Explicit recheck loop (not the predicate overload): the guarded
-        // reads stay in this annotated scope where the analysis can see
-        // the capability is held across the wait.
-        while (shard.count == config_.queue_capacity) shard.space.wait(lock);
-        break;
-      case BackpressurePolicy::kDropOldest:
-        shard.head = (shard.head + 1) % config_.queue_capacity;
-        --shard.count;
-        ++shard.dropped;
-        if (obs::enabled()) BusObsMetrics::get().dropped_oldest.add();
-        break;
-      case BackpressurePolicy::kReject:
-        ++shard.rejected;
-        if (obs::enabled()) BusObsMetrics::get().rejected.add();
-        return false;
+std::size_t EventBus::publish_batch(std::span<const Event> events) {
+  const std::size_t n = events.size();
+  if (n == 0) return 0;
+  const std::uint64_t base =
+      next_seq_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+
+  // Counting scatter: stamp seqs in span order and lay each shard's
+  // sub-batch out contiguously (relative order preserved) so the lock
+  // below is taken once per touched shard, not once per event.
+  const std::size_t num_shards = shards_.size();
+  std::vector<std::size_t> dest(n);
+  std::vector<std::size_t> offset(num_shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    dest[i] = num_shards == 1 ? 0 : shard_of(events[i].where);
+    ++offset[dest[i] + 1];
+  }
+  for (std::size_t s = 0; s < num_shards; ++s) offset[s + 1] += offset[s];
+  std::vector<Event> staged(n);
+  std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e = events[i];
+    e.seq = base + static_cast<std::uint64_t>(i);
+    staged[cursor[dest[i]]++] = e;
+  }
+
+  std::uint64_t blocked_n = 0;
+  std::uint64_t dropped_n = 0;
+  std::uint64_t rejected_n = 0;
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::size_t lo = offset[s];
+    const std::size_t hi = offset[s + 1];
+    if (lo == hi) continue;
+    Shard& shard = *shards_[s];
+    es::UniqueLock lock(shard.mu);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (shard.count == config_.queue_capacity) {
+        if (config_.policy == BackpressurePolicy::kBlock) {
+          ++shard.blocked;
+          ++blocked_n;
+          // Explicit recheck loop (not the predicate overload): the
+          // guarded reads stay in this annotated scope where the analysis
+          // can see the capability is held across the wait.
+          while (shard.count == config_.queue_capacity) {
+            shard.space.wait(lock);
+          }
+        } else if (config_.policy == BackpressurePolicy::kDropOldest) {
+          shard.head = (shard.head + 1) % config_.queue_capacity;
+          --shard.count;
+          ++shard.dropped;
+          ++dropped_n;
+        } else {  // kReject: the lock is held, so no drain can free space
+                  // for the rest of this sub-batch — shed it all at once.
+          shard.rejected += hi - i;
+          rejected_n += hi - i;
+          break;
+        }
+      }
+      shard.ring[(shard.head + shard.count) % config_.queue_capacity] =
+          staged[i];
+      ++shard.count;
+      ++accepted;
     }
   }
-  shard.ring[(shard.head + shard.count) % config_.queue_capacity] = e;
-  ++shard.count;
-  published_.fetch_add(1, std::memory_order_relaxed);
-  if (obs::enabled()) BusObsMetrics::get().published.add();
-  return true;
+
+  if (accepted > 0) {
+    published_.fetch_add(static_cast<std::uint64_t>(accepted),
+                         std::memory_order_relaxed);
+  }
+  if (obs::enabled()) {
+    auto& m = BusObsMetrics::get();
+    if (accepted > 0) m.published.add(static_cast<std::uint64_t>(accepted));
+    if (blocked_n > 0) m.blocked.add(blocked_n);
+    if (dropped_n > 0) m.dropped_oldest.add(dropped_n);
+    if (rejected_n > 0) m.rejected.add(rejected_n);
+  }
+  return accepted;
 }
 
 void EventBus::resume_seq(std::uint64_t next) {

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/sync.h"
@@ -83,8 +84,22 @@ class EventBus {
   /// `e.where`. Returns false only under kReject on a full ring (the event
   /// is discarded and no seq is consumed from the caller's perspective of
   /// delivered events — rejected publishes still advance the stamp so
-  /// accepted order stays consistent across shards).
+  /// accepted order stays consistent across shards). Thin wrapper over
+  /// publish_batch on a one-event span.
   bool publish(Event e);
+
+  /// Publish a batch: one seq-range reservation stamps the whole span in
+  /// order, events are grouped by destination shard (relative order
+  /// preserved), and each touched shard's ring is filled under a single
+  /// lock acquisition instead of one per event. For a single publisher the
+  /// delivered stream is indistinguishable from the equivalent sequence of
+  /// per-event publishes; concurrent batches each own a contiguous seq
+  /// range. Backpressure matches publish(): kBlock waits for ring space
+  /// per event (releasing the lock while waiting), kDropOldest evicts, and
+  /// kReject sheds the remainder of a full shard's sub-batch — under a
+  /// held lock no drain can interleave, so per-event publishes would have
+  /// rejected those events too. Returns the number of accepted events.
+  std::size_t publish_batch(std::span<const Event> events);
 
   /// Drain up to min(max_batch, pending) events from one shard, appending
   /// to `out` in FIFO order. Returns the number drained. Thread-safe, but

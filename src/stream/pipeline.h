@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file pipeline.h
+/// The unified front door of `esharing::stream`: one validated config, one
+/// facade object, instead of hand-wiring EventBus + OnlinePlacerDriver +
+/// IncentiveDriver + checkpoint plumbing at every call site.
+///
+/// A Pipeline owns the sharded bus and (in serving mode) the two tier
+/// drivers. Its pump cycle is the parallel-ingestion engine of the stream
+/// layer:
+///
+///   1. Lane stage — every shard is drained on the exec pool, up to
+///      `lanes` shards concurrently (`lanes = 0` uses the pool width).
+///      Lanes are exec-pool chunks, not dedicated threads: the pool's
+///      chunk shapes depend only on (shard_count, grain), never on timing.
+///   2. Merge stage — per-shard FIFO batches are merged by the bus-wide
+///      seq stamp back into exact publish order. Seq gaps (events lost to
+///      drop/reject policies or still in flight from concurrent
+///      publishers) are counted as merge stalls, never waited on.
+///   3. Consume stage — the merged batch goes to
+///      OnlinePlacerDriver::consume_batch, which fans the shard-local
+///      window/regime work back out across the same lanes and then runs
+///      tier-one decisions sequentially in seq order.
+///
+/// Determinism: stages 1–3 are bit-identical to a single-shard,
+/// single-threaded replay at every (shard count, lane count, thread count)
+/// combination — the merge restores publish order, and the only parallel
+/// work is shard-local (see drivers.h) or chunk-deterministic (see
+/// exec/thread_pool.h). DESIGN.md "Parallel ingestion" carries the full
+/// argument.
+///
+/// Two modes:
+///   * serving   — constructed with a core::ESharing system and a KS
+///     reference sample; pump() feeds the placer and the facade exposes
+///     both drivers plus checkpoint save/restore.
+///   * transport — constructed from the config alone; pump_into() hands
+///     merged events to a caller-supplied consumer (Simulation uses this
+///     to keep its own process_trip path).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/checkpoint.h"
+#include "stream/drivers.h"
+#include "stream/event_bus.h"
+#include "stream/replay.h"
+
+namespace esharing::stream {
+
+/// Everything a streaming deployment needs, validated as one object
+/// (the ESharingConfig::validate() convention).
+struct PipelineConfig {
+  EventBusConfig bus;
+  PlacerDriverConfig placer;
+  IncentiveDriverConfig incentive;
+  /// Lane width of the parallel shard stages: 0 = exec pool width,
+  /// 1 = sequential (the single-threaded reference execution), n = up to
+  /// n concurrent lanes. Any value is bit-identical to any other.
+  std::size_t lanes{0};
+  /// replay() cadence: max publishes between pumps. 0 selects the bus
+  /// queue capacity; values above the capacity are clamped to it so a
+  /// kBlock bus can never deadlock a single-threaded replay.
+  std::size_t pump_every{0};
+
+  /// Validate every nested config plus the facade knobs.
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate() const;
+};
+
+/// Counters snapshot of the pump cycle (authoritative copies land in the
+/// obs registry under `stream.pipeline.*` when enabled).
+struct PipelineStats {
+  BusStats bus;
+  std::uint64_t pump_rounds{0};    ///< drain/merge rounds executed
+  std::uint64_t lane_batches{0};   ///< non-empty per-shard drain batches
+  std::uint64_t lane_events{0};    ///< events drained by the lane stage
+  std::uint64_t merged_events{0};  ///< events delivered in seq order
+  std::uint64_t merge_stalls{0};   ///< seq gaps seen by the merge stage
+  double lane_occupancy{0.0};  ///< busy shards / shards, last non-empty round
+};
+
+class Pipeline {
+ public:
+  /// Serving mode: the facade owns both tier drivers against `system`.
+  /// \param historical_sample KS reference H(x, y), partitioned per shard
+  ///        by the bus router (see OnlinePlacerDriver).
+  /// \throws std::invalid_argument on invalid config,
+  ///         std::logic_error if the system is not online.
+  Pipeline(core::ESharing& system, std::vector<geo::Point> historical_sample,
+           PipelineConfig config);
+
+  /// Transport mode: bus + lane/merge stages only; serving accessors,
+  /// replay() and checkpoints throw std::logic_error. The placer and
+  /// incentive sub-configs are still validated (one config, one contract).
+  explicit Pipeline(PipelineConfig config);
+
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] const EventBus& bus() const { return bus_; }
+  [[nodiscard]] bool serving() const { return placer_.has_value(); }
+
+  /// \throws std::logic_error in transport mode.
+  [[nodiscard]] OnlinePlacerDriver& placer_driver();
+  [[nodiscard]] const OnlinePlacerDriver& placer_driver() const;
+  [[nodiscard]] IncentiveDriver& incentive_driver();
+  [[nodiscard]] const IncentiveDriver& incentive_driver() const;
+
+  /// Publish into the bus (see EventBus::publish/publish_batch).
+  bool publish(Event e) { return bus_.publish(e); }
+  std::size_t publish_batch(std::span<const Event> events) {
+    return bus_.publish_batch(events);
+  }
+
+  using Consumer = std::function<void(const Event&)>;
+
+  /// Serving pump: repeat the lane/merge/consume cycle until a round
+  /// drains nothing. Trip-end decisions are appended to `decisions_out`
+  /// when non-null. Returns the number of events consumed.
+  /// \throws std::logic_error in transport mode.
+  std::size_t pump(std::vector<solver::OnlineDecision>* decisions_out = nullptr);
+
+  /// Transport pump: same lane/merge cycle, but each merged event goes to
+  /// `consumer` (called sequentially, in seq order). Also usable in
+  /// serving mode for callers that bypass the drivers deliberately.
+  std::size_t pump_into(const Consumer& consumer);
+
+  /// Publish `events` in order (batched at the pump_every cadence) and
+  /// pump between batches; a final pump flushes the tail. Semantically
+  /// replay_log() over the facade's own components — same decision trace.
+  /// \throws std::logic_error in transport mode.
+  ReplayResult replay(const std::vector<Event>& events);
+
+  [[nodiscard]] PipelineStats stats() const;
+
+  /// Checkpoint passthrough (serving mode; see checkpoint.h for the
+  /// format and the queues-drained contract).
+  /// \throws std::logic_error in transport mode.
+  void save_checkpoint(std::ostream& os) const;
+  CheckpointInfo restore_checkpoint(std::istream& is);
+  void save_checkpoint_file(const std::string& path) const;
+  CheckpointInfo restore_checkpoint_file(const std::string& path);
+
+ private:
+  /// One lane+merge round: drain every shard (parallel lanes), merge by
+  /// seq into merged_. Returns the number of events merged.
+  std::size_t drain_round();
+  void require_serving(const char* what) const;
+
+  PipelineConfig config_;
+  EventBus bus_;
+  core::ESharing* system_{nullptr};
+  std::optional<OnlinePlacerDriver> placer_;
+  std::optional<IncentiveDriver> incentive_;
+
+  /// Pump-cycle scratch; the pump is single-consumer by contract, so
+  /// these are not locked (lanes write disjoint per-shard buffers).
+  std::vector<std::vector<Event>> lane_buffers_;
+  std::vector<Event> merged_;
+  std::uint64_t next_expected_seq_{0};
+
+  std::uint64_t pump_rounds_{0};
+  std::uint64_t lane_batches_{0};
+  std::uint64_t lane_events_{0};
+  std::uint64_t merged_events_{0};
+  std::uint64_t merge_stalls_{0};
+  double lane_occupancy_{0.0};
+};
+
+}  // namespace esharing::stream

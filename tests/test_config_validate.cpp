@@ -175,22 +175,28 @@ TEST(SimConfigValidate, RejectsBadSimulationFields) {
 }
 
 TEST(SimConfigValidate, RejectsBadStreamKnobs) {
+  // The nested stream::PipelineConfig carries its own messages; the field
+  // names below come from EventBusConfig / PlacerDriverConfig.
   sim::SimConfig c;
-  c.stream_shards = 0;
-  expect_rejects(c, "stream_shards");
+  c.stream.bus.shard_count = 0;
+  expect_rejects(c, "shard_count");
 
   c = {};
-  c.stream_batch = 0;
-  expect_rejects(c, "stream_batch");
+  c.stream.bus.max_batch = 0;
+  expect_rejects(c, "max_batch");
 
   c = {};
-  c.stream_queue_capacity = 8;
-  c.stream_batch = 9;
-  expect_rejects(c, "stream_queue_capacity");
+  c.stream.bus.queue_capacity = 8;
+  c.stream.bus.max_batch = 9;
+  expect_rejects(c, "max_batch");
 
   c = {};
-  c.stream_route_cell_m = 0.0;
-  expect_rejects(c, "stream_route_cell_m");
+  c.stream.bus.route_cell_m = 0.0;
+  expect_rejects(c, "route_cell_m");
+
+  c = {};
+  c.stream.placer.ks_sample_budget = 2;
+  expect_rejects(c, "ks_sample_budget");
 }
 
 TEST(SimConfigValidate, NestedESharingConfigIsChecked) {

@@ -140,7 +140,7 @@ TEST(StreamCheckpoint, HalfwayRestoreContinuesBitIdentically) {
   std::istringstream in(blob.str());
   const CheckpointInfo info = restore_checkpoint(
       in, b.bus, b.system, b.placer_driver, b.incentive_driver);
-  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.version, 2u);
   EXPECT_EQ(info.shard_count, 4u);
   EXPECT_EQ(info.events_consumed, first.size());
   EXPECT_EQ(info.last_seq, first.size() - 1);

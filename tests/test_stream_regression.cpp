@@ -101,7 +101,7 @@ TEST_F(StreamRegression, SingleShardMatchesBatchBitForBit) {
   const SimMetrics batch = run_batch(cfg, &batch_sim);
 
   SimConfig streamed_cfg = cfg;
-  streamed_cfg.stream_shards = 1;
+  streamed_cfg.stream.bus.shard_count = 1;
   stream::BusStats stats;
   const SimMetrics streamed = run_streamed(streamed_cfg, &stats, &stream_sim);
 
@@ -120,9 +120,9 @@ TEST_F(StreamRegression, FourShardsMatchBatchBitForBit) {
   const SimMetrics batch = run_batch(cfg, &batch_sim);
 
   SimConfig streamed_cfg = cfg;
-  streamed_cfg.stream_shards = 4;
-  streamed_cfg.stream_queue_capacity = 64;  // forces many mid-stream pumps
-  streamed_cfg.stream_batch = 16;
+  streamed_cfg.stream.bus.shard_count = 4;
+  streamed_cfg.stream.bus.queue_capacity = 64;  // forces many mid-stream pumps
+  streamed_cfg.stream.bus.max_batch = 16;
   stream::BusStats stats;
   const SimMetrics streamed = run_streamed(streamed_cfg, &stats, &stream_sim);
 
@@ -133,10 +133,11 @@ TEST_F(StreamRegression, FourShardsMatchBatchBitForBit) {
 
 TEST_F(StreamRegression, ShardCountDoesNotChangeTheStreamedRun) {
   SimConfig one = fast_sim();
-  one.stream_shards = 1;
+  one.stream.bus.shard_count = 1;
   SimConfig eight = fast_sim();
-  eight.stream_shards = 8;
-  eight.stream_route_cell_m = 250.0;  // different routing must not matter
+  eight.stream.bus.shard_count = 8;
+  eight.stream.bus.route_cell_m = 250.0;  // different routing must not matter
+  eight.stream.lanes = 2;  // parallel lane drains must not matter either
 
   const SimMetrics a = run_streamed(one);
   const SimMetrics b = run_streamed(eight);
@@ -154,7 +155,7 @@ TEST_F(StreamRegression, KsSwitchingSurvivesTheStreamPath) {
   Simulation* stream_sim = nullptr;
   const SimMetrics batch = run_batch(cfg, &batch_sim);
   SimConfig streamed_cfg = cfg;
-  streamed_cfg.stream_shards = 4;
+  streamed_cfg.stream.bus.shard_count = 4;
   const SimMetrics streamed = run_streamed(streamed_cfg, nullptr, &stream_sim);
   expect_identical_metrics(batch, streamed);
   expect_identical_systems(*batch_sim, *stream_sim);
@@ -174,9 +175,9 @@ TEST_F(StreamRegression, ReanchoringSurvivesTheStreamPathBitForBit) {
   EXPECT_GT(batch.reanchors, 0u);
 
   SimConfig streamed_cfg = cfg;
-  streamed_cfg.stream_shards = 4;
-  streamed_cfg.stream_queue_capacity = 64;
-  streamed_cfg.stream_batch = 16;
+  streamed_cfg.stream.bus.shard_count = 4;
+  streamed_cfg.stream.bus.queue_capacity = 64;
+  streamed_cfg.stream.bus.max_batch = 16;
   const SimMetrics streamed = run_streamed(streamed_cfg, nullptr, &stream_sim);
   EXPECT_EQ(streamed.reanchors, batch.reanchors);
   expect_identical_metrics(batch, streamed);
@@ -188,7 +189,7 @@ TEST_F(StreamRegression, ReanchoringSurvivesTheStreamPathBitForBit) {
 TEST_F(StreamRegression, RepeatedStreamedRunsAdvanceTime) {
   // run_streamed composes like run(): a second call continues the clock.
   SimConfig cfg = fast_sim();
-  cfg.stream_shards = 2;
+  cfg.stream.bus.shard_count = 2;
   Simulation sim(city_, cfg, 7);
   sim.bootstrap(history_);
   const SimMetrics first = sim.run_streamed(live_);
