@@ -1,0 +1,242 @@
+/// Open-loop load generator for the esharing-serve daemon: drives the
+/// decide path at increasing offered arrival rates until saturation and
+/// reports p50/p99/p999 per stage from obs::Histogram quantiles
+/// (EXPERIMENTS.md "Serving saturation").
+///
+/// Open loop means send times follow the schedule (t_j = j / rate) no
+/// matter how slowly responses come back — the honest way to measure a
+/// server's latency under load (closed loops self-throttle and hide
+/// saturation). A sender thread paces requests on one connection; a reader
+/// thread matches responses by the echoed ref token.
+///
+/// Saturation rule: a stage saturates when achieved throughput drops below
+/// 90% of offered or p99 exceeds the budget; the sweep stops after the
+/// first saturated stage. Exit code is 0 only when the first stage is
+/// clean (all responses received, quantiles monotone, un-saturated) — the
+/// bench-smoke gate.
+///
+///   bench_serve_loadgen [--port N] [--start-rps F] [--growth F]
+///                       [--stages N] [--requests N] [--p99-budget-ms F]
+///                       [--seed N]
+///
+/// Without --port an in-process daemon is booted on an ephemeral port;
+/// with --port an externally started esharing-serve is driven instead
+/// (the serve-smoke CI job does this).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/workload.h"
+
+using namespace esharing;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Args {
+  std::optional<std::uint16_t> port;
+  double start_rps{500.0};
+  double growth{2.0};
+  std::size_t stages{5};
+  std::size_t requests{2000};
+  double p99_budget_ms{50.0};
+  std::uint64_t seed{17};
+};
+
+struct StageResult {
+  double offered_rps{0.0};
+  double achieved_rps{0.0};
+  std::size_t sent{0};
+  std::size_t answered{0};
+  double p50_ms{0.0};
+  double p99_ms{0.0};
+  double p999_ms{0.0};
+  bool saturated{false};
+};
+
+bool parse_args(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--port" && (v = value())) {
+      a.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--start-rps" && (v = value())) {
+      a.start_rps = std::strtod(v, nullptr);
+    } else if (flag == "--growth" && (v = value())) {
+      a.growth = std::strtod(v, nullptr);
+    } else if (flag == "--stages" && (v = value())) {
+      a.stages = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--requests" && (v = value())) {
+      a.requests = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--p99-budget-ms" && (v = value())) {
+      a.p99_budget_ms = std::strtod(v, nullptr);
+    } else if (flag == "--seed" && (v = value())) {
+      a.seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "bench_serve_loadgen: unknown flag %s\n",
+                   flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+StageResult run_stage(std::uint16_t port, double rate,
+                      const std::vector<stream::Event>& events,
+                      double p99_budget_ms) {
+  StageResult res;
+  res.offered_rps = rate;
+  const std::size_t n = events.size();
+
+  serve::ServeClient client = serve::ServeClient::connect(port);
+  std::vector<std::atomic<std::int64_t>> send_ns(n);
+  for (auto& s : send_ns) s.store(0, std::memory_order_relaxed);
+  obs::Histogram latency(obs::default_latency_buckets());
+  std::atomic<std::size_t> answered{0};
+  std::atomic<bool> reader_failed{false};
+
+  std::thread reader([&] {
+    try {
+      for (std::size_t i = 0; i < n; ++i) {
+        const serve::Message reply = client.recv();
+        const auto now = Clock::now().time_since_epoch().count();
+        if (reply.type != serve::MsgType::kDecision) continue;
+        const auto ref = reply.decision.ref;
+        if (ref < 0 || static_cast<std::size_t>(ref) >= n) continue;
+        const auto sent_at = send_ns[static_cast<std::size_t>(ref)].load(
+            std::memory_order_acquire);
+        latency.observe(static_cast<double>(now - sent_at) * 1e-9);
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    } catch (const std::exception&) {
+      reader_failed.store(true, std::memory_order_release);
+    }
+  });
+
+  const auto t0 = Clock::now();
+  try {
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto due =
+          t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(static_cast<double>(j) /
+                                                 rate));
+      std::this_thread::sleep_until(due);
+      stream::Event e = events[j];
+      e.ref = static_cast<std::int64_t>(j);
+      send_ns[j].store(Clock::now().time_since_epoch().count(),
+                       std::memory_order_release);
+      client.send(serve::encode_decide(e));
+      ++res.sent;
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "bench_serve_loadgen: send failed: %s\n", ex.what());
+  }
+  reader.join();
+  const std::chrono::duration<double> elapsed = Clock::now() - t0;
+
+  res.answered = answered.load(std::memory_order_relaxed);
+  res.achieved_rps =
+      elapsed.count() > 0.0
+          ? static_cast<double>(res.answered) / elapsed.count()
+          : 0.0;
+  res.p50_ms = latency.quantile(0.50) * 1e3;
+  res.p99_ms = latency.quantile(0.99) * 1e3;
+  res.p999_ms = latency.quantile(0.999) * 1e3;
+  res.saturated = reader_failed.load(std::memory_order_acquire) ||
+                  res.answered < res.sent ||
+                  res.achieved_rps < 0.9 * res.offered_rps ||
+                  res.p99_ms > p99_budget_ms;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return 2;
+
+  // The in-process daemon when no --port was given.
+  std::optional<core::ESharing> system;
+  std::optional<serve::ServeDaemon> daemon;
+  std::uint16_t port = 0;
+  try {
+    if (args.port) {
+      port = *args.port;
+    } else {
+      system.emplace(core::ESharingConfig{}, args.seed);
+      const auto ks =
+          serve::bootstrap_system(*system, args.seed, 2000, 4000.0);
+      serve::ServeConfig cfg;
+      daemon.emplace(*system, ks, cfg);
+      daemon->start();
+      port = daemon->port();
+    }
+
+    serve::WorkloadConfig wl;
+    wl.seed = args.seed + 1;
+    wl.count = args.requests;
+    wl.inter_arrival_s = 2.0;
+    const auto events = serve::make_workload(wl);
+
+    std::printf("# esharing-serve saturation sweep (port %u, %zu requests "
+                "per stage, p99 budget %.1f ms)\n",
+                static_cast<unsigned>(port), args.requests,
+                args.p99_budget_ms);
+    std::printf("%12s %12s %8s %8s %10s %10s %10s  %s\n", "offered_rps",
+                "achieved_rps", "sent", "answered", "p50_ms", "p99_ms",
+                "p999_ms", "verdict");
+
+    std::vector<StageResult> results;
+    double rate = args.start_rps;
+    for (std::size_t s = 0; s < args.stages; ++s, rate *= args.growth) {
+      const StageResult r =
+          run_stage(port, rate, events, args.p99_budget_ms);
+      results.push_back(r);
+      std::printf("%12.1f %12.1f %8zu %8zu %10.3f %10.3f %10.3f  %s\n",
+                  r.offered_rps, r.achieved_rps, r.sent, r.answered,
+                  r.p50_ms, r.p99_ms, r.p999_ms,
+                  r.saturated ? "SATURATED" : "ok");
+      std::fflush(stdout);
+      if (r.saturated) break;
+    }
+
+    if (daemon) {
+      serve::ServeClient ctl = serve::ServeClient::connect(port);
+      ctl.shutdown();
+      daemon->wait();
+    }
+
+    // Gate: the lowest offered rate must be comfortably within capacity
+    // and its quantiles must be sane — this is what bench-smoke asserts.
+    const StageResult& first = results.front();
+    const bool sane = !first.saturated && first.answered == first.sent &&
+                      first.p50_ms <= first.p99_ms &&
+                      first.p99_ms <= first.p999_ms;
+    if (!sane) {
+      std::fprintf(stderr,
+                   "bench_serve_loadgen: FAILED — first stage saturated or "
+                   "quantiles inconsistent\n");
+      return 1;
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "bench_serve_loadgen: fatal: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}

@@ -6,12 +6,10 @@
 /// paper-shaped layout; these helpers keep the output consistent.
 
 #include <cstdlib>
-#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
-#include <system_error>
 
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -38,13 +36,8 @@ class MetricsSession {
   ~MetricsSession() {
     if (!enabled_) return;
     obs::set_enabled(false);
-    const char* dir_env = std::getenv("ESHARING_METRICS_DIR");
-    const std::filesystem::path dir =
-        dir_env != nullptr && *dir_env != '\0' ? dir_env : "metrics";
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    const std::string path = (dir / (name_ + ".metrics.json")).string();
-    if (!ec && obs::write_snapshot_json(obs::Registry::global(), path)) {
+    const std::string path = obs::metrics_snapshot_path(name_);
+    if (obs::write_snapshot_json(obs::Registry::global(), path)) {
       std::cout << "\nmetrics snapshot: " << path << '\n';
     }
   }

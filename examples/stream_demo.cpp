@@ -128,9 +128,9 @@ int main() {
   std::remove(path);
 
   obs::set_enabled(false);
-  if (obs::write_snapshot_json(obs::Registry::global(),
-                               "stream_demo.metrics.json")) {
-    std::cout << "metrics snapshot: stream_demo.metrics.json\n";
+  const std::string snapshot_path = obs::metrics_snapshot_path("stream_demo");
+  if (obs::write_snapshot_json(obs::Registry::global(), snapshot_path)) {
+    std::cout << "metrics snapshot: " << snapshot_path << '\n';
   }
   return 0;
 }

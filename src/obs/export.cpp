@@ -1,6 +1,9 @@
 #include "obs/export.h"
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace esharing::obs {
 
@@ -82,6 +85,18 @@ bool write_snapshot_json(const Registry& registry, const std::string& path) {
   if (!out) return false;
   out << to_json(registry.snapshot()) << '\n';
   return static_cast<bool>(out);
+}
+
+std::string metrics_snapshot_path(const std::string& name) {
+  const char* dir_env = std::getenv("ESHARING_METRICS_DIR");
+  const std::filesystem::path dir =
+      dir_env != nullptr && *dir_env != '\0' ? dir_env : "metrics";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  // On creation failure fall back to the bare filename rather than failing
+  // the run — a missing snapshot is reported by the writer, not here.
+  if (ec) return name + ".metrics.json";
+  return (dir / (name + ".metrics.json")).string();
 }
 
 }  // namespace esharing::obs

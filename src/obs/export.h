@@ -28,4 +28,11 @@ namespace esharing::obs {
 /// \returns false when the file cannot be written.
 bool write_snapshot_json(const Registry& registry, const std::string& path);
 
+/// Resolve where a named metrics snapshot belongs: `<dir>/<name>.metrics.json`
+/// with `<dir>` taken from ESHARING_METRICS_DIR (default `./metrics/`,
+/// created on demand). This is the single metrics-dir convention shared by
+/// bench::MetricsSession, the examples and the serving daemon, so snapshots
+/// never land in the working directory by accident.
+[[nodiscard]] std::string metrics_snapshot_path(const std::string& name);
+
 }  // namespace esharing::obs

@@ -36,6 +36,36 @@ void Histogram::observe(double v) {
   }
 }
 
+double Histogram::quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("Histogram::quantile: q must be in [0, 1]");
+  }
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation, 1-based; q == 0 selects rank 1 so the
+  // estimate stays inside the first occupied bucket.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b == upper_bounds_.size()) {
+      // Overflow bucket: no finite upper edge to interpolate against.
+      return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+    }
+    const double lower = b == 0 ? 0.0 : upper_bounds_[b - 1];
+    const double upper = upper_bounds_[b];
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lower + (upper - lower) * fraction;
+  }
+  return upper_bounds_.empty() ? 0.0 : upper_bounds_.back();
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(buckets_.size());
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -52,6 +82,11 @@ void Histogram::reset() {
 
 std::vector<double> default_time_buckets() {
   return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+std::vector<double> default_latency_buckets() {
+  return {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+          1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 1.0};
 }
 
 }  // namespace esharing::obs

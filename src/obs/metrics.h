@@ -92,6 +92,21 @@ class Histogram {
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
   void reset();
 
+  /// Estimate the q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket that holds the target rank — the classic fixed-bucket
+  /// estimator: resolution is the bucket width, which is exactly the
+  /// trade-off that makes observe() lock-free. Conventions:
+  ///   * an empty histogram returns 0.0 (nothing observed, nothing late);
+  ///   * a rank landing in the overflow bucket returns the largest finite
+  ///     bound — the estimate saturates rather than inventing a tail;
+  ///   * the first finite bucket interpolates from a lower edge of 0
+  ///     (latency-style histograms observe non-negative values).
+  /// Reads the buckets with the same relaxed loads as bucket_counts(); a
+  /// quantile taken during concurrent recording is a consistent-enough
+  /// snapshot for operational monitoring, never a synchronization point.
+  /// \throws std::invalid_argument if q is outside [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+
  private:
   std::vector<double> upper_bounds_;
   std::vector<std::atomic<std::uint64_t>> buckets_;
@@ -101,6 +116,10 @@ class Histogram {
 
 /// Default bucket edges for ScopedTimer histograms: 1 µs .. 10 s decades.
 [[nodiscard]] std::vector<double> default_time_buckets();
+
+/// Finer 1-2-5 edges (1 µs .. 1 s) for request-latency histograms, where
+/// decade buckets are too coarse for p99/p999 interpolation to mean much.
+[[nodiscard]] std::vector<double> default_latency_buckets();
 
 /// Amortizing proxy for a Counter on paths too hot to pay one atomic RMW
 /// per event (sub-microsecond query loops, per-access cache-hit counts).

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file client.h
+/// Blocking client for the esharing-serve protocol: one TCP connection,
+/// synchronous request/response helpers for control-plane calls, and the
+/// raw send()/recv() split for callers that pipeline the decide path (the
+/// load generator keeps many decide frames in flight and matches responses
+/// by the echoed ref token).
+///
+/// Thread contract: send() and recv() are individually serialized by
+/// internal locks, so one writer thread and one reader thread can share a
+/// client; the synchronous helpers (ping(), decide(), ...) assume they own
+/// both directions of the connection while they run.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
+#include "serve/protocol.h"
+#include "stream/event.h"
+
+namespace esharing::serve {
+
+class ServeClient {
+ public:
+  /// Connect to a daemon on loopback. \throws std::runtime_error when the
+  /// connection is refused.
+  static ServeClient connect(std::uint16_t port);
+
+  /// Adopt an already-connected stream socket (tests use socketpair).
+  explicit ServeClient(int fd) : fd_(fd) {}
+  ~ServeClient();
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&&) = delete;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Frame one encoded payload onto the socket.
+  /// \throws std::runtime_error when the daemon is gone.
+  void send(const std::string& payload);
+  /// Read and decode the next response frame.
+  /// \throws std::runtime_error on EOF or a torn frame.
+  Message recv();
+  /// send() + recv(): the synchronous call shape.
+  Message request(const std::string& payload);
+
+  // Control-plane helpers. Each throws std::runtime_error if the daemon
+  // answers kError (the error text is the exception message) or replies
+  // with an unexpected type.
+  void ping();
+  /// \returns the number of events the bus accepted.
+  std::uint64_t publish(std::span<const stream::Event> events);
+  /// Synchronous decide: sends one trip-end and blocks for its decision.
+  DecisionReply decide(const stream::Event& event);
+  std::string scrape_metrics();
+  ServeStatus status();
+  void reload_tunables(const ServeTunables& tunables);
+  void checkpoint_now();
+  void shutdown();
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  Message expect(const std::string& payload, MsgType want);
+
+  int fd_;
+  es::Mutex send_mu_;
+  es::Mutex recv_mu_;
+};
+
+}  // namespace esharing::serve

@@ -1,0 +1,54 @@
+#include "serve/flight_recorder.h"
+
+#include <stdexcept>
+
+#include "obs/event_sink.h"
+
+namespace esharing::serve {
+
+FlightRecorder::FlightRecorder(const std::string& path)
+    : path_(path), out_(path, std::ios::app) {
+  if (!out_) {
+    throw std::runtime_error("FlightRecorder: cannot open " + path +
+                             " for appending");
+  }
+}
+
+void FlightRecorder::record(const stream::Event& event,
+                            const solver::OnlineDecision& d) {
+  std::string line;
+  line.reserve(192);
+  const es::LockGuard lock(mu_);
+  line += "{\"idx\":";
+  line += std::to_string(idx_++);
+  line += ",\"event\":\"serve.decision\",\"seq\":";
+  line += std::to_string(event.seq);
+  line += ",\"time\":";
+  line += std::to_string(event.time);
+  line += ",\"dest_x\":";
+  line += obs::json_number(event.where.x);
+  line += ",\"dest_y\":";
+  line += obs::json_number(event.where.y);
+  line += ",\"weight\":";
+  line += obs::json_number(event.weight);
+  line += ",\"opened\":";
+  line += d.opened ? '1' : '0';
+  line += ",\"facility\":";
+  line += std::to_string(d.facility);
+  line += ",\"connection_cost\":";
+  line += obs::json_number(d.connection_cost);
+  line += ",\"ref\":";
+  line += std::to_string(event.ref);
+  line += "}\n";
+  out_ << line;
+  // Per-line flush: the whole point of a flight recorder is surviving the
+  // crash that loses everything buffered.
+  out_.flush();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const es::LockGuard lock(mu_);
+  return idx_;
+}
+
+}  // namespace esharing::serve

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file flight_recorder.h
+/// The daemon's black box: every tier-one decision appended as one JSONL
+/// line, so a production incident can be interrogated offline with
+/// tools/flightq long after the process (and its metrics registry) is gone.
+///
+/// Line shape (stable field order, obs JSON escaping/number rules):
+///
+///   {"idx":0,"event":"serve.decision","seq":17,"time":3600,
+///    "dest_x":812.5,"dest_y":90.25,"weight":1,"opened":1,"facility":3,
+///    "connection_cost":42.75,"ref":12}
+///
+/// `idx` is the recorder's own monotonic index (0-based append order), not
+/// the obs event seq — the recorder is deliberately independent of the
+/// registry's sink so a flight log never interleaves with unrelated emits
+/// and two runs of the same event stream produce byte-identical logs (no
+/// wall-clock timestamps, same determinism contract as checkpoints).
+/// Records are flushed per line: after a crash the log is complete up to
+/// the last decision the pump loop finished.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
+#include "solver/meyerson.h"
+#include "stream/event.h"
+
+namespace esharing::serve {
+
+class FlightRecorder {
+ public:
+  /// Opens `path` for appending (the restart-after-crash case continues the
+  /// same log). \throws std::runtime_error when the file cannot be opened.
+  explicit FlightRecorder(const std::string& path);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Append one decision record. Thread-safe; lines are never torn.
+  void record(const stream::Event& event, const solver::OnlineDecision& d);
+
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  mutable es::Mutex mu_;
+  std::ofstream out_ ES_GUARDED_BY(mu_);
+  std::uint64_t idx_ ES_GUARDED_BY(mu_){0};
+};
+
+}  // namespace esharing::serve

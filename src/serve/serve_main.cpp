@@ -1,0 +1,295 @@
+/// \file serve_main.cpp
+/// The `esharing-serve` binary: bootstrap a deterministic tier-one system,
+/// start the ServeDaemon, and run until SIGINT/SIGTERM or a protocol
+/// kShutdown — then drain, take the final checkpoint and drop a metrics
+/// snapshot. Restarting with the same --seed/--bootstrap-events/--area-m
+/// and the same --checkpoint path resumes bit-identically from the last
+/// checkpoint (DESIGN.md "Serving daemon").
+///
+/// Usage:
+///   esharing-serve [--port N] [--checkpoint PATH] [--flight-log PATH]
+///                  [--seed N] [--bootstrap-events N] [--area-m F]
+///                  [--shards N] [--checkpoint-every N] [--port-file PATH]
+///
+/// --port 0 (default) binds an ephemeral port; --port-file writes the bound
+/// port as a single line so scripts (the serve-smoke CI job) can find it.
+///
+/// Control mode (a protocol client against a running daemon):
+///   esharing-serve ctl --port N <status|scrape|checkpoint|shutdown|drive>
+///                      [--out PATH] [--seed N] [--count N] [--from N]
+///
+/// `drive` sends the deterministic serve::make_workload(seed, count) slice
+/// [from, count) down the decide path one request at a time — the exact
+/// stream a previous invocation sent, so restart experiments can resend a
+/// suffix and diff flight-recorder traces.
+
+#include <pthread.h>
+#include <signal.h>  // sigset_t/sigtimedwait; <csignal> lacks them on POSIX
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/workload.h"
+
+using namespace esharing;
+
+namespace {
+
+struct Args {
+  std::uint16_t port{0};
+  std::string checkpoint;
+  std::string flight_log;
+  std::string port_file;
+  std::uint64_t seed{17};
+  std::size_t bootstrap_events{2000};
+  double area_m{4000.0};
+  std::size_t shards{2};
+  std::uint64_t checkpoint_every{0};
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--checkpoint PATH] [--flight-log PATH]\n"
+               "          [--seed N] [--bootstrap-events N] [--area-m F]\n"
+               "          [--shards N] [--checkpoint-every N] "
+               "[--port-file PATH]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--port" && (v = value())) {
+      args.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--checkpoint" && (v = value())) {
+      args.checkpoint = v;
+    } else if (flag == "--flight-log" && (v = value())) {
+      args.flight_log = v;
+    } else if (flag == "--port-file" && (v = value())) {
+      args.port_file = v;
+    } else if (flag == "--seed" && (v = value())) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--bootstrap-events" && (v = value())) {
+      args.bootstrap_events = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--area-m" && (v = value())) {
+      args.area_m = std::strtod(v, nullptr);
+    } else if (flag == "--shards" && (v = value())) {
+      args.shards = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--checkpoint-every" && (v = value())) {
+      args.checkpoint_every = std::strtoull(v, nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct CtlArgs {
+  std::uint16_t port{0};
+  std::string command;
+  std::string out;
+  std::uint64_t seed{7};
+  std::size_t count{100};
+  std::size_t from{0};
+};
+
+int ctl_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ctl --port N <status|scrape|checkpoint|shutdown|"
+               "drive>\n"
+               "          [--out PATH] [--seed N] [--count N] [--from N]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_ctl_args(int argc, char** argv, CtlArgs& args) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--port" && (v = value())) {
+      args.port = static_cast<std::uint16_t>(std::strtoul(v, nullptr, 10));
+    } else if (flag == "--out" && (v = value())) {
+      args.out = v;
+    } else if (flag == "--seed" && (v = value())) {
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--count" && (v = value())) {
+      args.count = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--from" && (v = value())) {
+      args.from = std::strtoull(v, nullptr, 10);
+    } else if (args.command.empty() && flag.rfind("--", 0) != 0) {
+      args.command = flag;
+    } else {
+      return false;
+    }
+  }
+  return !args.command.empty() && args.port != 0;
+}
+
+/// `esharing-serve ctl ...`: one protocol request against a running daemon,
+/// so shell scripts (the serve-smoke CI job) can scrape, checkpoint, drive
+/// a deterministic decide stream, and shut down without a bespoke client.
+int run_ctl(int argc, char** argv) {
+  CtlArgs args;
+  if (!parse_ctl_args(argc, argv, args)) return ctl_usage(argv[0]);
+  try {
+    serve::ServeClient client = serve::ServeClient::connect(args.port);
+    if (args.command == "status") {
+      const serve::ServeStatus s = client.status();
+      std::printf("state=%d events_consumed=%llu decisions=%llu "
+                  "checkpoints=%llu next_seq=%llu reloads=%llu\n",
+                  static_cast<int>(s.state),
+                  static_cast<unsigned long long>(s.events_consumed),
+                  static_cast<unsigned long long>(s.decisions),
+                  static_cast<unsigned long long>(s.checkpoints),
+                  static_cast<unsigned long long>(s.next_seq),
+                  static_cast<unsigned long long>(s.reloads));
+    } else if (args.command == "scrape") {
+      const std::string json = client.scrape_metrics();
+      if (args.out.empty()) {
+        std::printf("%s\n", json.c_str());
+      } else if (std::FILE* f = std::fopen(args.out.c_str(), "w")) {
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "ctl: cannot write %s\n", args.out.c_str());
+        return 1;
+      }
+    } else if (args.command == "checkpoint") {
+      client.checkpoint_now();
+      std::printf("ctl: checkpoint taken\n");
+    } else if (args.command == "shutdown") {
+      client.shutdown();
+      std::printf("ctl: shutdown requested\n");
+    } else if (args.command == "drive") {
+      serve::WorkloadConfig wl;
+      wl.seed = args.seed;
+      wl.count = args.count;
+      wl.telemetry_every = 0;
+      const auto events = serve::make_workload(wl);
+      if (args.from > events.size()) {
+        std::fprintf(stderr, "ctl: --from %zu past --count %zu\n", args.from,
+                     args.count);
+        return 1;
+      }
+      std::size_t opened = 0;
+      for (std::size_t i = args.from; i < events.size(); ++i) {
+        const serve::DecisionReply d = client.decide(events[i]);
+        if (d.opened) ++opened;
+      }
+      std::printf("ctl: drove %zu decide requests (seed %llu, [%zu, %zu)), "
+                  "%zu opened\n",
+                  events.size() - args.from,
+                  static_cast<unsigned long long>(args.seed), args.from,
+                  events.size(), opened);
+    } else {
+      return ctl_usage(argv[0]);
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "ctl: %s\n", ex.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "ctl") == 0) {
+    return run_ctl(argc, argv);
+  }
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  // Block the shutdown signals before any daemon thread exists so every
+  // thread inherits the mask and only this one consumes them (sigtimedwait).
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  obs::set_enabled(true);
+  try {
+    core::ESharing system(core::ESharingConfig{}, args.seed);
+    auto ks_reference = serve::bootstrap_system(
+        system, args.seed, args.bootstrap_events, args.area_m);
+    std::printf("esharing-serve: bootstrapped %zu parkings (seed %llu)\n",
+                system.parking_locations().size(),
+                static_cast<unsigned long long>(args.seed));
+
+    serve::ServeConfig cfg;
+    cfg.port = args.port;
+    cfg.checkpoint_path = args.checkpoint;
+    cfg.flight_recorder_path = args.flight_log;
+    cfg.pipeline.bus.shard_count = args.shards;
+    cfg.tunables.checkpoint_every_events = args.checkpoint_every;
+    serve::ServeDaemon daemon(system, std::move(ks_reference), cfg);
+    daemon.start();
+    if (daemon.restored()) {
+      std::printf("esharing-serve: restored checkpoint v%llu (%llu events, "
+                  "seq %llu)\n",
+                  static_cast<unsigned long long>(daemon.restored()->version),
+                  static_cast<unsigned long long>(
+                      daemon.restored()->events_consumed),
+                  static_cast<unsigned long long>(daemon.restored()->last_seq));
+    }
+    std::printf("esharing-serve: listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(daemon.port()));
+    std::fflush(stdout);
+    if (!args.port_file.empty()) {
+      if (std::FILE* f = std::fopen(args.port_file.c_str(), "w")) {
+        std::fprintf(f, "%u\n", static_cast<unsigned>(daemon.port()));
+        std::fclose(f);
+      }
+    }
+
+    // Run until a signal lands or a kShutdown frame stops the daemon.
+    while (daemon.state() != serve::DaemonState::kStopped) {
+      timespec tick{0, 100 * 1000 * 1000};
+      const int sig = sigtimedwait(&sigs, nullptr, &tick);
+      if (sig == SIGINT || sig == SIGTERM) {
+        std::printf("esharing-serve: %s — draining\n", strsignal(sig));
+        std::fflush(stdout);
+        daemon.request_stop();
+        break;
+      }
+    }
+    daemon.request_stop();
+    daemon.wait();
+
+    const auto status = daemon.status();
+    std::printf("esharing-serve: stopped after %llu events, %llu decisions, "
+                "%llu checkpoints\n",
+                static_cast<unsigned long long>(status.events_consumed),
+                static_cast<unsigned long long>(status.decisions),
+                static_cast<unsigned long long>(status.checkpoints));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "esharing-serve: fatal: %s\n", ex.what());
+    return 1;
+  }
+
+  obs::set_enabled(false);
+  const std::string snapshot = obs::metrics_snapshot_path("esharing_serve");
+  if (obs::write_snapshot_json(obs::Registry::global(), snapshot)) {
+    std::printf("esharing-serve: metrics snapshot: %s\n", snapshot.c_str());
+  }
+  return 0;
+}

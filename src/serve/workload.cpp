@@ -1,0 +1,110 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "data/binning.h"
+#include "stats/rng.h"
+
+namespace esharing::serve {
+
+void WorkloadConfig::validate() const {
+  if (count == 0) {
+    throw std::invalid_argument("WorkloadConfig: count must be >= 1");
+  }
+  if (!(area_m > 0.0)) {
+    throw std::invalid_argument("WorkloadConfig: area_m is " +
+                                std::to_string(area_m) +
+                                " but must be positive");
+  }
+  if (!(inter_arrival_s >= 0.0)) {
+    throw std::invalid_argument("WorkloadConfig: inter_arrival_s is " +
+                                std::to_string(inter_arrival_s) +
+                                " but must be non-negative");
+  }
+}
+
+std::vector<stream::Event> make_workload(const WorkloadConfig& config) {
+  config.validate();
+  stats::Rng rng(config.seed);
+  std::vector<stream::Event> events;
+  events.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    stream::Event e;
+    e.time = static_cast<data::Seconds>(
+        static_cast<double>(i) * config.inter_arrival_s);
+    e.origin = {rng.uniform(0.0, config.area_m),
+                rng.uniform(0.0, config.area_m)};
+    e.where = {rng.uniform(0.0, config.area_m),
+               rng.uniform(0.0, config.area_m)};
+    e.bike_id = static_cast<std::int64_t>(i % 997);
+    e.ref = static_cast<std::int64_t>(i);
+    const bool telemetry =
+        config.telemetry_every != 0 && i % config.telemetry_every ==
+                                           config.telemetry_every - 1;
+    if (telemetry) {
+      e.kind = stream::EventKind::kBatteryLevel;
+      e.soc = rng.uniform(0.05, 0.5);
+    } else {
+      e.kind = stream::EventKind::kTripEnd;
+      e.weight = 1.0;
+      e.user_max_walk_m = 400.0;
+      e.user_min_reward = 0.05;
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<stream::Event> make_bootstrap_history(std::uint64_t seed,
+                                                  std::size_t count,
+                                                  double area_m) {
+  WorkloadConfig cfg;
+  cfg.seed = seed;
+  cfg.count = count;
+  cfg.area_m = area_m;
+  cfg.telemetry_every = 0;
+  return make_workload(cfg);
+}
+
+std::vector<geo::Point> bootstrap_system(core::ESharing& system,
+                                         std::uint64_t seed,
+                                         std::size_t count, double area_m) {
+  const auto history = make_bootstrap_history(seed, count, area_m);
+  // Coarse 16x16 aggregation of destinations into demand cells — enough
+  // structure for a sensible offline plan, fully determined by the inputs.
+  constexpr std::size_t kCellsPerSide = 16;
+  const double cell_m = area_m / static_cast<double>(kCellsPerSide);
+  std::vector<double> arrivals(kCellsPerSide * kCellsPerSide, 0.0);
+  for (const auto& e : history) {
+    auto col = static_cast<std::size_t>(e.where.x / cell_m);
+    auto row = static_cast<std::size_t>(e.where.y / cell_m);
+    col = std::min(col, kCellsPerSide - 1);
+    row = std::min(row, kCellsPerSide - 1);
+    arrivals[row * kCellsPerSide + col] += e.weight;
+  }
+  std::vector<data::DemandSite> sites;
+  for (std::size_t cell = 0; cell < arrivals.size(); ++cell) {
+    if (arrivals[cell] <= 0.0) continue;
+    const auto row = cell / kCellsPerSide;
+    const auto col = cell % kCellsPerSide;
+    data::DemandSite site;
+    site.location = {(static_cast<double>(col) + 0.5) * cell_m,
+                     (static_cast<double>(row) + 0.5) * cell_m};
+    site.arrivals = arrivals[cell];
+    site.cell = cell;
+    sites.push_back(site);
+  }
+  (void)system.plan_offline(sites, [](geo::Point) { return 10000.0; });
+  std::vector<geo::Point> ks_reference;
+  ks_reference.reserve(std::min<std::size_t>(history.size(), 400));
+  for (const auto& e : history) {
+    ks_reference.push_back(e.where);
+    if (ks_reference.size() == 400) break;
+  }
+  system.start_online(ks_reference);
+  return ks_reference;
+}
+
+}  // namespace esharing::serve

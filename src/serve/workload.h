@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file workload.h
+/// Deterministic synthetic request streams for the serving daemon: the
+/// load generator, the serve-smoke CI job and the daemon tests all need the
+/// same property — two processes given (seed, count) produce byte-identical
+/// event sequences, so decision traces can be diffed across restarts and
+/// machines. Events are generated from one seeded stats::Rng; `ref` is the
+/// 0-based event index, which doubles as the client-side correlation token.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/esharing.h"
+#include "geo/point.h"
+#include "stream/event.h"
+
+namespace esharing::serve {
+
+struct WorkloadConfig {
+  std::uint64_t seed{17};
+  std::size_t count{1000};
+  /// Requests land uniformly in [0, area_m) x [0, area_m).
+  double area_m{4000.0};
+  /// Seconds between consecutive requests (event time advances linearly).
+  double inter_arrival_s{2.0};
+  /// Every n-th event is battery telemetry instead of a trip end (0 = all
+  /// trip ends — the decide-path shape).
+  std::size_t telemetry_every{0};
+
+  /// \throws std::invalid_argument on the first violated constraint.
+  void validate() const;
+};
+
+/// Generate the full workload for `config`. Pure function of the config —
+/// the entire stream is materialized so callers can slice prefix/suffix
+/// windows for restart experiments (make_workload(c) with count n is a
+/// prefix of make_workload(c) with count m for n < m).
+[[nodiscard]] std::vector<stream::Event> make_workload(
+    const WorkloadConfig& config);
+
+/// Bootstrap demand for the daemon's offline tier: the same generator
+/// shape, reduced to weighted trip-end destinations. Used by serve_main and
+/// the benches so a restarted process rebuilds the identical offline plan
+/// before restoring its checkpoint.
+[[nodiscard]] std::vector<stream::Event> make_bootstrap_history(
+    std::uint64_t seed, std::size_t count, double area_m);
+
+/// Deterministically bootstrap `system` for serving: aggregate the
+/// bootstrap history into coarse demand cells, plan offline with a flat
+/// opening cost, start the online tier, and return the KS reference sample
+/// (first min(count, 400) destinations). Two processes calling this with
+/// the same (seed, count, area_m) build bit-identical tier-one state —
+/// the precondition for checkpoint restore across restarts.
+/// \throws std::invalid_argument on degenerate arguments (count == 0 or
+///         area_m <= 0).
+std::vector<geo::Point> bootstrap_system(core::ESharing& system,
+                                         std::uint64_t seed,
+                                         std::size_t count, double area_m);
+
+}  // namespace esharing::serve

@@ -1,5 +1,6 @@
 #include "stream/checkpoint.h"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -108,14 +109,33 @@ CheckpointInfo restore_checkpoint(std::istream& is, EventBus& bus,
 void save_checkpoint_file(const std::string& path, const EventBus& bus,
                           const OnlinePlacerDriver& placer_driver,
                           const IncentiveDriver& incentive_driver) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) {
-    throw std::runtime_error("save_checkpoint_file: cannot open " + path);
+  // Crash-atomic: write a sibling temp file and rename it over the target.
+  // A crash mid-save leaves the previous checkpoint intact (rename is
+  // atomic on POSIX filesystems); the target is never opened with trunc,
+  // so there is no window where the only recovery state is half-written.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("save_checkpoint_file: cannot open " + tmp);
+    }
+    try {
+      save_checkpoint(os, bus, placer_driver, incentive_driver);
+    } catch (...) {
+      os.close();
+      (void)std::remove(tmp.c_str());
+      throw;
+    }
+    os.flush();
+    if (!os) {
+      (void)std::remove(tmp.c_str());
+      throw std::runtime_error("save_checkpoint_file: write failed for " + tmp);
+    }
   }
-  save_checkpoint(os, bus, placer_driver, incentive_driver);
-  os.flush();
-  if (!os) {
-    throw std::runtime_error("save_checkpoint_file: write failed for " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    throw std::runtime_error("save_checkpoint_file: cannot rename " + tmp +
+                             " over " + path);
   }
 }
 

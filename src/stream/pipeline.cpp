@@ -189,6 +189,23 @@ std::size_t Pipeline::pump(std::vector<solver::OnlineDecision>* decisions_out) {
   return consumed;
 }
 
+std::size_t Pipeline::pump_decisions(const DecisionCallback& on_decision) {
+  require_serving("pump_decisions");
+  std::size_t consumed = 0;
+  std::vector<solver::OnlineDecision> decisions;
+  while (drain_round() > 0) {
+    decisions.clear();
+    placer_->consume_batch(merged_, config_.lanes, &decisions);
+    std::size_t next = 0;
+    for (const Event& e : merged_) {
+      if (e.kind != EventKind::kTripEnd) continue;
+      on_decision(e, decisions[next++]);
+    }
+    consumed += merged_.size();
+  }
+  return consumed;
+}
+
 std::size_t Pipeline::pump_into(const Consumer& consumer) {
   std::size_t consumed = 0;
   while (drain_round() > 0) {

@@ -130,6 +130,20 @@ class Pipeline {
   /// serving mode for callers that bypass the drivers deliberately.
   std::size_t pump_into(const Consumer& consumer);
 
+  using DecisionCallback =
+      std::function<void(const Event&, const solver::OnlineDecision&)>;
+
+  /// Serving pump that hands back (event, decision) pairs: identical to
+  /// pump() — same drain/merge/consume_batch calls, same decision trace —
+  /// but after each round the trip-end events of the merged batch are
+  /// zipped with the decisions they produced (consume_batch appends exactly
+  /// one decision per trip-end, in seq order) and `on_decision` is invoked
+  /// for each pair sequentially. This is the serving daemon's decide path:
+  /// the event carries the caller's `ref` token, so responses can be routed
+  /// back to the requesting connection. Returns the events consumed.
+  /// \throws std::logic_error in transport mode.
+  std::size_t pump_decisions(const DecisionCallback& on_decision);
+
   /// Publish `events` in order (batched at the pump_every cadence) and
   /// pump between batches; a final pump flushes the tail. Semantically
   /// replay_log() over the facade's own components — same decision trace.

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "geo/spatial_index.h"
 #include "obs/event_sink.h"
 #include "obs/export.h"
@@ -70,6 +71,74 @@ TEST(ObsMetrics, HistogramRejectsUnsortedBounds) {
   Histogram overflow_only({});
   overflow_only.observe(3.0);
   EXPECT_EQ(overflow_only.bucket_counts(), (std::vector<std::uint64_t>{1}));
+}
+
+TEST(ObsMetrics, QuantileInterpolatesInsideTheRankBucket) {
+  Histogram h({1.0, 2.0, 3.0, 4.0});
+  // 25 observations per finite bucket, 100 total, uniform by construction.
+  for (int i = 0; i < 25; ++i) {
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(2.5);
+    h.observe(3.5);
+  }
+  // rank 50 exhausts bucket 1 exactly: interpolation hits its upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 2.0);
+  // rank 99 lands 24/25ths into bucket 3 ([3, 4]).
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 3.0 + 24.0 / 25.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  // q = 0 selects rank 1, still inside the first bucket, never below 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0 / 25.0);
+  EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
+}
+
+TEST(ObsMetrics, QuantileEdgeCases) {
+  // Empty histogram: every quantile is 0.
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.999), 0.0);
+
+  // Single finite bucket: interpolates from a lower edge of 0.
+  Histogram single({10.0});
+  for (int i = 0; i < 100; ++i) single.observe(5.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 10.0);
+
+  // Observations beyond the largest bound live in the overflow bucket,
+  // which has no finite upper edge: the estimate clamps to the largest
+  // finite bound rather than inventing a value.
+  Histogram overflow({1.0});
+  for (int i = 0; i < 10; ++i) overflow.observe(50.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.999), 1.0);
+
+  // No finite buckets at all: 0 is the only honest answer.
+  Histogram unbounded({});
+  unbounded.observe(3.0);
+  EXPECT_DOUBLE_EQ(unbounded.quantile(0.5), 0.0);
+}
+
+TEST(ObsMetrics, QuantileUnderConcurrentRecording) {
+  Histogram h(default_latency_buckets());
+  constexpr std::size_t kN = 20000;
+  // Deterministic observation set, recorded from parallel exec-pool chunks;
+  // bucket counts are atomic so the final tallies are exact.
+  exec::parallel_for(kN, 256, [&](std::size_t begin, std::size_t end,
+                                  std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      h.observe(1e-6 + 1e-4 * static_cast<double>(i % 100));
+    }
+  });
+  EXPECT_EQ(h.count(), kN);
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  const double p999 = h.quantile(0.999);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // Every observation is < 10.1 ms, so no estimate may leave that range.
+  EXPECT_LE(p999, 2e-2);
 }
 
 TEST(ObsMetrics, CounterShardBatchesAndFlushes) {

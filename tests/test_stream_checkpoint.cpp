@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -311,6 +313,54 @@ TEST(StreamCheckpoint, FileWrappersRoundTrip) {
                                     c.system, c.placer_driver,
                                     c.incentive_driver),
       std::runtime_error);
+}
+
+TEST(StreamCheckpoint, SaveIsCrashAtomicAndTruncatedFilesAreRejected) {
+  const std::string path = testing::TempDir() + "esharing_atomic_ckpt.bin";
+  const auto log = mixed_log(8, 100);
+
+  Pipeline a(29);
+  (void)replay_log(a.bus, a.placer_driver, log);
+  save_checkpoint_file(path, a.bus, a.placer_driver, a.incentive_driver);
+  // The tmp staging file must be gone after a successful save (renamed
+  // onto the target), never left beside it.
+  {
+    std::ifstream tmp(path + ".tmp", std::ios::binary);
+    EXPECT_FALSE(tmp.good());
+  }
+
+  // Simulate a crash mid-write of a NON-atomic saver: truncate the file to
+  // half. Restore must reject it cleanly instead of half-applying state.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  Pipeline b(29);
+  EXPECT_THROW((void)restore_checkpoint_file(path, b.bus, b.system,
+                                             b.placer_driver,
+                                             b.incentive_driver),
+               std::runtime_error);
+
+  // An intact byte-stream written back restores fine — the rejection above
+  // was about truncation, not the file wrapper.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Pipeline c(29);
+  const CheckpointInfo info = restore_checkpoint_file(
+      path, c.bus, c.system, c.placer_driver, c.incentive_driver);
+  EXPECT_EQ(info.events_consumed, log.size());
+  std::remove(path.c_str());
 }
 
 }  // namespace

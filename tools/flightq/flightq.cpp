@@ -1,0 +1,231 @@
+/// \file flightq.cpp
+/// Incident-window queries over esharing-serve flight-recorder logs
+/// (JSONL, one decision per line — see src/serve/flight_recorder.h).
+///
+/// Usage:
+///   flightq <log.jsonl>... [--mode pretty|trace|stats]
+///           [--from-seq A] [--to-seq B] [--from-time A] [--to-time B]
+///           [--opened-only] [--tail N]
+///
+/// Modes:
+///   pretty (default) — human-readable one-liner per decision.
+///   trace  — canonical machine-diffable lines: the per-process fields
+///            (idx — restarts each file; ref — internal routing tokens)
+///            are dropped, seq and the decision fields kept. Two runs of
+///            the same event stream — including a kill-and-restart run
+///            whose leg logs are passed in order — produce byte-identical
+///            trace output; the serve-smoke CI job diffs exactly this.
+///   stats  — window summary: count, opened, cost sum, seq/time ranges.
+///
+/// Multiple log files are concatenated in argument order (the restart
+/// case: leg1.jsonl leg2.jsonl).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Record {
+  std::int64_t seq{0};
+  std::int64_t time{0};
+  double dest_x{0.0};
+  double dest_y{0.0};
+  double weight{0.0};
+  bool opened{false};
+  std::int64_t facility{0};
+  double connection_cost{0.0};
+};
+
+/// Extract the value following `"key":` in a flat JSON object line.
+/// Returns false when the key is absent.
+bool extract_raw(const std::string& line, const char* key, std::string& out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  auto begin = pos + needle.size();
+  auto end = begin;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool parse_record(const std::string& line, Record& r) {
+  std::string v;
+  if (!extract_raw(line, "seq", v)) return false;
+  r.seq = std::strtoll(v.c_str(), nullptr, 10);
+  if (!extract_raw(line, "time", v)) return false;
+  r.time = std::strtoll(v.c_str(), nullptr, 10);
+  if (!extract_raw(line, "dest_x", v)) return false;
+  r.dest_x = std::strtod(v.c_str(), nullptr);
+  if (!extract_raw(line, "dest_y", v)) return false;
+  r.dest_y = std::strtod(v.c_str(), nullptr);
+  if (!extract_raw(line, "weight", v)) return false;
+  r.weight = std::strtod(v.c_str(), nullptr);
+  if (!extract_raw(line, "opened", v)) return false;
+  r.opened = v == "1" || v == "true";
+  if (!extract_raw(line, "facility", v)) return false;
+  r.facility = std::strtoll(v.c_str(), nullptr, 10);
+  if (!extract_raw(line, "connection_cost", v)) return false;
+  r.connection_cost = std::strtod(v.c_str(), nullptr);
+  return true;
+}
+
+/// Canonical number formatting matching obs::json_number: integral values
+/// print without a decimal point so trace output diffs bytewise.
+std::string fmt_num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+struct Options {
+  std::vector<std::string> paths;
+  std::string mode{"pretty"};
+  std::int64_t from_seq{std::numeric_limits<std::int64_t>::min()};
+  std::int64_t to_seq{std::numeric_limits<std::int64_t>::max()};
+  std::int64_t from_time{std::numeric_limits<std::int64_t>::min()};
+  std::int64_t to_time{std::numeric_limits<std::int64_t>::max()};
+  bool opened_only{false};
+  std::size_t tail{0};
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: flightq <log.jsonl>... [--mode pretty|trace|stats]\n"
+      "               [--from-seq A] [--to-seq B] [--from-time A]\n"
+      "               [--to-time B] [--opened-only] [--tail N]\n");
+  return 2;
+}
+
+bool parse_options(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--mode" && (v = value())) {
+      opt.mode = v;
+      if (opt.mode != "pretty" && opt.mode != "trace" && opt.mode != "stats") {
+        return false;
+      }
+    } else if (arg == "--from-seq" && (v = value())) {
+      opt.from_seq = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--to-seq" && (v = value())) {
+      opt.to_seq = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--from-time" && (v = value())) {
+      opt.from_time = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--to-time" && (v = value())) {
+      opt.to_time = std::strtoll(v, nullptr, 10);
+    } else if (arg == "--opened-only") {
+      opt.opened_only = true;
+    } else if (arg == "--tail" && (v = value())) {
+      opt.tail = std::strtoull(v, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      opt.paths.push_back(arg);
+    }
+  }
+  return !opt.paths.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_options(argc, argv, opt)) return usage();
+
+  std::deque<Record> window;
+  std::size_t parsed = 0;
+  std::size_t skipped = 0;
+  for (const auto& path : opt.paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "flightq: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Record r;
+      if (!parse_record(line, r)) {
+        ++skipped;
+        continue;
+      }
+      ++parsed;
+      if (r.seq < opt.from_seq || r.seq > opt.to_seq) continue;
+      if (r.time < opt.from_time || r.time > opt.to_time) continue;
+      if (opt.opened_only && !r.opened) continue;
+      window.push_back(r);
+      if (opt.tail > 0 && window.size() > opt.tail) window.pop_front();
+    }
+  }
+  if (skipped > 0) {
+    std::fprintf(stderr, "flightq: skipped %zu unparseable lines\n", skipped);
+  }
+
+  if (opt.mode == "stats") {
+    std::size_t opened = 0;
+    double cost = 0.0;
+    std::int64_t seq_lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t seq_hi = std::numeric_limits<std::int64_t>::min();
+    std::int64_t t_lo = std::numeric_limits<std::int64_t>::max();
+    std::int64_t t_hi = std::numeric_limits<std::int64_t>::min();
+    for (const auto& r : window) {
+      opened += r.opened ? 1 : 0;
+      cost += r.connection_cost;
+      seq_lo = std::min(seq_lo, r.seq);
+      seq_hi = std::max(seq_hi, r.seq);
+      t_lo = std::min(t_lo, r.time);
+      t_hi = std::max(t_hi, r.time);
+    }
+    std::printf("decisions: %zu\n", window.size());
+    std::printf("opened: %zu\n", opened);
+    std::printf("connection_cost_sum: %s\n", fmt_num(cost).c_str());
+    if (!window.empty()) {
+      std::printf("seq_range: [%lld, %lld]\n",
+                  static_cast<long long>(seq_lo),
+                  static_cast<long long>(seq_hi));
+      std::printf("time_range: [%lld, %lld]\n", static_cast<long long>(t_lo),
+                  static_cast<long long>(t_hi));
+    }
+    return 0;
+  }
+
+  for (const auto& r : window) {
+    if (opt.mode == "trace") {
+      std::printf(
+          "{\"seq\":%lld,\"time\":%lld,\"dest_x\":%s,\"dest_y\":%s,"
+          "\"weight\":%s,\"opened\":%d,\"facility\":%lld,"
+          "\"connection_cost\":%s}\n",
+          static_cast<long long>(r.seq), static_cast<long long>(r.time),
+          fmt_num(r.dest_x).c_str(), fmt_num(r.dest_y).c_str(),
+          fmt_num(r.weight).c_str(), r.opened ? 1 : 0,
+          static_cast<long long>(r.facility),
+          fmt_num(r.connection_cost).c_str());
+    } else {
+      std::printf("seq %8lld  t %8lld  dest (%9.2f, %9.2f)  %s facility "
+                  "%lld  cost %.3f\n",
+                  static_cast<long long>(r.seq),
+                  static_cast<long long>(r.time), r.dest_x, r.dest_y,
+                  r.opened ? "OPEN " : "reuse", static_cast<long long>(r.facility),
+                  r.connection_cost);
+    }
+  }
+  return 0;
+}
