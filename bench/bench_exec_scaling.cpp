@@ -70,6 +70,7 @@ double time_ms(Fn&& fn) {
 int main() {
   const bench::MetricsSession metrics("bench_exec_scaling");
   bench::print_title("exec runtime scaling: JMS / oracle rows / nearest_batch");
+  // lint-ok: raw-thread hardware_concurrency query only; no thread is spawned
   std::cout << "hardware_concurrency: " << std::thread::hardware_concurrency()
             << "  (speedups are bounded by physical cores; outputs are\n"
             << "   checked bit-identical across widths regardless)\n\n";

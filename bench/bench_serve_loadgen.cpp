@@ -33,7 +33,7 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <thread>
+#include <thread>  // lint-ok: raw-thread loadgen reader blocks on a socket, not compute; the exec pool must stay free for the daemon under test
 #include <vector>
 
 #include "obs/metrics.h"
@@ -111,6 +111,7 @@ StageResult run_stage(std::uint16_t port, double rate,
   std::atomic<std::size_t> answered{0};
   std::atomic<bool> reader_failed{false};
 
+  // lint-ok: raw-thread the reader must block in recv() concurrently with the send loop; pool lanes stay free for the daemon under test
   std::thread reader([&] {
     try {
       for (std::size_t i = 0; i < n; ++i) {

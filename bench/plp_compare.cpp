@@ -29,6 +29,7 @@ std::vector<solver::FlClient> aggregate(const geo::Grid& grid,
   for (Point p : pts) ++counts[grid.index_of(grid.clamped_cell_of(p))];
   std::vector<solver::FlClient> clients;
   clients.reserve(counts.size());
+  // lint-ok: unordered-iter order-independent: clients are sorted by location right below before anything is printed
   for (const auto& [cell, n] : counts) {
     clients.push_back({grid.centroid_of(grid.cell_at(cell)), n});
   }

@@ -7,7 +7,7 @@
 
 #include <cstdlib>
 #include <iomanip>
-#include <iostream>
+#include <iostream>  // lint-ok: iostream-header bench mains print tables to stdout; every includer is a single-TU binary
 #include <sstream>
 #include <string>
 

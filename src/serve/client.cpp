@@ -44,6 +44,7 @@ ServeClient::ServeClient(ServeClient&& other) noexcept
 
 void ServeClient::send(const std::string& payload) {
   const es::LockGuard lock(send_mu_);
+  // analyze-ok: blocking-under-lock send_mu_ exists to keep senders from interleaving partial frames; the write IS the critical section
   if (!write_frame(fd_, payload)) {
     throw std::runtime_error("ServeClient: daemon closed the connection");
   }
@@ -53,6 +54,7 @@ Message ServeClient::recv() {
   std::string payload;
   {
     const es::LockGuard lock(recv_mu_);
+    // analyze-ok: blocking-under-lock recv_mu_ keeps receivers from tearing a frame apart; the read IS the critical section
     if (!read_frame(fd_, payload)) {
       throw std::runtime_error(
           "ServeClient: connection closed while awaiting a response");

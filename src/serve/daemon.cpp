@@ -80,6 +80,7 @@ bool ServeDaemon::Connection::send(const std::string& payload) {
   const es::LockGuard lock(write_mu);
   if (broken) return false;
   try {
+    // analyze-ok: blocking-under-lock write_mu serializes whole frames onto one socket; a slow client stalls only its own connection
     if (!write_frame(fd, payload)) broken = true;
   } catch (const std::exception&) {
     broken = true;

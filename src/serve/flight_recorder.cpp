@@ -40,9 +40,11 @@ void FlightRecorder::record(const stream::Event& event,
   line += ",\"ref\":";
   line += std::to_string(event.ref);
   line += "}\n";
+  // analyze-ok: blocking-under-lock mu_ keeps decision lines whole and in seq order in the JSONL; the append IS the critical section
   out_ << line;
   // Per-line flush: the whole point of a flight recorder is surviving the
   // crash that loses everything buffered.
+  // analyze-ok: blocking-under-lock per-line durability is the contract; flushing outside mu_ could reorder against a concurrent append
   out_.flush();
 }
 

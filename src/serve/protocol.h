@@ -29,6 +29,12 @@
 
 namespace esharing::serve {
 
+/// Wire-protocol revision. Any change to the frame layout, the MsgType
+/// values, or a payload's field order must bump this constant and refresh
+/// tools/lint/frozen_formats.txt in the same diff (enforced by the
+/// format-freeze pass of tools/analyze/analyze.py).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
 /// Hard cap on a frame payload; a length prefix beyond this is treated as
 /// protocol corruption, not an allocation request.
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;

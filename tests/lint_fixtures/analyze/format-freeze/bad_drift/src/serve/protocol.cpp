@@ -1,0 +1,12 @@
+// Fixture: the wire call sequence no longer matches the frozen digest —
+// as if a field had been added without refreshing frozen_formats.txt.
+
+namespace fx {
+
+void encode(std::ostream& os) {
+  wire::write_u8(os, 7);
+  wire::write_u64(os, 42);
+  wire::write_f64(os, 2.5);
+}
+
+}  // namespace fx

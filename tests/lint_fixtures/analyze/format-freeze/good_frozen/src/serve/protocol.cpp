@@ -1,0 +1,12 @@
+// Fixture: the clean counterpart — the frozen digest next door matches
+// this wire call sequence (regenerate with analyze.py --update --root
+// <this fixture> --formats <this fixture>/frozen_formats.txt).
+
+namespace fx {
+
+void encode(std::ostream& os) {
+  wire::write_u8(os, 7);
+  wire::write_u64(os, 42);
+}
+
+}  // namespace fx

@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: mutual includes across modules — the analyzer must report a
+// layering-cycle over {a, b} (and the upward half of the pair).
+#include "b/b.h"

@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+int answer();
+}

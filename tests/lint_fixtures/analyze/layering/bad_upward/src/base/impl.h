@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: a low-layer module reaching up into the application layer —
+// the analyzer must report layering-upward.
+#include "app/api.h"

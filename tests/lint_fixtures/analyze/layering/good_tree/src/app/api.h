@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: the clean counterpart — the application layer depends downward
+// on base, and nothing points back up.
+#include "base/impl.h"

@@ -1,0 +1,4 @@
+#pragma once
+namespace fx {
+int base_value();
+}

@@ -1,0 +1,18 @@
+// Fixture: file I/O performed inside a critical section without a waiver.
+// The analyzer must report blocking-under-lock for both the ostream write
+// and the flush.
+
+namespace fx {
+
+struct Sink {
+  es::Mutex mu;
+  std::ofstream out;
+};
+
+void append(Sink& s) {
+  es::LockGuard lock(s.mu);
+  s.out << "line";
+  s.out.flush();
+}
+
+}  // namespace fx

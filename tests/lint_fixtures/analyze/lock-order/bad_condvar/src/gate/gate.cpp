@@ -1,0 +1,22 @@
+// Fixture: waiting on a condition variable while a second lock is held.
+// wait() releases only the lock it was given — Gate::outer stays held
+// across the sleep, starving every other outer-lock user.
+
+namespace fx {
+
+struct Gate {
+  es::Mutex outer;
+  es::Mutex inner;
+  es::CondVar cv;
+  bool ready{false};
+};
+
+void block_until_ready(Gate& g) {
+  es::LockGuard hold(g.outer);
+  es::UniqueLock lock(g.inner);
+  while (!g.ready) {
+    g.cv.wait(lock);
+  }
+}
+
+}  // namespace fx

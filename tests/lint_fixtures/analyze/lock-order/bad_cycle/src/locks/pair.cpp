@@ -1,0 +1,22 @@
+// Fixture: ab() acquires a then b while ba() acquires b then a — the
+// classic AB/BA deadlock once two threads interleave. The analyzer must
+// report a lock-order-cycle over {Pair::a, Pair::b}.
+
+namespace fx {
+
+struct Pair {
+  es::Mutex a;
+  es::Mutex b;
+};
+
+void ab(Pair& p) {
+  es::LockGuard la(p.a);
+  es::LockGuard lb(p.b);
+}
+
+void ba(Pair& p) {
+  es::LockGuard lb(p.b);
+  es::LockGuard la(p.a);
+}
+
+}  // namespace fx

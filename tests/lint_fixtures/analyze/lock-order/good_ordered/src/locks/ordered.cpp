@@ -1,0 +1,37 @@
+// Fixture: the clean counterpart — every function acquires Pair::a before
+// Pair::b (a consistent global order), scoped blocks release in LIFO order,
+// and the one deliberate I/O-under-lock site carries a waiver.
+
+namespace fx {
+
+struct Pair {
+  es::Mutex a;
+  es::Mutex b;
+};
+
+void both(Pair& p) {
+  es::LockGuard la(p.a);
+  es::LockGuard lb(p.b);
+}
+
+void nested(Pair& p) {
+  es::LockGuard la(p.a);
+  {
+    es::LockGuard lb(p.b);
+  }
+  // b released at block exit; re-acquiring it here is still a->b order.
+  es::LockGuard lb2(p.b);
+}
+
+struct Rec {
+  es::Mutex mu;
+  std::ofstream out;
+};
+
+void log_line(Rec& r) {
+  es::LockGuard lock(r.mu);
+  // analyze-ok: blocking-under-lock mu exists to keep lines whole in the file
+  r.out << "line";
+}
+
+}  // namespace fx

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Tests for tools/lint/lint.py.
 
-Two suites, selectable by class name (this is how CTest invokes them):
+Three suites, selectable by class name (this is how CTest invokes them):
 
   python3 test_lint.py LintFixtures        per-rule pass/fail fixtures
-  python3 test_lint.py LintProductionTree  the real src/ tree lints clean
+  python3 test_lint.py LintFix             --fix rewrites and is idempotent
+  python3 test_lint.py LintProductionTree  src/ tools/ bench/ lint clean
 
 LintFixtures walks tests/lint_fixtures/<rule-id>/: every `bad_*` file must
 be flagged by its rule (exit 1, the file named in the output) and every
@@ -13,8 +14,10 @@ the executable spec of each rule — counterexamples live next to the
 positives so a lint regression in either direction fails here first.
 """
 
+import shutil
 import subprocess
 import sys
+import tempfile
 import unittest
 from pathlib import Path
 
@@ -43,6 +46,8 @@ class LintFixtures(unittest.TestCase):
         for rule_dir in sorted(FIXTURES.iterdir()):
             if not rule_dir.is_dir():
                 continue
+            if rule_dir.name == "analyze":
+                continue  # whole-tree analyzer fixtures; see test_analyze.py
             for path in sorted(rule_dir.glob(f"{prefix}_*")):
                 if path.suffix in (".h", ".cpp"):
                     out.append((rule_dir.name, path))
@@ -113,6 +118,47 @@ class LintFixtures(unittest.TestCase):
                     fname, _, lineno = head.rstrip(":").rpartition(":")
                     self.assertTrue(fname)
                     self.assertTrue(lineno.isdigit())
+
+
+class LintFix(unittest.TestCase):
+    """--fix rewrites the mechanical rules in place; a second run is a
+    no-op (the fixed file is the rule's clean state)."""
+
+    def fix_twice(self, rule_id, fixture_name):
+        src = FIXTURES / rule_id / fixture_name
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td) / fixture_name
+            shutil.copy(src, work)
+            first = run_lint(["--rule", rule_id, "--fix", str(work)])
+            self.assertEqual(
+                first.returncode, 0,
+                f"--fix must leave {fixture_name} clean under {rule_id}:\n"
+                f"{first.stdout}\n{first.stderr}")
+            after_first = work.read_text()
+            second = run_lint(["--rule", rule_id, "--fix", str(work)])
+            self.assertEqual(second.returncode, 0, second.stdout)
+            self.assertEqual(after_first, work.read_text(),
+                             "--fix must be idempotent")
+            return after_first
+
+    def test_fix_pragma_once(self):
+        fixed = self.fix_twice("pragma-once", "bad_guard_macro.h")
+        self.assertTrue(fixed.startswith("#pragma once\n"), fixed)
+
+    def test_fix_iostream_header(self):
+        fixed = self.fix_twice("iostream-header", "bad_iostream.h")
+        self.assertNotIn("#include <iostream>", fixed)
+        self.assertIn("#include <ostream>", fixed)
+
+    def test_fix_respects_waivers(self):
+        src = FIXTURES / "pragma-once" / "good_waived.h"
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td) / src.name
+            shutil.copy(src, work)
+            result = run_lint(["--rule", "pragma-once", "--fix", str(work)])
+            self.assertEqual(result.returncode, 0, result.stdout)
+            self.assertEqual(work.read_text(), src.read_text(),
+                             "--fix must not touch waived files")
 
 
 class LintProductionTree(unittest.TestCase):

@@ -35,9 +35,12 @@ Waivers: a finding line (or the line directly above it) may carry
 `lint-ok: <rule-id> <justification>`; the justification is mandatory.
 
 Usage:
-  lint.py [--root DIR]                       lint the production tree (src/)
+  lint.py [--root DIR]           lint the production trees (src/ tools/ bench/)
   lint.py --rule ID [--metric-names F] FILE  apply one rule to given files
-  lint.py --list-rules                       print the rules table
+  lint.py --fix [...]            rewrite files for the mechanical rules
+                                 (pragma-once, iostream-header), then lint;
+                                 running --fix twice changes nothing
+  lint.py --list-rules           print the rules table
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
@@ -325,6 +328,45 @@ def check_iostream_header(path: Path, text: str, ctx: "Context"):
 
 
 # --------------------------------------------------------------------------
+# --fix rewrites for the mechanical header-hygiene rules.  Each fixer takes
+# the current text and returns the fixed text, or None when there is nothing
+# to do — so running --fix twice is a no-op by construction (the first run
+# leaves the file in the rule's clean state, which the checker then accepts).
+
+
+def fix_pragma_once(path: Path, text: str, ctx: "Context"):
+    if not check_pragma_once(path, text, ctx):
+        return None
+    if not text.strip():
+        return "#pragma once\n"
+    sep = "" if text.startswith("\n") else "\n"
+    return "#pragma once\n" + sep + text
+
+
+OSTREAM_RE = re.compile(r"#\s*include\s*<ostream>")
+
+
+def fix_iostream_header(path: Path, text: str, ctx: "Context"):
+    raw_lines = text.splitlines()
+    kept_lines = text.splitlines(keepends=True)
+    code_lines = strip_comments(text, strip_strings=False).splitlines()
+    has_ostream = any(OSTREAM_RE.search(ln) for ln in code_lines)
+    out, changed = [], False
+    for i, raw in enumerate(kept_lines, start=1):
+        code = code_lines[i - 1] if i <= len(code_lines) else raw
+        if IOSTREAM_RE.search(code) and not waived(raw_lines, i,
+                                                   "iostream-header"):
+            changed = True
+            if has_ostream:
+                continue  # <ostream> is already included; drop the line
+            out.append(raw.replace("<iostream>", "<ostream>", 1))
+            has_ostream = True
+        else:
+            out.append(raw)
+    return "".join(out) if changed else None
+
+
+# --------------------------------------------------------------------------
 # metric-name-freeze
 
 METRIC_CALL_RE = re.compile(
@@ -393,12 +435,14 @@ def check_stale_registry_entries(ctx: "Context"):
 # separators and would skip a header sitting directly at src/foo.h.  Its '*'
 # does match '/', so the "src/*.h" spellings cover every depth including the
 # top level; the "**" forms are kept for readability.
-HEADER_GLOBS = ("src/*.h", "src/**/*.h")
-ALL_GLOBS = ("src/*.h", "src/**/*.h", "src/*.cpp", "src/**/*.cpp")
+HEADER_GLOBS = ("src/*.h", "src/**/*.h", "tools/*.h", "bench/*.h")
+ALL_GLOBS = ("src/*.h", "src/**/*.h", "src/*.cpp", "src/**/*.cpp",
+             "tools/*.h", "tools/*.cpp", "bench/*.h", "bench/*.cpp")
 
 # Files on a serialized-output path: checkpoints (wire format), JSONL event
 # sinks, or golden snapshot/regression artifacts. Iteration order anywhere
-# here becomes bytes somewhere downstream.
+# here becomes bytes somewhere downstream.  Benches and tools qualify
+# wholesale: their stdout/CSV artifacts are diffed across runs.
 DETERMINISM_CRITICAL_GLOBS = (
     "src/stream/*.cpp", "src/stream/*.h",
     "src/obs/*.cpp", "src/obs/*.h",
@@ -406,6 +450,7 @@ DETERMINISM_CRITICAL_GLOBS = (
     "src/core/incentive.cpp",
     "src/data/binning.cpp", "src/data/statistics.cpp",
     "src/sim/simulation.cpp",
+    "tools/*.h", "tools/*.cpp", "bench/*.h", "bench/*.cpp",
 )
 
 RULES = {
@@ -448,16 +493,21 @@ RULES = {
         "globs": HEADER_GLOBS,
         "exempt": (),
         "check": check_pragma_once,
+        "fix": fix_pragma_once,
         "doc": "headers must start with #pragma once",
     },
     "iostream-header": {
         "globs": HEADER_GLOBS,
         "exempt": (),
         "check": check_iostream_header,
+        "fix": fix_iostream_header,
         "doc": "no <iostream> in headers",
     },
     "metric-name-freeze": {
-        "globs": ALL_GLOBS,
+        # src/ only: the frozen registry mirrors the ObsGolden name-freeze
+        # test, which covers library call sites — bench/tool metric names
+        # are free-form.
+        "globs": ("src/*.h", "src/**/*.h", "src/*.cpp", "src/**/*.cpp"),
         "exempt": (),
         "check": check_metric_name_freeze,
         "doc": "obs metric/event names match the frozen registry",
@@ -478,11 +528,18 @@ def rel_match(rel: str, globs) -> bool:
     return any(fnmatch.fnmatch(rel, g) for g in globs)
 
 
+LINTED_TREES = ("src", "tools", "bench")
+
+
+def tree_files(root: Path) -> list:
+    return sorted(p for tree in LINTED_TREES if (root / tree).is_dir()
+                  for p in (root / tree).rglob("*")
+                  if p.suffix in (".h", ".cpp"))
+
+
 def lint_tree(root: Path, ctx: Context) -> list:
     findings = []
-    files = sorted(p for p in (root / "src").rglob("*")
-                   if p.suffix in (".h", ".cpp"))
-    for path in files:
+    for path in tree_files(root):
         rel = path.relative_to(root).as_posix()
         text = path.read_text()
         for rule_id, rule in RULES.items():
@@ -491,6 +548,36 @@ def lint_tree(root: Path, ctx: Context) -> list:
             findings.extend(rule["check"](path, text, ctx))
     findings.extend(check_stale_registry_entries(ctx))
     return findings
+
+
+def fix_tree(root: Path, ctx: Context) -> int:
+    """Apply every rule's fixer across the tree; returns files changed."""
+    fixed = 0
+    for path in tree_files(root):
+        rel = path.relative_to(root).as_posix()
+        for rule_id, rule in RULES.items():
+            fixer = rule.get("fix")
+            if (fixer is None or not rel_match(rel, rule["globs"])
+                    or rel in rule["exempt"]):
+                continue
+            new = fixer(path, path.read_text(), ctx)
+            if new is not None:
+                path.write_text(new)
+                fixed += 1
+    return fixed
+
+
+def fix_files(paths, rule_id: str, ctx: Context) -> int:
+    fixer = RULES[rule_id].get("fix")
+    fixed = 0
+    if fixer is None:
+        return 0
+    for path in paths:
+        new = fixer(path, path.read_text(), ctx)
+        if new is not None:
+            path.write_text(new)
+            fixed += 1
+    return fixed
 
 
 def lint_files(paths, rule_id: str, ctx: Context,
@@ -517,6 +604,10 @@ def main(argv) -> int:
     parser.add_argument("--metric-names", type=Path, default=None,
                         help="override the frozen metric-name registry file")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--fix", action="store_true",
+                        help="rewrite files for the mechanical rules "
+                        "(pragma-once, iostream-header) before linting; "
+                        "idempotent")
     parser.add_argument("files", nargs="*", type=Path)
     args = parser.parse_args(argv)
 
@@ -534,12 +625,20 @@ def main(argv) -> int:
         if not args.files:
             print("lint.py: --rule needs explicit files", file=sys.stderr)
             return 2
+        if args.fix:
+            fixed = fix_files(args.files, args.rule, ctx)
+            if fixed:
+                print(f"lint: fixed {fixed} file(s)", file=sys.stderr)
         findings = lint_files(args.files, args.rule, ctx,
                               check_stale=args.metric_names is not None)
     else:
         if args.files:
             print("lint.py: pass --rule with explicit files", file=sys.stderr)
             return 2
+        if args.fix:
+            fixed = fix_tree(root, ctx)
+            if fixed:
+                print(f"lint: fixed {fixed} file(s)", file=sys.stderr)
         findings = lint_tree(root, ctx)
 
     for f in findings:

@@ -4,8 +4,9 @@
 Dependency-free stdlib runner (the llvm run-clang-tidy wrapper is not
 guaranteed to be installed where clang-tidy is). Reads the compilation
 database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS is ON by
-default in this repo), filters it to first-party sources under src/, and
-runs clang-tidy in parallel with the repo-root .clang-tidy config.
+default in this repo), filters it to first-party sources under src/ and
+tools/ (the flightq binary ships to operators and gets the same gate),
+and runs clang-tidy in parallel with the repo-root .clang-tidy config.
 
 Environments without clang-tidy (the default dev container ships GCC
 only) get a SKIP exit of 0 so local ctest runs stay green; CI passes
@@ -15,7 +16,7 @@ skipping the gate.
 Usage:
   tools/tidy/run_clang_tidy.py [--build-dir build] [--require]
                                [--clang-tidy BIN] [--jobs N] [paths...]
-  paths: optional substrings to filter which src/ files are checked.
+  paths: optional substrings to filter which files are checked.
 Exit: 0 clean (or skipped without --require), 1 findings, 2 setup error.
 """
 
@@ -40,13 +41,13 @@ def load_database(build_dir: Path):
                       "cmake -B build -S . "
                       "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
     entries = json.loads(db_path.read_text())
-    src_root = (REPO_ROOT / "src").resolve()
+    roots = [(REPO_ROOT / d).resolve() for d in ("src", "tools")]
     files = []
     for entry in entries:
         path = Path(entry["file"])
         if not path.is_absolute():
             path = (Path(entry["directory"]) / path).resolve()
-        if src_root in path.parents and path.suffix == ".cpp":
+        if path.suffix == ".cpp" and any(r in path.parents for r in roots):
             files.append(path)
     return sorted(set(files)), None
 
@@ -65,7 +66,7 @@ def main(argv) -> int:
                              "PATH)")
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
     parser.add_argument("paths", nargs="*",
-                        help="only check src/ files whose path contains one "
+                        help="only check files whose path contains one "
                              "of these substrings")
     args = parser.parse_args(argv)
 
@@ -94,8 +95,8 @@ def main(argv) -> int:
         files = [f for f in files
                  if any(p in f.as_posix() for p in args.paths)]
     if not files:
-        print("run_clang_tidy: no matching src/*.cpp entries in the "
-              "compilation database", file=sys.stderr)
+        print("run_clang_tidy: no matching src/ or tools/ .cpp entries in "
+              "the compilation database", file=sys.stderr)
         return 2
 
     print(f"run_clang_tidy: {binary} over {len(files)} files "
