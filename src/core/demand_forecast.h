@@ -32,7 +32,23 @@ struct GridForecastConfig {
   /// one model per cell).
   int rnn_hidden{12};
   int rnn_epochs{8};
+  /// Route the kLstm/kGru top cells through the batched shared-weight
+  /// runtime (ml/batch.h): one fit over the pooled cells, one fused
+  /// forward per horizon step across all of them, per-cell scalers kept.
+  /// Off = the original one-model-per-cell path (fits fan out over the
+  /// exec pool either way).
+  bool rnn_batch{true};
+  /// Full-batch Adam budget for the batched runtime; full-batch steps are
+  /// not comparable 1:1 with the per-window SGD `rnn_epochs` above.
+  int rnn_batch_epochs{40};
+  /// Serve batched forecasts from int8-quantized weights (accuracy A/B'd
+  /// against fp32 in EXPERIMENTS.md).
+  bool rnn_int8{false};
   std::uint64_t seed{1};
+
+  /// \throws std::invalid_argument on the first violated constraint
+  ///         (forecast_grid_demand calls this first).
+  void validate() const;
 };
 
 struct GridForecast {

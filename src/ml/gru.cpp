@@ -5,16 +5,10 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "ml/linalg.h"
+#include "ml/rnn_step.h"
 #include "stats/rng.h"
 
 namespace esharing::ml {
-
-namespace {
-
-double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-
-}  // namespace
 
 // Per-layer, per-step caches for BPTT.
 struct GruForecaster::Forward {
@@ -115,31 +109,17 @@ GruForecaster::Forward GruForecaster::run_forward(
                       : fw.steps[static_cast<std::size_t>(l - 1)][t].h;
       st.z.resize(h); st.r.resize(h); st.n.resize(h);
       st.q.resize(h); st.h.resize(h);
-      // Pre-activations for the 3h rows [z | r | n] via the row-parallel
-      // linalg kernels. Each accumulator's per-row ascending-k addition
-      // order matches the old interleaved loops exactly: a[0..2h) gets
-      // b + Wx·x + Wh·h_prev, a[2h..3h) only b + Wx·x, and q is the bare
-      // Wh_n·h_prev product (bit-identical; see linalg.h).
-      std::vector<double> a(3 * h);
-      std::vector<double> qv(h);
-      matvec_bias(wx, 3 * h, in, st.x.data(), b, a.data());
-      matvec_acc(wh, 2 * h, h, h_prev.data(), a.data());
-      matvec_bias(wh + 2 * h * h, h, h, h_prev.data(), nullptr, qv.data());
-      for (std::size_t u = 0; u < h; ++u) {
-        st.z[u] = sigmoid(a[u]);
-        st.r[u] = sigmoid(a[h + u]);
-        st.q[u] = qv[u];
-        st.n[u] = std::tanh(a[2 * h + u] + st.r[u] * qv[u]);
-        st.h[u] = (1.0 - st.z[u]) * st.n[u] + st.z[u] * h_prev[u];
-      }
+      // Shared step kernel (rnn_step.h) — the exact arithmetic the old
+      // inline gate loops produced, bit-identical.
+      gru_step(wx, wh, b, in, h, st.x.data(), h_prev.data(), st.z.data(),
+               st.r.data(), st.n.data(), st.q.data(), st.h.data());
       h_prev = st.h;
     }
   }
 
   const auto& h_last = fw.steps.back().back().h;
-  double y = params_[by_off()];
-  for (std::size_t u = 0; u < h; ++u) y += params_[wy_off() + u] * h_last[u];
-  fw.output = y;
+  fw.output =
+      rnn_output_head(&params_[wy_off()], params_[by_off()], h_last.data(), h);
   return fw;
 }
 

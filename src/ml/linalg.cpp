@@ -7,18 +7,6 @@
 
 namespace esharing::ml {
 
-namespace {
-
-/// Below this many multiply-adds a parallel region costs more than it
-/// saves (forecaster defaults are tiny); the cutoff only picks the lane
-/// count, never the arithmetic, so results are identical either way.
-constexpr std::size_t kSerialFlops = 1 << 14;
-
-/// Rows per chunk for row-parallel kernels.
-constexpr std::size_t kRowGrain = 8;
-
-}  // namespace
-
 void matvec_bias(const double* w, std::size_t rows, std::size_t cols,
                  const double* x, const double* bias, double* y) {
   const std::size_t width = rows * cols < kSerialFlops ? 1 : 0;

@@ -11,6 +11,16 @@
 
 namespace esharing::ml {
 
+/// Below this many multiply-adds a parallel region costs more than it
+/// saves (forecaster defaults are tiny). Shared by the scalar matvec
+/// kernels here and the batched plane kernels (linalg_batch.h); the cutoff
+/// only ever picks the lane count, never the arithmetic, so results are
+/// identical either way.
+inline constexpr std::size_t kSerialFlops = 1 << 14;
+
+/// Rows per chunk for row-parallel kernels.
+inline constexpr std::size_t kRowGrain = 8;
+
 /// Dense row-major matrix of doubles.
 class Mat {
  public:

@@ -1,0 +1,170 @@
+#include "ml/linalg_batch.h"
+
+#include "exec/thread_pool.h"
+#include "ml/linalg.h"
+
+namespace esharing::ml {
+
+namespace {
+
+/// Serial under the shared cutoff, pool width above it; explicit widths
+/// pass through untouched. Only ever selects the lane count.
+std::size_t pick_width(std::size_t flops, std::size_t width) {
+  if (width != 0) return width;
+  return flops < kSerialFlops ? 1 : 0;
+}
+
+/// Generic plane product: z[r][c] (=|+=) init + sum_j wload(r, j) * x[j][c]
+/// with j ascending. The blocked body and both tails execute the identical
+/// per-element statement sequence (this file is built with
+/// -ffp-contract=off), so an element's value never depends on its batch
+/// position, the batch size, or the pool width.
+template <bool kAccumulate, typename LoadW>
+void plane_matmul(LoadW&& wload, std::size_t out_rows, std::size_t inner,
+                  const float* x, std::size_t batch, const float* bias,
+                  float* z, std::size_t width) {
+  exec::parallel_for(
+      out_rows, kRowGrain,
+      [&](std::size_t rb, std::size_t re, std::size_t) {
+        for (std::size_t r = rb; r < re; ++r) {
+          float* zr = z + r * batch;
+          if (!kAccumulate) {
+            const float init = bias != nullptr ? bias[r] : 0.0f;
+            for (std::size_t c = 0; c < batch; ++c) zr[c] = init;
+          }
+          std::size_t j = 0;
+          for (; j + 4 <= inner; j += 4) {
+            const float w0 = wload(r, j);
+            const float w1 = wload(r, j + 1);
+            const float w2 = wload(r, j + 2);
+            const float w3 = wload(r, j + 3);
+            const float* x0 = x + j * batch;
+            const float* x1 = x0 + batch;
+            const float* x2 = x1 + batch;
+            const float* x3 = x2 + batch;
+            std::size_t c = 0;
+            for (; c + kPlaneLanes <= batch; c += kPlaneLanes) {
+              for (std::size_t l = 0; l < kPlaneLanes; ++l) {
+                float acc = zr[c + l];
+                acc += w0 * x0[c + l];
+                acc += w1 * x1[c + l];
+                acc += w2 * x2[c + l];
+                acc += w3 * x3[c + l];
+                zr[c + l] = acc;
+              }
+            }
+            for (; c < batch; ++c) {
+              float acc = zr[c];
+              acc += w0 * x0[c];
+              acc += w1 * x1[c];
+              acc += w2 * x2[c];
+              acc += w3 * x3[c];
+              zr[c] = acc;
+            }
+          }
+          for (; j < inner; ++j) {
+            const float wj = wload(r, j);
+            const float* xj = x + j * batch;
+            std::size_t c = 0;
+            for (; c + kPlaneLanes <= batch; c += kPlaneLanes) {
+              for (std::size_t l = 0; l < kPlaneLanes; ++l) {
+                zr[c + l] += wj * xj[c + l];
+              }
+            }
+            for (; c < batch; ++c) zr[c] += wj * xj[c];
+          }
+        }
+      },
+      pick_width(out_rows * inner * batch, width));
+}
+
+}  // namespace
+
+void batch_matmul_bias(const float* w, std::size_t rows, std::size_t cols,
+                       const float* x, std::size_t batch, const float* bias,
+                       float* z, std::size_t width) {
+  plane_matmul<false>(
+      [&](std::size_t r, std::size_t k) { return w[r * cols + k]; }, rows,
+      cols, x, batch, bias, z, width);
+}
+
+void batch_matmul_acc(const float* w, std::size_t rows, std::size_t cols,
+                      const float* x, std::size_t batch, float* z,
+                      std::size_t width) {
+  plane_matmul<true>(
+      [&](std::size_t r, std::size_t k) { return w[r * cols + k]; }, rows,
+      cols, x, batch, nullptr, z, width);
+}
+
+void batch_matmul_bias_i8(const std::int8_t* w, const float* row_scale,
+                          std::size_t rows, std::size_t cols, const float* x,
+                          std::size_t batch, const float* bias, float* z,
+                          std::size_t width) {
+  plane_matmul<false>(
+      [&](std::size_t r, std::size_t k) {
+        return row_scale[r] * static_cast<float>(w[r * cols + k]);
+      },
+      rows, cols, x, batch, bias, z, width);
+}
+
+void batch_matmul_acc_i8(const std::int8_t* w, const float* row_scale,
+                         std::size_t rows, std::size_t cols, const float* x,
+                         std::size_t batch, float* z, std::size_t width) {
+  plane_matmul<true>(
+      [&](std::size_t r, std::size_t k) {
+        return row_scale[r] * static_cast<float>(w[r * cols + k]);
+      },
+      rows, cols, x, batch, nullptr, z, width);
+}
+
+void batch_matmul_transpose_acc(const float* w, std::size_t rows,
+                                std::size_t cols, const float* z,
+                                std::size_t batch, float* out,
+                                std::size_t width) {
+  // Output rows are the weight columns; the inner (ascending) dimension is
+  // the weight rows, loaded with stride cols.
+  plane_matmul<true>(
+      [&](std::size_t k, std::size_t r) { return w[r * cols + k]; }, cols,
+      rows, z, batch, nullptr, out, width);
+}
+
+void batch_outer_acc(const float* dz, std::size_t rows, const float* x,
+                     std::size_t cols, std::size_t batch, double* g,
+                     std::size_t width) {
+  exec::parallel_for(
+      rows, kRowGrain,
+      [&](std::size_t rb, std::size_t re, std::size_t) {
+        for (std::size_t r = rb; r < re; ++r) {
+          const float* zr = dz + r * batch;
+          double* gr = g + r * cols;
+          for (std::size_t k = 0; k < cols; ++k) {
+            const float* xk = x + k * batch;
+            double acc = 0.0;
+            for (std::size_t c = 0; c < batch; ++c) {
+              acc += static_cast<double>(zr[c]) * static_cast<double>(xk[c]);
+            }
+            gr[k] += acc;
+          }
+        }
+      },
+      pick_width(rows * cols * batch, width));
+}
+
+void batch_rowsum_acc(const float* dz, std::size_t rows, std::size_t batch,
+                      double* g, std::size_t width) {
+  exec::parallel_for(
+      rows, kRowGrain,
+      [&](std::size_t rb, std::size_t re, std::size_t) {
+        for (std::size_t r = rb; r < re; ++r) {
+          const float* zr = dz + r * batch;
+          double acc = 0.0;
+          for (std::size_t c = 0; c < batch; ++c) {
+            acc += static_cast<double>(zr[c]);
+          }
+          g[r] += acc;
+        }
+      },
+      pick_width(rows * batch, width));
+}
+
+}  // namespace esharing::ml

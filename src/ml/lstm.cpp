@@ -5,16 +5,10 @@
 #include <numeric>
 #include <stdexcept>
 
-#include "ml/linalg.h"
+#include "ml/rnn_step.h"
 #include "stats/rng.h"
 
 namespace esharing::ml {
-
-namespace {
-
-double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
-
-}  // namespace
 
 // Per-layer, per-step activation caches kept for BPTT.
 struct LstmForecaster::Forward {
@@ -117,31 +111,19 @@ LstmForecaster::Forward LstmForecaster::run_forward(
                       : fw.steps[static_cast<std::size_t>(l - 1)][t].h;
       st.i.resize(h); st.f.resize(h); st.g.resize(h); st.o.resize(h);
       st.c.resize(h); st.tanh_c.resize(h); st.h.resize(h);
-      // Gate pre-activations for all 4h rows [i | f | g | o] as two
-      // row-parallel matvecs: z[row] = b[row] + Wx[row]·x + Wh[row]·h_prev
-      // with the same per-row ascending-k addition order as the old
-      // inline loops (bit-identical; see linalg.h).
-      std::vector<double> z(4 * h);
-      matvec_bias(wx, 4 * h, in, st.x.data(), b, z.data());
-      matvec_acc(wh, 4 * h, h, h_prev.data(), z.data());
-      for (std::size_t u = 0; u < h; ++u) {
-        st.i[u] = sigmoid(z[u]);
-        st.f[u] = sigmoid(z[h + u]);
-        st.g[u] = std::tanh(z[2 * h + u]);
-        st.o[u] = sigmoid(z[3 * h + u]);
-        st.c[u] = st.f[u] * c_prev[u] + st.i[u] * st.g[u];
-        st.tanh_c[u] = std::tanh(st.c[u]);
-        st.h[u] = st.o[u] * st.tanh_c[u];
-      }
+      // Shared step kernel (rnn_step.h) — the exact arithmetic the old
+      // inline gate loops produced, bit-identical.
+      lstm_step(wx, wh, b, in, h, st.x.data(), h_prev.data(), c_prev.data(),
+                st.i.data(), st.f.data(), st.g.data(), st.o.data(),
+                st.c.data(), st.tanh_c.data(), st.h.data());
       h_prev = st.h;
       c_prev = st.c;
     }
   }
 
   const auto& h_last = fw.steps.back().back().h;
-  double y = params_[by_off()];
-  for (std::size_t u = 0; u < h; ++u) y += params_[wy_off() + u] * h_last[u];
-  fw.output = y;
+  fw.output =
+      rnn_output_head(&params_[wy_off()], params_[by_off()], h_last.data(), h);
   return fw;
 }
 

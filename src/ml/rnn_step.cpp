@@ -1,0 +1,59 @@
+#include "ml/rnn_step.h"
+
+#include <vector>
+
+#include "ml/linalg.h"
+
+namespace esharing::ml {
+
+void lstm_step(const double* wx, const double* wh, const double* b,
+               std::size_t in, std::size_t h, const double* x,
+               const double* h_prev, const double* c_prev, double* i,
+               double* f, double* g, double* o, double* c, double* tanh_c,
+               double* h_out) {
+  // Gate pre-activations for all 4h rows [i | f | g | o] as two
+  // row-parallel matvecs: z[row] = b[row] + Wx[row]·x + Wh[row]·h_prev
+  // with the per-row ascending-k addition order of linalg.h.
+  std::vector<double> z(4 * h);
+  matvec_bias(wx, 4 * h, in, x, b, z.data());
+  matvec_acc(wh, 4 * h, h, h_prev, z.data());
+  for (std::size_t u = 0; u < h; ++u) {
+    i[u] = sigmoid(z[u]);
+    f[u] = sigmoid(z[h + u]);
+    g[u] = std::tanh(z[2 * h + u]);
+    o[u] = sigmoid(z[3 * h + u]);
+    c[u] = f[u] * c_prev[u] + i[u] * g[u];
+    tanh_c[u] = std::tanh(c[u]);
+    h_out[u] = o[u] * tanh_c[u];
+  }
+}
+
+void gru_step(const double* wx, const double* wh, const double* b,
+              std::size_t in, std::size_t h, const double* x,
+              const double* h_prev, double* z, double* r, double* n,
+              double* q, double* h_out) {
+  // Pre-activations for the 3h rows [z | r | n]: a[0..2h) gets
+  // b + Wx·x + Wh·h_prev, a[2h..3h) only b + Wx·x, and q is the bare
+  // Wh_n·h_prev product (pre reset gating, cached for BPTT).
+  std::vector<double> a(3 * h);
+  std::vector<double> qv(h);
+  matvec_bias(wx, 3 * h, in, x, b, a.data());
+  matvec_acc(wh, 2 * h, h, h_prev, a.data());
+  matvec_bias(wh + 2 * h * h, h, h, h_prev, nullptr, qv.data());
+  for (std::size_t u = 0; u < h; ++u) {
+    z[u] = sigmoid(a[u]);
+    r[u] = sigmoid(a[h + u]);
+    q[u] = qv[u];
+    n[u] = std::tanh(a[2 * h + u] + r[u] * qv[u]);
+    h_out[u] = (1.0 - z[u]) * n[u] + z[u] * h_prev[u];
+  }
+}
+
+double rnn_output_head(const double* wy, double by, const double* h_last,
+                       std::size_t h) {
+  double y = by;
+  for (std::size_t u = 0; u < h; ++u) y += wy[u] * h_last[u];
+  return y;
+}
+
+}  // namespace esharing::ml

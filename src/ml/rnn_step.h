@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file rnn_step.h
+/// Shared scalar recurrence step kernels for the from-scratch LSTM/GRU
+/// forecasters. One call advances one layer by one timestep for a single
+/// sequence; the per-cell forecasters (lstm.cpp, gru.cpp) call these from
+/// their forward passes, and tests can drive them directly.
+///
+/// Both kernels are the exact arithmetic the forecasters used inline
+/// before the extraction: gate pre-activations come from the row-parallel
+/// matvec kernels (linalg.h) with their per-row ascending-k addition
+/// order, and the pointwise updates run in ascending unit order — so the
+/// refactor is bit-identical and the finite-difference gradient checks
+/// stay green unchanged. The batched multi-cell runtime (batch.h) mirrors
+/// the same recurrences over fp32 planes; these kernels are its
+/// one-sequence double-precision reference semantics.
+
+#include <cmath>
+#include <cstddef>
+
+namespace esharing::ml {
+
+/// Logistic gate nonlinearity shared by the LSTM and GRU steps.
+[[nodiscard]] inline double sigmoid(double x) {
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// One LSTM step. Weight rows are the gate blocks [i | f | g | o] (4h rows
+/// of wx over `in` inputs and of wh over `h` recurrent units; bias b has
+/// 4h entries). All output arrays hold `h` values; `c_prev` may be read
+/// equal to `c` only if they do not alias (callers pass distinct buffers).
+///
+///   z        = b + Wx·x + Wh·h_prev          (gate pre-activations)
+///   i, f, o  = sigmoid(z_i), sigmoid(z_f), sigmoid(z_o)
+///   g        = tanh(z_g)
+///   c        = f * c_prev + i * g
+///   h        = o * tanh(c)
+///
+/// `tanh_c` receives tanh(c) (cached by BPTT callers).
+void lstm_step(const double* wx, const double* wh, const double* b,
+               std::size_t in, std::size_t h, const double* x,
+               const double* h_prev, const double* c_prev, double* i,
+               double* f, double* g, double* o, double* c, double* tanh_c,
+               double* h_out);
+
+/// One GRU step. Weight rows are the gate blocks [z | r | n] (3h rows);
+/// the candidate block's recurrent product q = Wh_n·h_prev is computed
+/// before reset gating and returned for BPTT callers.
+///
+///   a        = b + Wx·x, with a_z/a_r also accumulating Wh_{z,r}·h_prev
+///   z, r     = sigmoid(a_z), sigmoid(a_r)
+///   q        = Wh_n·h_prev
+///   n        = tanh(a_n + r * q)
+///   h        = (1 - z) * n + z * h_prev
+void gru_step(const double* wx, const double* wh, const double* b,
+              std::size_t in, std::size_t h, const double* x,
+              const double* h_prev, double* z, double* r, double* n,
+              double* q, double* h_out);
+
+/// Linear output head shared by both forecasters: by + Wy·h_last with the
+/// terms added in ascending unit order.
+[[nodiscard]] double rnn_output_head(const double* wy, double by,
+                                     const double* h_last, std::size_t h);
+
+}  // namespace esharing::ml

@@ -1,6 +1,7 @@
 #include "stream/drivers.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -18,13 +19,19 @@ namespace {
 namespace wire = data::wire;
 constexpr std::uint64_t kDriverMagic = 0x4553545244525631ULL;  // "ESTRDRV1"
 // v2: + trip_ends_total/reanchors (the landmark re-anchor cadence state).
-constexpr std::uint64_t kDriverVersion = 2;
+// v3: + forecast_refreshes and the per-cell hourly accumulator behind the
+//     batched forecast refresh (written even when the feature is off, as
+//     an empty section).
+constexpr std::uint64_t kDriverVersion = 3;
+
+constexpr double kSecondsPerHour = 3600.0;
 
 struct DriverObsMetrics {
   obs::Counter& events;
   obs::Counter& trip_ends;
   obs::Counter& regime_checks;
   obs::Counter& reanchors;
+  obs::Counter& forecast_refreshes;
   obs::Counter& batch_segments;
   obs::Gauge& regime_similarity;
   obs::Counter& sessions_opened;
@@ -36,6 +43,8 @@ struct DriverObsMetrics {
         obs::Registry::global().counter("stream.placer_driver.trip_ends"),
         obs::Registry::global().counter("stream.placer_driver.regime_checks"),
         obs::Registry::global().counter("stream.placer_driver.reanchors"),
+        obs::Registry::global().counter(
+            "stream.placer_driver.forecast_refreshes"),
         obs::Registry::global().counter("stream.placer_driver.batch_segments"),
         obs::Registry::global().gauge("stream.placer_driver.regime_similarity"),
         obs::Registry::global().counter("stream.incentive_driver.sessions_opened"),
@@ -68,6 +77,18 @@ void PlacerDriverConfig::validate() const {
         " is invalid: a 2-D KS statistic over fewer than 4 points per side "
         "is meaningless (set ks_sample_budget = 0 to disable subsampling "
         "instead)");
+  }
+  if (forecast_history_hours > 0) {
+    forecast_rnn.validate();
+    if (forecast_history_hours < forecast_rnn.lookback + 2) {
+      throw std::invalid_argument(
+          "PlacerDriverConfig: forecast_history_hours = " +
+          std::to_string(forecast_history_hours) +
+          " is invalid: the batch forecaster needs at least lookback + 2 = " +
+          std::to_string(forecast_rnn.lookback + 2) +
+          " hourly points per cell (set forecast_history_hours = 0 to "
+          "disable forecast refreshes instead)");
+    }
   }
 }
 
@@ -136,6 +157,25 @@ std::optional<solver::OnlineDecision> OnlinePlacerDriver::decide(
   if (e.kind != EventKind::kTripEnd) return std::nullopt;
   const auto decision = system_->handle_request(e.where, e.weight);
   ++trip_ends_total_;
+  if (config_.forecast_history_hours > 0) {
+    // Hourly per-cell accumulation for the batch forecast refresh. Runs in
+    // the sequential decision stage, so the accumulator is a pure function
+    // of the merged seq order — shard-count and lane invariant.
+    const double cell = config_.state.cell_m;
+    const std::pair<std::int64_t, std::int64_t> key{
+        static_cast<std::int64_t>(std::floor(e.where.x / cell)),
+        static_cast<std::int64_t>(std::floor(e.where.y / cell))};
+    const auto hour = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(e.time) / kSecondsPerHour));
+    auto& hours = forecast_hours_[key];
+    hours[hour] += e.weight;
+    // Bound the touched cell to the trailing window (hours only advance).
+    const auto horizon =
+        static_cast<std::int64_t>(config_.forecast_history_hours);
+    while (!hours.empty() && hours.begin()->first < hour - horizon) {
+      hours.erase(hours.begin());
+    }
+  }
   if (config_.reanchor_period > 0 &&
       trip_ends_total_ % config_.reanchor_period == 0) {
     run_reanchor();
@@ -209,18 +249,85 @@ void OnlinePlacerDriver::run_reanchor() {
   const StateSnapshot snap = merged_snapshot();
   if (snap.cells.size() < config_.reanchor_min_cells) return;
   const double cell = config_.state.cell_m;
+
+  // Per-cell expected arrivals: a batch forecast of the next hour when the
+  // accumulator holds enough completed hours, else the raw window counts.
+  std::vector<double> weights;
+  weights.reserve(snap.cells.size());
+  bool used_forecast = false;
+  if (config_.forecast_history_hours > 0 && !forecast_hours_.empty()) {
+    // Completed hours are strictly before the snapshot clock's bucket; the
+    // uniform series length is clamped to what has actually accumulated.
+    const auto now_hour = static_cast<std::int64_t>(
+        std::floor(static_cast<double>(snap.now) / kSecondsPerHour));
+    std::int64_t first_hour = now_hour;
+    for (const auto& [key, hours] : forecast_hours_) {
+      if (!hours.empty()) {
+        first_hour = std::min(first_hour, hours.begin()->first);
+      }
+    }
+    const auto span = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, now_hour - first_hour));
+    const std::size_t n = std::min(config_.forecast_history_hours, span);
+    if (n >= config_.forecast_rnn.lookback + 2) {
+      std::vector<ml::Series> series(snap.cells.size());
+      for (std::size_t i = 0; i < snap.cells.size(); ++i) {
+        const auto it =
+            forecast_hours_.find({snap.cells[i].cx, snap.cells[i].cy});
+        ml::Series& s = series[i];
+        s.assign(n, 0.0);
+        if (it != forecast_hours_.end()) {
+          for (std::size_t j = 0; j < n; ++j) {
+            const auto hour = now_hour - static_cast<std::int64_t>(n - j);
+            const auto h = it->second.find(hour);
+            if (h != it->second.end()) s[j] = h->second;
+          }
+        }
+      }
+      ml::batch::BatchRnn model(config_.forecast_rnn);
+      model.fit(series);
+      const auto forecasts = model.forecast(series, 1);
+      for (std::size_t i = 0; i < snap.cells.size(); ++i) {
+        weights.push_back(std::max(0.0, forecasts[i][0]));
+      }
+      used_forecast = true;
+    }
+  }
+  if (!used_forecast) {
+    for (const auto& c : snap.cells) {
+      weights.push_back(static_cast<double>(c.count));
+    }
+  }
+
   std::vector<data::DemandSite> sites;
   sites.reserve(snap.cells.size());
-  for (const auto& c : snap.cells) {
-    // Cell centroid as the candidate location, window count as expected
-    // arrivals — both bit-deterministic functions of the merged snapshot.
-    sites.push_back({{(static_cast<double>(c.cx) + 0.5) * cell,
-                      (static_cast<double>(c.cy) + 0.5) * cell},
-                     static_cast<double>(c.count)});
+  for (std::size_t i = 0; i < snap.cells.size(); ++i) {
+    // Cell centroid as the candidate location — a bit-deterministic
+    // function of the merged snapshot. Forecast weights drop predicted-idle
+    // cells; the raw-count path keeps every cell, exactly as before.
+    if (used_forecast && weights[i] <= 0.0) continue;
+    sites.push_back({{(static_cast<double>(snap.cells[i].cx) + 0.5) * cell,
+                      (static_cast<double>(snap.cells[i].cy) + 0.5) * cell},
+                     weights[i]});
+  }
+  if (used_forecast && sites.size() < config_.reanchor_min_cells) {
+    // Degenerate forecast (everything predicted idle): fall back to the
+    // raw counts rather than anchoring on an empty instance.
+    sites.clear();
+    for (const auto& c : snap.cells) {
+      sites.push_back({{(static_cast<double>(c.cx) + 0.5) * cell,
+                        (static_cast<double>(c.cy) + 0.5) * cell},
+                       static_cast<double>(c.count)});
+    }
+    used_forecast = false;
   }
   system_->reanchor(sites);
   ++reanchors_;
-  if (obs::enabled()) DriverObsMetrics::get().reanchors.add();
+  if (used_forecast) ++forecast_refreshes_;
+  if (obs::enabled()) {
+    DriverObsMetrics::get().reanchors.add();
+    if (used_forecast) DriverObsMetrics::get().forecast_refreshes.add();
+  }
 }
 
 std::size_t OnlinePlacerDriver::pump(EventBus& bus) {
@@ -304,6 +411,19 @@ void OnlinePlacerDriver::save(std::ostream& os) const {
   wire::write_u64(os, last_seq_);
   wire::write_u64(os, trip_ends_total_);
   wire::write_u64(os, reanchors_);
+  wire::write_u64(os, forecast_refreshes_);
+  // Forecast accumulator (empty when forecast_history_hours = 0): cell
+  // count, then per cell (cx, cy, hour count, per hour bucket + weight).
+  wire::write_u64(os, forecast_hours_.size());
+  for (const auto& [key, hours] : forecast_hours_) {
+    wire::write_i64(os, key.first);
+    wire::write_i64(os, key.second);
+    wire::write_u64(os, hours.size());
+    for (const auto& [hour, weight] : hours) {
+      wire::write_i64(os, hour);
+      wire::write_f64(os, weight);
+    }
+  }
   for (const auto& regime : regimes_) {
     wire::write_f64(os, regime.similarity);
     wire::write_u64(os, regime.checks);
@@ -336,6 +456,19 @@ void OnlinePlacerDriver::restore_from(std::istream& is) {
   last_seq_ = wire::read_u64(is);
   trip_ends_total_ = wire::read_u64(is);
   reanchors_ = wire::read_u64(is);
+  forecast_refreshes_ = wire::read_u64(is);
+  forecast_hours_.clear();
+  const std::uint64_t forecast_cells = wire::read_u64(is);
+  for (std::uint64_t c = 0; c < forecast_cells; ++c) {
+    const std::int64_t cx = wire::read_i64(is);
+    const std::int64_t cy = wire::read_i64(is);
+    auto& hours = forecast_hours_[{cx, cy}];
+    const std::uint64_t n_hours = wire::read_u64(is);
+    for (std::uint64_t h = 0; h < n_hours; ++h) {
+      const std::int64_t hour = wire::read_i64(is);
+      hours[hour] = wire::read_f64(is);
+    }
+  }
   for (auto& regime : regimes_) {
     regime.similarity = wire::read_f64(is);
     regime.checks = wire::read_u64(is);

@@ -26,13 +26,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/esharing.h"
 #include "core/incentive.h"
 #include "geo/spatial_index.h"
+#include "ml/batch.h"
 #include "stream/event.h"
 #include "stream/event_bus.h"
 #include "stream/stream_state.h"
@@ -71,6 +74,16 @@ struct PlacerDriverConfig {
   /// points (see ks_stratified_sample), bounding the quadratic
   /// Fasano–Franceschini cost per check no matter how large windows grow.
   std::size_t ks_sample_budget{0};
+  /// Hours of per-cell hourly arrival history the driver accumulates for
+  /// batch forecast refreshes (0 = off, the default). When enabled, each
+  /// re-anchor fits the batched runtime (ml/batch.h) over every snapshot
+  /// cell's hourly series and anchors on the predicted next-hour demand
+  /// instead of the raw window counts — falling back to raw counts until
+  /// enough completed hours have accumulated. Accumulation happens in the
+  /// sequential decision stage, so it is shard-count and lane invariant.
+  std::size_t forecast_history_hours{0};
+  /// Batched forecaster settings used when forecast_history_hours > 0.
+  ml::batch::BatchRnnConfig forecast_rnn;
 
   /// \throws std::invalid_argument on the first violated constraint.
   void validate() const;
@@ -141,6 +154,10 @@ class OnlinePlacerDriver {
   [[nodiscard]] std::uint64_t last_seq() const { return last_seq_; }
   /// Landmark re-anchors executed so far (reanchor_period cadence).
   [[nodiscard]] std::uint64_t reanchors() const { return reanchors_; }
+  /// Re-anchors that used batched demand forecasts (vs raw window counts).
+  [[nodiscard]] std::uint64_t forecast_refreshes() const {
+    return forecast_refreshes_;
+  }
   [[nodiscard]] bool any_consumed() const { return consumed_ > 0; }
   /// Merged deterministic view across all shards.
   [[nodiscard]] StateSnapshot merged_snapshot() const;
@@ -174,6 +191,13 @@ class OnlinePlacerDriver {
   std::uint64_t last_seq_{0};
   std::uint64_t trip_ends_total_{0};
   std::uint64_t reanchors_{0};
+  std::uint64_t forecast_refreshes_{0};
+  /// Per-cell hourly trip-end weights for the batch forecast refresh,
+  /// keyed by (cx, cy) at the stream cell size, then by hour bucket.
+  /// Written only in decide() (sequential seq order), pruned to the
+  /// trailing forecast_history_hours.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::map<std::int64_t, double>>
+      forecast_hours_;
 };
 
 struct IncentiveDriverConfig {

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/demand_forecast.h"
 #include "core/esharing.h"
 #include "sim/simulation.h"
 
@@ -203,6 +204,38 @@ TEST(SimConfigValidate, NestedESharingConfigIsChecked) {
   sim::SimConfig c;
   c.esharing.incentive.alpha = 2.0;
   expect_rejects(c, "incentive.alpha");
+}
+
+TEST(GridForecastConfigValidate, DefaultConfigIsValid) {
+  const core::GridForecastConfig config;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(GridForecastConfigValidate, RejectsBadFields) {
+  core::GridForecastConfig c;
+  c.horizon_hours = 0;
+  expect_rejects(c, "horizon_hours");
+
+  c = {};
+  c.engine = core::ForecastEngine::kLstm;
+  c.rnn_hidden = 0;
+  expect_rejects(c, "rnn_hidden");
+
+  c = {};
+  c.engine = core::ForecastEngine::kGru;
+  c.rnn_epochs = -1;
+  expect_rejects(c, "rnn_epochs");
+
+  c = {};
+  c.engine = core::ForecastEngine::kLstm;
+  c.rnn_batch_epochs = 0;
+  expect_rejects(c, "rnn_batch_epochs");
+
+  // The rnn knobs are only constrained when a recurrent engine is chosen.
+  c = {};
+  c.engine = core::ForecastEngine::kSeasonalNaive;
+  c.rnn_hidden = 0;
+  EXPECT_NO_THROW(c.validate());
 }
 
 }  // namespace

@@ -96,10 +96,54 @@ TEST_F(GridForecastFixture, RnnEnginesRunOnTopCells) {
   cfg.engine = ForecastEngine::kLstm;
   cfg.top_cells = 3;  // keep the per-cell training cheap
   cfg.rnn_epochs = 3;
+  cfg.rnn_batch = false;  // the original one-model-per-cell path
   const auto fc = forecast_grid_demand(matrix_, grid_, cfg);
   EXPECT_GT(fc.modeled_cells, 0u);
   EXPECT_LE(fc.modeled_cells, 3u);
   for (double v : fc.predicted_arrivals) EXPECT_GE(v, 0.0);
+}
+
+TEST_F(GridForecastFixture, BatchedRnnPathMatchesShapeOfPerCellPath) {
+  GridForecastConfig cfg;
+  cfg.engine = ForecastEngine::kGru;
+  cfg.top_cells = 6;
+  cfg.rnn_batch = true;
+  cfg.rnn_batch_epochs = 10;
+  const auto fc = forecast_grid_demand(matrix_, grid_, cfg);
+  ASSERT_EQ(fc.predicted_arrivals.size(), grid_.cell_count());
+  EXPECT_GT(fc.modeled_cells, 0u);
+  EXPECT_LE(fc.modeled_cells, 6u);
+  for (double v : fc.predicted_arrivals) EXPECT_GE(v, 0.0);
+  const double predicted =
+      std::accumulate(fc.predicted_arrivals.begin(),
+                      fc.predicted_arrivals.end(), 0.0);
+  EXPECT_GT(predicted, 0.0);
+}
+
+TEST_F(GridForecastFixture, BatchedInt8PathStaysNonNegative) {
+  GridForecastConfig cfg;
+  cfg.engine = ForecastEngine::kLstm;
+  cfg.top_cells = 4;
+  cfg.rnn_batch = true;
+  cfg.rnn_batch_epochs = 8;
+  cfg.rnn_int8 = true;
+  const auto fc = forecast_grid_demand(matrix_, grid_, cfg);
+  EXPECT_GT(fc.modeled_cells, 0u);
+  for (double v : fc.predicted_arrivals) EXPECT_GE(v, 0.0);
+}
+
+TEST_F(GridForecastFixture, PerCellPathDeterministicAcrossRuns) {
+  GridForecastConfig cfg;
+  cfg.engine = ForecastEngine::kLstm;
+  cfg.top_cells = 3;
+  cfg.rnn_epochs = 2;
+  cfg.rnn_batch = false;
+  const auto a = forecast_grid_demand(matrix_, grid_, cfg);
+  const auto b = forecast_grid_demand(matrix_, grid_, cfg);
+  ASSERT_EQ(a.predicted_arrivals.size(), b.predicted_arrivals.size());
+  for (std::size_t c = 0; c < a.predicted_arrivals.size(); ++c) {
+    EXPECT_DOUBLE_EQ(a.predicted_arrivals[c], b.predicted_arrivals[c]);
+  }
 }
 
 TEST_F(GridForecastFixture, Validates) {

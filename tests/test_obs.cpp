@@ -9,6 +9,7 @@
 
 #include "exec/thread_pool.h"
 #include "geo/spatial_index.h"
+#include "ml/batch.h"
 #include "obs/event_sink.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -328,6 +329,16 @@ TEST(ObsGolden, InstrumentedHotPathsUseTheFrozenMetricNames) {
       solver::colocated_instance(std::move(clients), std::move(costs));
   (void)solver::jms_greedy(inst);
 
+  // One tiny batched fit + refresh drives every ml.forecast.* metric.
+  ml::batch::BatchRnnConfig bcfg;
+  bcfg.hidden = 4;
+  bcfg.lookback = 3;
+  bcfg.epochs = 2;
+  ml::batch::BatchRnn brnn(bcfg);
+  const ml::Series series{3, 4, 5, 6, 5, 4, 3, 4, 5, 6};
+  brnn.fit({series});
+  (void)brnn.forecast({series}, 2);
+
   for (const char* name : {
            "geo.spatial_index.nearest_queries",
            "geo.spatial_index.nearest_cells_scanned",
@@ -336,10 +347,16 @@ TEST(ObsGolden, InstrumentedHotPathsUseTheFrozenMetricNames) {
            "solver.cost_oracle.row_materializations",
            "solver.jms_greedy.solves",
            "solver.jms_greedy.iterations",
+           "ml.forecast.fits",
+           "ml.forecast.batch_refreshes",
+           "ml.forecast.steps",
+           "ml.forecast.cells",
        }) {
     EXPECT_GT(reg.counter(name).value(), 0u) << "metric not bumped: " << name;
   }
   EXPECT_GT(reg.histogram("solver.jms_greedy.solve_seconds").count(), 0u);
+  EXPECT_GT(reg.histogram("ml.forecast.fit_seconds").count(), 0u);
+  EXPECT_GT(reg.histogram("ml.forecast.batch_refresh_seconds").count(), 0u);
   EXPECT_GT(reg.gauge("solver.jms_greedy.num_threads").value(), 0.0);
 }
 

@@ -65,11 +65,12 @@ struct Pipeline {
   OnlinePlacerDriver placer_driver;
   IncentiveDriver incentive_driver;
 
-  explicit Pipeline(std::uint64_t seed, std::size_t shards = 4)
+  explicit Pipeline(std::uint64_t seed, std::size_t shards = 4,
+                    const PlacerDriverConfig& dcfg = driver_config())
       : system(system_config(), seed),
         sample(make_sample(seed)),
         bus(bus_config(shards)),
-        placer_driver(start(system, seed), bus, sample, driver_config()),
+        placer_driver(start(system, seed), bus, sample, dcfg),
         incentive_driver(IncentiveDriverConfig{}) {}
 
   static std::vector<Point> make_sample(std::uint64_t seed) {
@@ -361,6 +362,114 @@ TEST(StreamCheckpoint, SaveIsCrashAtomicAndTruncatedFilesAreRejected) {
       path, c.bus, c.system, c.placer_driver, c.incentive_driver);
   EXPECT_EQ(info.events_consumed, log.size());
   std::remove(path.c_str());
+}
+
+// --- StreamForecastRefresh --------------------------------------------------
+
+/// Re-anchoring with the batched demand forecaster enabled: each re-anchor
+/// fits ml::batch::BatchRnn over the driver's per-cell hourly accumulator
+/// and anchors on predicted next-hour demand (raw counts until enough
+/// completed hours exist).
+PlacerDriverConfig forecast_driver_config() {
+  PlacerDriverConfig cfg = driver_config();
+  cfg.reanchor_period = 48;
+  cfg.forecast_history_hours = 10;
+  cfg.forecast_rnn.kind = ml::batch::RnnKind::kGru;
+  cfg.forecast_rnn.hidden = 4;
+  cfg.forecast_rnn.lookback = 3;
+  cfg.forecast_rnn.epochs = 4;
+  return cfg;
+}
+
+/// Trip ends spread over many hours so the accumulator crosses the
+/// lookback + 2 completed-hour threshold mid-log.
+std::vector<Event> hourly_log(std::uint64_t seed, int n) {
+  stats::Rng rng(seed);
+  const auto points = stats::uniform_points(rng, {{0, 0}, {3000, 3000}}, n);
+  std::vector<Event> log;
+  log.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    Event e;
+    e.kind = EventKind::kTripEnd;
+    e.time = static_cast<data::Seconds>(i * 240);  // 15 trip ends per hour
+    e.where = points[i];
+    log.push_back(e);
+  }
+  return log;
+}
+
+TEST(StreamForecastRefresh, ConfigValidatesForecastKnobs) {
+  PlacerDriverConfig cfg = forecast_driver_config();
+  cfg.forecast_history_hours = 3;  // < lookback + 2
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = forecast_driver_config();
+  cfg.forecast_rnn.hidden = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(forecast_driver_config().validate());
+}
+
+TEST(StreamForecastRefresh, FiresOnceEnoughHoursAccumulate) {
+  const auto log = hourly_log(17, 400);
+  Pipeline p(17, 4, forecast_driver_config());
+  (void)replay_log(p.bus, p.placer_driver, log);
+  EXPECT_GT(p.placer_driver.reanchors(), 0u);
+  EXPECT_GT(p.placer_driver.forecast_refreshes(), 0u);
+  EXPECT_LE(p.placer_driver.forecast_refreshes(), p.placer_driver.reanchors());
+}
+
+TEST(StreamForecastRefresh, ShardCountInvariant) {
+  const auto log = hourly_log(21, 400);
+  Pipeline one(21, 1, forecast_driver_config());
+  Pipeline four(21, 4, forecast_driver_config());
+  std::vector<solver::OnlineDecision> da, db;
+  for (const Event& e : log) {
+    auto d = one.placer_driver.consume(e);
+    if (d.has_value()) da.push_back(*d);
+  }
+  four.placer_driver.consume_batch(log, /*lanes=*/1, &db);
+  expect_same_decisions(da, db);
+  EXPECT_EQ(one.placer_driver.reanchors(), four.placer_driver.reanchors());
+  EXPECT_EQ(one.placer_driver.forecast_refreshes(),
+            four.placer_driver.forecast_refreshes());
+  EXPECT_GT(one.placer_driver.forecast_refreshes(), 0u);
+}
+
+TEST(StreamForecastRefresh, CheckpointRoundTripContinuesBitIdentically) {
+  const auto log = hourly_log(33, 400);
+  const std::size_t half = log.size() / 2;
+
+  // Uninterrupted reference run.
+  Pipeline ref(33, 4, forecast_driver_config());
+  std::vector<solver::OnlineDecision> ref_decisions;
+  for (const Event& e : log) {
+    auto d = ref.placer_driver.consume(e);
+    if (d.has_value()) ref_decisions.push_back(*d);
+  }
+
+  // Run to the halfway point, checkpoint the driver, restore into a fresh
+  // pipeline, and continue — the forecast accumulator must ride along.
+  Pipeline a(33, 4, forecast_driver_config());
+  std::vector<solver::OnlineDecision> decisions;
+  for (std::size_t i = 0; i < half; ++i) {
+    auto d = a.placer_driver.consume(log[i]);
+    if (d.has_value()) decisions.push_back(*d);
+  }
+  std::stringstream blob;
+  save_checkpoint(blob, a.bus, a.placer_driver, a.incentive_driver);
+
+  Pipeline b(33, 4, forecast_driver_config());
+  restore_checkpoint(blob, b.bus, b.system, b.placer_driver,
+                     b.incentive_driver);
+  EXPECT_EQ(b.placer_driver.forecast_refreshes(),
+            a.placer_driver.forecast_refreshes());
+  for (std::size_t i = half; i < log.size(); ++i) {
+    auto d = b.placer_driver.consume(log[i]);
+    if (d.has_value()) decisions.push_back(*d);
+  }
+  expect_same_decisions(decisions, ref_decisions);
+  EXPECT_EQ(b.placer_driver.forecast_refreshes(),
+            ref.placer_driver.forecast_refreshes());
+  EXPECT_GT(ref.placer_driver.forecast_refreshes(), 0u);
 }
 
 }  // namespace
